@@ -1,0 +1,18 @@
+package dosgi_test
+
+import (
+	"dosgi/internal/module"
+	"dosgi/internal/vosgi"
+)
+
+// newVirtual starts a virtual framework that delegates base.api to host.
+func newVirtual(host *module.Framework) (*module.Framework, error) {
+	vf, err := vosgi.New("bench-child", host, vosgi.SharePolicy{Packages: []string{"base.api"}})
+	if err != nil {
+		return nil, err
+	}
+	if err := vf.Start(); err != nil {
+		return nil, err
+	}
+	return vf.Framework(), nil
+}

@@ -1,0 +1,258 @@
+// Package dosgi's root benchmark harness: one benchmark per experiment of
+// DESIGN.md's index (E1–E9 reproduce the paper's figures and measurable
+// claims; A1–A4 are design ablations). Experiments run on the deterministic
+// discrete-event simulator, so benchmark wall-time measures harness cost
+// while the *reported metrics* (ReportMetric) carry the experiment results
+// in simulated units. Regenerate EXPERIMENTS.md data with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/cluster-sim -experiment all
+package dosgi_test
+
+import (
+	"testing"
+	"time"
+
+	"dosgi/internal/experiments"
+	"dosgi/internal/migrate"
+	"dosgi/internal/module"
+)
+
+func BenchmarkE1ArchitectureComparison(b *testing.B) {
+	var rows []experiments.E1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.E1ArchitectureComparison(16)
+	}
+	b.ReportMetric(rows[0].MemoryMB, "multijvm-MB")
+	b.ReportMetric(rows[2].MemoryMB, "vosgi-MB")
+	b.ReportMetric(float64(rows[0].MgmtOp.Microseconds()), "remote-mgmt-us")
+}
+
+func BenchmarkE2SharedServices(b *testing.B) {
+	var res experiments.E2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E2SharedServices(8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.BundlesDuplicated), "bundles-duplicated")
+	b.ReportMetric(float64(res.BundlesShared), "bundles-shared")
+}
+
+func BenchmarkE3MigrationIPTakeover(b *testing.B) {
+	var res experiments.E3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E3Migration()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.PlannedDowntime.Milliseconds()), "planned-downtime-ms")
+	b.ReportMetric(float64(res.CrashFailover.Milliseconds()), "crash-failover-ms")
+	b.ReportMetric(float64(res.RestartInPlace.Milliseconds()), "restart-ms")
+}
+
+func BenchmarkE4IpvsScaleOut(b *testing.B) {
+	var rows []experiments.E4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E4IpvsScaleOut([]int{1, 2, 4}, 100, 30*time.Millisecond, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "replicas1-rps")
+	b.ReportMetric(rows[len(rows)-1].Throughput, "replicas4-rps")
+}
+
+func BenchmarkE5MonitoringAccuracy(b *testing.B) {
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.E5MonitoringAccuracy(50 * time.Millisecond)
+	}
+	b.ReportMetric(rows[0].ErrorPct, "longtask-err-pct")
+	b.ReportMetric(rows[1].ErrorPct, "shorttask-err-pct")
+}
+
+func BenchmarkE6SLAEnforcement(b *testing.B) {
+	var res experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E6SLAEnforcement()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.VictimP99NoPolicy.Milliseconds()), "victim-p99-nopolicy-ms")
+	b.ReportMetric(float64(res.VictimP99WithPolicy.Milliseconds()), "victim-p99-policy-ms")
+	b.ReportMetric(float64(res.TimeToEnforce.Milliseconds()), "time-to-enforce-ms")
+}
+
+func BenchmarkE7Consolidation(b *testing.B) {
+	var res experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.E7Consolidation(3, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.NodesBefore), "nodes-before")
+	b.ReportMetric(float64(res.NodesAfter), "nodes-after")
+}
+
+func BenchmarkE8GracefulDegradation(b *testing.B) {
+	var rows []experiments.E8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E8GracefulDegradation(4, 6, migrate.BestEffort, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.Running), "running-after-2-crashes")
+}
+
+func BenchmarkE9GCSCharacteristics(b *testing.B) {
+	var rows []experiments.E9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E9GCSCharacteristics([]int{2, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[len(rows)-1].ViewChangeTime.Milliseconds()), "viewchange16-ms")
+	b.ReportMetric(float64(rows[len(rows)-1].BroadcastTime.Milliseconds()), "broadcast16-ms")
+}
+
+// BenchmarkA1DelegationLookup measures class lookup cost: local class,
+// wired import, and parent delegation through a virtual framework (the
+// ablation behind Figure 4's lookup chain).
+func BenchmarkA1DelegationLookup(b *testing.B) {
+	defs := module.NewDefinitionRegistry()
+	defs.MustAdd("base", &module.Definition{
+		ManifestText: "Bundle-SymbolicName: base\nBundle-Version: 1.0.0\nExport-Package: base.api\n",
+		Classes:      map[string]any{"base.api.Svc": "svc"},
+	})
+	defs.MustAdd("app", &module.Definition{
+		ManifestText: "Bundle-SymbolicName: app\nBundle-Version: 1.0.0\nImport-Package: base.api\n",
+		Classes:      map[string]any{"app.Main": "main"},
+	})
+	host := module.New(module.WithDefinitions(defs))
+	if err := host.Start(); err != nil {
+		b.Fatal(err)
+	}
+	baseBundle, err := host.InstallBundle("base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := baseBundle.Start(); err != nil {
+		b.Fatal(err)
+	}
+	appBundle, err := host.InstallBundle("app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := appBundle.Start(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := appBundle.LoadClass("app.Main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wired-import", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := appBundle.LoadClass("base.api.Svc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parent-delegation", func(b *testing.B) {
+		// The child's bundle carries no Import-Package for base.api, so
+		// its lookup misses locally and falls through to the explicit
+		// parent delegation — the Figure 4 path.
+		defs.MustAdd("app-child", &module.Definition{
+			ManifestText: "Bundle-SymbolicName: app.child\nBundle-Version: 1.0.0\n",
+			Classes:      map[string]any{"app.child.Main": "main"},
+		})
+		child := newChildWithDelegation(b, host)
+		tb, err := child.InstallBundle("app-child")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tb.LoadClass("base.api.Svc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkA2IpvsSchedulers(b *testing.B) {
+	var rows []experiments.A2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A2IpvsSchedulers(100, 25*time.Millisecond, 4*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].P99.Milliseconds()), "rr-p99-ms")
+	b.ReportMetric(float64(rows[1].P99.Milliseconds()), "wrr-p99-ms")
+	b.ReportMetric(float64(rows[2].P99.Milliseconds()), "lc-p99-ms")
+}
+
+func BenchmarkA3FailureDetector(b *testing.B) {
+	var rows []experiments.A3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.A3FailureDetector([]time.Duration{
+			100 * time.Millisecond, 400 * time.Millisecond, 1600 * time.Millisecond,
+		}, 0.30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].DetectionLatency.Milliseconds()), "t100ms-detect-ms")
+	b.ReportMetric(float64(rows[0].FalseSuspicions), "t100ms-false")
+	b.ReportMetric(float64(rows[2].DetectionLatency.Milliseconds()), "t1600ms-detect-ms")
+	b.ReportMetric(float64(rows[2].FalseSuspicions), "t1600ms-false")
+}
+
+func BenchmarkA4BroadcastOrdering(b *testing.B) {
+	var res experiments.A4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.A4BroadcastOrdering(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DivergentFIFO), "fifo-divergent")
+	b.ReportMetric(float64(res.DivergentTotal), "total-divergent")
+}
+
+// newChildWithDelegation builds a started virtual framework delegating
+// base.api to the host. Kept in the benchmark file to avoid an import of
+// internal/vosgi in the public harness beyond this ablation.
+func newChildWithDelegation(b *testing.B, host *module.Framework) *module.Framework {
+	b.Helper()
+	vf, err := newVirtual(host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vf
+}

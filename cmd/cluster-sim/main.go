@@ -1,0 +1,158 @@
+// Command cluster-sim regenerates the paper-reproduction experiments on
+// the simulated cluster and prints their tables. Run all experiments or a
+// single one:
+//
+//	cluster-sim -experiment all
+//	cluster-sim -experiment E3
+//	cluster-sim -experiment E4 -rate 150 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dosgi/internal/experiments"
+	"dosgi/internal/migrate"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cluster-sim", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment id (E1..E9, A2..A4 or 'all')")
+	customers := fs.Int("customers", 16, "E1/E2: number of customers")
+	rate := fs.Float64("rate", 100, "E4/A2: request rate per second")
+	duration := fs.Duration("duration", 5*time.Second, "E4/A2: load duration (virtual time)")
+	nodes := fs.Int("nodes", 4, "E7/E8: cluster size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := strings.ToUpper(*experiment)
+	selected := func(id string) bool { return want == "ALL" || want == id }
+	ran := false
+
+	if selected("E1") {
+		ran = true
+		header("E1", "architecture comparison (Figures 1-3)")
+		fmt.Println(experiments.FormatE1(experiments.E1ArchitectureComparison(*customers)))
+	}
+	if selected("E2") {
+		ran = true
+		header("E2", "shared base services (Figure 4)")
+		res, err := experiments.E2SharedServices(*customers, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE2(res))
+	}
+	if selected("E3") {
+		ran = true
+		header("E3", "migration and failover (Figure 5, §3.2)")
+		res, err := experiments.E3Migration()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE3(res))
+	}
+	if selected("E4") {
+		ran = true
+		header("E4", "ipvs scale-out (Figure 6)")
+		rows, err := experiments.E4IpvsScaleOut([]int{1, 2, 4, 8}, *rate, 30*time.Millisecond, *duration)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE4(rows))
+	}
+	if selected("E5") {
+		ran = true
+		header("E5", "monitoring accuracy (§3.1)")
+		fmt.Println(experiments.FormatE5(experiments.E5MonitoringAccuracy(50 * time.Millisecond)))
+	}
+	if selected("E6") {
+		ran = true
+		header("E6", "autonomic SLA enforcement (§3.3)")
+		res, err := experiments.E6SLAEnforcement()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE6(res))
+	}
+	if selected("E7") {
+		ran = true
+		header("E7", "consolidation / power saving (§4)")
+		res, err := experiments.E7Consolidation(*nodes-1, *nodes-1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE7(res))
+	}
+	if selected("E8") {
+		ran = true
+		header("E8", "graceful degradation (§3.2)")
+		best, err := experiments.E8GracefulDegradation(*nodes, 6, migrate.BestEffort, 2)
+		if err != nil {
+			return err
+		}
+		strict, err := experiments.E8GracefulDegradationSized(*nodes, 6, 700, migrate.Strict, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE8(best, strict))
+	}
+	if selected("E9") {
+		ran = true
+		header("E9", "group communication characteristics (§3.2)")
+		rows, err := experiments.E9GCSCharacteristics([]int{2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatE9(rows))
+	}
+	if selected("A2") {
+		ran = true
+		header("A2", "ipvs scheduler ablation")
+		rows, err := experiments.A2IpvsSchedulers(*rate, 25*time.Millisecond, *duration)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatA2(rows))
+	}
+	if selected("A3") {
+		ran = true
+		header("A3", "failure-detector timeout ablation")
+		rows, err := experiments.A3FailureDetector([]time.Duration{
+			100 * time.Millisecond, 200 * time.Millisecond,
+			400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		}, 0.30)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatA3(rows))
+	}
+	if selected("A4") {
+		ran = true
+		header("A4", "broadcast ordering ablation")
+		res, err := experiments.A4BroadcastOrdering(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatA4(res))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (use E1..E9, A2..A4 or all)", *experiment)
+	}
+	return nil
+}
+
+func header(id, title string) {
+	fmt.Printf("=== %s: %s ===\n", id, title)
+}

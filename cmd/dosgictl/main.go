@@ -1,0 +1,56 @@
+// Command dosgictl is the admin CLI for a dosgid node: it sends one
+// command over the TCP admin protocol and prints the response.
+//
+//	dosgictl status
+//	dosgictl create tenant-a
+//	dosgictl start tenant-a
+//	dosgictl list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "dosgid admin address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dosgictl [-addr host:port] <command> [args...]")
+		os.Exit(2)
+	}
+	if err := run(*addr, strings.Join(flag.Args(), " ")); err != nil {
+		fmt.Fprintln(os.Stderr, "dosgictl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, command string) error {
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", command); err != nil {
+		return err
+	}
+	// Responses end with a line starting with OK or ERR.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "OK") {
+			return nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return fmt.Errorf("%s", strings.TrimPrefix(line, "ERR "))
+		}
+	}
+	return sc.Err()
+}

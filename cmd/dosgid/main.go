@@ -1,0 +1,187 @@
+// Command dosgid runs a single platform node in real time: a host OSGi
+// framework with the shared base services and an Instance Manager, exposed
+// over a line-oriented TCP admin protocol (the role RMI/JMX consoles play
+// in the paper's Figure 1 discussion). Use dosgictl to talk to it.
+//
+// Protocol (one command per line, responses end with "OK" or "ERR <msg>"):
+//
+//	STATUS
+//	LIST
+//	CREATE <id> [sharedService ...]
+//	START <id> | STOP <id> | DESTROY <id>
+//	BUNDLES <id>
+//	LOG [n]
+//	QUIT
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/core"
+	"dosgi/internal/module"
+	"dosgi/internal/services"
+)
+
+func main() {
+	listenAddr := flag.String("listen", "127.0.0.1:7700", "admin listen address")
+	flag.Parse()
+
+	sched := clock.NewReal()
+	defer sched.Stop()
+
+	defs := module.NewDefinitionRegistry()
+	defs.MustAdd("base:log", services.LogBundleDefinition(sched))
+	defs.MustAdd("app:placeholder", &module.Definition{
+		ManifestText: "Bundle-SymbolicName: com.example.app\nBundle-Version: 1.0.0\n",
+		Classes:      map[string]any{"com.example.app.Main": "main"},
+	})
+
+	host := module.New(module.WithName("dosgid"), module.WithDefinitions(defs))
+	if err := host.Start(); err != nil {
+		log.Fatal(err)
+	}
+	logBundle, err := host.InstallBundle("base:log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := logBundle.Start(); err != nil {
+		log.Fatal(err)
+	}
+	mgr := core.NewManager(host, core.Hooks{})
+
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dosgid: admin on %s", ln.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		_ = ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("dosgid: shutting down: %v", err)
+			return
+		}
+		go serve(conn, host, mgr)
+	}
+}
+
+func serve(conn net.Conn, host *module.Framework, mgr *core.Manager) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		_ = out.Flush()
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		switch cmd {
+		case "QUIT":
+			reply("OK bye")
+			return
+		case "STATUS":
+			refs, _ := host.SystemContext().ServiceReferences("", "")
+			reply("framework=%s state=%s bundles=%d services=%d instances=%d",
+				host.Name(), host.State(), len(host.Bundles()), len(refs), len(mgr.List()))
+			reply("OK")
+		case "LIST":
+			for _, inst := range mgr.List() {
+				d := inst.Descriptor()
+				reply("%s customer=%s state=%s", d.ID, d.Customer, inst.State())
+			}
+			reply("OK %d instance(s)", len(mgr.List()))
+		case "CREATE":
+			if len(fields) < 2 {
+				reply("ERR usage: CREATE <id> [sharedService ...]")
+				continue
+			}
+			desc := core.Descriptor{
+				ID:             core.InstanceID(fields[1]),
+				Customer:       fields[1],
+				Bundles:        []core.BundleSpec{{Location: "app:placeholder", Start: true}},
+				SharedServices: fields[2:],
+			}
+			if _, err := mgr.Create(desc); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK created %s", fields[1])
+		case "START", "STOP", "DESTROY":
+			if len(fields) != 2 {
+				reply("ERR usage: %s <id>", cmd)
+				continue
+			}
+			id := core.InstanceID(fields[1])
+			var err error
+			switch cmd {
+			case "START":
+				err = mgr.Start(id)
+			case "STOP":
+				err = mgr.Stop(id)
+			default:
+				err = mgr.Destroy(id)
+			}
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK %s %s", strings.ToLower(cmd), fields[1])
+		case "BUNDLES":
+			if len(fields) != 2 {
+				reply("ERR usage: BUNDLES <id>")
+				continue
+			}
+			inst, ok := mgr.Get(core.InstanceID(fields[1]))
+			if !ok {
+				reply("ERR no such instance")
+				continue
+			}
+			for _, b := range inst.Virtual().Framework().Bundles() {
+				reply("[%d] %s %s %s", b.ID(), b.SymbolicName(), b.Version(), b.State())
+			}
+			reply("OK")
+		case "LOG":
+			n := 10
+			if len(fields) == 2 {
+				if v, err := strconv.Atoi(fields[1]); err == nil {
+					n = v
+				}
+			}
+			if ref, ok := host.SystemContext().ServiceReference(services.LogServiceClass); ok {
+				if svc, err := host.SystemContext().GetService(ref); err == nil {
+					entries := svc.(*services.LogService).Entries()
+					if len(entries) > n {
+						entries = entries[len(entries)-n:]
+					}
+					for _, e := range entries {
+						reply("%s", e)
+					}
+				}
+			}
+			reply("OK")
+		default:
+			reply("ERR unknown command %s", cmd)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Consolidate: idle customers scattered over three nodes are drained onto
+// one node and the empty nodes power off — the paper's §4 claim that
+// migration enables "reduc[ing] power usage by shutting down or
+// hibernating nodes when they are not needed".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dosgi/internal/cluster"
+	"dosgi/internal/core"
+	"dosgi/internal/module"
+)
+
+func main() {
+	c := cluster.New(5)
+	c.Definitions().MustAdd("app:idle", &module.Definition{
+		ManifestText: "Bundle-SymbolicName: com.example.idle\nBundle-Version: 1.0.0\n",
+	})
+	nodes := []string{"node01", "node02", "node03"}
+	for _, id := range nodes {
+		if _, err := c.AddNode(cluster.NodeConfig{ID: id}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Settle(2 * time.Second)
+	for i, nodeID := range nodes {
+		if err := c.Deploy(nodeID, core.Descriptor{
+			ID:        core.InstanceID(fmt.Sprintf("tenant-%d", i)),
+			Customer:  fmt.Sprintf("corp-%d", i),
+			Bundles:   []core.BundleSpec{{Location: "app:idle", Start: true}},
+			Resources: core.ResourceSpec{CPUMillicores: 200, MemoryBytes: 128 << 20},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Settle(time.Second)
+
+	report := func(label string) {
+		fmt.Printf("%s powered=%v memory=%.0fMB\n", label,
+			c.PoweredNodes(), float64(c.TotalMemoryUsed())/(1<<20))
+		for _, n := range c.Nodes() {
+			if n.Powered() {
+				fmt.Printf("  %s hosts %v\n", n.ID(), n.Instances())
+			}
+		}
+	}
+	report("before consolidation:")
+
+	// Off-peak: drain node02 and node03; their tenants migrate to node01.
+	for _, id := range []string{"node02", "node03"} {
+		id := id
+		if err := c.PowerOff(id, func() {
+			fmt.Printf("t=%v: %s drained and powered off\n", c.Now(), id)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		c.Settle(3 * time.Second)
+	}
+	c.Settle(time.Second)
+	report("\nafter consolidation:")
+
+	running := 0
+	for i := range nodes {
+		if _, inst, ok := c.FindInstance(core.InstanceID(fmt.Sprintf("tenant-%d", i))); ok &&
+			inst.State() == core.InstanceRunning {
+			running++
+		}
+	}
+	fmt.Printf("\nall %d tenants still running on %d node(s); 2 nodes' power saved\n",
+		running, len(c.PoweredNodes()))
+}

@@ -1,0 +1,83 @@
+package autonomic
+
+import "sync"
+
+// Controller composes engines hierarchically, mirroring Serpentine's
+// cascading capability: node-level controllers handle local concerns
+// (throttle a noisy tenant) while a cluster-level parent sees aggregates
+// and decides global actions (migrate, consolidate), "hiding unnecessary
+// or unwanted details on different hierarchies" (§3.3).
+type Controller struct {
+	name   string
+	engine *Engine
+
+	mu       sync.Mutex
+	children []*Controller
+}
+
+// NewController wraps an engine.
+func NewController(name string, engine *Engine) *Controller {
+	return &Controller{name: name, engine: engine}
+}
+
+// Name returns the controller name.
+func (c *Controller) Name() string { return c.name }
+
+// Engine returns the wrapped engine.
+func (c *Controller) Engine() *Engine { return c.engine }
+
+// AddChild attaches a subordinate controller.
+func (c *Controller) AddChild(child *Controller) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.children = append(c.children, child)
+}
+
+// Children returns the direct subordinates.
+func (c *Controller) Children() []*Controller {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Controller, len(c.children))
+	copy(out, c.children)
+	return out
+}
+
+// Start starts children first (local control loops engage before global
+// ones), then this controller's engine.
+func (c *Controller) Start() {
+	for _, child := range c.Children() {
+		child.Start()
+	}
+	if c.engine != nil {
+		c.engine.Start()
+	}
+}
+
+// Stop stops this controller's engine first, then the children.
+func (c *Controller) Stop() {
+	if c.engine != nil {
+		c.engine.Stop()
+	}
+	for _, child := range c.Children() {
+		child.Stop()
+	}
+}
+
+// TickAll drives one synchronous evaluation wave: children before parent,
+// so escalations observed by the parent reflect the children's reactions.
+func (c *Controller) TickAll() {
+	for _, child := range c.Children() {
+		child.TickAll()
+	}
+	if c.engine != nil {
+		c.engine.TickNow()
+	}
+}
+
+// Walk visits the controller tree depth-first.
+func (c *Controller) Walk(visit func(*Controller)) {
+	visit(c)
+	for _, child := range c.Children() {
+		child.Walk(visit)
+	}
+}

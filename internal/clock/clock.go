@@ -1,0 +1,187 @@
+// Package clock abstracts time and timers so that every component in the
+// platform can run either against the deterministic discrete-event engine
+// (internal/sim) or against the wall clock (daemons).
+//
+// Virtual time is expressed as a time.Duration offset from an arbitrary
+// epoch: simulation experiments start at 0 and advance as events fire.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is a handle to a scheduled callback. Cancel prevents a pending
+// callback from firing; it reports whether the cancellation happened before
+// the callback ran (one-shot timers) or stopped future firings (periodic
+// timers).
+type Timer interface {
+	Cancel() bool
+}
+
+// Scheduler is the time source and timer service used by every platform
+// component. Implementations must invoke callbacks serially: no two
+// callbacks scheduled on the same Scheduler ever run concurrently.
+type Scheduler interface {
+	// Now returns the current time as an offset from the scheduler epoch.
+	Now() time.Duration
+	// After schedules fn to run once, delay from now. A non-positive delay
+	// schedules fn to run as soon as possible, still asynchronously.
+	After(delay time.Duration, fn func()) Timer
+	// Every schedules fn to run periodically with the given interval. The
+	// first firing happens one interval from now.
+	Every(interval time.Duration, fn func()) Timer
+}
+
+// Real is a wall-clock Scheduler. Callbacks are serialized with an internal
+// mutex so components written for the single-threaded simulation engine stay
+// correct in real time.
+type Real struct {
+	mu    sync.Mutex // serializes all callbacks
+	epoch time.Time
+
+	stateMu sync.Mutex
+	stopped bool
+	timers  map[*realTimer]struct{}
+}
+
+// NewReal returns a wall-clock scheduler whose epoch is the moment of the
+// call.
+func NewReal() *Real {
+	return &Real{
+		epoch:  time.Now(),
+		timers: make(map[*realTimer]struct{}),
+	}
+}
+
+// Now returns the elapsed wall time since the scheduler was created.
+func (r *Real) Now() time.Duration {
+	return time.Since(r.epoch)
+}
+
+// After implements Scheduler.
+func (r *Real) After(delay time.Duration, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t := &realTimer{parent: r}
+	t.inner = time.AfterFunc(delay, func() {
+		if !t.markFired() {
+			return
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		fn()
+	})
+	r.track(t)
+	return t
+}
+
+// Every implements Scheduler.
+func (r *Real) Every(interval time.Duration, fn func()) Timer {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &realTimer{parent: r, periodic: true}
+	var schedule func()
+	schedule = func() {
+		t.inner = time.AfterFunc(interval, func() {
+			if t.isCanceled() {
+				return
+			}
+			r.mu.Lock()
+			fn()
+			r.mu.Unlock()
+			t.mu.Lock()
+			canceled := t.canceled
+			t.mu.Unlock()
+			if !canceled {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	r.track(t)
+	return t
+}
+
+// Stop cancels all outstanding timers. It is intended for orderly daemon
+// shutdown; callbacks already running are allowed to finish.
+func (r *Real) Stop() {
+	r.stateMu.Lock()
+	r.stopped = true
+	timers := make([]*realTimer, 0, len(r.timers))
+	for t := range r.timers {
+		timers = append(timers, t)
+	}
+	r.stateMu.Unlock()
+	for _, t := range timers {
+		t.Cancel()
+	}
+}
+
+func (r *Real) track(t *realTimer) {
+	r.stateMu.Lock()
+	if r.stopped {
+		// Cancel outside stateMu: Cancel untracks, which re-acquires it.
+		r.stateMu.Unlock()
+		t.Cancel()
+		return
+	}
+	r.timers[t] = struct{}{}
+	r.stateMu.Unlock()
+}
+
+func (r *Real) untrack(t *realTimer) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	delete(r.timers, t)
+}
+
+type realTimer struct {
+	parent   *Real
+	periodic bool
+
+	mu       sync.Mutex
+	inner    *time.Timer
+	canceled bool
+	fired    bool
+}
+
+var _ Timer = (*realTimer)(nil)
+
+func (t *realTimer) Cancel() bool {
+	t.mu.Lock()
+	if t.canceled || (t.fired && !t.periodic) {
+		t.mu.Unlock()
+		return false
+	}
+	t.canceled = true
+	inner := t.inner
+	t.mu.Unlock()
+	if inner != nil {
+		inner.Stop()
+	}
+	t.parent.untrack(t)
+	return true
+}
+
+// markFired flips the one-shot fired flag; it reports false when the timer
+// was canceled after the underlying time.Timer fired but before the callback
+// acquired the run lock.
+func (t *realTimer) markFired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.canceled {
+		return false
+	}
+	t.fired = true
+	t.parent.untrack(t)
+	return true
+}
+
+func (t *realTimer) isCanceled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.canceled
+}

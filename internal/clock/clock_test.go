@@ -1,0 +1,107 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealAfter(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	done := make(chan struct{})
+	r.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After callback never fired")
+	}
+	if r.Now() <= 0 {
+		t.Fatal("Now did not advance")
+	}
+}
+
+func TestRealAfterCancel(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	var fired atomic.Bool
+	timer := r.After(50*time.Millisecond, func() { fired.Store(true) })
+	if !timer.Cancel() {
+		t.Fatal("Cancel returned false on pending timer")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("canceled timer fired")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+}
+
+func TestRealEvery(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	var count atomic.Int32
+	done := make(chan struct{})
+	var timer Timer
+	var once sync.Once
+	timer = r.Every(5*time.Millisecond, func() {
+		if count.Add(1) >= 3 {
+			once.Do(func() { close(done) })
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic timer did not reach 3 firings")
+	}
+	timer.Cancel()
+	at := count.Load()
+	time.Sleep(50 * time.Millisecond)
+	// One in-flight firing may land after Cancel; more than one means the
+	// periodic chain kept rescheduling.
+	if count.Load() > at+1 {
+		t.Fatalf("timer kept firing after Cancel: %d -> %d", at, count.Load())
+	}
+}
+
+func TestRealSerializesCallbacks(t *testing.T) {
+	r := NewReal()
+	defer r.Stop()
+	var inside atomic.Int32
+	var overlap atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		r.After(time.Duration(i%3)*time.Millisecond, func() {
+			defer wg.Done()
+			if inside.Add(1) > 1 {
+				overlap.Store(true)
+			}
+			time.Sleep(time.Millisecond)
+			inside.Add(-1)
+		})
+	}
+	wg.Wait()
+	if overlap.Load() {
+		t.Fatal("callbacks overlapped; Real must serialize them")
+	}
+}
+
+func TestRealStopCancelsTimers(t *testing.T) {
+	r := NewReal()
+	var fired atomic.Bool
+	r.After(50*time.Millisecond, func() { fired.Store(true) })
+	r.Stop()
+	time.Sleep(120 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("timer fired after Stop")
+	}
+	// Scheduling after Stop must not fire either.
+	r.After(time.Millisecond, func() { fired.Store(true) })
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("timer scheduled after Stop fired")
+	}
+}

@@ -1,0 +1,111 @@
+// Package core implements the paper's Instance Manager (§2, Figure 3): the
+// component, itself deployable as a bundle of the underlying OSGi
+// framework, that creates, starts, stops, checkpoints and destroys the
+// virtual OSGi instances of the platform's customers. It keeps "a simple
+// data structure such as a Map to know about the existing instances and
+// invoke operations on them".
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dosgi/internal/module"
+)
+
+// InstanceID identifies a virtual instance across the whole cluster.
+type InstanceID string
+
+// BundleSpec names a bundle a virtual instance runs.
+type BundleSpec struct {
+	Location   string `json:"location"`
+	Start      bool   `json:"start"`
+	StartLevel int    `json:"startLevel,omitempty"`
+}
+
+// ResourceSpec is the instance's resource entitlement, realized as a vjvm
+// resource domain by the hosting node.
+type ResourceSpec struct {
+	// CPUMillicores caps the instance's CPU (0 = uncapped).
+	CPUMillicores int64 `json:"cpuMillicores,omitempty"`
+	// MemoryBytes caps the instance's memory (0 = node capacity only).
+	MemoryBytes int64 `json:"memoryBytes,omitempty"`
+	// DiskBytes caps the instance's disk usage.
+	DiskBytes int64 `json:"diskBytes,omitempty"`
+	// Weight is the fair-share weight within a node (default 1).
+	Weight int `json:"weight,omitempty"`
+	// Priority orders instances when cluster capacity runs short: higher
+	// priorities are placed first during redeployment.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Endpoint is a network address the instance serves on — either its own IP
+// (Figure 5) or a port behind a shared VIP (Figure 6).
+type Endpoint struct {
+	IP   string `json:"ip"`
+	Port uint16 `json:"port"`
+	// Service labels what listens there ("http", "admin", ...).
+	Service string `json:"service,omitempty"`
+}
+
+// Descriptor fully describes a virtual instance; it is the unit persisted
+// to the SAN and shipped between nodes during migration.
+type Descriptor struct {
+	ID       InstanceID `json:"id"`
+	Customer string     `json:"customer"`
+	// Bundles to install into the instance at first start.
+	Bundles []BundleSpec `json:"bundles,omitempty"`
+	// SharedPackages are parent packages the instance may load classes
+	// from (the explicit delegation list of §2).
+	SharedPackages []string `json:"sharedPackages,omitempty"`
+	// SharedServices are parent service classes mirrored into the
+	// instance.
+	SharedServices []string `json:"sharedServices,omitempty"`
+	// Resources is the entitlement enforced by the hosting node.
+	Resources ResourceSpec `json:"resources"`
+	// Endpoints are the instance's network requirements.
+	Endpoints []Endpoint `json:"endpoints,omitempty"`
+	// Labels carry free-form metadata (customer tier, placement hints).
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Validate checks the descriptor for obvious mistakes.
+func (d *Descriptor) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("core: descriptor without id")
+	}
+	if d.Customer == "" {
+		return fmt.Errorf("core: descriptor %s without customer", d.ID)
+	}
+	for _, b := range d.Bundles {
+		if b.Location == "" {
+			return fmt.Errorf("core: descriptor %s has a bundle without location", d.ID)
+		}
+	}
+	return nil
+}
+
+// Checkpoint is the durable form of an instance: descriptor plus the
+// child framework's persistent state. Restoring a checkpoint on another
+// node continues the instance, which is the paper's migration mechanism:
+// "the state of the framework is made persistent per the OSGi
+// specification and available network-wide" (§3.2).
+type Checkpoint struct {
+	Descriptor Descriptor       `json:"descriptor"`
+	Snapshot   *module.Snapshot `json:"snapshot,omitempty"`
+	Running    bool             `json:"running"`
+}
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// DecodeCheckpoint parses an encoded checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,438 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dosgi/internal/netsim"
+	"dosgi/internal/sim"
+)
+
+// harness wires n members over a simulated network.
+type harness struct {
+	eng     *sim.Engine
+	net     *netsim.Network
+	dir     *Directory
+	members map[string]*Member
+}
+
+func newHarness(t *testing.T, n int) *harness {
+	t.Helper()
+	eng := sim.New(1)
+	net := netsim.NewNetwork(eng, netsim.WithLatency(time.Millisecond))
+	h := &harness{eng: eng, net: net, dir: NewDirectory(), members: make(map[string]*Member)}
+	for i := 0; i < n; i++ {
+		h.addMember(t, fmt.Sprintf("node%02d", i))
+	}
+	return h
+}
+
+func (h *harness) addMember(t *testing.T, id string) *Member {
+	t.Helper()
+	nic := h.net.AttachNode(id)
+	ip := netsim.IP("ip-" + id)
+	if err := h.net.AssignIP(ip, id); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMember(h.eng, Config{
+		NodeID:    id,
+		Addr:      netsim.Addr{IP: ip, Port: 7000},
+		NIC:       nic,
+		Directory: h.dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.members[id] = m
+	return m
+}
+
+func (h *harness) startAll(t *testing.T) {
+	t.Helper()
+	for _, id := range h.dirIDs() {
+		if err := h.members[id].Start(); err != nil {
+			t.Fatalf("start %s: %v", id, err)
+		}
+	}
+	// Let membership settle.
+	h.eng.RunFor(2 * time.Second)
+}
+
+func (h *harness) dirIDs() []string {
+	ids := make([]string, 0, len(h.members))
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("node%02d", i)
+		if _, ok := h.members[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func (h *harness) crashNode(id string) {
+	h.members[id].Crash()
+	if nic, ok := h.net.NIC(id); ok {
+		nic.SetUp(false)
+	}
+}
+
+func sameView(t *testing.T, members []*Member, wantSize int) View {
+	t.Helper()
+	var ref View
+	for i, m := range members {
+		v := m.View()
+		if i == 0 {
+			ref = v
+			continue
+		}
+		if v.ID != ref.ID || len(v.Members) != len(ref.Members) {
+			t.Fatalf("views diverge: %v vs %v", ref, v)
+		}
+		for j := range v.Members {
+			if v.Members[j] != ref.Members[j] {
+				t.Fatalf("views diverge: %v vs %v", ref, v)
+			}
+		}
+	}
+	if wantSize > 0 && len(ref.Members) != wantSize {
+		t.Fatalf("view size = %d, want %d (%v)", len(ref.Members), wantSize, ref)
+	}
+	return ref
+}
+
+func TestSingletonView(t *testing.T) {
+	h := newHarness(t, 1)
+	h.startAll(t)
+	v := h.members["node00"].View()
+	if len(v.Members) != 1 || v.Members[0] != "node00" {
+		t.Fatalf("view = %v", v)
+	}
+	if !h.members["node00"].IsCoordinator() {
+		t.Fatal("singleton is not coordinator")
+	}
+}
+
+func TestGroupFormation(t *testing.T) {
+	h := newHarness(t, 5)
+	h.startAll(t)
+	var ms []*Member
+	for _, id := range h.dirIDs() {
+		ms = append(ms, h.members[id])
+	}
+	v := sameView(t, ms, 5)
+	if v.Coordinator() != "node00" {
+		t.Fatalf("coordinator = %s", v.Coordinator())
+	}
+	if !h.members["node00"].IsCoordinator() || h.members["node01"].IsCoordinator() {
+		t.Fatal("IsCoordinator inconsistent")
+	}
+}
+
+func TestLateJoin(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	late := h.addMember(t, "node99")
+	if err := late.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(time.Second)
+	ms := []*Member{h.members["node00"], h.members["node01"], h.members["node02"], late}
+	sameView(t, ms, 4)
+}
+
+func TestGracefulLeave(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	if err := h.members["node01"].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(time.Second)
+	ms := []*Member{h.members["node00"], h.members["node02"]}
+	v := sameView(t, ms, 2)
+	if v.Contains("node01") {
+		t.Fatal("leaver still in view")
+	}
+}
+
+func TestCoordinatorGracefulLeave(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	if err := h.members["node00"].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(time.Second)
+	ms := []*Member{h.members["node01"], h.members["node02"]}
+	v := sameView(t, ms, 2)
+	if v.Coordinator() != "node01" {
+		t.Fatalf("coordinator = %s", v.Coordinator())
+	}
+}
+
+func TestCrashDetection(t *testing.T) {
+	h := newHarness(t, 4)
+	h.startAll(t)
+	crashedAt := h.eng.Now()
+	h.crashNode("node02")
+	h.eng.RunFor(2 * time.Second)
+	var ms []*Member
+	for _, id := range []string{"node00", "node01", "node03"} {
+		ms = append(ms, h.members[id])
+	}
+	v := sameView(t, ms, 3)
+	if v.Contains("node02") {
+		t.Fatal("crashed node still in view")
+	}
+	_ = crashedAt
+}
+
+func TestCoordinatorCrashFailover(t *testing.T) {
+	h := newHarness(t, 4)
+	h.startAll(t)
+	h.crashNode("node00")
+	h.eng.RunFor(2 * time.Second)
+	var ms []*Member
+	for _, id := range []string{"node01", "node02", "node03"} {
+		ms = append(ms, h.members[id])
+	}
+	v := sameView(t, ms, 3)
+	if v.Coordinator() != "node01" {
+		t.Fatalf("new coordinator = %s", v.Coordinator())
+	}
+	if !h.members["node01"].IsCoordinator() {
+		t.Fatal("node01 does not believe it coordinates")
+	}
+}
+
+func TestCascadedCrashes(t *testing.T) {
+	h := newHarness(t, 5)
+	h.startAll(t)
+	h.crashNode("node00")
+	h.crashNode("node01")
+	h.eng.RunFor(3 * time.Second)
+	var ms []*Member
+	for _, id := range []string{"node02", "node03", "node04"} {
+		ms = append(ms, h.members[id])
+	}
+	v := sameView(t, ms, 3)
+	if v.Coordinator() != "node02" {
+		t.Fatalf("coordinator = %s", v.Coordinator())
+	}
+}
+
+func TestViewChangeNotifications(t *testing.T) {
+	h := newHarness(t, 2)
+	var views []View
+	h.members["node00"].OnViewChange(func(v View) { views = append(views, v) })
+	h.startAll(t)
+	if len(views) == 0 {
+		t.Fatal("no view notifications")
+	}
+	last := views[len(views)-1]
+	if len(last.Members) != 2 {
+		t.Fatalf("last view = %v", last)
+	}
+	// IDs strictly increase.
+	for i := 1; i < len(views); i++ {
+		if views[i].ID <= views[i-1].ID {
+			t.Fatalf("view ids not monotonic: %v", views)
+		}
+	}
+}
+
+func TestFIFOBroadcast(t *testing.T) {
+	h := newHarness(t, 3)
+	received := make(map[string][]int)
+	for _, id := range h.dirIDs() {
+		id := id
+		h.members[id].OnDeliver(func(m Message) {
+			received[id] = append(received[id], m.Body.(int))
+		})
+	}
+	h.startAll(t)
+	for i := 0; i < 10; i++ {
+		if err := h.members["node01"].Broadcast(i, FIFO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(time.Second)
+	for _, id := range h.dirIDs() {
+		got := received[id]
+		if len(got) != 10 {
+			t.Fatalf("%s received %d messages", id, len(got))
+		}
+		for i := range got {
+			if got[i] != i {
+				t.Fatalf("%s out of order: %v", id, got)
+			}
+		}
+	}
+}
+
+func TestFIFOOrderWithReorderingNetwork(t *testing.T) {
+	// Alternating per-message latencies cannot reorder per-sender delivery.
+	eng := sim.New(3)
+	lat := 0
+	net := netsim.NewNetwork(eng, netsim.WithLatencyFunc(func(from, to string) time.Duration {
+		lat++
+		if lat%2 == 0 {
+			return 10 * time.Millisecond
+		}
+		return time.Millisecond
+	}))
+	h := &harness{eng: eng, net: net, dir: NewDirectory(), members: make(map[string]*Member)}
+	h.addMember(t, "node00")
+	h.addMember(t, "node01")
+	var got []int
+	h.members["node01"].OnDeliver(func(m Message) { got = append(got, m.Body.(int)) })
+	h.startAll(t)
+	for i := 0; i < 8; i++ {
+		if err := h.members["node00"].Broadcast(i, FIFO); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(time.Second)
+	if len(got) != 8 {
+		t.Fatalf("received %d", len(got))
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated under reordering: %v", got)
+		}
+	}
+}
+
+func TestTotalOrderBroadcast(t *testing.T) {
+	h := newHarness(t, 4)
+	received := make(map[string][]string)
+	for _, id := range h.dirIDs() {
+		id := id
+		h.members[id].OnDeliver(func(m Message) {
+			received[id] = append(received[id], m.Body.(string))
+		})
+	}
+	h.startAll(t)
+	// Two senders interleaving: all members must deliver the identical
+	// global sequence.
+	for i := 0; i < 5; i++ {
+		if err := h.members["node01"].Broadcast(fmt.Sprintf("a%d", i), Total); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.members["node03"].Broadcast(fmt.Sprintf("b%d", i), Total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(time.Second)
+	ref := received["node00"]
+	if len(ref) != 10 {
+		t.Fatalf("node00 received %d of 10", len(ref))
+	}
+	for _, id := range h.dirIDs() {
+		got := received[id]
+		if len(got) != len(ref) {
+			t.Fatalf("%s received %d, ref %d", id, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("total order differs at %s[%d]: %v vs %v", id, i, got, ref)
+			}
+		}
+	}
+}
+
+func TestTotalOrderSurvivesCoordinatorCrash(t *testing.T) {
+	h := newHarness(t, 4)
+	received := make(map[string][]string)
+	for _, id := range h.dirIDs() {
+		id := id
+		h.members[id].OnDeliver(func(m Message) {
+			if m.Ordering == Total {
+				received[id] = append(received[id], m.Body.(string))
+			}
+		})
+	}
+	h.startAll(t)
+
+	// Crash the coordinator, then immediately broadcast from a survivor:
+	// the request targets the dead coordinator and must be resubmitted to
+	// the new one after failover.
+	h.crashNode("node00")
+	if err := h.members["node02"].Broadcast("after-crash", Total); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(3 * time.Second)
+
+	for _, id := range []string{"node01", "node02", "node03"} {
+		got := received[id]
+		if len(got) != 1 || got[0] != "after-crash" {
+			t.Fatalf("%s received %v, want exactly [after-crash]", id, got)
+		}
+	}
+}
+
+func TestBroadcastBeforeJoinFails(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.members["node00"].Broadcast("x", FIFO); err != ErrNotRunning {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestViewChangesCounterAndDetectionLatency(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	before := h.members["node00"].ViewChanges()
+	crashAt := h.eng.Now()
+	h.crashNode("node02")
+
+	var detectedAt time.Duration
+	h.members["node00"].OnViewChange(func(v View) {
+		if !v.Contains("node02") && detectedAt == 0 {
+			detectedAt = h.eng.Now()
+		}
+	})
+	h.eng.RunFor(2 * time.Second)
+	if h.members["node00"].ViewChanges() <= before {
+		t.Fatal("no view change after crash")
+	}
+	latency := detectedAt - crashAt
+	// Default detector: 50ms heartbeats, 200ms timeout; detection should
+	// land within ~400ms.
+	if latency <= 0 || latency > 500*time.Millisecond {
+		t.Fatalf("detection latency = %v", latency)
+	}
+}
+
+func TestRejoinAfterFalseExclusion(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	// Partition node02 from everyone long enough to be excluded...
+	h.net.Partition("node00", "node02")
+	h.net.Partition("node01", "node02")
+	h.eng.RunFor(time.Second)
+	v := h.members["node00"].View()
+	if v.Contains("node02") {
+		t.Fatal("partitioned node still in primary view")
+	}
+	// ... then heal: node02 must rejoin.
+	h.net.HealAll()
+	h.eng.RunFor(2 * time.Second)
+	ms := []*Member{h.members["node00"], h.members["node01"], h.members["node02"]}
+	sameView(t, ms, 3)
+}
+
+func TestDirectory(t *testing.T) {
+	d := NewDirectory()
+	d.Register("b", netsim.Addr{IP: "ip-b", Port: 1})
+	d.Register("a", netsim.Addr{IP: "ip-a", Port: 1})
+	if got := d.All(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("All = %v", got)
+	}
+	addr, ok := d.Lookup("a")
+	if !ok || addr.IP != "ip-a" {
+		t.Fatalf("Lookup = %v, %v", addr, ok)
+	}
+	d.Unregister("a")
+	if _, ok := d.Lookup("a"); ok {
+		t.Fatal("unregister failed")
+	}
+}

@@ -1,0 +1,679 @@
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/netsim"
+)
+
+// Errors returned by membership operations.
+var (
+	// ErrNotRunning is returned when broadcasting before a view is
+	// installed.
+	ErrNotRunning = errors.New("gcs: member not running")
+	// ErrStopped is returned after Stop or Crash.
+	ErrStopped = errors.New("gcs: member stopped")
+)
+
+type memberState int
+
+const (
+	stateNew memberState = iota + 1
+	stateJoining
+	stateRunning
+	stateStopped
+)
+
+// Config configures a group member.
+type Config struct {
+	// NodeID is the member's unique identifier; it also determines
+	// coordinator election order.
+	NodeID string
+	// Addr is the member's group-communication endpoint; its IP must be
+	// owned by the node behind NIC.
+	Addr netsim.Addr
+	// NIC is the node's network attachment.
+	NIC *netsim.NIC
+	// Directory is the shared address book.
+	Directory *Directory
+	// HeartbeatInterval defaults to 50ms.
+	HeartbeatInterval time.Duration
+	// FailTimeout is the suspicion threshold; defaults to 4x the heartbeat
+	// interval.
+	FailTimeout time.Duration
+	// JoinTimeout bounds the wait for an existing group before forming a
+	// singleton view; defaults to 2x FailTimeout.
+	JoinTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 2 * c.FailTimeout
+	}
+}
+
+// Member is one process participating in the group.
+type Member struct {
+	sched clock.Scheduler
+	cfg   Config
+
+	// mu guards all mutable state; callbacks (view handlers, deliveries)
+	// always run with it released.
+	mu       sync.Mutex
+	state    memberState
+	view     View
+	lastSeen map[string]time.Duration
+
+	onView []func(View)
+	onMsg  []func(Message)
+
+	hbTimer    clock.Timer
+	checkTimer clock.Timer
+	joinTimer  clock.Timer
+
+	// FIFO broadcast state.
+	fifoSendSeq int64
+	fifoNext    map[string]int64
+	fifoBuf     map[string]map[int64]fifoMsg
+
+	// Total-order broadcast state.
+	localSeq  int64
+	pending   map[int64]any
+	globalSeq int64 // coordinator: last assigned sequence
+	totalNext int64 // next global sequence to deliver
+	totalBuf  map[int64]totalMsg
+	seen      map[string]map[int64]bool
+
+	// viewChanges counts installed views (experiment metric).
+	viewChanges int
+}
+
+// NewMember builds a member; call Start to join the group.
+func NewMember(sched clock.Scheduler, cfg Config) (*Member, error) {
+	cfg.applyDefaults()
+	if cfg.NodeID == "" {
+		return nil, errors.New("gcs: empty node id")
+	}
+	if cfg.NIC == nil || cfg.Directory == nil {
+		return nil, errors.New("gcs: nic and directory are required")
+	}
+	m := &Member{
+		sched:    sched,
+		cfg:      cfg,
+		state:    stateNew,
+		lastSeen: make(map[string]time.Duration),
+		fifoNext: make(map[string]int64),
+		fifoBuf:  make(map[string]map[int64]fifoMsg),
+		pending:  make(map[int64]any),
+		totalBuf: make(map[int64]totalMsg),
+		seen:     make(map[string]map[int64]bool),
+	}
+	return m, nil
+}
+
+// ID returns the member's node id.
+func (m *Member) ID() string { return m.cfg.NodeID }
+
+// View returns the currently installed view.
+func (m *Member) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.clone()
+}
+
+// ViewChanges returns the number of views installed so far.
+func (m *Member) ViewChanges() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewChanges
+}
+
+// IsCoordinator reports whether this member currently coordinates.
+func (m *Member) IsCoordinator() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == stateRunning && m.view.Coordinator() == m.cfg.NodeID
+}
+
+// OnViewChange registers a view handler. Register before Start.
+func (m *Member) OnViewChange(fn func(View)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onView = append(m.onView, fn)
+}
+
+// OnDeliver registers a broadcast delivery handler. Register before Start.
+func (m *Member) OnDeliver(fn func(Message)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onMsg = append(m.onMsg, fn)
+}
+
+// Start binds the endpoint, contacts the group and joins. If no existing
+// group answers within JoinTimeout, the member forms a singleton view.
+func (m *Member) Start() error {
+	m.mu.Lock()
+	if m.state != stateNew {
+		m.mu.Unlock()
+		return fmt.Errorf("gcs: Start in state %d", m.state)
+	}
+	m.state = stateJoining
+	m.mu.Unlock()
+
+	if err := m.cfg.NIC.Listen(m.cfg.Addr, m.handle); err != nil {
+		m.mu.Lock()
+		m.state = stateNew
+		m.mu.Unlock()
+		return err
+	}
+	m.cfg.Directory.Register(m.cfg.NodeID, m.cfg.Addr)
+	m.announceJoin()
+
+	m.mu.Lock()
+	m.joinTimer = m.sched.After(m.cfg.JoinTimeout, m.joinDeadline)
+	m.hbTimer = m.sched.Every(m.cfg.HeartbeatInterval, m.heartbeat)
+	m.checkTimer = m.sched.Every(m.cfg.HeartbeatInterval, m.checkFailures)
+	m.mu.Unlock()
+	return nil
+}
+
+// Stop leaves the group gracefully: a coordinator issues the successor view
+// itself; others notify the coordinator.
+func (m *Member) Stop() error {
+	m.mu.Lock()
+	if m.state == stateStopped {
+		m.mu.Unlock()
+		return nil
+	}
+	running := m.state == stateRunning
+	isCoord := running && m.view.Coordinator() == m.cfg.NodeID
+	view := m.view.clone()
+	m.mu.Unlock()
+
+	if running {
+		if isCoord {
+			var rest []string
+			for _, id := range view.Members {
+				if id != m.cfg.NodeID {
+					rest = append(rest, id)
+				}
+			}
+			if len(rest) > 0 {
+				m.issueView(rest, view.ID+1, view.Members)
+			}
+		} else {
+			m.sendTo(view.Coordinator(), leaveMsg{From: m.cfg.NodeID})
+		}
+	}
+	m.teardown()
+	return nil
+}
+
+// Crash halts the member without any notification — the GCS-level effect
+// of a node failure; peers find out via the failure detector.
+func (m *Member) Crash() { m.teardown() }
+
+func (m *Member) teardown() {
+	m.mu.Lock()
+	m.state = stateStopped
+	for _, t := range []clock.Timer{m.hbTimer, m.checkTimer, m.joinTimer} {
+		if t != nil {
+			t.Cancel()
+		}
+	}
+	m.hbTimer, m.checkTimer, m.joinTimer = nil, nil, nil
+	m.mu.Unlock()
+	m.cfg.NIC.Close(m.cfg.Addr)
+	m.cfg.Directory.Unregister(m.cfg.NodeID)
+}
+
+// Broadcast sends body to every member of the current view (including this
+// one) with the requested ordering.
+func (m *Member) Broadcast(body any, ordering Ordering) error {
+	m.mu.Lock()
+	if m.state != stateRunning {
+		m.mu.Unlock()
+		return ErrNotRunning
+	}
+	switch ordering {
+	case Total:
+		m.localSeq++
+		id := m.localSeq
+		m.pending[id] = body
+		coord := m.view.Coordinator()
+		m.mu.Unlock()
+		m.sendTo(coord, orderReq{From: m.cfg.NodeID, LocalID: id, Body: body})
+		return nil
+	default: // FIFO
+		m.fifoSendSeq++
+		msg := fifoMsg{From: m.cfg.NodeID, Seq: m.fifoSendSeq, Body: body}
+		members := append([]string(nil), m.view.Members...)
+		// Self-delivery bookkeeping happens through the same path as remote
+		// delivery to keep ordering uniform.
+		m.mu.Unlock()
+		for _, id := range members {
+			m.sendTo(id, msg)
+		}
+		return nil
+	}
+}
+
+// announceJoin sends a join request to every directory member.
+func (m *Member) announceJoin() {
+	m.mu.Lock()
+	viewID := m.view.ID
+	m.mu.Unlock()
+	for _, id := range m.cfg.Directory.All() {
+		if id != m.cfg.NodeID {
+			m.sendTo(id, joinMsg{From: m.cfg.NodeID, ViewID: viewID})
+		}
+	}
+}
+
+// joinDeadline forms a singleton view when nobody answered.
+func (m *Member) joinDeadline() {
+	m.mu.Lock()
+	if m.state != stateJoining {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	m.installView(View{ID: 1, Members: []string{m.cfg.NodeID}})
+}
+
+// heartbeat fans out liveness probes; a joining member re-announces
+// instead.
+func (m *Member) heartbeat() {
+	m.mu.Lock()
+	st := m.state
+	viewID := m.view.ID
+	members := append([]string(nil), m.view.Members...)
+	m.mu.Unlock()
+	switch st {
+	case stateJoining:
+		m.announceJoin()
+	case stateRunning:
+		hb := hbMsg{From: m.cfg.NodeID, ViewID: viewID}
+		for _, id := range members {
+			if id != m.cfg.NodeID {
+				m.sendTo(id, hb)
+			}
+		}
+		// Partition-merge rule: a coordinator that can see a lower-id node
+		// in the directory outside its view asks to be absorbed by it.
+		// Concurrent singleton views formed at startup (or after a healed
+		// partition) converge onto the lowest live id this way.
+		if len(members) > 0 && members[0] == m.cfg.NodeID {
+			for _, id := range m.cfg.Directory.All() {
+				if id < m.cfg.NodeID && !containsID(members, id) {
+					m.sendTo(id, joinMsg{From: m.cfg.NodeID, ViewID: viewID})
+				}
+			}
+		}
+	}
+}
+
+func containsID(sorted []string, id string) bool {
+	for _, v := range sorted {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFailures suspects silent members and, when this member is the
+// lowest live id, issues the successor view.
+func (m *Member) checkFailures() {
+	m.mu.Lock()
+	if m.state != stateRunning {
+		m.mu.Unlock()
+		return
+	}
+	now := m.sched.Now()
+	var alive []string
+	suspects := 0
+	for _, id := range m.view.Members {
+		if id == m.cfg.NodeID {
+			alive = append(alive, id)
+			continue
+		}
+		if now-m.lastSeen[id] > m.cfg.FailTimeout {
+			suspects++
+		} else {
+			alive = append(alive, id)
+		}
+	}
+	if suspects == 0 {
+		m.mu.Unlock()
+		return
+	}
+	sort.Strings(alive)
+	amNewCoord := len(alive) > 0 && alive[0] == m.cfg.NodeID
+	viewID := m.view.ID
+	oldMembers := append([]string(nil), m.view.Members...)
+	m.mu.Unlock()
+	if amNewCoord {
+		m.issueView(alive, viewID+1, oldMembers)
+	}
+}
+
+// issueView broadcasts (and locally installs) a new view. notify lists the
+// recipients — usually the union of old and new membership so excluded
+// members learn of their exclusion.
+func (m *Member) issueView(members []string, id int64, notify []string) {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	v := View{ID: id, Members: sorted}
+	sent := map[string]bool{m.cfg.NodeID: true}
+	for _, peer := range notify {
+		if !sent[peer] {
+			sent[peer] = true
+			m.sendTo(peer, viewMsg{View: v.clone()})
+		}
+	}
+	for _, peer := range sorted {
+		if !sent[peer] {
+			sent[peer] = true
+			m.sendTo(peer, viewMsg{View: v.clone()})
+		}
+	}
+	m.installView(v)
+}
+
+// installView adopts a view with a higher id than the current one.
+func (m *Member) installView(v View) {
+	m.mu.Lock()
+	if m.state == stateStopped || v.ID <= m.view.ID {
+		m.mu.Unlock()
+		return
+	}
+	if !v.Contains(m.cfg.NodeID) {
+		// Excluded (false suspicion or partition): rejoin.
+		m.state = stateJoining
+		m.view = View{}
+		m.mu.Unlock()
+		m.announceJoin()
+		return
+	}
+	m.state = stateRunning
+	if m.joinTimer != nil {
+		m.joinTimer.Cancel()
+		m.joinTimer = nil
+	}
+	m.view = v.clone()
+	m.viewChanges++
+	now := m.sched.Now()
+	for _, id := range v.Members {
+		m.lastSeen[id] = now
+	}
+	// Flush the old epoch's buffered total-order messages in sequence
+	// order, then reset the stream: sequence numbers are scoped per view
+	// epoch and restart at 1 under the new coordinator.
+	var flush []totalMsg
+	if len(m.totalBuf) > 0 {
+		keys := make([]int64, 0, len(m.totalBuf))
+		for k := range m.totalBuf {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			flush = append(flush, m.totalBuf[k])
+		}
+		m.totalBuf = make(map[int64]totalMsg)
+	}
+	// Mark flushed messages delivered before computing resubmissions so a
+	// flushed own message is not sent to the new coordinator again.
+	for _, tm := range flush {
+		if m.seen[tm.From] == nil {
+			m.seen[tm.From] = make(map[int64]bool)
+		}
+		m.seen[tm.From][tm.LocalID] = true
+		if tm.From == m.cfg.NodeID {
+			delete(m.pending, tm.LocalID)
+		}
+	}
+	m.totalNext = 1
+	m.globalSeq = 0
+	// Re-submit unacknowledged total-order requests to the new
+	// coordinator; receivers dedupe on (sender, local id).
+	resend := make(map[int64]any, len(m.pending))
+	for id, body := range m.pending {
+		resend[id] = body
+	}
+	coord := v.Coordinator()
+	handlers := append(make([]func(View), 0, len(m.onView)), m.onView...)
+	deliver := append(make([]func(Message), 0, len(m.onMsg)), m.onMsg...)
+	installed := m.view.clone()
+	m.mu.Unlock()
+
+	for _, tm := range flush {
+		m.deliverTotal(tm, deliver)
+	}
+	ids := make([]int64, 0, len(resend))
+	for id := range resend {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.sendTo(coord, orderReq{From: m.cfg.NodeID, LocalID: id, Body: resend[id]})
+	}
+	for _, fn := range handlers {
+		fn(installed)
+	}
+}
+
+// handle processes inbound wire messages on the event loop.
+func (m *Member) handle(nm netsim.Message) {
+	switch p := nm.Payload.(type) {
+	case hbMsg:
+		m.mu.Lock()
+		m.lastSeen[p.From] = m.sched.Now()
+		m.mu.Unlock()
+	case joinMsg:
+		m.handleJoin(p)
+	case leaveMsg:
+		m.handleLeave(p)
+	case viewMsg:
+		m.installView(p.View)
+	case fifoMsg:
+		m.handleFIFO(p)
+	case orderReq:
+		m.handleOrderReq(p)
+	case totalMsg:
+		m.handleTotal(p)
+	}
+}
+
+func (m *Member) handleJoin(p joinMsg) {
+	m.mu.Lock()
+	if m.state != stateRunning || m.view.Coordinator() != m.cfg.NodeID {
+		m.mu.Unlock()
+		return
+	}
+	if m.view.Contains(p.From) {
+		// Rejoin after restart or a lost view message: resend the view.
+		v := m.view.clone()
+		m.mu.Unlock()
+		m.sendTo(p.From, viewMsg{View: v})
+		return
+	}
+	members := append(append([]string(nil), m.view.Members...), p.From)
+	id := m.view.ID + 1
+	if p.ViewID >= id {
+		id = p.ViewID + 1
+	}
+	old := append([]string(nil), m.view.Members...)
+	m.mu.Unlock()
+	m.issueView(members, id, old)
+}
+
+func (m *Member) handleLeave(p leaveMsg) {
+	m.mu.Lock()
+	if m.state != stateRunning || m.view.Coordinator() != m.cfg.NodeID || !m.view.Contains(p.From) {
+		m.mu.Unlock()
+		return
+	}
+	var rest []string
+	for _, id := range m.view.Members {
+		if id != p.From {
+			rest = append(rest, id)
+		}
+	}
+	id := m.view.ID + 1
+	old := append([]string(nil), m.view.Members...)
+	m.mu.Unlock()
+	m.issueView(rest, id, old)
+}
+
+func (m *Member) handleFIFO(p fifoMsg) {
+	m.mu.Lock()
+	if m.state != stateRunning {
+		m.mu.Unlock()
+		return
+	}
+	next, ok := m.fifoNext[p.From]
+	if !ok {
+		next = 1
+	}
+	if p.Seq < next {
+		m.mu.Unlock()
+		return // duplicate
+	}
+	if p.Seq > next {
+		buf := m.fifoBuf[p.From]
+		if buf == nil {
+			buf = make(map[int64]fifoMsg)
+			m.fifoBuf[p.From] = buf
+		}
+		buf[p.Seq] = p
+		m.mu.Unlock()
+		return
+	}
+	// In order: deliver p and drain the buffer.
+	var ready []fifoMsg
+	ready = append(ready, p)
+	next++
+	for {
+		buf := m.fifoBuf[p.From]
+		if buf == nil {
+			break
+		}
+		q, ok := buf[next]
+		if !ok {
+			break
+		}
+		delete(buf, next)
+		ready = append(ready, q)
+		next++
+	}
+	m.fifoNext[p.From] = next
+	deliver := append(make([]func(Message), 0, len(m.onMsg)), m.onMsg...)
+	m.mu.Unlock()
+	for _, msg := range ready {
+		ev := Message{From: msg.From, Ordering: FIFO, Seq: msg.Seq, Body: msg.Body}
+		for _, fn := range deliver {
+			fn(ev)
+		}
+	}
+}
+
+func (m *Member) handleOrderReq(p orderReq) {
+	m.mu.Lock()
+	if m.state != stateRunning || m.view.Coordinator() != m.cfg.NodeID {
+		m.mu.Unlock()
+		return
+	}
+	if m.seen[p.From][p.LocalID] {
+		m.mu.Unlock()
+		return // already delivered (resubmission after failover)
+	}
+	m.globalSeq++
+	tm := totalMsg{Epoch: m.view.ID, Seq: m.globalSeq, From: p.From, LocalID: p.LocalID, Body: p.Body}
+	members := append([]string(nil), m.view.Members...)
+	m.mu.Unlock()
+	for _, id := range members {
+		m.sendTo(id, tm)
+	}
+}
+
+func (m *Member) handleTotal(p totalMsg) {
+	m.mu.Lock()
+	if m.state != stateRunning {
+		m.mu.Unlock()
+		return
+	}
+	if p.Epoch != m.view.ID {
+		// Stale (or premature) epoch: senders resubmit on view change, so
+		// dropping is safe and keeps sequence numbers unambiguous.
+		m.mu.Unlock()
+		return
+	}
+	if m.totalNext == 0 {
+		m.totalNext = 1
+	}
+	if p.Seq < m.totalNext {
+		m.mu.Unlock()
+		return // slot already consumed
+	}
+	// Every sequence slot must be consumed even when its content turns out
+	// to be a duplicate (a resubmission sequenced twice); otherwise the
+	// stream wedges at the duplicate's slot.
+	m.totalBuf[p.Seq] = p
+	var ready []totalMsg
+	next := m.totalNext
+	for {
+		q, ok := m.totalBuf[next]
+		if !ok {
+			break
+		}
+		delete(m.totalBuf, next)
+		if m.seen[q.From] == nil {
+			m.seen[q.From] = make(map[int64]bool)
+		}
+		if !m.seen[q.From][q.LocalID] {
+			m.seen[q.From][q.LocalID] = true
+			ready = append(ready, q)
+		}
+		if q.From == m.cfg.NodeID {
+			delete(m.pending, q.LocalID)
+		}
+		next++
+	}
+	m.totalNext = next
+	if m.globalSeq < next-1 {
+		m.globalSeq = next - 1
+	}
+	deliver := append(make([]func(Message), 0, len(m.onMsg)), m.onMsg...)
+	m.mu.Unlock()
+	for _, r := range ready {
+		m.deliverTotal(r, deliver)
+	}
+}
+
+func (m *Member) deliverTotal(tm totalMsg, deliver []func(Message)) {
+	ev := Message{From: tm.From, Ordering: Total, Seq: tm.Seq, Body: tm.Body}
+	for _, fn := range deliver {
+		fn(ev)
+	}
+}
+
+// sendTo resolves a member address and transmits.
+func (m *Member) sendTo(id string, payload any) {
+	addr, ok := m.cfg.Directory.Lookup(id)
+	if !ok {
+		return
+	}
+	_ = m.cfg.NIC.Send(m.cfg.Addr, addr, payload, 128)
+}

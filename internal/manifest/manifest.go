@@ -1,0 +1,397 @@
+package manifest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Well-known manifest header names.
+const (
+	HeaderSymbolicName  = "Bundle-SymbolicName"
+	HeaderVersion       = "Bundle-Version"
+	HeaderName          = "Bundle-Name"
+	HeaderActivator     = "Bundle-Activator"
+	HeaderImportPackage = "Import-Package"
+	HeaderExportPackage = "Export-Package"
+	HeaderRequireBundle = "Require-Bundle"
+	HeaderDynamicImport = "DynamicImport-Package"
+	HeaderStartLevel    = "Bundle-StartLevel"
+	HeaderCategory      = "Bundle-Category"
+)
+
+// ImportedPackage is one clause of Import-Package.
+type ImportedPackage struct {
+	Name     string
+	Range    VersionRange
+	Optional bool
+}
+
+// ExportedPackage is one clause of Export-Package.
+type ExportedPackage struct {
+	Name    string
+	Version Version
+	// Uses lists packages whose choice constrains importers of this
+	// package (the OSGi uses:="" directive, honoured by the resolver's
+	// class-space consistency check).
+	Uses []string
+}
+
+// RequiredBundle is one clause of Require-Bundle.
+type RequiredBundle struct {
+	SymbolicName string
+	Range        VersionRange
+	Optional     bool
+}
+
+// Manifest is a parsed bundle manifest.
+type Manifest struct {
+	SymbolicName   string
+	Version        Version
+	Name           string
+	Activator      string
+	StartLevel     int
+	Category       string
+	Imports        []ImportedPackage
+	Exports        []ExportedPackage
+	Requires       []RequiredBundle
+	DynamicImports []string // package patterns, possibly "*" or "com.x.*"
+	Headers        map[string]string
+}
+
+// Parse reads the MANIFEST.MF-style text: "Header: value" lines, with
+// continuation lines starting with a single space, blank lines ignored.
+func Parse(text string) (*Manifest, error) {
+	headers, err := parseHeaders(text)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{Headers: headers}
+
+	rawName := headers[HeaderSymbolicName]
+	if rawName == "" {
+		return nil, fmt.Errorf("manifest: missing %s", HeaderSymbolicName)
+	}
+	// The symbolic name may carry directives (singleton:=true); keep only
+	// the name itself, directives are stored in Headers for inspection.
+	m.SymbolicName = strings.TrimSpace(strings.Split(rawName, ";")[0])
+	if m.SymbolicName == "" {
+		return nil, fmt.Errorf("manifest: empty %s", HeaderSymbolicName)
+	}
+
+	if m.Version, err = ParseVersion(headers[HeaderVersion]); err != nil {
+		return nil, err
+	}
+	m.Name = headers[HeaderName]
+	m.Activator = strings.TrimSpace(headers[HeaderActivator])
+	m.Category = strings.TrimSpace(headers[HeaderCategory])
+	if sl := strings.TrimSpace(headers[HeaderStartLevel]); sl != "" {
+		n, err := parseSegment(sl)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: invalid %s: %w", HeaderStartLevel, err)
+		}
+		m.StartLevel = n
+	}
+
+	if m.Imports, err = parseImports(headers[HeaderImportPackage]); err != nil {
+		return nil, err
+	}
+	if m.Exports, err = parseExports(headers[HeaderExportPackage]); err != nil {
+		return nil, err
+	}
+	if m.Requires, err = parseRequires(headers[HeaderRequireBundle]); err != nil {
+		return nil, err
+	}
+	for _, c := range splitClauses(headers[HeaderDynamicImport]) {
+		name, _, _, err := parseClause(c)
+		if err != nil {
+			return nil, err
+		}
+		m.DynamicImports = append(m.DynamicImports, name)
+	}
+	return m, nil
+}
+
+// MustParse panics on parse failure; for statically known manifests.
+func MustParse(text string) *Manifest {
+	m, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// String reassembles a canonical manifest text.
+func (m *Manifest) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", HeaderSymbolicName, m.SymbolicName)
+	fmt.Fprintf(&b, "%s: %s\n", HeaderVersion, m.Version)
+	if m.Name != "" {
+		fmt.Fprintf(&b, "%s: %s\n", HeaderName, m.Name)
+	}
+	if m.Activator != "" {
+		fmt.Fprintf(&b, "%s: %s\n", HeaderActivator, m.Activator)
+	}
+	if m.StartLevel != 0 {
+		fmt.Fprintf(&b, "%s: %d\n", HeaderStartLevel, m.StartLevel)
+	}
+	if m.Category != "" {
+		fmt.Fprintf(&b, "%s: %s\n", HeaderCategory, m.Category)
+	}
+	if len(m.Imports) > 0 {
+		clauses := make([]string, 0, len(m.Imports))
+		for _, im := range m.Imports {
+			c := im.Name
+			if im.Range != AnyVersion {
+				c += fmt.Sprintf(";version=%q", im.Range)
+			}
+			if im.Optional {
+				c += ";resolution:=optional"
+			}
+			clauses = append(clauses, c)
+		}
+		fmt.Fprintf(&b, "%s: %s\n", HeaderImportPackage, strings.Join(clauses, ","))
+	}
+	if len(m.Exports) > 0 {
+		clauses := make([]string, 0, len(m.Exports))
+		for _, ex := range m.Exports {
+			c := ex.Name
+			if ex.Version != VersionZero {
+				c += fmt.Sprintf(";version=%q", ex.Version)
+			}
+			if len(ex.Uses) > 0 {
+				c += fmt.Sprintf(";uses:=%q", strings.Join(ex.Uses, ","))
+			}
+			clauses = append(clauses, c)
+		}
+		fmt.Fprintf(&b, "%s: %s\n", HeaderExportPackage, strings.Join(clauses, ","))
+	}
+	if len(m.Requires) > 0 {
+		clauses := make([]string, 0, len(m.Requires))
+		for _, rq := range m.Requires {
+			c := rq.SymbolicName
+			if rq.Range != AnyVersion {
+				c += fmt.Sprintf(";bundle-version=%q", rq.Range)
+			}
+			if rq.Optional {
+				c += ";resolution:=optional"
+			}
+			clauses = append(clauses, c)
+		}
+		fmt.Fprintf(&b, "%s: %s\n", HeaderRequireBundle, strings.Join(clauses, ","))
+	}
+	if len(m.DynamicImports) > 0 {
+		fmt.Fprintf(&b, "%s: %s\n", HeaderDynamicImport, strings.Join(m.DynamicImports, ","))
+	}
+	// Preserve unknown headers deterministically.
+	known := map[string]bool{
+		HeaderSymbolicName: true, HeaderVersion: true, HeaderName: true,
+		HeaderActivator: true, HeaderImportPackage: true, HeaderExportPackage: true,
+		HeaderRequireBundle: true, HeaderDynamicImport: true, HeaderStartLevel: true,
+		HeaderCategory: true,
+	}
+	extra := make([]string, 0, len(m.Headers))
+	for k := range m.Headers {
+		if !known[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		fmt.Fprintf(&b, "%s: %s\n", k, m.Headers[k])
+	}
+	return b.String()
+}
+
+// ExportsPackage reports whether the manifest exports pkg and returns the
+// clause.
+func (m *Manifest) ExportsPackage(pkg string) (ExportedPackage, bool) {
+	for _, e := range m.Exports {
+		if e.Name == pkg {
+			return e, true
+		}
+	}
+	return ExportedPackage{}, false
+}
+
+func parseHeaders(text string) (map[string]string, error) {
+	headers := make(map[string]string)
+	var lastKey string
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			if lastKey == "" {
+				return nil, fmt.Errorf("manifest: line %d: continuation without header", lineNo+1)
+			}
+			headers[lastKey] += strings.TrimSpace(line)
+			continue
+		}
+		colon := strings.Index(line, ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("manifest: line %d: missing ':' in %q", lineNo+1, line)
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		if _, dup := headers[key]; dup {
+			return nil, fmt.Errorf("manifest: line %d: duplicate header %s", lineNo+1, key)
+		}
+		headers[key] = val
+		lastKey = key
+	}
+	return headers, nil
+}
+
+// splitClauses splits a header value on commas that are not inside quotes.
+func splitClauses(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var clauses []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			clauses = append(clauses, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		clauses = append(clauses, strings.TrimSpace(cur.String()))
+	}
+	return clauses
+}
+
+// parseClause splits "name;attr=val;dir:=val" into the name, attributes and
+// directives.
+func parseClause(clause string) (name string, attrs, dirs map[string]string, err error) {
+	parts := strings.Split(clause, ";")
+	name = strings.TrimSpace(parts[0])
+	if name == "" {
+		return "", nil, nil, fmt.Errorf("manifest: empty clause in %q", clause)
+	}
+	attrs = make(map[string]string)
+	dirs = make(map[string]string)
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		eq := strings.Index(p, "=")
+		if eq <= 0 {
+			return "", nil, nil, fmt.Errorf("manifest: malformed parameter %q in clause %q", p, clause)
+		}
+		key := strings.TrimSpace(p[:eq])
+		val := strings.TrimSpace(p[eq+1:])
+		val = strings.Trim(val, `"`)
+		if strings.HasSuffix(key, ":") { // directive, "key:=value"
+			dirs[strings.TrimSuffix(key, ":")] = val
+		} else {
+			attrs[key] = val
+		}
+	}
+	return name, attrs, dirs, nil
+}
+
+func parseImports(header string) ([]ImportedPackage, error) {
+	var out []ImportedPackage
+	seen := make(map[string]bool)
+	for _, c := range splitClauses(header) {
+		name, attrs, dirs, err := parseClause(c)
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("manifest: duplicate import of package %s", name)
+		}
+		seen[name] = true
+		r, err := ParseVersionRange(attrs["version"])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ImportedPackage{
+			Name:     name,
+			Range:    r,
+			Optional: dirs["resolution"] == "optional",
+		})
+	}
+	return out, nil
+}
+
+func parseExports(header string) ([]ExportedPackage, error) {
+	var out []ExportedPackage
+	for _, c := range splitClauses(header) {
+		name, attrs, dirs, err := parseClause(c)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ParseVersion(attrs["version"])
+		if err != nil {
+			return nil, err
+		}
+		var uses []string
+		if u := dirs["uses"]; u != "" {
+			for _, pkg := range strings.Split(u, ",") {
+				if pkg = strings.TrimSpace(pkg); pkg != "" {
+					uses = append(uses, pkg)
+				}
+			}
+		}
+		out = append(out, ExportedPackage{Name: name, Version: v, Uses: uses})
+	}
+	return out, nil
+}
+
+func parseRequires(header string) ([]RequiredBundle, error) {
+	var out []RequiredBundle
+	for _, c := range splitClauses(header) {
+		name, attrs, dirs, err := parseClause(c)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ParseVersionRange(attrs["bundle-version"])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RequiredBundle{
+			SymbolicName: name,
+			Range:        r,
+			Optional:     dirs["resolution"] == "optional",
+		})
+	}
+	return out, nil
+}
+
+// PackageOf returns the package part of a dotted class name
+// ("com.example.foo.Widget" -> "com.example.foo"). Names without a dot have
+// the empty (default) package.
+func PackageOf(className string) string {
+	idx := strings.LastIndex(className, ".")
+	if idx < 0 {
+		return ""
+	}
+	return className[:idx]
+}
+
+// MatchesPattern reports whether pkg matches a DynamicImport-Package style
+// pattern: exact name, "*" (everything), or "prefix.*".
+func MatchesPattern(pattern, pkg string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, ".*") {
+		prefix := strings.TrimSuffix(pattern, ".*")
+		return pkg == prefix || strings.HasPrefix(pkg, prefix+".")
+	}
+	return pattern == pkg
+}

@@ -1,0 +1,186 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleManifest = `Bundle-SymbolicName: com.example.shop
+Bundle-Version: 1.4.0
+Bundle-Name: Shop Service
+Bundle-Activator: com.example.shop.Activator
+Bundle-StartLevel: 3
+Import-Package: com.example.log;version="[1.0,2.0)",
+ com.example.db;version="1.1";resolution:=optional,
+ com.example.util
+Export-Package: com.example.shop;version="1.4";uses:="com.example.util",
+ com.example.shop.spi;version="1.4"
+Require-Bundle: com.example.base;bundle-version="[2.0,3.0)"
+DynamicImport-Package: com.example.ext.*
+X-Custom: hello
+`
+
+func TestParseManifest(t *testing.T) {
+	m, err := Parse(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymbolicName != "com.example.shop" {
+		t.Errorf("SymbolicName = %q", m.SymbolicName)
+	}
+	if m.Version != (Version{Major: 1, Minor: 4}) {
+		t.Errorf("Version = %v", m.Version)
+	}
+	if m.Name != "Shop Service" {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if m.Activator != "com.example.shop.Activator" {
+		t.Errorf("Activator = %q", m.Activator)
+	}
+	if m.StartLevel != 3 {
+		t.Errorf("StartLevel = %d", m.StartLevel)
+	}
+	if len(m.Imports) != 3 {
+		t.Fatalf("Imports = %d, want 3", len(m.Imports))
+	}
+	if m.Imports[0].Name != "com.example.log" || m.Imports[0].Range.String() != "[1.0.0,2.0.0)" {
+		t.Errorf("import 0 = %+v", m.Imports[0])
+	}
+	if !m.Imports[1].Optional {
+		t.Error("import 1 should be optional")
+	}
+	if m.Imports[2].Range != AnyVersion {
+		t.Errorf("import 2 range = %v, want any", m.Imports[2].Range)
+	}
+	if len(m.Exports) != 2 {
+		t.Fatalf("Exports = %d, want 2", len(m.Exports))
+	}
+	if m.Exports[0].Version != (Version{Major: 1, Minor: 4}) {
+		t.Errorf("export version = %v", m.Exports[0].Version)
+	}
+	if len(m.Exports[0].Uses) != 1 || m.Exports[0].Uses[0] != "com.example.util" {
+		t.Errorf("export uses = %v", m.Exports[0].Uses)
+	}
+	if len(m.Requires) != 1 || m.Requires[0].SymbolicName != "com.example.base" {
+		t.Errorf("Requires = %+v", m.Requires)
+	}
+	if len(m.DynamicImports) != 1 || m.DynamicImports[0] != "com.example.ext.*" {
+		t.Errorf("DynamicImports = %v", m.DynamicImports)
+	}
+	if m.Headers["X-Custom"] != "hello" {
+		t.Errorf("custom header = %q", m.Headers["X-Custom"])
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+	}{
+		{"missing symbolic name", "Bundle-Version: 1.0\n"},
+		{"bad version", "Bundle-SymbolicName: a\nBundle-Version: x\n"},
+		{"bad import range", "Bundle-SymbolicName: a\nImport-Package: p;version=\"[x,1)\"\n"},
+		{"duplicate import", "Bundle-SymbolicName: a\nImport-Package: p,p\n"},
+		{"no colon", "Bundle-SymbolicName a\n"},
+		{"duplicate header", "Bundle-SymbolicName: a\nBundle-SymbolicName: b\n"},
+		{"orphan continuation", " continuation\nBundle-SymbolicName: a\n"},
+		{"bad start level", "Bundle-SymbolicName: a\nBundle-StartLevel: x\n"},
+		{"malformed param", "Bundle-SymbolicName: a\nImport-Package: p;version\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.text); err == nil {
+				t.Errorf("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestManifestStringRoundTrip(t *testing.T) {
+	m := MustParse(sampleManifest)
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, m.String())
+	}
+	if m2.SymbolicName != m.SymbolicName || m2.Version != m.Version {
+		t.Error("identity lost in round trip")
+	}
+	if len(m2.Imports) != len(m.Imports) || len(m2.Exports) != len(m.Exports) {
+		t.Error("clauses lost in round trip")
+	}
+	for i := range m.Imports {
+		if m2.Imports[i] != m.Imports[i] {
+			t.Errorf("import %d: %+v != %+v", i, m2.Imports[i], m.Imports[i])
+		}
+	}
+	if m2.Headers["X-Custom"] != "hello" {
+		t.Error("extra header lost in round trip")
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	text := "Bundle-SymbolicName: com.exa\n mple.long\nBundle-Version: 1.0\n"
+	m, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SymbolicName != "com.example.long" {
+		t.Errorf("SymbolicName = %q, want continuation merged", m.SymbolicName)
+	}
+}
+
+func TestSymbolicNameDirectivesStripped(t *testing.T) {
+	m := MustParse("Bundle-SymbolicName: com.example.single;singleton:=true\n")
+	if m.SymbolicName != "com.example.single" {
+		t.Errorf("SymbolicName = %q", m.SymbolicName)
+	}
+}
+
+func TestPackageOf(t *testing.T) {
+	tests := []struct{ class, pkg string }{
+		{"com.example.foo.Widget", "com.example.foo"},
+		{"Widget", ""},
+		{"a.B", "a"},
+	}
+	for _, tt := range tests {
+		if got := PackageOf(tt.class); got != tt.pkg {
+			t.Errorf("PackageOf(%q) = %q, want %q", tt.class, got, tt.pkg)
+		}
+	}
+}
+
+func TestMatchesPattern(t *testing.T) {
+	tests := []struct {
+		pattern, pkg string
+		want         bool
+	}{
+		{"*", "anything.at.all", true},
+		{"com.x.*", "com.x", true},
+		{"com.x.*", "com.x.y", true},
+		{"com.x.*", "com.xy", false},
+		{"com.x", "com.x", true},
+		{"com.x", "com.x.y", false},
+	}
+	for _, tt := range tests {
+		if got := MatchesPattern(tt.pattern, tt.pkg); got != tt.want {
+			t.Errorf("MatchesPattern(%q, %q) = %v, want %v", tt.pattern, tt.pkg, got, tt.want)
+		}
+	}
+}
+
+func TestExportsPackage(t *testing.T) {
+	m := MustParse(sampleManifest)
+	if _, ok := m.ExportsPackage("com.example.shop"); !ok {
+		t.Error("ExportsPackage missed an exported package")
+	}
+	if _, ok := m.ExportsPackage("com.example.private"); ok {
+		t.Error("ExportsPackage found a non-exported package")
+	}
+}
+
+func TestSplitClausesQuoted(t *testing.T) {
+	clauses := splitClauses(`a;version="[1.0,2.0)",b`)
+	if len(clauses) != 2 || !strings.HasPrefix(clauses[0], "a;") || clauses[1] != "b" {
+		t.Errorf("splitClauses = %q", clauses)
+	}
+}

@@ -1,0 +1,158 @@
+// Package migrate implements the paper's Migration Module (§3.2): using
+// the group communication substrate it maintains "knowledge of the
+// available nodes and its resources" and of "the virtual instances running
+// on each node" (issue 1), reacts to membership changes — graceful leaves
+// migrate instances away, crashes trigger decentralized redeployment on the
+// survivors (issue 2) — ships framework state through the SAN (issue 3),
+// and invokes relocation hooks so service addresses follow instances
+// (issue 4, realized by netsim IP takeover or ipvs re-registration at the
+// cluster layer).
+package migrate
+
+import (
+	"sort"
+	"sync"
+
+	"dosgi/internal/core"
+)
+
+// InstanceInfo is the directory's record of one virtual instance.
+type InstanceInfo struct {
+	ID core.InstanceID `json:"id"`
+	// Node currently responsible for the instance.
+	Node string `json:"node"`
+	// CPU and Memory are the instance's resource requirements, consulted
+	// by placement.
+	CPU    int64 `json:"cpu"`
+	Memory int64 `json:"memory"`
+	// Priority orders instances when capacity runs short.
+	Priority int `json:"priority"`
+	// CheckpointPath locates the instance's durable state on the SAN.
+	CheckpointPath string `json:"checkpointPath"`
+	// Running records whether the instance was serving.
+	Running bool `json:"running"`
+}
+
+// NodeInfo is the directory's record of one node's capacity.
+type NodeInfo struct {
+	Node        string `json:"node"`
+	CPUCapacity int64  `json:"cpuCapacity"`
+	MemCapacity int64  `json:"memCapacity"`
+}
+
+// Directory is each node's replica of the cluster state. All mutations
+// arrive through totally-ordered broadcasts (or deterministic local
+// application on view changes), so replicas converge.
+type Directory struct {
+	mu        sync.Mutex
+	instances map[core.InstanceID]InstanceInfo
+	nodes     map[string]NodeInfo
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		instances: make(map[core.InstanceID]InstanceInfo),
+		nodes:     make(map[string]NodeInfo),
+	}
+}
+
+// PutInstance upserts an instance record.
+func (d *Directory) PutInstance(info InstanceInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.instances[info.ID] = info
+}
+
+// RemoveInstance deletes an instance record.
+func (d *Directory) RemoveInstance(id core.InstanceID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.instances, id)
+}
+
+// Instance returns one record.
+func (d *Directory) Instance(id core.InstanceID) (InstanceInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info, ok := d.instances[id]
+	return info, ok
+}
+
+// Instances returns all records sorted by id.
+func (d *Directory) Instances() []InstanceInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]InstanceInfo, 0, len(d.instances))
+	for _, info := range d.instances {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InstancesOn returns the records hosted by node, sorted by id.
+func (d *Directory) InstancesOn(node string) []InstanceInfo {
+	var out []InstanceInfo
+	for _, info := range d.Instances() {
+		if info.Node == node {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// PutNode upserts a node capacity record.
+func (d *Directory) PutNode(info NodeInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes[info.Node] = info
+}
+
+// Node returns one node record.
+func (d *Directory) Node(id string) (NodeInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	info, ok := d.nodes[id]
+	return info, ok
+}
+
+// Nodes returns all node records sorted by id.
+func (d *Directory) Nodes() []NodeInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]NodeInfo, 0, len(d.nodes))
+	for _, info := range d.nodes {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Loads computes per-node load from the directory, restricted to the given
+// live nodes.
+func (d *Directory) Loads(live []string) []NodeLoad {
+	liveSet := make(map[string]bool, len(live))
+	for _, n := range live {
+		liveSet[n] = true
+	}
+	loads := make(map[string]*NodeLoad)
+	for _, n := range d.Nodes() {
+		if liveSet[n.Node] {
+			loads[n.Node] = &NodeLoad{Node: n.Node, CPUCapacity: n.CPUCapacity, MemCapacity: n.MemCapacity}
+		}
+	}
+	for _, inst := range d.Instances() {
+		if l, ok := loads[inst.Node]; ok {
+			l.CPUUsed += inst.CPU
+			l.MemUsed += inst.Memory
+		}
+	}
+	out := make([]NodeLoad, 0, len(loads))
+	for _, n := range live {
+		if l, ok := loads[n]; ok {
+			out = append(out, *l)
+		}
+	}
+	return out
+}

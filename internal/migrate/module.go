@@ -1,0 +1,506 @@
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/core"
+	"dosgi/internal/gcs"
+	"dosgi/internal/san"
+)
+
+// EventType enumerates migration-module events.
+type EventType int
+
+// Migration events.
+const (
+	// EventNodeLost fires when a view change removes a node.
+	EventNodeLost EventType = iota + 1
+	// EventRedeployed fires when this node restored a failed instance.
+	EventRedeployed
+	// EventMigratedOut fires when a planned migration left this node.
+	EventMigratedOut
+	// EventMigratedIn fires when a planned migration arrived here.
+	EventMigratedIn
+	// EventUnplaceable fires when placement found no node for an instance.
+	EventUnplaceable
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventNodeLost:
+		return "NODE_LOST"
+	case EventRedeployed:
+		return "REDEPLOYED"
+	case EventMigratedOut:
+		return "MIGRATED_OUT"
+	case EventMigratedIn:
+		return "MIGRATED_IN"
+	case EventUnplaceable:
+		return "UNPLACEABLE"
+	}
+	return "UNKNOWN"
+}
+
+// Event reports a migration occurrence.
+type Event struct {
+	Type     EventType
+	Instance core.InstanceID
+	From     string
+	To       string
+	At       time.Duration
+}
+
+// Wire messages (broadcast with Total ordering so every replica applies
+// the same directory mutations in the same order).
+
+type instancePut struct{ Info InstanceInfo }
+
+type instanceRemove struct{ ID core.InstanceID }
+
+type nodeAnnounce struct{ Info NodeInfo }
+
+type migrationAnnounce struct {
+	Info InstanceInfo // Node already set to the target
+	From string
+}
+
+// Config wires a migration module into its node.
+type Config struct {
+	NodeID  string
+	Sched   clock.Scheduler
+	Member  *gcs.Member
+	Store   *san.Store
+	Manager *core.Manager
+	// CPUCapacity/MemCapacity are announced to the cluster for placement.
+	CPUCapacity int64
+	MemCapacity int64
+	// Mode selects the shortage policy (default BestEffort).
+	Mode PlacementMode
+	// CheckpointEvery adds periodic checkpoints on top of the
+	// lifecycle-driven ones (0 disables).
+	CheckpointEvery time.Duration
+	// OnRelocate runs after an instance lands on this node so the
+	// embedder can rebind its network endpoints (IP takeover / ipvs).
+	OnRelocate func(InstanceInfo)
+}
+
+// Errors returned by the module.
+var (
+	// ErrNotStarted is returned for operations before Start.
+	ErrNotStarted = errors.New("migrate: module not started")
+	// ErrMigrationInProgress is returned when the instance is already
+	// moving.
+	ErrMigrationInProgress = errors.New("migrate: migration already in progress")
+)
+
+// Module is one node's migration agent.
+type Module struct {
+	cfg Config
+	dir *Directory
+
+	mu        sync.Mutex
+	started   bool
+	announced bool
+	migrating map[core.InstanceID]bool
+	listeners []func(Event)
+	ckptTimer clock.Timer
+}
+
+// NewModule builds the module; call Start *before* starting the group
+// member so no view change is missed.
+func NewModule(cfg Config) (*Module, error) {
+	if cfg.NodeID == "" || cfg.Sched == nil || cfg.Member == nil || cfg.Store == nil || cfg.Manager == nil {
+		return nil, errors.New("migrate: incomplete config")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = BestEffort
+	}
+	return &Module{
+		cfg:       cfg,
+		dir:       NewDirectory(),
+		migrating: make(map[core.InstanceID]bool),
+	}, nil
+}
+
+// Directory returns this node's replica of the cluster directory.
+func (m *Module) Directory() *Directory { return m.dir }
+
+// OnEvent subscribes to migration events.
+func (m *Module) OnEvent(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+func (m *Module) emit(ev Event) {
+	m.mu.Lock()
+	listeners := append(make([]func(Event), 0, len(m.listeners)), m.listeners...)
+	m.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ev)
+	}
+}
+
+// Start hooks the module into the group member and the instance manager.
+func (m *Module) Start() error {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return nil
+	}
+	m.started = true
+	m.mu.Unlock()
+
+	m.cfg.Member.OnViewChange(m.onView)
+	m.cfg.Member.OnDeliver(m.onDeliver)
+	m.cfg.Manager.OnEvent(m.onInstanceEvent)
+	if m.cfg.CheckpointEvery > 0 {
+		m.mu.Lock()
+		m.ckptTimer = m.cfg.Sched.Every(m.cfg.CheckpointEvery, m.checkpointAll)
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Stop halts periodic checkpointing (the group member is stopped
+// separately, usually through Shutdown).
+func (m *Module) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ckptTimer != nil {
+		m.ckptTimer.Cancel()
+		m.ckptTimer = nil
+	}
+	m.started = false
+}
+
+// CheckpointPath returns the SAN location of an instance's state.
+func CheckpointPath(id core.InstanceID) string {
+	return san.Join("instances", string(id), "checkpoint")
+}
+
+// buildInfo derives the directory record from a live instance.
+func (m *Module) buildInfo(inst *core.Instance) InstanceInfo {
+	desc := inst.Descriptor()
+	return InstanceInfo{
+		ID:             desc.ID,
+		Node:           m.cfg.NodeID,
+		CPU:            desc.Resources.CPUMillicores,
+		Memory:         desc.Resources.MemoryBytes,
+		Priority:       desc.Resources.Priority,
+		CheckpointPath: CheckpointPath(desc.ID),
+		Running:        inst.State() == core.InstanceRunning,
+	}
+}
+
+// broadcast sends a totally-ordered message, silently dropping it when the
+// member is not yet in a view (the first view announce re-publishes
+// everything).
+func (m *Module) broadcast(body any) {
+	_ = m.cfg.Member.Broadcast(body, gcs.Total)
+}
+
+// onView reacts to membership changes: (re-)announcement and crash
+// redeployment. Announcing on every view keeps directories convergent
+// across the singleton-view merges that happen at cluster startup and
+// after healed partitions.
+func (m *Module) onView(v gcs.View) {
+	m.mu.Lock()
+	m.announced = true
+	m.mu.Unlock()
+
+	m.broadcast(nodeAnnounce{Info: NodeInfo{
+		Node:        m.cfg.NodeID,
+		CPUCapacity: m.cfg.CPUCapacity,
+		MemCapacity: m.cfg.MemCapacity,
+	}})
+	for _, inst := range m.cfg.Manager.List() {
+		m.mu.Lock()
+		moving := m.migrating[inst.ID()]
+		m.mu.Unlock()
+		if moving {
+			continue
+		}
+		m.broadcast(instancePut{Info: m.buildInfo(inst)})
+		m.writeCheckpoint(inst.ID(), nil)
+	}
+
+	// Which hosting nodes disappeared?
+	memberSet := make(map[string]bool, len(v.Members))
+	for _, id := range v.Members {
+		memberSet[id] = true
+	}
+	lostNodes := make(map[string]bool)
+	var failed []InstanceInfo
+	for _, info := range m.dir.Instances() {
+		if info.Node != "" && !memberSet[info.Node] {
+			lostNodes[info.Node] = true
+			failed = append(failed, info)
+		}
+	}
+	if len(failed) == 0 {
+		return
+	}
+	now := m.cfg.Sched.Now()
+	for node := range lostNodes {
+		m.emit(Event{Type: EventNodeLost, From: node, At: now})
+	}
+
+	// Decentralized placement: every survivor computes the same assignment
+	// from the same directory and view.
+	loads := m.dir.Loads(v.Members)
+	assigned, unplaced := Place(failed, loads, m.cfg.Mode)
+	for _, info := range failed {
+		if target, ok := assigned[info.ID]; ok {
+			moved := info
+			moved.Node = target
+			m.dir.PutInstance(moved)
+			if target == m.cfg.NodeID {
+				m.restoreFromStore(moved, EventRedeployed, info.Node)
+			}
+		}
+	}
+	for _, id := range unplaced {
+		info, _ := m.dir.Instance(id)
+		info.Node = ""
+		info.Running = false
+		m.dir.PutInstance(info)
+		m.emit(Event{Type: EventUnplaceable, Instance: id, At: now})
+	}
+}
+
+// restoreFromStore pulls the checkpoint from the SAN and revives the
+// instance locally.
+func (m *Module) restoreFromStore(info InstanceInfo, kind EventType, from string) {
+	m.cfg.Store.GetAsync(info.CheckpointPath, func(data []byte, err error) {
+		if err != nil {
+			return
+		}
+		chk, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if _, exists := m.cfg.Manager.Get(info.ID); exists {
+			return
+		}
+		start := chk.Running || info.Running
+		if _, err := m.cfg.Manager.RestoreInstance(chk, start); err != nil {
+			return
+		}
+		if m.cfg.OnRelocate != nil {
+			landed := info
+			landed.Node = m.cfg.NodeID
+			m.cfg.OnRelocate(landed)
+		}
+		m.emit(Event{Type: kind, Instance: info.ID, From: from, To: m.cfg.NodeID, At: m.cfg.Sched.Now()})
+	})
+}
+
+// onDeliver applies replicated directory updates and migration handoffs.
+func (m *Module) onDeliver(msg gcs.Message) {
+	switch body := msg.Body.(type) {
+	case nodeAnnounce:
+		m.dir.PutNode(body.Info)
+	case instancePut:
+		m.dir.PutInstance(body.Info)
+	case instanceRemove:
+		m.dir.RemoveInstance(body.ID)
+	case migrationAnnounce:
+		m.dir.PutInstance(body.Info)
+		if body.From == m.cfg.NodeID {
+			// Self-delivery: the handoff is sequenced and fanned out to
+			// every member; the outbound migration is complete.
+			m.clearMigrating(body.Info.ID)
+			m.emit(Event{
+				Type:     EventMigratedOut,
+				Instance: body.Info.ID,
+				From:     m.cfg.NodeID,
+				To:       body.Info.Node,
+				At:       m.cfg.Sched.Now(),
+			})
+			return
+		}
+		if body.Info.Node == m.cfg.NodeID {
+			m.restoreFromStore(body.Info, EventMigratedIn, body.From)
+		}
+	}
+}
+
+// onInstanceEvent mirrors local lifecycle changes into the replicated
+// directory and the SAN.
+func (m *Module) onInstanceEvent(ev core.Event) {
+	id := ev.Instance.ID()
+	m.mu.Lock()
+	moving := m.migrating[id]
+	m.mu.Unlock()
+	if moving {
+		return // handoff messages carry the truth during migration
+	}
+	switch ev.Type {
+	case core.EventCreated, core.EventStarted, core.EventStopped, core.EventRestored:
+		m.broadcast(instancePut{Info: m.buildInfo(ev.Instance)})
+		m.writeCheckpoint(id, nil)
+	case core.EventDestroyed:
+		m.broadcast(instanceRemove{ID: id})
+	}
+}
+
+// writeCheckpoint persists an instance's current state to the SAN.
+func (m *Module) writeCheckpoint(id core.InstanceID, done func()) {
+	chk, err := m.cfg.Manager.Checkpoint(id)
+	if err != nil {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	data, err := chk.Encode()
+	if err != nil {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	m.cfg.Store.PutAsync(CheckpointPath(id), data, func(int64) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// checkpointAll persists every local instance (periodic timer).
+func (m *Module) checkpointAll() {
+	for _, inst := range m.cfg.Manager.List() {
+		m.writeCheckpoint(inst.ID(), nil)
+	}
+}
+
+// Migrate performs a planned stop-and-copy migration of a local instance
+// to target: checkpoint → SAN → local destroy → totally-ordered handoff →
+// target restore. The call is asynchronous; completion surfaces as
+// MigratedOut here and MigratedIn on the target.
+func (m *Module) Migrate(id core.InstanceID, target string) error {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return ErrNotStarted
+	}
+	if m.migrating[id] {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrMigrationInProgress, id)
+	}
+	m.migrating[id] = true
+	m.mu.Unlock()
+
+	inst, ok := m.cfg.Manager.Get(id)
+	if !ok {
+		m.clearMigrating(id)
+		return fmt.Errorf("%w: %s", core.ErrInstanceNotFound, id)
+	}
+	info := m.buildInfo(inst)
+	chk, err := m.cfg.Manager.Checkpoint(id)
+	if err != nil {
+		m.clearMigrating(id)
+		return err
+	}
+	data, err := chk.Encode()
+	if err != nil {
+		m.clearMigrating(id)
+		return err
+	}
+	m.cfg.Store.PutAsync(info.CheckpointPath, data, func(int64) {
+		// Downtime begins: the instance stops serving here. MigratedOut is
+		// emitted on self-delivery of the handoff broadcast, which proves
+		// the announcement was sequenced before any group teardown.
+		_ = m.cfg.Manager.Destroy(id)
+		handoff := info
+		handoff.Node = target
+		m.broadcast(migrationAnnounce{Info: handoff, From: m.cfg.NodeID})
+	})
+	return nil
+}
+
+func (m *Module) clearMigrating(id core.InstanceID) {
+	m.mu.Lock()
+	delete(m.migrating, id)
+	m.mu.Unlock()
+}
+
+// Shutdown gracefully drains the node: every local instance migrates to
+// the least-loaded other member, then the group member leaves cleanly, so
+// the remaining nodes never see these instances as failed. onDone fires
+// after the member has left.
+func (m *Module) Shutdown(onDone func()) error {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return ErrNotStarted
+	}
+	m.mu.Unlock()
+
+	view := m.cfg.Member.View()
+	var others []string
+	for _, id := range view.Members {
+		if id != m.cfg.NodeID {
+			others = append(others, id)
+		}
+	}
+	local := m.cfg.Manager.List()
+	finish := func() {
+		_ = m.cfg.Member.Stop()
+		m.Stop()
+		if onDone != nil {
+			onDone()
+		}
+	}
+	if len(local) == 0 || len(others) == 0 {
+		// Nothing to drain (or nowhere to drain to — instances stay down
+		// but their checkpoints survive on the SAN).
+		finish()
+		return nil
+	}
+
+	remaining := len(local)
+	var mu sync.Mutex
+	m.OnEvent(func(ev Event) {
+		if ev.Type != EventMigratedOut {
+			return
+		}
+		mu.Lock()
+		remaining--
+		last := remaining == 0
+		mu.Unlock()
+		if last {
+			finish()
+		}
+	})
+	loads := m.dir.Loads(others)
+	for _, inst := range local {
+		target := LeastLoaded(loads)
+		if target == "" {
+			target = others[0]
+		}
+		// Track the drain target's growing load locally for sensible
+		// spreading.
+		for i := range loads {
+			if loads[i].Node == target {
+				loads[i].CPUUsed += inst.Descriptor().Resources.CPUMillicores
+				loads[i].MemUsed += inst.Descriptor().Resources.MemoryBytes
+			}
+		}
+		if err := m.Migrate(inst.ID(), target); err != nil {
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				finish()
+			}
+		}
+	}
+	return nil
+}

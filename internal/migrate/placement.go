@@ -1,0 +1,126 @@
+package migrate
+
+import (
+	"sort"
+
+	"dosgi/internal/core"
+)
+
+// NodeLoad is placement's view of one candidate node.
+type NodeLoad struct {
+	Node        string
+	CPUCapacity int64
+	MemCapacity int64
+	CPUUsed     int64
+	MemUsed     int64
+}
+
+// cpuFraction returns the relative CPU load (1.0 = full).
+func (n NodeLoad) cpuFraction() float64 {
+	if n.CPUCapacity <= 0 {
+		return 1.0
+	}
+	return float64(n.CPUUsed) / float64(n.CPUCapacity)
+}
+
+func (n NodeLoad) fits(inst InstanceInfo) bool {
+	if n.CPUCapacity > 0 && n.CPUUsed+inst.CPU > n.CPUCapacity {
+		return false
+	}
+	if n.MemCapacity > 0 && n.MemUsed+inst.Memory > n.MemCapacity {
+		return false
+	}
+	return true
+}
+
+// PlacementMode selects what happens when no node has spare capacity.
+type PlacementMode int
+
+// Placement modes (the "how much to degrade" policies of §3.2).
+const (
+	// BestEffort always places every instance, overloading nodes if
+	// needed — maximum availability, degraded performance.
+	BestEffort PlacementMode = iota + 1
+	// Strict refuses to place instances that do not fit — the
+	// "refusing to accept more virtual instances past a given threshold"
+	// policy; refused instances stay down.
+	Strict
+)
+
+// Place deterministically assigns instances to nodes. Every replica that
+// calls it with identical inputs (guaranteed by the totally-ordered
+// directory and the agreed view) computes identical assignments, which is
+// what makes the paper's decentralized redeployment coordinator-free.
+//
+// Instances are placed in (priority desc, CPU desc, id asc) order onto the
+// least-loaded fitting node; under Strict, instances that fit nowhere are
+// returned as unplaced.
+func Place(instances []InstanceInfo, nodes []NodeLoad, mode PlacementMode) (map[core.InstanceID]string, []core.InstanceID) {
+	assigned := make(map[core.InstanceID]string, len(instances))
+	var unplaced []core.InstanceID
+	if len(nodes) == 0 {
+		for _, inst := range instances {
+			unplaced = append(unplaced, inst.ID)
+		}
+		sort.Slice(unplaced, func(i, j int) bool { return unplaced[i] < unplaced[j] })
+		return assigned, unplaced
+	}
+
+	order := make([]InstanceInfo, len(instances))
+	copy(order, instances)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.CPU != b.CPU {
+			return a.CPU > b.CPU
+		}
+		return a.ID < b.ID
+	})
+
+	loads := make([]NodeLoad, len(nodes))
+	copy(loads, nodes)
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Node < loads[j].Node })
+
+	for _, inst := range order {
+		best := -1
+		for i := range loads {
+			if mode == Strict && !loads[i].fits(inst) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			if loads[i].cpuFraction() < loads[best].cpuFraction() {
+				best = i
+			}
+		}
+		if best < 0 {
+			unplaced = append(unplaced, inst.ID)
+			continue
+		}
+		assigned[inst.ID] = loads[best].Node
+		loads[best].CPUUsed += inst.CPU
+		loads[best].MemUsed += inst.Memory
+	}
+	sort.Slice(unplaced, func(i, j int) bool { return unplaced[i] < unplaced[j] })
+	return assigned, unplaced
+}
+
+// LeastLoaded returns the node with the lowest relative CPU load (ties by
+// id), or "" when nodes is empty.
+func LeastLoaded(nodes []NodeLoad) string {
+	best := -1
+	for i := range nodes {
+		if best < 0 || nodes[i].cpuFraction() < nodes[best].cpuFraction() ||
+			(nodes[i].cpuFraction() == nodes[best].cpuFraction() && nodes[i].Node < nodes[best].Node) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return nodes[best].Node
+}

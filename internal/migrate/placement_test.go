@@ -1,0 +1,221 @@
+package migrate
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dosgi/internal/core"
+)
+
+func inst(id string, cpu, mem int64, prio int) InstanceInfo {
+	return InstanceInfo{ID: core.InstanceID(id), CPU: cpu, Memory: mem, Priority: prio}
+}
+
+func node(id string, cpuCap, memCap, cpuUsed int64) NodeLoad {
+	return NodeLoad{Node: id, CPUCapacity: cpuCap, MemCapacity: memCap, CPUUsed: cpuUsed}
+}
+
+func TestPlaceSpreadsAcrossNodes(t *testing.T) {
+	instances := []InstanceInfo{
+		inst("a", 500, 0, 0), inst("b", 500, 0, 0), inst("c", 500, 0, 0), inst("d", 500, 0, 0),
+	}
+	nodes := []NodeLoad{node("n1", 2000, 0, 0), node("n2", 2000, 0, 0)}
+	assigned, unplaced := Place(instances, nodes, BestEffort)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced = %v", unplaced)
+	}
+	count := map[string]int{}
+	for _, n := range assigned {
+		count[n]++
+	}
+	if count["n1"] != 2 || count["n2"] != 2 {
+		t.Fatalf("distribution = %v", count)
+	}
+}
+
+func TestPlacePrefersLeastLoaded(t *testing.T) {
+	instances := []InstanceInfo{inst("a", 100, 0, 0)}
+	nodes := []NodeLoad{node("n1", 1000, 0, 800), node("n2", 1000, 0, 100)}
+	assigned, _ := Place(instances, nodes, BestEffort)
+	if assigned["a"] != "n2" {
+		t.Fatalf("assigned = %v", assigned)
+	}
+}
+
+func TestPlaceStrictRefusesOverflow(t *testing.T) {
+	instances := []InstanceInfo{
+		inst("big", 900, 0, 5),
+		inst("small", 200, 0, 1),
+	}
+	nodes := []NodeLoad{node("n1", 1000, 0, 0)}
+	assigned, unplaced := Place(instances, nodes, Strict)
+	// Priority 5 goes first and fits; the small one no longer fits.
+	if assigned["big"] != "n1" {
+		t.Fatalf("assigned = %v", assigned)
+	}
+	if len(unplaced) != 1 || unplaced[0] != "small" {
+		t.Fatalf("unplaced = %v", unplaced)
+	}
+	// BestEffort places both regardless.
+	assigned, unplaced = Place(instances, nodes, BestEffort)
+	if len(unplaced) != 0 || len(assigned) != 2 {
+		t.Fatalf("best-effort: %v / %v", assigned, unplaced)
+	}
+}
+
+func TestPlaceMemoryConstraint(t *testing.T) {
+	instances := []InstanceInfo{inst("a", 10, 600, 0)}
+	nodes := []NodeLoad{
+		{Node: "n1", CPUCapacity: 1000, MemCapacity: 512, CPUUsed: 0},
+		{Node: "n2", CPUCapacity: 1000, MemCapacity: 1024, CPUUsed: 900},
+	}
+	assigned, _ := Place(instances, nodes, Strict)
+	// n1 is less CPU-loaded but lacks memory; strict placement must pick n2.
+	if assigned["a"] != "n2" {
+		t.Fatalf("assigned = %v", assigned)
+	}
+}
+
+func TestPlaceNoNodes(t *testing.T) {
+	assigned, unplaced := Place([]InstanceInfo{inst("a", 1, 1, 0)}, nil, BestEffort)
+	if len(assigned) != 0 || len(unplaced) != 1 {
+		t.Fatalf("%v / %v", assigned, unplaced)
+	}
+}
+
+func TestPlacePriorityOrder(t *testing.T) {
+	// One slot; highest priority must win it under Strict.
+	instances := []InstanceInfo{
+		inst("low", 800, 0, 1),
+		inst("high", 800, 0, 9),
+	}
+	nodes := []NodeLoad{node("n1", 1000, 0, 0)}
+	assigned, unplaced := Place(instances, nodes, Strict)
+	if assigned["high"] != "n1" {
+		t.Fatalf("assigned = %v", assigned)
+	}
+	if len(unplaced) != 1 || unplaced[0] != "low" {
+		t.Fatalf("unplaced = %v", unplaced)
+	}
+}
+
+// Property: placement is deterministic regardless of input order, and
+// never assigns to unknown nodes.
+func TestPlaceDeterminismProperty(t *testing.T) {
+	prop := func(seed uint8, nInst, nNodes uint8) bool {
+		ni := int(nInst%12) + 1
+		nn := int(nNodes%4) + 1
+		var instances []InstanceInfo
+		for i := 0; i < ni; i++ {
+			instances = append(instances, inst(
+				fmt.Sprintf("i%02d", i),
+				int64((int(seed)+i*37)%500+50),
+				int64((int(seed)+i*13)%256),
+				(int(seed)+i)%3,
+			))
+		}
+		var nodes []NodeLoad
+		for i := 0; i < nn; i++ {
+			nodes = append(nodes, node(fmt.Sprintf("n%02d", i), 2000, 4096, int64((int(seed)*i)%700)))
+		}
+		a1, u1 := Place(instances, nodes, Strict)
+
+		// Reverse input order; result must be identical.
+		rev := make([]InstanceInfo, ni)
+		for i := range instances {
+			rev[ni-1-i] = instances[i]
+		}
+		revNodes := make([]NodeLoad, nn)
+		for i := range nodes {
+			revNodes[nn-1-i] = nodes[i]
+		}
+		a2, u2 := Place(rev, revNodes, Strict)
+		if len(a1) != len(a2) || len(u1) != len(u2) {
+			return false
+		}
+		for id, n := range a1 {
+			if a2[id] != n {
+				return false
+			}
+			found := false
+			for _, nd := range nodes {
+				if nd.Node == n {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		for i := range u1 {
+			if u1[i] != u2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under Strict mode, no node's capacity is ever exceeded.
+func TestPlaceCapacityProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		var instances []InstanceInfo
+		for i := 0; i < 10; i++ {
+			instances = append(instances, inst(fmt.Sprintf("i%d", i), int64((int(seed)+i*61)%600+10), 0, 0))
+		}
+		nodes := []NodeLoad{node("a", 1000, 0, 0), node("b", 1500, 0, 200)}
+		assigned, _ := Place(instances, nodes, Strict)
+		used := map[string]int64{"a": 0, "b": 200}
+		for id, n := range assigned {
+			for _, in := range instances {
+				if in.ID == id {
+					used[n] += in.CPU
+				}
+			}
+		}
+		return used["a"] <= 1000 && used["b"] <= 1500
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	nodes := []NodeLoad{node("b", 1000, 0, 500), node("a", 1000, 0, 500), node("c", 1000, 0, 100)}
+	if got := LeastLoaded(nodes); got != "c" {
+		t.Fatalf("LeastLoaded = %s", got)
+	}
+	// Tie broken by id.
+	nodes = nodes[:2]
+	if got := LeastLoaded(nodes); got != "a" {
+		t.Fatalf("LeastLoaded tie = %s", got)
+	}
+	if got := LeastLoaded(nil); got != "" {
+		t.Fatalf("LeastLoaded(nil) = %q", got)
+	}
+}
+
+func TestDirectoryLoads(t *testing.T) {
+	d := NewDirectory()
+	d.PutNode(NodeInfo{Node: "n1", CPUCapacity: 2000, MemCapacity: 1 << 30})
+	d.PutNode(NodeInfo{Node: "n2", CPUCapacity: 1000, MemCapacity: 1 << 30})
+	d.PutInstance(InstanceInfo{ID: "a", Node: "n1", CPU: 300, Memory: 100})
+	d.PutInstance(InstanceInfo{ID: "b", Node: "n1", CPU: 200, Memory: 50})
+	d.PutInstance(InstanceInfo{ID: "c", Node: "n2", CPU: 100, Memory: 25})
+	d.PutInstance(InstanceInfo{ID: "d", Node: "dead", CPU: 999, Memory: 999})
+
+	loads := d.Loads([]string{"n1", "n2"})
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if loads[0].Node != "n1" || loads[0].CPUUsed != 500 || loads[0].MemUsed != 150 {
+		t.Fatalf("n1 load = %+v", loads[0])
+	}
+	if loads[1].Node != "n2" || loads[1].CPUUsed != 100 {
+		t.Fatalf("n2 load = %+v", loads[1])
+	}
+}

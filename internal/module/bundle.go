@@ -1,0 +1,238 @@
+package module
+
+import (
+	"fmt"
+
+	"dosgi/internal/manifest"
+)
+
+// BundleID identifies a bundle within one framework instance. The system
+// bundle is always id 0.
+type BundleID int64
+
+// SystemBundleID is the id of the framework's own system bundle.
+const SystemBundleID BundleID = 0
+
+// BundleState enumerates the OSGi bundle lifecycle states.
+type BundleState int
+
+// Bundle lifecycle states, per OSGi Core section 4.4.2.
+const (
+	StateUninstalled BundleState = iota + 1
+	StateInstalled
+	StateResolved
+	StateStarting
+	StateActive
+	StateStopping
+)
+
+func (s BundleState) String() string {
+	switch s {
+	case StateUninstalled:
+		return "UNINSTALLED"
+	case StateInstalled:
+		return "INSTALLED"
+	case StateResolved:
+		return "RESOLVED"
+	case StateStarting:
+		return "STARTING"
+	case StateActive:
+		return "ACTIVE"
+	case StateStopping:
+		return "STOPPING"
+	}
+	return "UNKNOWN"
+}
+
+// Bundle is an installed unit of deployment: a manifest plus named class
+// entries, with a lifecycle managed by its Framework. All methods are safe
+// for concurrent use.
+type Bundle struct {
+	fw       *Framework
+	id       BundleID
+	location string
+
+	// Mutable state, guarded by fw.mu.
+	manifest   *manifest.Manifest
+	def        *Definition
+	state      BundleState
+	startLevel int
+	// persistentlyStarted records the administrator's intent: started
+	// bundles restart automatically when the framework state is restored
+	// (OSGi framework persistence, relied upon by the Migration Module).
+	persistentlyStarted bool
+	wiring              *Wiring
+	activator           Activator
+	ctx                 *Context
+	data                map[string][]byte
+}
+
+// ID returns the bundle id.
+func (b *Bundle) ID() BundleID { return b.id }
+
+// Location returns the install location (the "JAR URL").
+func (b *Bundle) Location() string { return b.location }
+
+// Framework returns the owning framework.
+func (b *Bundle) Framework() *Framework { return b.fw }
+
+// SymbolicName returns Bundle-SymbolicName.
+func (b *Bundle) SymbolicName() string {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.manifest.SymbolicName
+}
+
+// Version returns Bundle-Version.
+func (b *Bundle) Version() manifest.Version {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.manifest.Version
+}
+
+// Manifest returns the parsed manifest.
+func (b *Bundle) Manifest() *manifest.Manifest {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.manifest
+}
+
+// State returns the current lifecycle state.
+func (b *Bundle) State() BundleState {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.state
+}
+
+// StartLevel returns the bundle's start level.
+func (b *Bundle) StartLevel() int {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.startLevel
+}
+
+// SetStartLevel changes the bundle's start level. It does not start or stop
+// the bundle; the framework start level controls that.
+func (b *Bundle) SetStartLevel(level int) error {
+	if level < 1 {
+		return fmt.Errorf("%w: start level must be >= 1", ErrInvalidState)
+	}
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	b.startLevel = level
+	return nil
+}
+
+// Context returns the bundle's context while the bundle is STARTING, ACTIVE
+// or STOPPING, else nil.
+func (b *Bundle) Context() *Context {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.ctx
+}
+
+// Wiring returns the bundle's current wiring, or nil when unresolved.
+func (b *Bundle) Wiring() *Wiring {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.wiring
+}
+
+// IsPersistentlyStarted reports whether the bundle restarts automatically
+// when the framework state is restored.
+func (b *Bundle) IsPersistentlyStarted() bool {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return b.persistentlyStarted
+}
+
+// Start resolves the bundle if needed, runs its activator and moves it to
+// ACTIVE. Starting an ACTIVE bundle is a no-op. The started state persists
+// across framework snapshots.
+func (b *Bundle) Start() error { return b.fw.startBundle(b, true) }
+
+// Stop runs the activator's Stop, unregisters the bundle's services and
+// moves it back to RESOLVED.
+func (b *Bundle) Stop() error { return b.fw.stopBundle(b, true) }
+
+// Update re-reads the bundle's definition from the framework's definition
+// registry, restarting the bundle if it was active. Dependent bundles keep
+// their wiring until Framework.RefreshBundles runs, per OSGi update
+// semantics.
+func (b *Bundle) Update() error { return b.fw.updateBundle(b) }
+
+// Uninstall stops the bundle if needed and removes it from the framework.
+func (b *Bundle) Uninstall() error { return b.fw.uninstallBundle(b) }
+
+// LoadClass resolves a class name through the bundle's class space: wired
+// imports first, then the bundle's own content, then dynamic imports, then
+// — only for virtual frameworks — the explicit parent delegation list.
+func (b *Bundle) LoadClass(name string) (Class, error) { return b.fw.loadClass(b, name) }
+
+// DataPut stores content in the bundle's persistent data area (the analog
+// of the bundle's private storage directory). The data area survives
+// framework snapshot/restore — this is what makes migration-by-restart
+// possible for stateful bundles.
+func (b *Bundle) DataPut(name string, content []byte) error {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	if b.state == StateUninstalled {
+		return ErrUninstalled
+	}
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	b.data[name] = cp
+	return nil
+}
+
+// DataGet reads content from the bundle's persistent data area.
+func (b *Bundle) DataGet(name string) ([]byte, bool) {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	content, ok := b.data[name]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	return cp, true
+}
+
+// DataDelete removes an entry from the data area.
+func (b *Bundle) DataDelete(name string) {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	delete(b.data, name)
+}
+
+// DataNames lists the entries of the data area.
+func (b *Bundle) DataNames() []string {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	names := make([]string, 0, len(b.data))
+	for n := range b.data {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RegisteredServices returns the live registrations made by this bundle.
+func (b *Bundle) RegisteredServices() []*ServiceReference {
+	return b.fw.registry.referencesByOwner(b)
+}
+
+// ServicesInUse returns references this bundle currently holds via
+// GetService.
+func (b *Bundle) ServicesInUse() []*ServiceReference {
+	return b.fw.registry.referencesInUseBy(b)
+}
+
+// String implements fmt.Stringer.
+func (b *Bundle) String() string {
+	b.fw.mu.Lock()
+	defer b.fw.mu.Unlock()
+	return fmt.Sprintf("%s/%s [%d]", b.manifest.SymbolicName, b.manifest.Version, b.id)
+}
+
+// isFragmentOfSystem reports whether this is the system bundle.
+func (b *Bundle) isSystem() bool { return b.id == SystemBundleID }

@@ -1,0 +1,126 @@
+package module
+
+import (
+	"fmt"
+
+	"dosgi/internal/filter"
+)
+
+// Context is a bundle's execution context, the analog of
+// org.osgi.framework.BundleContext: every interaction between a bundle and
+// its framework flows through it.
+type Context struct {
+	bundle *Bundle
+	fw     *Framework
+}
+
+// Bundle returns the bundle this context belongs to.
+func (c *Context) Bundle() *Bundle { return c.bundle }
+
+// Framework returns the owning framework.
+func (c *Context) Framework() *Framework { return c.fw }
+
+// Property returns a framework property.
+func (c *Context) Property(key string) string { return c.fw.Property(key) }
+
+// InstallBundle installs the definition registered under location.
+func (c *Context) InstallBundle(location string) (*Bundle, error) {
+	if err := c.valid(); err != nil {
+		return nil, err
+	}
+	return c.fw.InstallBundle(location)
+}
+
+// Bundles returns all installed bundles.
+func (c *Context) Bundles() []*Bundle { return c.fw.Bundles() }
+
+// GetBundle returns the bundle with the given id.
+func (c *Context) GetBundle(id BundleID) (*Bundle, bool) { return c.fw.GetBundle(id) }
+
+// RegisterService publishes svc under one or more class names.
+func (c *Context) RegisterService(classes []string, svc any, props Properties) (*ServiceRegistration, error) {
+	if err := c.valid(); err != nil {
+		return nil, err
+	}
+	return c.fw.registry.register(c.bundle, classes, svc, props)
+}
+
+// RegisterSingle publishes svc under a single class name.
+func (c *Context) RegisterSingle(class string, svc any, props Properties) (*ServiceRegistration, error) {
+	return c.RegisterService([]string{class}, svc, props)
+}
+
+// ServiceReferences returns live references matching class (empty = any)
+// and the optional LDAP filter expression, best-ranked first.
+func (c *Context) ServiceReferences(class, filterExpr string) ([]*ServiceReference, error) {
+	var flt *filter.Filter
+	if filterExpr != "" {
+		var err error
+		if flt, err = filter.Parse(filterExpr); err != nil {
+			return nil, err
+		}
+	}
+	return c.fw.registry.references(class, flt), nil
+}
+
+// ServiceReference returns the best reference for class, or false.
+func (c *Context) ServiceReference(class string) (*ServiceReference, bool) {
+	refs := c.fw.registry.references(class, nil)
+	if len(refs) == 0 {
+		return nil, false
+	}
+	return refs[0], true
+}
+
+// GetService acquires the service behind ref, incrementing this bundle's
+// use count.
+func (c *Context) GetService(ref *ServiceReference) (any, error) {
+	if err := c.valid(); err != nil {
+		return nil, err
+	}
+	return c.fw.registry.getService(c.bundle, ref)
+}
+
+// UngetService releases one use of ref.
+func (c *Context) UngetService(ref *ServiceReference) bool {
+	return c.fw.registry.ungetService(c.bundle, ref)
+}
+
+// AddServiceListener subscribes to service events, optionally filtered.
+// The listener is removed automatically when the bundle stops.
+func (c *Context) AddServiceListener(l ServiceListener, filterExpr string) (*ListenerHandle, error) {
+	if err := c.valid(); err != nil {
+		return nil, err
+	}
+	return c.fw.registry.addListener(c.bundle, l, filterExpr)
+}
+
+// AddBundleListener subscribes to bundle lifecycle events.
+func (c *Context) AddBundleListener(l BundleListener) *ListenerHandle {
+	return c.fw.AddBundleListener(l)
+}
+
+// AddFrameworkListener subscribes to framework events.
+func (c *Context) AddFrameworkListener(l FrameworkListener) *ListenerHandle {
+	return c.fw.AddFrameworkListener(l)
+}
+
+// valid reports whether the context may still be used.
+func (c *Context) valid() error {
+	if c == nil || c.bundle == nil {
+		return fmt.Errorf("%w: nil context", ErrInvalidState)
+	}
+	st := c.bundle.State()
+	if c.bundle.isSystem() {
+		if st == StateUninstalled {
+			return ErrUninstalled
+		}
+		return nil
+	}
+	switch st {
+	case StateStarting, StateActive, StateStopping:
+		return nil
+	default:
+		return fmt.Errorf("%w: bundle %s context used while %s", ErrInvalidState, c.bundle.location, st)
+	}
+}

@@ -1,0 +1,112 @@
+package module
+
+import (
+	"fmt"
+	"sync"
+
+	"dosgi/internal/manifest"
+)
+
+// Activator receives lifecycle callbacks when its bundle starts and stops,
+// mirroring org.osgi.framework.BundleActivator.
+type Activator interface {
+	Start(ctx *Context) error
+	Stop(ctx *Context) error
+}
+
+// ActivatorFuncs adapts plain functions to the Activator interface. Either
+// field may be nil.
+type ActivatorFuncs struct {
+	OnStart func(ctx *Context) error
+	OnStop  func(ctx *Context) error
+}
+
+var _ Activator = (*ActivatorFuncs)(nil)
+
+// Start implements Activator.
+func (a *ActivatorFuncs) Start(ctx *Context) error {
+	if a.OnStart == nil {
+		return nil
+	}
+	return a.OnStart(ctx)
+}
+
+// Stop implements Activator.
+func (a *ActivatorFuncs) Stop(ctx *Context) error {
+	if a.OnStop == nil {
+		return nil
+	}
+	return a.OnStop(ctx)
+}
+
+// Definition is the installable content of a bundle: the analog of a bundle
+// JAR. Go cannot load code dynamically, so "classes" are named entries whose
+// payload is any Go value (conventionally a constructor function); the
+// framework reproduces the classloader semantics — visibility, wiring,
+// delegation, identity — over these entries.
+type Definition struct {
+	// ManifestText is the raw MANIFEST.MF-style text.
+	ManifestText string
+	// NewActivator constructs the activator instance named by
+	// Bundle-Activator. It may be nil for library bundles.
+	NewActivator func() Activator
+	// Classes maps fully-qualified class names ("com.x.y.Widget") to their
+	// payloads. The package part determines export visibility.
+	Classes map[string]any
+	// DataFiles seeds the bundle's persistent data area on first install.
+	DataFiles map[string][]byte
+}
+
+// DefinitionRegistry maps install locations to bundle definitions — the
+// analog of the bundle repository every node can read (the paper assumes
+// bundle JARs are reachable from all nodes via the SAN).
+type DefinitionRegistry struct {
+	mu   sync.RWMutex
+	defs map[string]*Definition
+}
+
+// NewDefinitionRegistry returns an empty registry.
+func NewDefinitionRegistry() *DefinitionRegistry {
+	return &DefinitionRegistry{defs: make(map[string]*Definition)}
+}
+
+// Add registers def under location, replacing any previous definition (the
+// analog of replacing a JAR, picked up by Bundle.Update).
+func (r *DefinitionRegistry) Add(location string, def *Definition) error {
+	if def == nil {
+		return fmt.Errorf("module: nil definition for %q", location)
+	}
+	if _, err := manifest.Parse(def.ManifestText); err != nil {
+		return fmt.Errorf("module: definition %q: %w", location, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defs[location] = def
+	return nil
+}
+
+// MustAdd is Add that panics on error, for statically known definitions.
+func (r *DefinitionRegistry) MustAdd(location string, def *Definition) {
+	if err := r.Add(location, def); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the definition for location.
+func (r *DefinitionRegistry) Get(location string) (*Definition, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.defs[location]
+	return d, ok
+}
+
+// Locations returns all registered locations.
+func (r *DefinitionRegistry) Locations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.defs))
+	for loc := range r.defs {
+		out = append(out, loc)
+	}
+	return out
+}

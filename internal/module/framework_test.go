@@ -1,0 +1,503 @@
+package module
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInstallAndLifecycle(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+
+	lib := mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+
+	if lib.State() != StateInstalled || app.State() != StateInstalled {
+		t.Fatal("bundles should begin INSTALLED")
+	}
+	if lib.ID() != 1 || app.ID() != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", lib.ID(), app.ID())
+	}
+
+	mustStart(t, app)
+	if app.State() != StateActive {
+		t.Fatalf("app state = %v, want ACTIVE", app.State())
+	}
+	if lib.State() != StateResolved {
+		t.Fatalf("lib state = %v, want RESOLVED (co-resolved as dependency)", lib.State())
+	}
+	if act.started != 1 {
+		t.Fatalf("activator started %d times", act.started)
+	}
+
+	// Idempotent start.
+	mustStart(t, app)
+	if act.started != 1 {
+		t.Fatal("restarting an ACTIVE bundle must be a no-op")
+	}
+
+	if err := app.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateResolved || act.stopped != 1 {
+		t.Fatalf("after stop: state=%v stops=%d", app.State(), act.stopped)
+	}
+
+	if err := app.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateUninstalled {
+		t.Fatalf("state = %v, want UNINSTALLED", app.State())
+	}
+	if _, ok := f.GetBundle(app.ID()); ok {
+		t.Fatal("uninstalled bundle still listed")
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	f := newTestFramework(t, map[string]*Definition{"loc:lib": libDef()})
+	mustInstall(t, f, "loc:lib")
+
+	if _, err := f.InstallBundle("loc:lib"); !errors.Is(err, ErrDuplicateLocation) {
+		t.Errorf("duplicate location error = %v", err)
+	}
+	if _, err := f.InstallBundle("loc:missing"); !errors.Is(err, ErrDefinitionNotFound) {
+		t.Errorf("missing definition error = %v", err)
+	}
+
+	// Same symbolic name and version from a different location is refused.
+	if err := f.Definitions().Add("loc:lib2", libDef()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.InstallBundle("loc:lib2"); err == nil {
+		t.Error("duplicate (bsn, version) install succeeded")
+	}
+}
+
+func TestStartUnresolvableBundleFails(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{"loc:app": appDef(act)})
+	app := mustInstall(t, f, "loc:app")
+	err := app.Start()
+	if err == nil {
+		t.Fatal("starting a bundle with unsatisfied imports must fail")
+	}
+	var re *ResolutionError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not wrap ResolutionError", err)
+	}
+	if app.State() != StateInstalled {
+		t.Fatalf("state = %v, want INSTALLED", app.State())
+	}
+	if act.started != 0 {
+		t.Fatal("activator ran despite resolution failure")
+	}
+}
+
+func TestActivatorStartFailure(t *testing.T) {
+	act := &testActivator{failStart: true}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	app := mustInstall(t, f, "loc:app")
+	mustInstall(t, f, "loc:lib")
+	if err := app.Start(); err == nil {
+		t.Fatal("start should propagate activator failure")
+	}
+	if app.State() != StateResolved {
+		t.Fatalf("state after failed start = %v, want RESOLVED", app.State())
+	}
+	// Services registered before the failure must be cleaned up.
+	refs, _ := f.SystemContext().ServiceReferences("", "")
+	if len(refs) != 0 {
+		t.Fatalf("leaked %d service(s) after failed start", len(refs))
+	}
+}
+
+func TestActivatorStopFailureStillStops(t *testing.T) {
+	act := &testActivator{failStop: true}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+	err := app.Stop()
+	if err == nil {
+		t.Fatal("stop should report activator failure")
+	}
+	if app.State() != StateResolved {
+		t.Fatalf("state = %v; a failing activator must not wedge the bundle", app.State())
+	}
+}
+
+func TestBundleEvents(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	var events []BundleEventType
+	f.AddBundleListener(func(ev BundleEvent) {
+		if ev.Bundle.Location() == "loc:app" {
+			events = append(events, ev.Type)
+		}
+	})
+	app := mustInstall(t, f, "loc:app")
+	mustInstall(t, f, "loc:lib")
+	mustStart(t, app)
+	if err := app.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	want := []BundleEventType{
+		BundleInstalled, BundleResolved, BundleStarting, BundleStarted,
+		BundleStopping, BundleStopped, BundleUninstalled,
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %v, want %v (all: %v)", i, events[i], want[i], events)
+		}
+	}
+}
+
+func TestListenerRemoval(t *testing.T) {
+	f := newTestFramework(t, map[string]*Definition{"loc:lib": libDef()})
+	count := 0
+	h := f.AddBundleListener(func(BundleEvent) { count++ })
+	mustInstall(t, f, "loc:lib")
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	h.Remove()
+	h.Remove() // idempotent
+	b, _ := f.GetBundleByLocation("loc:lib")
+	if err := b.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("listener fired after removal: count = %d", count)
+	}
+}
+
+func TestUpdateBundle(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+
+	// Publish a new revision at the same location.
+	newAct := &testActivator{}
+	updated := appDef(newAct)
+	updated.ManifestText = `Bundle-SymbolicName: com.example.app
+Bundle-Version: 1.1.0
+Bundle-Activator: com.example.app.Activator
+Import-Package: com.example.lib
+`
+	if err := f.Definitions().Add("loc:app", updated); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateActive {
+		t.Fatalf("updated bundle state = %v, want ACTIVE (was active before)", app.State())
+	}
+	if got := app.Version().String(); got != "1.1.0" {
+		t.Fatalf("version after update = %s", got)
+	}
+	if act.stopped != 1 || newAct.started != 1 {
+		t.Fatalf("old stops=%d new starts=%d", act.stopped, newAct.started)
+	}
+	if app.ID() != 2 {
+		t.Fatal("update must preserve the bundle id")
+	}
+}
+
+func TestUninstallKeepsZombieWiringUntilRefresh(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	lib := mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+
+	if err := lib.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	// The app still loads classes from the uninstalled exporter.
+	cls, err := app.LoadClass("com.example.lib.Util")
+	if err != nil {
+		t.Fatalf("zombie wiring broken: %v", err)
+	}
+	if cls.Value != "util-v1" {
+		t.Fatalf("class value = %v", cls.Value)
+	}
+
+	// After refresh the app cannot resolve and returns to INSTALLED.
+	if err := f.RefreshBundles(); err == nil {
+		t.Fatal("refresh should report the now-unresolvable app")
+	}
+	if app.State() != StateInstalled {
+		t.Fatalf("app state after refresh = %v, want INSTALLED", app.State())
+	}
+}
+
+func TestRefreshRestartsActiveBundles(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+
+	if err := f.RefreshBundles(); err != nil {
+		t.Fatal(err)
+	}
+	if app.State() != StateActive {
+		t.Fatalf("state = %v, want ACTIVE after refresh", app.State())
+	}
+	if act.started != 2 || act.stopped != 1 {
+		t.Fatalf("starts=%d stops=%d, want 2/1", act.started, act.stopped)
+	}
+}
+
+func TestStartLevels(t *testing.T) {
+	actA, actB := &testActivator{}, &testActivator{}
+	defA := defFor("Bundle-SymbolicName: a\nBundle-Version: 1.0\nBundle-StartLevel: 2\nBundle-Activator: a.Act\n", nil)
+	defA.NewActivator = func() Activator { return actA }
+	defB := defFor("Bundle-SymbolicName: b\nBundle-Version: 1.0\nBundle-StartLevel: 5\nBundle-Activator: b.Act\n", nil)
+	defB.NewActivator = func() Activator { return actB }
+
+	reg := NewDefinitionRegistry()
+	reg.MustAdd("loc:a", defA)
+	reg.MustAdd("loc:b", defB)
+	f := New(WithDefinitions(reg), WithStartLevel(1))
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	a := mustInstall(t, f, "loc:a")
+	b := mustInstall(t, f, "loc:b")
+
+	// Mark both persistently started; levels above framework level defer.
+	mustStart(t, a)
+	mustStart(t, b)
+	if a.State() == StateActive || b.State() == StateActive {
+		t.Fatal("bundles above the framework start level must not run")
+	}
+
+	if err := f.SetStartLevel(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != StateActive {
+		t.Fatalf("a state = %v at level 2", a.State())
+	}
+	if b.State() == StateActive {
+		t.Fatal("b started too early")
+	}
+
+	if err := f.SetStartLevel(5); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != StateActive {
+		t.Fatalf("b state = %v at level 5", b.State())
+	}
+
+	if err := f.SetStartLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() == StateActive || b.State() == StateActive {
+		t.Fatal("bundles above the lowered level must stop")
+	}
+	if actA.started != 1 || actA.stopped != 1 {
+		t.Fatalf("actA starts=%d stops=%d", actA.started, actA.stopped)
+	}
+
+	// Raising the level again restarts them (persistent intent retained).
+	if err := f.SetStartLevel(5); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != StateActive || b.State() != StateActive {
+		t.Fatal("persistently started bundles must restart when level rises")
+	}
+}
+
+func TestFrameworkStopStopsBundlesInReverseOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) *Definition {
+		d := defFor("Bundle-SymbolicName: "+name+"\nBundle-Version: 1.0\nBundle-Activator: x.Act\n", nil)
+		d.NewActivator = func() Activator {
+			return &testActivator{onStop: func(*Context) error {
+				order = append(order, name)
+				return nil
+			}}
+		}
+		return d
+	}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:first":  mk("first"),
+		"loc:second": mk("second"),
+	})
+	first := mustInstall(t, f, "loc:first")
+	second := mustInstall(t, f, "loc:second")
+	mustStart(t, first)
+	mustStart(t, second)
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if f.State() != StateResolved {
+		t.Fatalf("framework state = %v", f.State())
+	}
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("stop order = %v, want [second first]", order)
+	}
+}
+
+func TestCannotUninstallSystemBundle(t *testing.T) {
+	f := newTestFramework(t, nil)
+	if err := f.SystemBundle().Uninstall(); !errors.Is(err, ErrInvalidState) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContextInvalidAfterStop(t *testing.T) {
+	act := &testActivator{}
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(act),
+	})
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+	ctx := app.Context()
+	if ctx == nil {
+		t.Fatal("active bundle has nil context")
+	}
+	if err := app.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if app.Context() != nil {
+		t.Fatal("context must be nil after stop")
+	}
+	if _, err := ctx.RegisterSingle("x", "svc", nil); !errors.Is(err, ErrInvalidState) {
+		t.Fatalf("stale context use error = %v", err)
+	}
+}
+
+func TestFrameworkEventsOnStartStop(t *testing.T) {
+	reg := NewDefinitionRegistry()
+	f := New(WithDefinitions(reg))
+	var events []FrameworkEventType
+	f.AddFrameworkListener(func(ev FrameworkEvent) { events = append(events, ev.Type) })
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var sawStarted, sawStopped bool
+	for _, e := range events {
+		switch e {
+		case FrameworkStarted:
+			sawStarted = true
+		case FrameworkStopped:
+			sawStopped = true
+		}
+	}
+	if !sawStarted || !sawStopped {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestNestedLifecycleFromListener(t *testing.T) {
+	// A bundle listener reacting to STARTED by starting another bundle
+	// must not deadlock or corrupt event order.
+	actA, actB := &testActivator{}, &testActivator{}
+	defA := appDef(actA)
+	defB := defFor(`Bundle-SymbolicName: com.example.b
+Bundle-Version: 1.0.0
+Bundle-Activator: b.Act
+`, nil)
+	defB.NewActivator = func() Activator { return actB }
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(actA),
+		"loc:b":   defB,
+	})
+	_ = defA
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	b := mustInstall(t, f, "loc:b")
+	f.AddBundleListener(func(ev BundleEvent) {
+		if ev.Type == BundleStarted && ev.Bundle == app {
+			if err := b.Start(); err != nil {
+				t.Errorf("nested start: %v", err)
+			}
+		}
+	})
+	mustStart(t, app)
+	if b.State() != StateActive {
+		t.Fatalf("b state = %v, want ACTIVE via listener", b.State())
+	}
+}
+
+func TestBundleDataArea(t *testing.T) {
+	f := newTestFramework(t, map[string]*Definition{"loc:lib": libDef()})
+	lib := mustInstall(t, f, "loc:lib")
+	if err := lib.DataPut("state.json", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := lib.DataGet("state.json")
+	if !ok || string(got) != `{"n":1}` {
+		t.Fatalf("DataGet = %q, %v", got, ok)
+	}
+	// Mutating the returned slice must not affect stored data.
+	got[0] = 'X'
+	again, _ := lib.DataGet("state.json")
+	if string(again) != `{"n":1}` {
+		t.Fatal("data area aliased caller slice")
+	}
+	names := lib.DataNames()
+	if len(names) != 1 || names[0] != "state.json" {
+		t.Fatalf("DataNames = %v", names)
+	}
+	lib.DataDelete("state.json")
+	if _, ok := lib.DataGet("state.json"); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestGetBundleBySymbolicNamePicksHighestVersion(t *testing.T) {
+	lib2 := defFor(`Bundle-SymbolicName: com.example.lib
+Bundle-Version: 2.0.0
+Export-Package: com.example.lib;version="2.0"
+`, map[string]any{"com.example.lib.Util": "util-v2"})
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib":  libDef(),
+		"loc:lib2": lib2,
+	})
+	mustInstall(t, f, "loc:lib")
+	mustInstall(t, f, "loc:lib2")
+	b, ok := f.GetBundleBySymbolicName("com.example.lib")
+	if !ok || b.Version().String() != "2.0.0" {
+		t.Fatalf("got %v, ok=%v", b, ok)
+	}
+}

@@ -1,0 +1,102 @@
+package module
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testActivator counts lifecycle callbacks and optionally fails.
+type testActivator struct {
+	started   int
+	stopped   int
+	failStart bool
+	failStop  bool
+	onStart   func(ctx *Context) error
+	onStop    func(ctx *Context) error
+}
+
+func (a *testActivator) Start(ctx *Context) error {
+	a.started++
+	if a.failStart {
+		return fmt.Errorf("boom on start")
+	}
+	if a.onStart != nil {
+		return a.onStart(ctx)
+	}
+	return nil
+}
+
+func (a *testActivator) Stop(ctx *Context) error {
+	a.stopped++
+	if a.failStop {
+		return fmt.Errorf("boom on stop")
+	}
+	if a.onStop != nil {
+		return a.onStop(ctx)
+	}
+	return nil
+}
+
+// defFor builds a definition with the given manifest and classes.
+func defFor(manifestText string, classes map[string]any) *Definition {
+	return &Definition{ManifestText: manifestText, Classes: classes}
+}
+
+// newTestFramework builds a started framework with the given location ->
+// definition map.
+func newTestFramework(t *testing.T, defs map[string]*Definition) *Framework {
+	t.Helper()
+	reg := NewDefinitionRegistry()
+	for loc, d := range defs {
+		if err := reg.Add(loc, d); err != nil {
+			t.Fatalf("Add(%q): %v", loc, err)
+		}
+	}
+	f := New(WithName("test"), WithDefinitions(reg))
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return f
+}
+
+func mustInstall(t *testing.T, f *Framework, loc string) *Bundle {
+	t.Helper()
+	b, err := f.InstallBundle(loc)
+	if err != nil {
+		t.Fatalf("InstallBundle(%q): %v", loc, err)
+	}
+	return b
+}
+
+func mustStart(t *testing.T, b *Bundle) {
+	t.Helper()
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start(%s): %v", b.Location(), err)
+	}
+}
+
+const (
+	libManifest = `Bundle-SymbolicName: com.example.lib
+Bundle-Version: 1.0.0
+Export-Package: com.example.lib;version="1.0"
+`
+	appManifest = `Bundle-SymbolicName: com.example.app
+Bundle-Version: 1.0.0
+Bundle-Activator: com.example.app.Activator
+Import-Package: com.example.lib;version="[1.0,2.0)"
+`
+)
+
+func libDef() *Definition {
+	return defFor(libManifest, map[string]any{
+		"com.example.lib.Util": "util-v1",
+	})
+}
+
+func appDef(act *testActivator) *Definition {
+	d := defFor(appManifest, map[string]any{
+		"com.example.app.Main": "main",
+	})
+	d.NewActivator = func() Activator { return act }
+	return d
+}

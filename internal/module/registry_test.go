@@ -1,0 +1,381 @@
+package module
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// startedApp returns a framework plus an ACTIVE app bundle whose context is
+// used to exercise the registry.
+func startedApp(t *testing.T) (*Framework, *Bundle) {
+	t.Helper()
+	f := newTestFramework(t, map[string]*Definition{
+		"loc:lib": libDef(),
+		"loc:app": appDef(&testActivator{}),
+	})
+	mustInstall(t, f, "loc:lib")
+	app := mustInstall(t, f, "loc:app")
+	mustStart(t, app)
+	return f, app
+}
+
+func TestRegisterAndGetService(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+
+	reg, err := ctx.RegisterSingle("echo.Service", "the-service", Properties{"color": "blue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := ctx.ServiceReference("echo.Service")
+	if !ok {
+		t.Fatal("reference not found")
+	}
+	if ref.ID() != reg.Reference().ID() {
+		t.Fatal("reference mismatch")
+	}
+	if got := ref.Property("color"); got != "blue" {
+		t.Fatalf("property = %v", got)
+	}
+	svc, err := ctx.GetService(ref)
+	if err != nil || svc != "the-service" {
+		t.Fatalf("GetService = %v, %v", svc, err)
+	}
+	inUse := app.ServicesInUse()
+	if len(inUse) != 1 {
+		t.Fatalf("ServicesInUse = %d", len(inUse))
+	}
+	if !ctx.UngetService(ref) {
+		t.Fatal("UngetService returned false")
+	}
+	if ctx.UngetService(ref) {
+		t.Fatal("double unget returned true")
+	}
+}
+
+func TestServiceLookupByFilterAndRanking(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+
+	if _, err := ctx.RegisterSingle("s", "low", Properties{"grade": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.RegisterSingle("s", "high", Properties{"grade": 2, PropServiceRanking: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	refs, err := ctx.ServiceReferences("s", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	svc, _ := ctx.GetService(refs[0])
+	if svc != "high" {
+		t.Fatalf("ranking order broken: first = %v", svc)
+	}
+
+	refs, err = ctx.ServiceReferences("s", "(grade=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("filtered refs = %d", len(refs))
+	}
+	svc, _ = ctx.GetService(refs[0])
+	if svc != "low" {
+		t.Fatalf("filter selected %v", svc)
+	}
+
+	if _, err := ctx.ServiceReferences("s", "(bad"); err == nil {
+		t.Fatal("invalid filter accepted")
+	}
+}
+
+func TestServiceUnregister(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	reg, _ := ctx.RegisterSingle("s", "svc", nil)
+	ref := reg.Reference()
+	if err := reg.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Unregister(); !errors.Is(err, ErrServiceGone) {
+		t.Fatalf("double unregister = %v", err)
+	}
+	if _, err := ctx.GetService(ref); !errors.Is(err, ErrServiceGone) {
+		t.Fatalf("get after unregister = %v", err)
+	}
+	if ref.IsLive() {
+		t.Fatal("reference still live")
+	}
+	if _, ok := ctx.ServiceReference("s"); ok {
+		t.Fatal("unregistered service still discoverable")
+	}
+}
+
+func TestStopUnregistersServices(t *testing.T) {
+	f, app := startedApp(t)
+	ctx := app.Context()
+	if _, err := ctx.RegisterSingle("s", "svc", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	refs, _ := f.SystemContext().ServiceReferences("s", "")
+	if len(refs) != 0 {
+		t.Fatal("bundle stop must unregister its services")
+	}
+}
+
+func TestServiceEvents(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	var events []ServiceEventType
+	h, err := ctx.AddServiceListener(func(ev ServiceEvent) {
+		events = append(events, ev.Type)
+	}, "(objectClass=watched)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Remove()
+
+	regOther, _ := ctx.RegisterSingle("ignored", "x", nil)
+	reg, _ := ctx.RegisterSingle("watched", "y", nil)
+	if err := reg.SetProperties(Properties{"updated": true}); err != nil {
+		t.Fatal(err)
+	}
+	_ = reg.Unregister()
+	_ = regOther.Unregister()
+
+	want := []ServiceEventType{ServiceRegistered, ServiceModified, ServiceUnregistering}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestSetPropertiesPreservesIdentity(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	reg, _ := ctx.RegisterSingle("s", "svc", Properties{"a": 1})
+	id := reg.Reference().ID()
+	if err := reg.SetProperties(Properties{"b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	ref := reg.Reference()
+	if ref.ID() != id {
+		t.Fatal("service.id changed")
+	}
+	if ref.Property("a") != nil {
+		t.Fatal("old property survived replacement")
+	}
+	if ref.Property("b") != 2 {
+		t.Fatal("new property missing")
+	}
+	classes, ok := ref.Property(PropObjectClass).([]string)
+	if !ok || len(classes) != 1 || classes[0] != "s" {
+		t.Fatalf("objectClass = %v", ref.Property(PropObjectClass))
+	}
+}
+
+type countingFactory struct {
+	gets   int
+	ungets int
+}
+
+func (cf *countingFactory) GetService(requester *Bundle, reg *ServiceRegistration) any {
+	cf.gets++
+	return fmt.Sprintf("svc-for-%s", requester.SymbolicName())
+}
+
+func (cf *countingFactory) UngetService(requester *Bundle, reg *ServiceRegistration, svc any) {
+	cf.ungets++
+}
+
+func TestServiceFactoryPerBundleInstances(t *testing.T) {
+	f, app := startedApp(t)
+	ctx := app.Context()
+	cf := &countingFactory{}
+	if _, err := ctx.RegisterSingle("factory.svc", cf, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := ctx.ServiceReference("factory.svc")
+
+	// App gets its own instance, cached across gets.
+	s1, _ := ctx.GetService(ref)
+	s2, _ := ctx.GetService(ref)
+	if s1 != s2 {
+		t.Fatal("factory product not cached per bundle")
+	}
+	if cf.gets != 1 {
+		t.Fatalf("factory gets = %d", cf.gets)
+	}
+
+	// System bundle gets a different instance.
+	sys, err := f.SystemContext().GetService(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == s1 {
+		t.Fatal("factory must produce per-bundle instances")
+	}
+	if cf.gets != 2 {
+		t.Fatalf("factory gets = %d", cf.gets)
+	}
+
+	// Release: two ungets needed for app (two gets).
+	ctx.UngetService(ref)
+	if cf.ungets != 0 {
+		t.Fatal("unget fired before count reached zero")
+	}
+	ctx.UngetService(ref)
+	if cf.ungets != 1 {
+		t.Fatalf("ungets = %d", cf.ungets)
+	}
+}
+
+func TestServiceFactoryReleasedOnUnregister(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	cf := &countingFactory{}
+	reg, _ := ctx.RegisterSingle("factory.svc", cf, nil)
+	ref := reg.Reference()
+	if _, err := ctx.GetService(ref); err != nil {
+		t.Fatal(err)
+	}
+	_ = reg.Unregister()
+	if cf.ungets != 1 {
+		t.Fatalf("unregister must release factory products: ungets = %d", cf.ungets)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	if _, err := ctx.RegisterService(nil, "svc", nil); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	if _, err := ctx.RegisterSingle("s", nil, nil); err == nil {
+		t.Fatal("nil service accepted")
+	}
+}
+
+func TestServiceTracker(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+
+	if _, err := ctx.RegisterSingle("tracked", "pre-existing", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var added, removed, modified []string
+	tr, err := NewServiceTracker(ctx, "tracked", "", TrackerCallbacks{
+		Added:    func(ref *ServiceReference, svc any) { added = append(added, svc.(string)) },
+		Modified: func(ref *ServiceReference, svc any) { modified = append(modified, svc.(string)) },
+		Removed:  func(ref *ServiceReference, svc any) { removed = append(removed, svc.(string)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if len(added) != 1 || added[0] != "pre-existing" {
+		t.Fatalf("added = %v; Open must pick up existing services", added)
+	}
+
+	reg2, _ := ctx.RegisterSingle("tracked", "second", Properties{PropServiceRanking: 5})
+	if tr.Size() != 2 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if got := tr.GetService(); got != "second" {
+		t.Fatalf("GetService = %v, want highest ranking", got)
+	}
+	if err := reg2.SetProperties(Properties{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(modified) != 1 {
+		t.Fatalf("modified = %v", modified)
+	}
+	_ = reg2.Unregister()
+	if len(removed) != 1 || removed[0] != "second" {
+		t.Fatalf("removed = %v", removed)
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("Size after removal = %d", tr.Size())
+	}
+}
+
+func TestServiceTrackerFilterTransitions(t *testing.T) {
+	_, app := startedApp(t)
+	ctx := app.Context()
+	tr, err := NewServiceTracker(ctx, "svc", "(enabled=true)", TrackerCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	reg, _ := ctx.RegisterSingle("svc", "toggling", Properties{"enabled": false})
+	if tr.Size() != 0 {
+		t.Fatal("disabled service tracked")
+	}
+	if err := reg.SetProperties(Properties{"enabled": true}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 {
+		t.Fatal("modification into filter not tracked")
+	}
+	if err := reg.SetProperties(Properties{"enabled": false}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Fatal("modification out of filter still tracked")
+	}
+}
+
+func TestListenersRemovedOnBundleStop(t *testing.T) {
+	f, app := startedApp(t)
+	ctx := app.Context()
+	fired := 0
+	if _, err := ctx.AddServiceListener(func(ServiceEvent) { fired++ }, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SystemContext().RegisterSingle("s", "svc", nil); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("listener survived bundle stop")
+	}
+}
+
+func TestSystemContextCanRegister(t *testing.T) {
+	f := newTestFramework(t, nil)
+	reg, err := f.SystemContext().RegisterSingle("sys.svc", 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := reg.Reference()
+	if ref.Bundle() != f.SystemBundle() {
+		t.Fatal("owner should be the system bundle")
+	}
+	svc, err := f.SystemContext().GetService(ref)
+	if err != nil || svc != 42 {
+		t.Fatalf("GetService = %v, %v", svc, err)
+	}
+}

@@ -1,0 +1,312 @@
+package module
+
+import (
+	"fmt"
+	"sort"
+
+	"dosgi/internal/manifest"
+)
+
+// Wiring records how a resolved bundle's dependencies were satisfied.
+type Wiring struct {
+	// imports maps package name -> exporting bundle for each Import-Package
+	// clause that was wired (optional imports may be absent).
+	imports map[string]*Bundle
+	// requires lists the bundles wired via Require-Bundle.
+	requires []*Bundle
+	// dynamic maps package name -> exporting bundle for wires established
+	// lazily through DynamicImport-Package.
+	dynamic map[string]*Bundle
+}
+
+// ImportedFrom returns the bundle that exports pkg to this wiring, if any.
+func (w *Wiring) ImportedFrom(pkg string) (*Bundle, bool) {
+	if w == nil {
+		return nil, false
+	}
+	if b, ok := w.imports[pkg]; ok {
+		return b, true
+	}
+	if b, ok := w.dynamic[pkg]; ok {
+		return b, true
+	}
+	return nil, false
+}
+
+// Imports returns the statically wired package names, sorted.
+func (w *Wiring) Imports() []string {
+	if w == nil {
+		return nil
+	}
+	out := make([]string, 0, len(w.imports))
+	for p := range w.imports {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Requires returns the bundles wired via Require-Bundle.
+func (w *Wiring) Requires() []*Bundle {
+	if w == nil {
+		return nil
+	}
+	out := make([]*Bundle, len(w.requires))
+	copy(out, w.requires)
+	return out
+}
+
+// exportCandidate is one exported package available during resolution.
+type exportCandidate struct {
+	pkg      manifest.ExportedPackage
+	exporter *Bundle
+	resolved bool // exporter is already resolved (preferred)
+}
+
+// resolveAllLocked co-resolves every INSTALLED bundle. Callers must hold
+// f.mu. Bundles that cannot resolve stay INSTALLED and are reported in the
+// returned *ResolutionError; resolvable bundles commit regardless.
+func (f *Framework) resolveAllLocked() error {
+	var candidates []*Bundle
+	for _, b := range f.bundlesLocked() {
+		if b.state == StateInstalled {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	failures := make(map[string]string)
+	for {
+		wirings, failed := f.tryResolve(candidates)
+		if len(failed) == 0 {
+			for b, w := range wirings {
+				b.wiring = w
+				b.state = StateResolved
+				f.queueBundleEvent(BundleEvent{Type: BundleResolved, Bundle: b})
+			}
+			break
+		}
+		// Remove failed bundles and retry with the remainder, because other
+		// candidates may have depended on the failures' exports.
+		next := candidates[:0]
+		for _, b := range candidates {
+			if reason, bad := failed[b]; bad {
+				failures[b.manifest.SymbolicName] = reason
+			} else {
+				next = append(next, b)
+			}
+		}
+		candidates = next
+		if len(candidates) == 0 {
+			break
+		}
+	}
+	if len(failures) > 0 {
+		return &ResolutionError{Unresolvable: failures}
+	}
+	return nil
+}
+
+// tryResolve attempts to wire every candidate simultaneously, allowing
+// imports to be satisfied by other members of the candidate set
+// (co-resolution handles dependency cycles). It returns per-bundle wirings
+// and the set of candidates that failed with reasons.
+func (f *Framework) tryResolve(candidates []*Bundle) (map[*Bundle]*Wiring, map[*Bundle]string) {
+	index := f.buildExportIndex(candidates)
+	wirings := make(map[*Bundle]*Wiring, len(candidates))
+	failed := make(map[*Bundle]string)
+
+	for _, b := range candidates {
+		w := &Wiring{imports: map[string]*Bundle{}, dynamic: map[string]*Bundle{}}
+		for _, imp := range b.manifest.Imports {
+			exp, ok := chooseExporter(index[imp.Name], imp.Range, b)
+			if !ok {
+				if imp.Optional {
+					continue
+				}
+				failed[b] = fmt.Sprintf("no exporter for package %s %s", imp.Name, imp.Range)
+				break
+			}
+			w.imports[imp.Name] = exp
+		}
+		if _, bad := failed[b]; bad {
+			continue
+		}
+		for _, req := range b.manifest.Requires {
+			rb, ok := f.chooseRequiredBundle(req, candidates)
+			if !ok {
+				if req.Optional {
+					continue
+				}
+				failed[b] = fmt.Sprintf("no bundle %s %s", req.SymbolicName, req.Range)
+				break
+			}
+			w.requires = append(w.requires, rb)
+		}
+		if _, bad := failed[b]; bad {
+			continue
+		}
+		wirings[b] = w
+	}
+
+	// Class-space consistency (uses constraints): if bundle b is wired to
+	// exporter E for package P, and E's export of P uses package U, then
+	// b's provider of U must be the same as E's provider of U whenever b
+	// has one.
+	for b, w := range wirings {
+		if reason, ok := usesConflict(b, w, wirings); ok {
+			failed[b] = reason
+			delete(wirings, b)
+		}
+	}
+	return wirings, failed
+}
+
+// buildExportIndex indexes every exported package from resolved bundles and
+// the candidate set.
+func (f *Framework) buildExportIndex(candidates []*Bundle) map[string][]exportCandidate {
+	index := make(map[string][]exportCandidate)
+	add := func(b *Bundle, resolved bool) {
+		for _, exp := range b.manifest.Exports {
+			index[exp.Name] = append(index[exp.Name], exportCandidate{pkg: exp, exporter: b, resolved: resolved})
+		}
+	}
+	for _, b := range f.bundlesLocked() {
+		if b.state == StateResolved || b.state == StateActive || b.state == StateStarting || b.state == StateStopping {
+			add(b, true)
+		}
+	}
+	// Zombie (uninstalled but unrefreshed) bundles keep exporting.
+	for _, b := range f.zombies {
+		add(b, true)
+	}
+	for _, b := range candidates {
+		add(b, false)
+	}
+	return index
+}
+
+// chooseExporter picks the best candidate per OSGi preference: an already
+// resolved exporter first, then highest version, then lowest bundle id. A
+// bundle that both imports and exports a package prefers itself
+// (substitutable exports resolve to the local copy when versions allow).
+func chooseExporter(cands []exportCandidate, r manifest.VersionRange, importer *Bundle) (*Bundle, bool) {
+	var best *exportCandidate
+	for i := range cands {
+		c := &cands[i]
+		if !r.Includes(c.pkg.Version) {
+			continue
+		}
+		if best == nil || betterExport(c, best, importer) {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.exporter, true
+}
+
+func betterExport(a, b *exportCandidate, importer *Bundle) bool {
+	if a.resolved != b.resolved {
+		return a.resolved
+	}
+	if c := a.pkg.Version.Compare(b.pkg.Version); c != 0 {
+		return c > 0
+	}
+	// Self-preference at equal version.
+	if (a.exporter == importer) != (b.exporter == importer) {
+		return a.exporter == importer
+	}
+	return a.exporter.id < b.exporter.id
+}
+
+// chooseRequiredBundle picks the highest-version matching bundle among
+// resolved bundles and candidates.
+func (f *Framework) chooseRequiredBundle(req manifest.RequiredBundle, candidates []*Bundle) (*Bundle, bool) {
+	var best *Bundle
+	consider := func(b *Bundle) {
+		if b.manifest.SymbolicName != req.SymbolicName || !req.Range.Includes(b.manifest.Version) {
+			return
+		}
+		if best == nil || b.manifest.Version.Compare(best.manifest.Version) > 0 {
+			best = b
+		}
+	}
+	for _, b := range f.bundlesLocked() {
+		if b.state == StateResolved || b.state == StateActive {
+			consider(b)
+		}
+	}
+	for _, b := range candidates {
+		consider(b)
+	}
+	return best, best != nil
+}
+
+// usesConflict checks single-level uses constraints for b's tentative
+// wiring w. tentative supplies the wirings of other co-resolving bundles.
+func usesConflict(b *Bundle, w *Wiring, tentative map[*Bundle]*Wiring) (string, bool) {
+	providerOf := func(bundle *Bundle, wiring *Wiring, pkg string) (*Bundle, bool) {
+		if wiring != nil {
+			if p, ok := wiring.imports[pkg]; ok {
+				return p, true
+			}
+		}
+		if _, ok := bundle.manifest.ExportsPackage(pkg); ok {
+			return bundle, true
+		}
+		return nil, false
+	}
+	for pkg, exporter := range w.imports {
+		clause, ok := exporter.manifest.ExportsPackage(pkg)
+		if !ok {
+			continue
+		}
+		exporterWiring := exporter.wiring
+		if tw, isTentative := tentative[exporter]; isTentative {
+			exporterWiring = tw
+		}
+		for _, used := range clause.Uses {
+			expProvider, expHas := providerOf(exporter, exporterWiring, used)
+			if !expHas {
+				continue
+			}
+			myProvider, myHas := providerOf(b, w, used)
+			if myHas && myProvider != expProvider {
+				return fmt.Sprintf("uses conflict on package %s: %s supplies it via %s but importer uses %s",
+					used, exporter.manifest.SymbolicName,
+					expProvider.manifest.SymbolicName, myProvider.manifest.SymbolicName), true
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveDynamicImport attempts to wire pkg lazily for b against the
+// currently resolved exporters, per DynamicImport-Package. Callers must
+// hold f.mu.
+func (f *Framework) resolveDynamicImport(b *Bundle, pkg string) (*Bundle, bool) {
+	if b.wiring == nil {
+		return nil, false
+	}
+	matched := false
+	for _, pattern := range b.manifest.DynamicImports {
+		if manifest.MatchesPattern(pattern, pkg) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return nil, false
+	}
+	index := f.buildExportIndex(nil)
+	exp, ok := chooseExporter(index[pkg], manifest.AnyVersion, b)
+	if !ok {
+		return nil, false
+	}
+	b.wiring.dynamic[pkg] = exp
+	return exp, true
+}

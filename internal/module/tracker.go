@@ -1,0 +1,239 @@
+package module
+
+import (
+	"sort"
+	"sync"
+
+	"dosgi/internal/filter"
+)
+
+// TrackerCallbacks customize a ServiceTracker. All callbacks are optional.
+type TrackerCallbacks struct {
+	Added    func(ref *ServiceReference, svc any)
+	Modified func(ref *ServiceReference, svc any)
+	Removed  func(ref *ServiceReference, svc any)
+}
+
+// ServiceTracker follows the set of services matching a class and an
+// optional filter, maintaining acquired service objects and firing
+// callbacks as services come and go — the standard OSGi utility on which
+// the platform's modules rely to stay decoupled.
+type ServiceTracker struct {
+	ctx   *Context
+	class string
+	flt   *filter.Filter
+	cbs   TrackerCallbacks
+
+	mu      sync.Mutex
+	open    bool
+	tracked map[*ServiceReference]any
+	handle  *ListenerHandle
+}
+
+// NewServiceTracker builds a tracker over ctx for class (empty = any) and
+// the optional filter expression.
+func NewServiceTracker(ctx *Context, class, filterExpr string, cbs TrackerCallbacks) (*ServiceTracker, error) {
+	var flt *filter.Filter
+	if filterExpr != "" {
+		var err error
+		if flt, err = filter.Parse(filterExpr); err != nil {
+			return nil, err
+		}
+	}
+	return &ServiceTracker{
+		ctx:     ctx,
+		class:   class,
+		flt:     flt,
+		cbs:     cbs,
+		tracked: make(map[*ServiceReference]any),
+	}, nil
+}
+
+// Open starts tracking: existing matches are added, then events keep the
+// set current.
+func (t *ServiceTracker) Open() error {
+	t.mu.Lock()
+	if t.open {
+		t.mu.Unlock()
+		return nil
+	}
+	t.open = true
+	t.mu.Unlock()
+
+	handle, err := t.ctx.AddServiceListener(t.onEvent, "")
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.handle = handle
+	t.mu.Unlock()
+
+	refs := t.ctx.fw.registry.references(t.class, t.flt)
+	for _, ref := range refs {
+		t.track(ref)
+	}
+	return nil
+}
+
+// Close stops tracking and releases every acquired service.
+func (t *ServiceTracker) Close() {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return
+	}
+	t.open = false
+	handle := t.handle
+	t.handle = nil
+	tracked := t.tracked
+	t.tracked = make(map[*ServiceReference]any)
+	t.mu.Unlock()
+
+	handle.Remove()
+	for ref, svc := range tracked {
+		t.ctx.UngetService(ref)
+		if t.cbs.Removed != nil {
+			t.cbs.Removed(ref, svc)
+		}
+	}
+}
+
+// GetService returns the best-ranked tracked service, or nil.
+func (t *ServiceTracker) GetService() any {
+	ref, svc := t.bestLocked()
+	_ = ref
+	return svc
+}
+
+// GetReference returns the best-ranked tracked reference, or nil.
+func (t *ServiceTracker) GetReference() *ServiceReference {
+	ref, _ := t.bestLocked()
+	return ref
+}
+
+func (t *ServiceTracker) bestLocked() (*ServiceReference, any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best *ServiceReference
+	for ref := range t.tracked {
+		if best == nil {
+			best = ref
+			continue
+		}
+		if ref.reg.ranking > best.reg.ranking ||
+			(ref.reg.ranking == best.reg.ranking && ref.reg.id < best.reg.id) {
+			best = ref
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return best, t.tracked[best]
+}
+
+// Size returns the number of tracked services.
+func (t *ServiceTracker) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tracked)
+}
+
+// References returns the tracked references sorted by ranking then id.
+func (t *ServiceTracker) References() []*ServiceReference {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*ServiceReference, 0, len(t.tracked))
+	for ref := range t.tracked {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].reg.ranking != out[j].reg.ranking {
+			return out[i].reg.ranking > out[j].reg.ranking
+		}
+		return out[i].reg.id < out[j].reg.id
+	})
+	return out
+}
+
+func (t *ServiceTracker) matches(ref *ServiceReference) bool {
+	if t.class != "" && !containsString(ref.reg.classes, t.class) {
+		return false
+	}
+	if t.flt != nil && !t.flt.Matches(ref.Properties()) {
+		return false
+	}
+	return true
+}
+
+func (t *ServiceTracker) onEvent(ev ServiceEvent) {
+	switch ev.Type {
+	case ServiceRegistered:
+		if t.matches(ev.Reference) {
+			t.track(ev.Reference)
+		}
+	case ServiceModified:
+		t.mu.Lock()
+		_, known := t.tracked[ev.Reference]
+		t.mu.Unlock()
+		nowMatches := t.matches(ev.Reference)
+		switch {
+		case known && !nowMatches:
+			t.untrack(ev.Reference)
+		case !known && nowMatches:
+			t.track(ev.Reference)
+		case known && nowMatches:
+			t.mu.Lock()
+			svc := t.tracked[ev.Reference]
+			t.mu.Unlock()
+			if t.cbs.Modified != nil {
+				t.cbs.Modified(ev.Reference, svc)
+			}
+		}
+	case ServiceUnregistering:
+		t.untrack(ev.Reference)
+	}
+}
+
+func (t *ServiceTracker) track(ref *ServiceReference) {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return
+	}
+	if _, dup := t.tracked[ref]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	svc, err := t.ctx.GetService(ref)
+	if err != nil || svc == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		t.ctx.UngetService(ref)
+		return
+	}
+	t.tracked[ref] = svc
+	t.mu.Unlock()
+	if t.cbs.Added != nil {
+		t.cbs.Added(ref, svc)
+	}
+}
+
+func (t *ServiceTracker) untrack(ref *ServiceReference) {
+	t.mu.Lock()
+	svc, known := t.tracked[ref]
+	if known {
+		delete(t.tracked, ref)
+	}
+	t.mu.Unlock()
+	if !known {
+		return
+	}
+	t.ctx.UngetService(ref)
+	if t.cbs.Removed != nil {
+		t.cbs.Removed(ref, svc)
+	}
+}

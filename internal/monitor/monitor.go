@@ -1,0 +1,308 @@
+// Package monitor implements the paper's Monitoring Module (§3.1): it
+// samples the resource usage of every virtual instance's resource domain,
+// keeps sliding windows for trend queries, and raises threshold events the
+// Autonomic Module consumes. Where the paper was blocked by the 2008 JVM
+// ("there are no adequate mechanisms to measure and monitor resource usage
+// in the actual JVM specification"), this module reads the vjvm substrate's
+// exact JSR-284-style accounting; the degraded ThreadGroup estimator
+// remains available in vjvm for comparison (experiment E5).
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/vjvm"
+)
+
+// Metric names a monitored quantity.
+type Metric string
+
+// Monitored metrics.
+const (
+	MetricCPURate Metric = "cpu.rate" // millicores
+	MetricCPUTime Metric = "cpu.time" // cumulative ns
+	MetricMemory  Metric = "memory"   // bytes
+	MetricDisk    Metric = "disk"     // bytes
+	MetricTasks   Metric = "tasks"    // count
+)
+
+// Sample is one observation of one domain.
+type Sample struct {
+	At    time.Duration
+	Usage vjvm.Usage
+}
+
+// Event is a threshold crossing raised to listeners.
+type Event struct {
+	Rule     string
+	Domain   string
+	Metric   Metric
+	Value    float64
+	Limit    float64
+	At       time.Duration
+	Breached bool // true when entering breach, false when clearing
+}
+
+// Rule fires when a metric stays above a threshold for a sustain period.
+type Rule struct {
+	Name string
+	// Domain restricts the rule to one domain; empty matches all.
+	Domain string
+	Metric Metric
+	// Above is the threshold value.
+	Above float64
+	// Sustain is how long the metric must stay above before firing
+	// (0 = immediately).
+	Sustain time.Duration
+}
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithInterval sets the sampling period (default 100ms).
+func WithInterval(d time.Duration) Option {
+	return func(m *Monitor) { m.interval = d }
+}
+
+// WithWindow sets how many samples are retained per domain (default 64).
+func WithWindow(n int) Option {
+	return func(m *Monitor) { m.window = n }
+}
+
+// Monitor samples a vjvm's domains.
+type Monitor struct {
+	sched    clock.Scheduler
+	vm       *vjvm.VJVM
+	interval time.Duration
+	window   int
+
+	mu        sync.Mutex
+	running   bool
+	timer     clock.Timer
+	series    map[string][]Sample
+	rules     []Rule
+	breachAt  map[string]time.Duration // ruleKey -> first breach time
+	inBreach  map[string]bool
+	listeners []func(Event)
+	lastCPU   map[string]time.Duration
+}
+
+// New builds a monitor over vm.
+func New(sched clock.Scheduler, vm *vjvm.VJVM, opts ...Option) *Monitor {
+	m := &Monitor{
+		sched:    sched,
+		vm:       vm,
+		interval: 100 * time.Millisecond,
+		window:   64,
+		series:   make(map[string][]Sample),
+		breachAt: make(map[string]time.Duration),
+		inBreach: make(map[string]bool),
+		lastCPU:  make(map[string]time.Duration),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// AddRule installs a threshold rule.
+func (m *Monitor) AddRule(r Rule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rules = append(m.rules, r)
+}
+
+// OnEvent subscribes to threshold events.
+func (m *Monitor) OnEvent(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, fn)
+}
+
+// Start begins periodic sampling.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return
+	}
+	m.running = true
+	m.timer = m.sched.Every(m.interval, m.sample)
+}
+
+// Stop halts sampling.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running = false
+	if m.timer != nil {
+		m.timer.Cancel()
+		m.timer = nil
+	}
+}
+
+// Interval returns the sampling period.
+func (m *Monitor) Interval() time.Duration { return m.interval }
+
+// sample observes every domain and evaluates rules.
+func (m *Monitor) sample() {
+	now := m.sched.Now()
+	domains := m.vm.Domains()
+
+	m.mu.Lock()
+	var events []Event
+	live := make(map[string]bool, len(domains))
+	for _, d := range domains {
+		u := d.Snapshot()
+		live[u.Domain] = true
+		s := Sample{At: now, Usage: u}
+		buf := append(m.series[u.Domain], s)
+		if len(buf) > m.window {
+			buf = buf[len(buf)-m.window:]
+		}
+		m.series[u.Domain] = buf
+		m.lastCPU[u.Domain] = u.CPUTime
+
+		for _, r := range m.rules {
+			if r.Domain != "" && r.Domain != u.Domain {
+				continue
+			}
+			key := r.Name + "/" + u.Domain
+			value := metricValue(r.Metric, u)
+			if value > r.Above {
+				first, seen := m.breachAt[key]
+				if !seen {
+					m.breachAt[key] = now
+					first = now
+				}
+				if now-first >= r.Sustain && !m.inBreach[key] {
+					m.inBreach[key] = true
+					events = append(events, Event{
+						Rule: r.Name, Domain: u.Domain, Metric: r.Metric,
+						Value: value, Limit: r.Above, At: now, Breached: true,
+					})
+				}
+			} else {
+				delete(m.breachAt, key)
+				if m.inBreach[key] {
+					m.inBreach[key] = false
+					events = append(events, Event{
+						Rule: r.Name, Domain: u.Domain, Metric: r.Metric,
+						Value: value, Limit: r.Above, At: now, Breached: false,
+					})
+				}
+			}
+		}
+	}
+	// Clear rule state for removed domains.
+	for key := range m.inBreach {
+		domain := key[strIndexAfterSlash(key):]
+		if !live[domain] {
+			delete(m.inBreach, key)
+			delete(m.breachAt, key)
+		}
+	}
+	listeners := append(make([]func(Event), 0, len(m.listeners)), m.listeners...)
+	m.mu.Unlock()
+
+	for _, ev := range events {
+		for _, fn := range listeners {
+			fn(ev)
+		}
+	}
+}
+
+func strIndexAfterSlash(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func metricValue(metric Metric, u vjvm.Usage) float64 {
+	switch metric {
+	case MetricCPURate:
+		return float64(u.CPURate)
+	case MetricCPUTime:
+		return float64(u.CPUTime)
+	case MetricMemory:
+		return float64(u.Memory)
+	case MetricDisk:
+		return float64(u.Disk)
+	case MetricTasks:
+		return float64(u.Tasks)
+	}
+	return 0
+}
+
+// Last returns the latest sample for a domain.
+func (m *Monitor) Last(domain string) (Sample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := m.series[domain]
+	if len(buf) == 0 {
+		return Sample{}, false
+	}
+	return buf[len(buf)-1], true
+}
+
+// Window returns a copy of the retained samples for a domain.
+func (m *Monitor) Window(domain string) []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf := m.series[domain]
+	out := make([]Sample, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// Domains lists domains with samples, sorted.
+func (m *Monitor) Domains() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.series))
+	for id := range m.series {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregate summarizes a metric over the retained window.
+type Aggregate struct {
+	Avg, Max, Min float64
+	Samples       int
+}
+
+// Summarize aggregates a metric for a domain over its window.
+func (m *Monitor) Summarize(domain string, metric Metric) Aggregate {
+	window := m.Window(domain)
+	if len(window) == 0 {
+		return Aggregate{}
+	}
+	agg := Aggregate{Min: metricValue(metric, window[0].Usage), Samples: len(window)}
+	var sum float64
+	for _, s := range window {
+		v := metricValue(metric, s.Usage)
+		sum += v
+		if v > agg.Max {
+			agg.Max = v
+		}
+		if v < agg.Min {
+			agg.Min = v
+		}
+	}
+	agg.Avg = sum / float64(len(window))
+	return agg
+}
+
+// NodeUsage reports node-level capacity for placement decisions: used and
+// total CPU millicores and memory bytes.
+func (m *Monitor) NodeUsage() (cpuUsed, cpuTotal vjvm.Millicores, memUsed, memTotal int64) {
+	return m.vm.UsedCapacity(), m.vm.Capacity(), m.vm.MemoryUsed(), m.vm.MemoryCapacity()
+}

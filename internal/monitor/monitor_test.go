@@ -1,0 +1,193 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"dosgi/internal/sim"
+	"dosgi/internal/vjvm"
+)
+
+func setup(t *testing.T, opts ...Option) (*sim.Engine, *vjvm.VJVM, *Monitor) {
+	t.Helper()
+	eng := sim.New(1)
+	vm := vjvm.New(eng, vjvm.WithCapacity(1000))
+	m := New(eng, vm, opts...)
+	return eng, vm, m
+}
+
+func TestSamplingSeries(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond), WithWindow(5))
+	if _, err := vm.CreateDomain("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Submit("a", time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	eng.RunFor(100 * time.Millisecond)
+	window := m.Window("a")
+	if len(window) != 5 {
+		t.Fatalf("window = %d samples, want capped at 5", len(window))
+	}
+	last, ok := m.Last("a")
+	if !ok || last.Usage.CPURate != 1000 {
+		t.Fatalf("last = %+v, %v", last, ok)
+	}
+	if ds := m.Domains(); len(ds) != 1 || ds[0] != "a" {
+		t.Fatalf("Domains = %v", ds)
+	}
+	m.Stop()
+	at := last.At
+	eng.RunFor(100 * time.Millisecond)
+	if l2, _ := m.Last("a"); l2.At != at {
+		t.Fatal("sampling continued after Stop")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond))
+	d, err := vm.CreateDomain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	eng.RunFor(50 * time.Millisecond)
+	agg := m.Summarize("a", MetricMemory)
+	if agg.Samples == 0 || agg.Avg != 100 || agg.Max != 100 || agg.Min != 100 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if empty := m.Summarize("ghost", MetricMemory); empty.Samples != 0 {
+		t.Fatalf("ghost agg = %+v", empty)
+	}
+}
+
+func TestThresholdRuleSustain(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond))
+	if _, err := vm.CreateDomain("hog"); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.OnEvent(func(ev Event) { events = append(events, ev) })
+	m.AddRule(Rule{
+		Name:    "cpu-hog",
+		Metric:  MetricCPURate,
+		Above:   500,
+		Sustain: 50 * time.Millisecond,
+	})
+	m.Start()
+
+	// Idle: no events.
+	eng.RunFor(100 * time.Millisecond)
+	if len(events) != 0 {
+		t.Fatalf("events while idle: %v", events)
+	}
+
+	// Hog the CPU continuously: breach after ~sustain.
+	breachStart := eng.Now()
+	if _, err := vm.Submit("hog", 10*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(200 * time.Millisecond)
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want single breach", events)
+	}
+	ev := events[0]
+	if !ev.Breached || ev.Domain != "hog" || ev.Rule != "cpu-hog" {
+		t.Fatalf("event = %+v", ev)
+	}
+	sustainLatency := ev.At - breachStart
+	if sustainLatency < 50*time.Millisecond || sustainLatency > 80*time.Millisecond {
+		t.Fatalf("breach fired after %v, want ~50-70ms", sustainLatency)
+	}
+
+	// No repeat while still in breach.
+	eng.RunFor(200 * time.Millisecond)
+	if len(events) != 1 {
+		t.Fatalf("repeated breach events: %v", events)
+	}
+}
+
+func TestThresholdClearEvent(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond))
+	if _, err := vm.CreateDomain("hog"); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.OnEvent(func(ev Event) { events = append(events, ev) })
+	m.AddRule(Rule{Name: "r", Metric: MetricCPURate, Above: 500})
+	m.Start()
+
+	if _, err := vm.Submit("hog", 100*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want breach+clear", events)
+	}
+	if !events[0].Breached || events[1].Breached {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestBlipShorterThanSustainIgnored(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond))
+	if _, err := vm.CreateDomain("a"); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.OnEvent(func(ev Event) { events = append(events, ev) })
+	m.AddRule(Rule{Name: "r", Metric: MetricCPURate, Above: 500, Sustain: 100 * time.Millisecond})
+	m.Start()
+	// 30ms of load, under the 100ms sustain.
+	if _, err := vm.Submit("a", 30*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(300 * time.Millisecond)
+	if len(events) != 0 {
+		t.Fatalf("blip raised events: %v", events)
+	}
+}
+
+func TestRuleScopedToDomain(t *testing.T) {
+	eng, vm, m := setup(t, WithInterval(10*time.Millisecond))
+	if _, err := vm.CreateDomain("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.CreateDomain("b"); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	m.OnEvent(func(ev Event) { events = append(events, ev) })
+	m.AddRule(Rule{Name: "r", Domain: "a", Metric: MetricTasks, Above: 0})
+	m.Start()
+	if _, err := vm.Submit("b", time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(50 * time.Millisecond)
+	if len(events) != 0 {
+		t.Fatalf("rule fired for wrong domain: %v", events)
+	}
+	if _, err := vm.Submit("a", time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(50 * time.Millisecond)
+	if len(events) != 1 || events[0].Domain != "a" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestNodeUsage(t *testing.T) {
+	eng, vm, m := setup(t)
+	_ = eng
+	cpuUsed, cpuTotal, memUsed, memTotal := m.NodeUsage()
+	if cpuUsed != 0 || cpuTotal != 1000 {
+		t.Fatalf("cpu = %d/%d", cpuUsed, cpuTotal)
+	}
+	if memUsed != vm.BaseOverhead() || memTotal != vm.MemoryCapacity() {
+		t.Fatalf("mem = %d/%d", memUsed, memTotal)
+	}
+}

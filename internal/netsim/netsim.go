@@ -1,0 +1,409 @@
+// Package netsim simulates the cluster network: nodes attach NICs, IP
+// addresses bind to nodes and can be *taken over* by other nodes (the
+// mechanism behind Figure 5's service migration), messages travel with
+// configurable latency and loss, and partitions can be injected for fault
+// experiments.
+//
+// The model is message-oriented: a Message delivered to the listener bound
+// on the destination address. Connection-oriented behaviour (ipvs
+// connection tracking) is layered above using flow identifiers.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// IP is a simulated IPv4/v6 address (opaque string).
+type IP string
+
+// IPAny binds a listener on every address the node owns.
+const IPAny IP = "0.0.0.0"
+
+// Addr is an endpoint.
+type Addr struct {
+	IP   IP
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Message is a delivered datagram.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+// Handler consumes delivered messages.
+type Handler func(Message)
+
+// Errors returned by network operations.
+var (
+	// ErrIPNotOwned is returned when binding an address the node does not
+	// hold.
+	ErrIPNotOwned = errors.New("netsim: ip not owned by node")
+	// ErrPortInUse is returned when the port is already bound.
+	ErrPortInUse = errors.New("netsim: port already bound")
+	// ErrNodeUnknown is returned for operations on unattached nodes.
+	ErrNodeUnknown = errors.New("netsim: unknown node")
+	// ErrIPInUse is returned when assigning an IP that is already held.
+	ErrIPInUse = errors.New("netsim: ip already assigned")
+	// ErrNICDown is returned when sending from a downed NIC.
+	ErrNICDown = errors.New("netsim: nic is down")
+)
+
+// DropReason classifies why a message was not delivered.
+type DropReason string
+
+// Drop reasons recorded in Stats.
+const (
+	DropNoRoute     DropReason = "no-route"    // destination IP unowned
+	DropNoListener  DropReason = "no-listener" // owned, nothing bound
+	DropPartitioned DropReason = "partitioned" // link blocked
+	DropLoss        DropReason = "loss"        // random loss
+	DropNICDown     DropReason = "nic-down"    // receiver down
+)
+
+// Stats counts network activity for experiments.
+type Stats struct {
+	Delivered int64
+	Dropped   map[DropReason]int64
+	Bytes     int64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets a fixed one-way latency (default 500µs).
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.latency = func(_, _ string) time.Duration { return d } }
+}
+
+// WithLatencyFunc sets a per-pair latency function.
+func WithLatencyFunc(f func(from, to string) time.Duration) Option {
+	return func(n *Network) { n.latency = f }
+}
+
+// WithLoss sets an independent per-message loss probability.
+func WithLoss(rate float64, rng *rand.Rand) Option {
+	return func(n *Network) {
+		n.lossRate = rate
+		n.rng = rng
+	}
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	sched clock.Scheduler
+
+	mu         sync.Mutex
+	nics       map[string]*NIC
+	ipOwner    map[IP]string
+	latency    func(from, to string) time.Duration
+	lossRate   float64
+	rng        *rand.Rand
+	partitions map[[2]string]bool
+	stats      Stats
+}
+
+// NewNetwork builds a network driven by sched.
+func NewNetwork(sched clock.Scheduler, opts ...Option) *Network {
+	n := &Network{
+		sched:      sched,
+		nics:       make(map[string]*NIC),
+		ipOwner:    make(map[IP]string),
+		latency:    func(_, _ string) time.Duration { return 500 * time.Microsecond },
+		partitions: make(map[[2]string]bool),
+	}
+	n.stats.Dropped = make(map[DropReason]int64)
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// AttachNode registers a node and returns its NIC.
+func (n *Network) AttachNode(nodeID string) *NIC {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nic, ok := n.nics[nodeID]; ok {
+		return nic
+	}
+	nic := &NIC{net: n, nodeID: nodeID, up: true, listeners: make(map[Addr]Handler)}
+	n.nics[nodeID] = nic
+	return nic
+}
+
+// DetachNode removes a node entirely, releasing every IP it holds (a crash
+// with power-off semantics).
+func (n *Network) DetachNode(nodeID string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nics, nodeID)
+	for ip, owner := range n.ipOwner {
+		if owner == nodeID {
+			delete(n.ipOwner, ip)
+		}
+	}
+}
+
+// NIC returns the NIC of nodeID.
+func (n *Network) NIC(nodeID string) (*NIC, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nic, ok := n.nics[nodeID]
+	return nic, ok
+}
+
+// AssignIP binds ip to nodeID. The IP must be free.
+func (n *Network) AssignIP(ip IP, nodeID string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nics[nodeID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNodeUnknown, nodeID)
+	}
+	if owner, held := n.ipOwner[ip]; held {
+		return fmt.Errorf("%w: %s held by %s", ErrIPInUse, ip, owner)
+	}
+	n.ipOwner[ip] = nodeID
+	return nil
+}
+
+// ReleaseIP unbinds ip from whichever node holds it.
+func (n *Network) ReleaseIP(ip IP) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.ipOwner, ip)
+}
+
+// OwnerOf reports which node currently holds ip.
+func (n *Network) OwnerOf(ip IP) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	owner, ok := n.ipOwner[ip]
+	return owner, ok
+}
+
+// MoveIP performs an IP takeover: the address is released immediately and
+// bound to toNode after takeoverDelay (gratuitous-ARP propagation). During
+// the window, traffic to the address is dropped — the measurable downtime
+// of Figure 5. The returned channel-free completion is signalled via the
+// optional onBound callback.
+func (n *Network) MoveIP(ip IP, toNode string, takeoverDelay time.Duration, onBound func(error)) {
+	n.mu.Lock()
+	delete(n.ipOwner, ip)
+	n.mu.Unlock()
+	n.sched.After(takeoverDelay, func() {
+		err := n.AssignIP(ip, toNode)
+		if onBound != nil {
+			onBound(err)
+		}
+	})
+}
+
+// Partition blocks traffic between nodes a and b (both directions).
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]string]bool)
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Stats returns a copy of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := Stats{Delivered: n.stats.Delivered, Bytes: n.stats.Bytes, Dropped: make(map[DropReason]int64)}
+	for k, v := range n.stats.Dropped {
+		out.Dropped[k] = v
+	}
+	return out
+}
+
+// Nodes lists attached node ids, sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nics))
+	for id := range n.nics {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// send routes a message; called by NIC.Send with n.mu NOT held.
+func (n *Network) send(fromNode string, msg Message, size int) {
+	n.mu.Lock()
+	drop := func(reason DropReason) {
+		n.stats.Dropped[reason]++
+		n.mu.Unlock()
+	}
+	owner, routed := n.ipOwner[msg.To.IP]
+	if !routed {
+		drop(DropNoRoute)
+		return
+	}
+	if n.partitions[pairKey(fromNode, owner)] {
+		drop(DropPartitioned)
+		return
+	}
+	if n.lossRate > 0 && n.rng != nil && n.rng.Float64() < n.lossRate {
+		drop(DropLoss)
+		return
+	}
+	nic, ok := n.nics[owner]
+	if !ok || !nic.up {
+		drop(DropNICDown)
+		return
+	}
+	delay := n.latency(fromNode, owner)
+	n.mu.Unlock()
+
+	n.sched.After(delay, func() {
+		n.mu.Lock()
+		// Re-validate at delivery time: ownership or liveness may have
+		// changed in flight.
+		owner2, routed2 := n.ipOwner[msg.To.IP]
+		if !routed2 || owner2 != owner {
+			n.stats.Dropped[DropNoRoute]++
+			n.mu.Unlock()
+			return
+		}
+		nic2, ok2 := n.nics[owner]
+		if !ok2 || !nic2.up {
+			n.stats.Dropped[DropNICDown]++
+			n.mu.Unlock()
+			return
+		}
+		handler := nic2.lookupLocked(msg.To)
+		if handler == nil {
+			n.stats.Dropped[DropNoListener]++
+			n.mu.Unlock()
+			return
+		}
+		n.stats.Delivered++
+		n.stats.Bytes += int64(size)
+		n.mu.Unlock()
+		handler(msg)
+	})
+}
+
+// NIC is a node's attachment to the network.
+type NIC struct {
+	net    *Network
+	nodeID string
+
+	// Guarded by net.mu.
+	up        bool
+	listeners map[Addr]Handler
+}
+
+// NodeID returns the owning node's id.
+func (nic *NIC) NodeID() string { return nic.nodeID }
+
+// Up reports whether the NIC is operational.
+func (nic *NIC) Up() bool {
+	nic.net.mu.Lock()
+	defer nic.net.mu.Unlock()
+	return nic.up
+}
+
+// SetUp brings the NIC up or down. A downed NIC drops inbound and rejects
+// outbound traffic but keeps its bindings (a transient failure, unlike
+// DetachNode).
+func (nic *NIC) SetUp(up bool) {
+	nic.net.mu.Lock()
+	defer nic.net.mu.Unlock()
+	nic.up = up
+}
+
+// OwnedIPs lists the addresses currently bound to this node.
+func (nic *NIC) OwnedIPs() []IP {
+	nic.net.mu.Lock()
+	defer nic.net.mu.Unlock()
+	var out []IP
+	for ip, owner := range nic.net.ipOwner {
+		if owner == nic.nodeID {
+			out = append(out, ip)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Listen binds handler to addr. The node must own addr.IP (or use IPAny).
+func (nic *NIC) Listen(addr Addr, handler Handler) error {
+	nic.net.mu.Lock()
+	defer nic.net.mu.Unlock()
+	if addr.IP != IPAny {
+		if owner, ok := nic.net.ipOwner[addr.IP]; !ok || owner != nic.nodeID {
+			return fmt.Errorf("%w: %s on node %s", ErrIPNotOwned, addr.IP, nic.nodeID)
+		}
+	}
+	if _, bound := nic.listeners[addr]; bound {
+		return fmt.Errorf("%w: %s", ErrPortInUse, addr)
+	}
+	nic.listeners[addr] = handler
+	return nil
+}
+
+// Close unbinds addr.
+func (nic *NIC) Close(addr Addr) {
+	nic.net.mu.Lock()
+	defer nic.net.mu.Unlock()
+	delete(nic.listeners, addr)
+}
+
+// Send transmits payload from this node to to. The from address is
+// informational (reply routing); size feeds the byte counters.
+func (nic *NIC) Send(from, to Addr, payload any, size int) error {
+	nic.net.mu.Lock()
+	if !nic.up {
+		nic.net.mu.Unlock()
+		return ErrNICDown
+	}
+	nic.net.mu.Unlock()
+	nic.net.send(nic.nodeID, Message{From: from, To: to, Payload: payload}, size)
+	return nil
+}
+
+// lookupLocked finds the handler for addr: exact binding first, then an
+// IPAny binding on the same port. Callers must hold net.mu.
+func (nic *NIC) lookupLocked(addr Addr) Handler {
+	if h, ok := nic.listeners[addr]; ok {
+		return h
+	}
+	if h, ok := nic.listeners[Addr{IP: IPAny, Port: addr.Port}]; ok {
+		return h
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dosgi/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *Network, *NIC, *NIC) {
+	t.Helper()
+	eng := sim.New(1)
+	net := NewNetwork(eng, WithLatency(time.Millisecond))
+	n1 := net.AttachNode("node1")
+	n2 := net.AttachNode("node2")
+	if err := net.AssignIP("10.0.0.1", "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AssignIP("10.0.0.2", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, n1, n2
+}
+
+func TestSendAndReceive(t *testing.T) {
+	eng, _, n1, n2 := setup(t)
+	var got []Message
+	dst := Addr{IP: "10.0.0.2", Port: 80}
+	if err := n2.Listen(dst, func(m Message) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	src := Addr{IP: "10.0.0.1", Port: 9000}
+	if err := n1.Send(src, dst, "hello", 5); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt time.Duration
+	eng.Run()
+	deliveredAt = eng.Now()
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].From != src {
+		t.Fatalf("got = %+v", got)
+	}
+	if deliveredAt != time.Millisecond {
+		t.Fatalf("latency = %v, want 1ms", deliveredAt)
+	}
+}
+
+func TestReplyPath(t *testing.T) {
+	eng, _, n1, n2 := setup(t)
+	server := Addr{IP: "10.0.0.2", Port: 80}
+	client := Addr{IP: "10.0.0.1", Port: 9000}
+	var reply any
+	if err := n2.Listen(server, func(m Message) {
+		_ = n2.Send(server, m.From, "pong", 4)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Listen(client, func(m Message) { reply = m.Payload }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Send(client, server, "ping", 4); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if reply != "pong" {
+		t.Fatalf("reply = %v", reply)
+	}
+	if eng.Now() != 2*time.Millisecond {
+		t.Fatalf("round trip = %v, want 2ms", eng.Now())
+	}
+}
+
+func TestListenRequiresOwnedIP(t *testing.T) {
+	_, _, n1, _ := setup(t)
+	err := n1.Listen(Addr{IP: "10.0.0.2", Port: 80}, func(Message) {})
+	if !errors.Is(err, ErrIPNotOwned) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateBind(t *testing.T) {
+	_, _, n1, _ := setup(t)
+	addr := Addr{IP: "10.0.0.1", Port: 80}
+	if err := n1.Listen(addr, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Listen(addr, func(Message) {}); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	n1.Close(addr)
+	if err := n1.Listen(addr, func(Message) {}); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestIPAnyBinding(t *testing.T) {
+	eng, net, n1, n2 := setup(t)
+	if err := net.AssignIP("10.0.0.22", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := n2.Listen(Addr{IP: IPAny, Port: 80}, func(Message) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	src := Addr{IP: "10.0.0.1", Port: 1}
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "a", 1)
+	_ = n1.Send(src, Addr{IP: "10.0.0.22", Port: 80}, "b", 1)
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("wildcard listener got %d messages, want 2", count)
+	}
+}
+
+func TestDropNoRouteAndNoListener(t *testing.T) {
+	eng, net, n1, _ := setup(t)
+	src := Addr{IP: "10.0.0.1", Port: 1}
+	_ = n1.Send(src, Addr{IP: "10.9.9.9", Port: 80}, "x", 1) // unassigned IP
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 81}, "x", 1) // no listener
+	eng.Run()
+	stats := net.Stats()
+	if stats.Dropped[DropNoRoute] != 1 {
+		t.Fatalf("no-route drops = %d", stats.Dropped[DropNoRoute])
+	}
+	if stats.Dropped[DropNoListener] != 1 {
+		t.Fatalf("no-listener drops = %d", stats.Dropped[DropNoListener])
+	}
+	if stats.Delivered != 0 {
+		t.Fatalf("delivered = %d", stats.Delivered)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	eng, net, n1, n2 := setup(t)
+	received := 0
+	if err := n2.Listen(Addr{IP: "10.0.0.2", Port: 80}, func(Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition("node1", "node2")
+	src := Addr{IP: "10.0.0.1", Port: 1}
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "x", 1)
+	eng.Run()
+	if received != 0 {
+		t.Fatal("message crossed a partition")
+	}
+	net.Heal("node1", "node2")
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "x", 1)
+	eng.Run()
+	if received != 1 {
+		t.Fatal("message not delivered after heal")
+	}
+	if net.Stats().Dropped[DropPartitioned] != 1 {
+		t.Fatal("partition drop not counted")
+	}
+}
+
+func TestNICDown(t *testing.T) {
+	eng, net, n1, n2 := setup(t)
+	received := 0
+	if err := n2.Listen(Addr{IP: "10.0.0.2", Port: 80}, func(Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	n2.SetUp(false)
+	src := Addr{IP: "10.0.0.1", Port: 1}
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "x", 1)
+	eng.Run()
+	if received != 0 {
+		t.Fatal("downed NIC received")
+	}
+	if err := n2.Send(src, Addr{IP: "10.0.0.1", Port: 1}, "x", 1); !errors.Is(err, ErrNICDown) {
+		t.Fatalf("send from downed NIC: %v", err)
+	}
+	n2.SetUp(true)
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "x", 1)
+	eng.Run()
+	if received != 1 {
+		t.Fatal("NIC did not recover")
+	}
+	_ = net
+}
+
+func TestInFlightMessageDroppedWhenOwnershipChanges(t *testing.T) {
+	eng, net, n1, n2 := setup(t)
+	received := 0
+	if err := n2.Listen(Addr{IP: "10.0.0.2", Port: 80}, func(Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	src := Addr{IP: "10.0.0.1", Port: 1}
+	_ = n1.Send(src, Addr{IP: "10.0.0.2", Port: 80}, "x", 1)
+	// The message is in flight (latency 1ms); release the IP before it
+	// lands.
+	net.ReleaseIP("10.0.0.2")
+	eng.Run()
+	if received != 0 {
+		t.Fatal("message delivered despite ownership change in flight")
+	}
+}
+
+func TestIPTakeover(t *testing.T) {
+	eng, net, n1, n2 := setup(t)
+	vip := IP("10.0.0.100")
+	if err := net.AssignIP(vip, "node1"); err != nil {
+		t.Fatal(err)
+	}
+	served := map[string]int{"node1": 0, "node2": 0}
+	if err := n1.Listen(Addr{IP: vip, Port: 80}, func(Message) { served["node1"]++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	src := Addr{IP: "10.0.0.2", Port: 1}
+	send := func() { _ = n2.Send(src, Addr{IP: vip, Port: 80}, "req", 1) }
+
+	send()
+	eng.RunFor(5 * time.Millisecond)
+	if served["node1"] != 1 {
+		t.Fatal("pre-takeover request lost")
+	}
+
+	// Take the VIP over to node2 with a 10ms ARP window.
+	bound := false
+	net.MoveIP(vip, "node2", 10*time.Millisecond, func(err error) {
+		if err != nil {
+			t.Errorf("takeover failed: %v", err)
+		}
+		if err := n2.Listen(Addr{IP: vip, Port: 80}, func(Message) { served["node2"]++ }); err != nil {
+			t.Errorf("bind after takeover: %v", err)
+		}
+		bound = true
+	})
+
+	// During the window requests are dropped.
+	send()
+	eng.RunFor(5 * time.Millisecond)
+	if served["node1"] != 1 || served["node2"] != 0 {
+		t.Fatalf("request served during takeover window: %v", served)
+	}
+
+	eng.RunFor(10 * time.Millisecond) // window closes
+	if !bound {
+		t.Fatal("takeover callback never fired")
+	}
+	send()
+	eng.RunFor(5 * time.Millisecond)
+	if served["node2"] != 1 {
+		t.Fatalf("post-takeover request not served by node2: %v", served)
+	}
+	if owner, _ := net.OwnerOf(vip); owner != "node2" {
+		t.Fatalf("owner = %s", owner)
+	}
+}
+
+func TestDetachNodeReleasesIPs(t *testing.T) {
+	_, net, _, _ := setup(t)
+	net.DetachNode("node1")
+	if _, ok := net.OwnerOf("10.0.0.1"); ok {
+		t.Fatal("detached node still owns its IP")
+	}
+	if _, ok := net.NIC("node1"); ok {
+		t.Fatal("NIC still attached")
+	}
+}
+
+func TestAssignIPConflict(t *testing.T) {
+	_, net, _, _ := setup(t)
+	if err := net.AssignIP("10.0.0.1", "node2"); !errors.Is(err, ErrIPInUse) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := net.AssignIP("10.0.0.50", "ghost"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	eng := sim.New(7)
+	net := NewNetwork(eng, WithLatency(time.Microsecond), WithLoss(0.5, eng.Rand()))
+	n1 := net.AttachNode("a")
+	n2 := net.AttachNode("b")
+	if err := net.AssignIP("ip-a", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AssignIP("ip-b", "b"); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	if err := n2.Listen(Addr{IP: "ip-b", Port: 1}, func(Message) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	const total = 1000
+	for i := 0; i < total; i++ {
+		_ = n1.Send(Addr{IP: "ip-a", Port: 1}, Addr{IP: "ip-b", Port: 1}, i, 1)
+	}
+	eng.Run()
+	if received < 400 || received > 600 {
+		t.Fatalf("received %d of %d with 50%% loss", received, total)
+	}
+	if net.Stats().Dropped[DropLoss]+int64(received) != total {
+		t.Fatal("loss accounting inconsistent")
+	}
+}
+
+func TestPerPairLatency(t *testing.T) {
+	eng := sim.New(1)
+	net := NewNetwork(eng, WithLatencyFunc(func(from, to string) time.Duration {
+		if from == "far" || to == "far" {
+			return 10 * time.Millisecond
+		}
+		return time.Millisecond
+	}))
+	near := net.AttachNode("near")
+	far := net.AttachNode("far")
+	hub := net.AttachNode("hub")
+	_ = near
+	_ = far
+	for ip, node := range map[IP]string{"ip-near": "near", "ip-far": "far", "ip-hub": "hub"} {
+		if err := net.AssignIP(ip, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var times []time.Duration
+	if err := hub.Listen(Addr{IP: "ip-hub", Port: 1}, func(Message) {
+		times = append(times, eng.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nearNIC, _ := net.NIC("near")
+	farNIC, _ := net.NIC("far")
+	_ = nearNIC.Send(Addr{IP: "ip-near", Port: 1}, Addr{IP: "ip-hub", Port: 1}, "x", 1)
+	_ = farNIC.Send(Addr{IP: "ip-far", Port: 1}, Addr{IP: "ip-hub", Port: 1}, "x", 1)
+	eng.Run()
+	if len(times) != 2 || times[0] != time.Millisecond || times[1] != 10*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}

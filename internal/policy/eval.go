@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// EvalError reports an evaluation failure.
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("policy: evaluating %s: %s", e.Expr, e.Msg)
+}
+
+func evalErr(e Expr, format string, args ...any) error {
+	return &EvalError{Expr: e.String(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates an expression against env.
+func Eval(e Expr, env Env) (any, error) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Value, nil
+	case *Selector:
+		return env.Resolve(n.Path)
+	case *Call:
+		args := make([]any, len(n.Args))
+		for i, a := range n.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return env.Call(n.Name, args)
+	case *Unary:
+		return evalUnary(n, env)
+	case *Binary:
+		return evalBinary(n, env)
+	default:
+		return nil, evalErr(e, "unknown node type %T", e)
+	}
+}
+
+// EvalBool evaluates a condition expression.
+func EvalBool(e Expr, env Env) (bool, error) {
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, evalErr(e, "condition is %T, not bool", v)
+	}
+	return b, nil
+}
+
+func evalUnary(n *Unary, env Env) (any, error) {
+	v, err := Eval(n.X, env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "!":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, evalErr(n, "! needs bool, got %T", v)
+		}
+		return !b, nil
+	case "-":
+		switch x := v.(type) {
+		case int64:
+			return -x, nil
+		case float64:
+			return -x, nil
+		case time.Duration:
+			return -x, nil
+		}
+		return nil, evalErr(n, "- needs a number, got %T", v)
+	}
+	return nil, evalErr(n, "unknown unary op %q", n.Op)
+}
+
+func evalBinary(n *Binary, env Env) (any, error) {
+	// Short-circuit logical operators.
+	if n.Op == "&&" || n.Op == "||" {
+		lb, err := EvalBool(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "&&" && !lb {
+			return false, nil
+		}
+		if n.Op == "||" && lb {
+			return true, nil
+		}
+		return EvalBool(n.R, env)
+	}
+
+	l, err := Eval(n.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Eval(n.R, env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n.Op {
+	case "==", "!=":
+		eq, err := equalValues(n, l, r)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "!=" {
+			return !eq, nil
+		}
+		return eq, nil
+	case ">", "<", ">=", "<=":
+		lf, lok := toFloat(l)
+		rf, rok := toFloat(r)
+		if !lok || !rok {
+			return nil, evalErr(n, "cannot compare %T and %T", l, r)
+		}
+		switch n.Op {
+		case ">":
+			return lf > rf, nil
+		case "<":
+			return lf < rf, nil
+		case ">=":
+			return lf >= rf, nil
+		default:
+			return lf <= rf, nil
+		}
+	case "+", "-", "*", "/":
+		return arith(n, l, r)
+	}
+	return nil, evalErr(n, "unknown operator %q", n.Op)
+}
+
+func equalValues(n *Binary, l, r any) (bool, error) {
+	if ls, lok := l.(string); lok {
+		rs, rok := r.(string)
+		if !rok {
+			return false, evalErr(n, "cannot compare string with %T", r)
+		}
+		return ls == rs, nil
+	}
+	if lb, lok := l.(bool); lok {
+		rb, rok := r.(bool)
+		if !rok {
+			return false, evalErr(n, "cannot compare bool with %T", r)
+		}
+		return lb == rb, nil
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return false, evalErr(n, "cannot compare %T and %T", l, r)
+	}
+	return lf == rf, nil
+}
+
+func arith(n *Binary, l, r any) (any, error) {
+	// Integer arithmetic stays integral when both sides are int64.
+	if li, lok := l.(int64); lok {
+		if ri, rok := r.(int64); rok {
+			switch n.Op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			case "/":
+				if ri == 0 {
+					return nil, evalErr(n, "division by zero")
+				}
+				return li / ri, nil
+			}
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, evalErr(n, "cannot apply %q to %T and %T", n.Op, l, r)
+	}
+	var out float64
+	switch n.Op {
+	case "+":
+		out = lf + rf
+	case "-":
+		out = lf - rf
+	case "*":
+		out = lf * rf
+	case "/":
+		if rf == 0 {
+			return nil, evalErr(n, "division by zero")
+		}
+		out = lf / rf
+	}
+	// Duration arithmetic keeps its type when either side is a duration
+	// and the other a plain number.
+	if _, isDur := l.(time.Duration); isDur {
+		return time.Duration(out), nil
+	}
+	if _, isDur := r.(time.Duration); isDur && (n.Op == "+" || n.Op == "-" || n.Op == "*") {
+		return time.Duration(out), nil
+	}
+	return out, nil
+}
+
+// toFloat widens any numeric value to float64 (durations as nanoseconds).
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case time.Duration:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,211 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber // carries a literal value in val
+	tokString
+	tokPunct // operators and delimiters in text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  any // for tokNumber
+	pos  int
+	line int
+}
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policy: line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+var punctuations = []string{
+	"==", "!=", ">=", "<=", "&&", "||",
+	"(", ")", "{", "}", ",", ">", "<", "!", "+", "-", "*", "/", ";", ".",
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isIdentStart(c) {
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start, line: l.line}, nil
+	}
+	if c == '"' {
+		return l.lexString()
+	}
+	for _, p := range punctuations {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			return token{kind: tokPunct, text: p, pos: start, line: l.line}, nil
+		}
+	}
+	return token{}, &ParseError{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// lexNumber reads a numeric literal with an optional unit suffix.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	sawDot := false
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (l.src[l.pos] == '.' && !sawDot)) {
+		if l.src[l.pos] == '.' {
+			// A dot not followed by a digit belongs to a selector, not the
+			// number.
+			if l.pos+1 >= len(l.src) || !isDigit(l.src[l.pos+1]) {
+				break
+			}
+			sawDot = true
+		}
+		l.pos++
+	}
+	numText := l.src[start:l.pos]
+
+	// Unit suffix: letters or '%' immediately following.
+	unitStart := l.pos
+	for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || l.src[l.pos] == '%') {
+		l.pos++
+	}
+	unit := l.src[unitStart:l.pos]
+
+	val, err := numberValue(numText, unit, sawDot)
+	if err != nil {
+		return token{}, &ParseError{Line: l.line, Msg: err.Error()}
+	}
+	return token{kind: tokNumber, text: numText + unit, val: val, pos: start, line: l.line}, nil
+}
+
+func numberValue(numText, unit string, isFloat bool) (any, error) {
+	f, err := strconv.ParseFloat(numText, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad number %q", numText)
+	}
+	switch unit {
+	case "":
+		if isFloat {
+			return f, nil
+		}
+		n, err := strconv.ParseInt(numText, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", numText)
+		}
+		return n, nil
+	case "ns":
+		return time.Duration(f), nil
+	case "us", "µs":
+		return time.Duration(f * float64(time.Microsecond)), nil
+	case "ms":
+		return time.Duration(f * float64(time.Millisecond)), nil
+	case "s":
+		return time.Duration(f * float64(time.Second)), nil
+	case "m":
+		return time.Duration(f * float64(time.Minute)), nil
+	case "h":
+		return time.Duration(f * float64(time.Hour)), nil
+	case "%":
+		return f / 100.0, nil
+	case "mc":
+		return int64(f), nil
+	case "B":
+		return int64(f), nil
+	case "KB":
+		return int64(f * (1 << 10)), nil
+	case "MB":
+		return int64(f * (1 << 20)), nil
+	case "GB":
+		return int64(f * (1 << 30)), nil
+	case "TB":
+		return int64(f * (1 << 40)), nil
+	default:
+		return nil, fmt.Errorf("unknown unit %q", unit)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start, line: l.line}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, &ParseError{Line: l.line, Msg: "dangling escape in string"}
+			}
+			l.pos++
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		case '\n':
+			return token{}, &ParseError{Line: l.line, Msg: "newline in string"}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, &ParseError{Line: l.line, Msg: "unterminated string"}
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isLetter(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentStart(c byte) bool { return isLetter(c) || c == '_' }
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

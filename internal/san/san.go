@@ -1,0 +1,222 @@
+// Package san simulates the storage substrate the paper assumes: "We
+// assume a underlying SAN or distributed filesystem to ensure that data
+// written by each node is accessible globally" (§3.2). Every node sees the
+// same object namespace; access costs a configurable latency plus a
+// per-byte transfer time, which is what makes checkpoint/restore times in
+// the migration experiments meaningful.
+package san
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// ErrNotFound is returned when reading a missing object.
+var ErrNotFound = errors.New("san: object not found")
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithAccessLatency sets the fixed per-operation latency for async access
+// (default 200µs).
+func WithAccessLatency(d time.Duration) Option {
+	return func(s *Store) { s.accessLatency = d }
+}
+
+// WithBandwidth sets the transfer bandwidth in bytes/second used by async
+// access (default 1 GB/s).
+func WithBandwidth(bytesPerSec int64) Option {
+	return func(s *Store) { s.bandwidth = bytesPerSec }
+}
+
+// Stats counts storage activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	Deletes    int64
+	BytesRead  int64
+	BytesWrite int64
+}
+
+type object struct {
+	data    []byte
+	version int64
+	modAt   time.Duration
+}
+
+// Store is a globally visible object store.
+type Store struct {
+	sched clock.Scheduler
+
+	mu            sync.Mutex
+	objects       map[string]*object
+	accessLatency time.Duration
+	bandwidth     int64
+	stats         Stats
+	// lastPutDue serializes async writes per path: a later PutAsync to the
+	// same object never completes before an earlier one, whatever their
+	// sizes.
+	lastPutDue map[string]time.Duration
+}
+
+// NewStore builds a store driven by sched.
+func NewStore(sched clock.Scheduler, opts ...Option) *Store {
+	s := &Store{
+		sched:         sched,
+		objects:       make(map[string]*object),
+		accessLatency: 200 * time.Microsecond,
+		bandwidth:     1 << 30,
+		lastPutDue:    make(map[string]time.Duration),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Put writes data at path synchronously (control-plane convenience; the
+// latency-accounted path is PutAsync). It returns the new version.
+func (s *Store) Put(path string, data []byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(path, data)
+}
+
+func (s *Store) putLocked(path string, data []byte) int64 {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	obj, ok := s.objects[path]
+	if !ok {
+		obj = &object{}
+		s.objects[path] = obj
+	}
+	obj.data = cp
+	obj.version++
+	obj.modAt = s.sched.Now()
+	s.stats.Writes++
+	s.stats.BytesWrite += int64(len(data))
+	return obj.version
+}
+
+// Get reads the object at path synchronously.
+func (s *Store) Get(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(path)
+}
+
+func (s *Store) getLocked(path string) ([]byte, error) {
+	obj, ok := s.objects[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	cp := make([]byte, len(obj.data))
+	copy(cp, obj.data)
+	s.stats.Reads++
+	s.stats.BytesRead += int64(len(obj.data))
+	return cp, nil
+}
+
+// Version returns the object's version (0 when absent).
+func (s *Store) Version(path string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.objects[path]; ok {
+		return obj.version
+	}
+	return 0
+}
+
+// Delete removes the object at path.
+func (s *Store) Delete(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[path]; ok {
+		delete(s.objects, path)
+		s.stats.Deletes++
+	}
+}
+
+// List returns the paths under prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.objects {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// transferTime computes latency + size/bandwidth.
+func (s *Store) transferTime(size int) time.Duration {
+	d := s.accessLatency
+	if s.bandwidth > 0 {
+		d += time.Duration(float64(size) / float64(s.bandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+// PutAsync writes with storage latency accounted; done fires on the event
+// loop when the write is durable. Writes to the same path complete in call
+// order.
+func (s *Store) PutAsync(path string, data []byte, done func(version int64)) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	now := s.sched.Now()
+	due := now + s.transferTime(len(data))
+	if prev, ok := s.lastPutDue[path]; ok && due <= prev {
+		due = prev + time.Nanosecond
+	}
+	s.lastPutDue[path] = due
+	s.mu.Unlock()
+	s.sched.After(due-now, func() {
+		s.mu.Lock()
+		v := s.putLocked(path, cp)
+		s.mu.Unlock()
+		if done != nil {
+			done(v)
+		}
+	})
+}
+
+// GetAsync reads with storage latency accounted.
+func (s *Store) GetAsync(path string, done func(data []byte, err error)) {
+	s.mu.Lock()
+	size := 0
+	if obj, ok := s.objects[path]; ok {
+		size = len(obj.data)
+	}
+	d := s.transferTime(size)
+	s.mu.Unlock()
+	s.sched.After(d, func() {
+		s.mu.Lock()
+		data, err := s.getLocked(path)
+		s.mu.Unlock()
+		if done != nil {
+			done(data, err)
+		}
+	})
+}
+
+// Stats returns a copy of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Join builds a namespaced path ("instances/tenant-a/snapshot").
+func Join(parts ...string) string {
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,49 @@
+package san
+
+import "dosgi/internal/security"
+
+// SecureClient wraps a Store with per-subject permission checks — the
+// filesystem half of the paper's SecurityManager-based isolation.
+type SecureClient struct {
+	store   *Store
+	subject string
+	policy  *security.Policy
+}
+
+// NewSecureClient builds a client acting as subject under policy.
+func NewSecureClient(store *Store, subject string, policy *security.Policy) *SecureClient {
+	return &SecureClient{store: store, subject: subject, policy: policy}
+}
+
+// Put writes data, requiring the write permission on path.
+func (c *SecureClient) Put(path string, data []byte) (int64, error) {
+	if err := c.policy.Check(c.subject, security.FilePermission(path, security.ActionWrite)); err != nil {
+		return 0, err
+	}
+	return c.store.Put(path, data), nil
+}
+
+// Get reads data, requiring the read permission on path.
+func (c *SecureClient) Get(path string) ([]byte, error) {
+	if err := c.policy.Check(c.subject, security.FilePermission(path, security.ActionRead)); err != nil {
+		return nil, err
+	}
+	return c.store.Get(path)
+}
+
+// Delete removes an object, requiring the delete permission on path.
+func (c *SecureClient) Delete(path string) error {
+	if err := c.policy.Check(c.subject, security.FilePermission(path, security.ActionDelete)); err != nil {
+		return err
+	}
+	c.store.Delete(path)
+	return nil
+}
+
+// List lists under prefix, requiring the read permission on the prefix.
+func (c *SecureClient) List(prefix string) ([]string, error) {
+	if err := c.policy.Check(c.subject, security.FilePermission(prefix, security.ActionRead)); err != nil {
+		return nil, err
+	}
+	return c.store.List(prefix), nil
+}

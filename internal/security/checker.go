@@ -1,0 +1,50 @@
+package security
+
+import "dosgi/internal/module"
+
+// BundleChecker adapts a Policy to the module.PermissionChecker hook,
+// identifying bundles by a caller-supplied subject function (typically the
+// owning virtual instance, so every bundle of a customer shares one
+// subject).
+type BundleChecker struct {
+	policy  *Policy
+	subject func(b *module.Bundle) string
+}
+
+var _ module.PermissionChecker = (*BundleChecker)(nil)
+
+// NewBundleChecker builds a checker. When subject is nil the bundle's
+// symbolic name is the subject.
+func NewBundleChecker(policy *Policy, subject func(b *module.Bundle) string) *BundleChecker {
+	if subject == nil {
+		subject = func(b *module.Bundle) string { return b.SymbolicName() }
+	}
+	return &BundleChecker{policy: policy, subject: subject}
+}
+
+// CheckServiceRegister implements module.PermissionChecker.
+func (c *BundleChecker) CheckServiceRegister(b *module.Bundle, classes []string) error {
+	subj := c.subject(b)
+	for _, class := range classes {
+		if err := c.policy.Check(subj, ServicePermission(class, ActionRegister)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckServiceGet implements module.PermissionChecker.
+func (c *BundleChecker) CheckServiceGet(b *module.Bundle, ref *module.ServiceReference) error {
+	subj := c.subject(b)
+	for _, class := range ref.Classes() {
+		if c.policy.Check(subj, ServicePermission(class, ActionGet)) == nil {
+			return nil
+		}
+	}
+	return c.policy.Check(subj, ServicePermission(ref.Classes()[0], ActionGet))
+}
+
+// CheckPackageImport implements module.PermissionChecker.
+func (c *BundleChecker) CheckPackageImport(b *module.Bundle, pkg string) error {
+	return c.policy.Check(c.subject(b), PackagePermission(pkg, ActionImport))
+}

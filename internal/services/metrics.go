@@ -1,0 +1,122 @@
+package services
+
+import (
+	"sort"
+	"sync"
+
+	"dosgi/internal/module"
+)
+
+// MetricsService is the JMX-server analog: named providers expose
+// point-in-time attribute maps which management tooling (the monitoring
+// module, the admin CLI) reads uniformly.
+type MetricsService struct {
+	mu        sync.Mutex
+	providers map[string]func() map[string]any
+}
+
+// NewMetricsService returns an empty registry of metric providers.
+func NewMetricsService() *MetricsService {
+	return &MetricsService{providers: make(map[string]func() map[string]any)}
+}
+
+// RegisterProvider exposes a named attribute source (an "MBean").
+func (m *MetricsService) RegisterProvider(name string, provider func() map[string]any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.providers[name] = provider
+}
+
+// UnregisterProvider removes a source.
+func (m *MetricsService) UnregisterProvider(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.providers, name)
+}
+
+// Names lists registered providers, sorted.
+func (m *MetricsService) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.providers))
+	for name := range m.providers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read returns the attributes of one provider.
+func (m *MetricsService) Read(name string) (map[string]any, bool) {
+	m.mu.Lock()
+	provider, ok := m.providers[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return provider(), true
+}
+
+// Snapshot reads every provider.
+func (m *MetricsService) Snapshot() map[string]map[string]any {
+	out := make(map[string]map[string]any)
+	for _, name := range m.Names() {
+		if attrs, ok := m.Read(name); ok {
+			out[name] = attrs
+		}
+	}
+	return out
+}
+
+// FrameworkProvider exposes bundle/service counts of a framework — what an
+// administrator sees on the JMX console.
+func FrameworkProvider(f *module.Framework) func() map[string]any {
+	return func() map[string]any {
+		bundles := f.Bundles()
+		states := make(map[string]int)
+		for _, b := range bundles {
+			states[b.State().String()]++
+		}
+		refs, _ := f.SystemContext().ServiceReferences("", "")
+		attrs := map[string]any{
+			"bundles":  len(bundles),
+			"services": len(refs),
+		}
+		for state, n := range states {
+			attrs["bundles."+state] = n
+		}
+		return attrs
+	}
+}
+
+// MetricsBundleDefinition packages the metrics service as a bundle.
+func MetricsBundleDefinition(svc *MetricsService) *module.Definition {
+	return &module.Definition{
+		ManifestText: `Bundle-SymbolicName: javax.management
+Bundle-Version: 1.0.0
+Bundle-Activator: javax.management.Activator
+Export-Package: javax.management
+`,
+		Classes: map[string]any{
+			"javax.management.MBeanServer": "interface:MBeanServer",
+		},
+		NewActivator: func() module.Activator {
+			var reg *module.ServiceRegistration
+			return &module.ActivatorFuncs{
+				OnStart: func(ctx *module.Context) error {
+					svc.RegisterProvider("framework:"+ctx.Framework().Name(), FrameworkProvider(ctx.Framework()))
+					var err error
+					reg, err = ctx.RegisterSingle(MetricsServiceClass, svc, nil)
+					return err
+				},
+				OnStop: func(ctx *module.Context) error {
+					svc.UnregisterProvider("framework:" + ctx.Framework().Name())
+					if reg != nil {
+						_ = reg.Unregister()
+					}
+					return nil
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,230 @@
+// Package sim provides the deterministic discrete-event engine that drives
+// every cluster-level experiment: virtual time, one-shot and periodic
+// timers, and a seeded random source. All callbacks run on the goroutine
+// that calls Run/Step, so components written against it need no locking of
+// their own.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// Engine is a single-threaded discrete-event scheduler with virtual time.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	stopped bool
+}
+
+var _ clock.Scheduler = (*Engine)(nil)
+
+// New returns an engine whose virtual clock starts at zero and whose random
+// source is seeded with seed, making every run reproducible.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from event callbacks (or before Run), never concurrently.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// After schedules fn to run once, delay from the current virtual time.
+func (e *Engine) After(delay time.Duration, fn func()) clock.Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, 0, fn)
+}
+
+// At schedules fn at an absolute virtual time. Times in the past run as the
+// next event without advancing the clock backwards.
+func (e *Engine) At(t time.Duration, fn func()) clock.Timer {
+	if t < e.now {
+		t = e.now
+	}
+	return e.schedule(t, 0, fn)
+}
+
+// Every schedules fn to run periodically. The first firing happens one
+// interval from now.
+func (e *Engine) Every(interval time.Duration, fn func()) clock.Timer {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	return e.schedule(e.now+interval, interval, fn)
+}
+
+func (e *Engine) schedule(due time.Duration, interval time.Duration, fn func()) *event {
+	e.seq++
+	ev := &event{
+		engine:   e,
+		due:      due,
+		seq:      e.seq,
+		interval: interval,
+		fn:       fn,
+	}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing the virtual clock to its
+// due time. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.due > e.now {
+			e.now = ev.due
+		}
+		if ev.interval > 0 {
+			// Reschedule before running so the callback can Cancel it.
+			ev.due = e.now + ev.interval
+			e.seq++
+			ev.seq = e.seq
+			heap.Push(&e.queue, ev)
+			ev.fn()
+			return true
+		}
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. Periodic
+// timers keep an engine alive forever; bound those runs with RunUntil or
+// RunFor instead.
+func (e *Engine) Run() {
+	e.runGuard()
+	defer func() { e.running = false }()
+	for !e.stopped && e.Step() {
+	}
+	e.stopped = false
+}
+
+// RunUntil executes events with due time <= t and then advances the clock
+// to exactly t.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.runGuard()
+	defer func() { e.running = false }()
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	e.stopped = false
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() (time.Duration, bool) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev.due, true
+	}
+	return 0, false
+}
+
+func (e *Engine) runGuard() {
+	if e.running {
+		panic(fmt.Sprintf("sim: re-entrant Run at t=%v; event callbacks must not call Run", e.now))
+	}
+	e.running = true
+}
+
+// event implements clock.Timer.
+type event struct {
+	engine   *Engine
+	due      time.Duration
+	seq      uint64
+	interval time.Duration
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int
+}
+
+var _ clock.Timer = (*event)(nil)
+
+// Cancel implements clock.Timer. The event stays in the queue and is
+// skipped lazily; this keeps cancellation O(1).
+func (ev *event) Cancel() bool {
+	if ev.canceled || ev.fired {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// eventQueue is a min-heap ordered by (due, seq) so that events scheduled
+// for the same instant run in scheduling order.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

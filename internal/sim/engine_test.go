@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayRunsImmediately(t *testing.T) {
+	e := New(1)
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards or forwards: %v", e.Now())
+	}
+}
+
+func TestAtInPast(t *testing.T) {
+	e := New(1)
+	e.After(10*time.Millisecond, func() {
+		e.At(5*time.Millisecond, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("past At ran at %v, want clock unchanged at 10ms", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	ran := false
+	timer := e.After(time.Millisecond, func() { ran = true })
+	if !timer.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New(1)
+	var timer interface{ Cancel() bool }
+	timer = e.After(time.Millisecond, func() {})
+	e.Run()
+	if timer.Cancel() {
+		t.Fatal("Cancel after firing returned true")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := New(1)
+	count := 0
+	var timer interface{ Cancel() bool }
+	timer = e.Every(10*time.Millisecond, func() {
+		count++
+		if count == 5 {
+			timer.Cancel()
+		}
+	})
+	e.RunUntil(time.Second)
+	if count != 5 {
+		t.Fatalf("periodic fired %d times, want 5", count)
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("RunUntil left clock at %v", e.Now())
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	e.Every(30*time.Millisecond, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(90 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d times, want 3 (inclusive boundary)", len(fired))
+	}
+	e.RunFor(30 * time.Millisecond)
+	if len(fired) != 4 {
+		t.Fatalf("RunFor did not continue: %d", len(fired))
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Microsecond, recurse)
+		}
+	}
+	e.After(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt Run: count=%d", count)
+	}
+	// The engine must be reusable after Stop.
+	done := false
+	e.After(time.Millisecond, func() { done = true })
+	e.RunUntil(e.Now() + 2*time.Millisecond)
+	if !done {
+		t.Fatal("engine not reusable after Stop")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := New(seed)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			delay := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.After(delay, func() { out = append(out, int64(e.Now())) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New(1)
+	t1 := e.After(time.Second, func() {})
+	e.After(2*time.Second, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	t1.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := New(1)
+	e.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New(7)
+		var fireTimes []time.Duration
+		var maxDelay time.Duration
+		for _, d := range delays {
+			delay := time.Duration(d) * time.Microsecond
+			if delay > maxDelay {
+				maxDelay = delay
+			}
+			e.After(delay, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == maxDelay
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package sla models the Service Level Agreements the platform enforces:
+// "the customer buys a given service from the provider based on a Service
+// Level Agreement that states the available resources and guarantees" (§1).
+// Agreements carry resource entitlements and priority; the Tracker records
+// violations and per-instance availability, the two quantities the SLA
+// experiments (E6, E8) report.
+package sla
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Agreement is one customer's contract.
+type Agreement struct {
+	Customer string
+	// CPUMillicores is the entitled CPU (1000 = one core).
+	CPUMillicores int64
+	// MemoryBytes is the entitled memory.
+	MemoryBytes int64
+	// DiskBytes is the entitled disk.
+	DiskBytes int64
+	// Priority orders customers when resources run short (higher wins).
+	Priority int
+	// AvailabilityTarget is the contracted availability (e.g. 0.999).
+	AvailabilityTarget float64
+}
+
+// Violation records one observed breach.
+type Violation struct {
+	Instance string
+	Customer string
+	Resource string // "cpu", "memory", "disk", "availability"
+	Limit    float64
+	Observed float64
+	At       time.Duration
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("violation{%s %s %s observed=%.1f limit=%.1f at=%v}",
+		v.Instance, v.Customer, v.Resource, v.Observed, v.Limit, v.At)
+}
+
+// Tracker accumulates violations and availability intervals.
+type Tracker struct {
+	mu         sync.Mutex
+	violations map[string][]Violation
+	// downSince marks instances currently down; uptime bookkeeping.
+	downSince map[string]time.Duration
+	downTotal map[string]time.Duration
+	birth     map[string]time.Duration
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		violations: make(map[string][]Violation),
+		downSince:  make(map[string]time.Duration),
+		downTotal:  make(map[string]time.Duration),
+		birth:      make(map[string]time.Duration),
+	}
+}
+
+// Record stores a violation.
+func (t *Tracker) Record(v Violation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.violations[v.Instance] = append(t.violations[v.Instance], v)
+}
+
+// Violations returns the recorded breaches for an instance.
+func (t *Tracker) Violations(instance string) []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Violation, len(t.violations[instance]))
+	copy(out, t.violations[instance])
+	return out
+}
+
+// TotalViolations counts breaches across all instances.
+func (t *Tracker) TotalViolations() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, vs := range t.violations {
+		n += len(vs)
+	}
+	return n
+}
+
+// Instances lists instances with any record, sorted.
+func (t *Tracker) Instances() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := make(map[string]bool)
+	for id := range t.violations {
+		set[id] = true
+	}
+	for id := range t.birth {
+		set[id] = true
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkBorn starts availability accounting for an instance at time now.
+func (t *Tracker) MarkBorn(instance string, now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.birth[instance]; !ok {
+		t.birth[instance] = now
+	}
+}
+
+// MarkDown begins a downtime interval.
+func (t *Tracker) MarkDown(instance string, now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, down := t.downSince[instance]; !down {
+		t.downSince[instance] = now
+	}
+}
+
+// MarkUp ends a downtime interval.
+func (t *Tracker) MarkUp(instance string, now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if since, down := t.downSince[instance]; down {
+		t.downTotal[instance] += now - since
+		delete(t.downSince, instance)
+	}
+}
+
+// Downtime returns the cumulative downtime of an instance as of now.
+func (t *Tracker) Downtime(instance string, now time.Duration) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.downTotal[instance]
+	if since, down := t.downSince[instance]; down {
+		total += now - since
+	}
+	return total
+}
+
+// Availability returns the fraction of time the instance was up since
+// birth.
+func (t *Tracker) Availability(instance string, now time.Duration) float64 {
+	t.mu.Lock()
+	birth, known := t.birth[instance]
+	t.mu.Unlock()
+	if !known || now <= birth {
+		return 1.0
+	}
+	lifetime := now - birth
+	down := t.Downtime(instance, now)
+	if down >= lifetime {
+		return 0
+	}
+	return 1.0 - float64(down)/float64(lifetime)
+}
+
+// CheckAvailability records a violation when the measured availability is
+// below the agreement target; it reports whether a violation was recorded.
+func (t *Tracker) CheckAvailability(instance string, agr Agreement, now time.Duration) bool {
+	avail := t.Availability(instance, now)
+	if avail >= agr.AvailabilityTarget {
+		return false
+	}
+	t.Record(Violation{
+		Instance: instance,
+		Customer: agr.Customer,
+		Resource: "availability",
+		Limit:    agr.AvailabilityTarget,
+		Observed: avail,
+		At:       now,
+	})
+	return true
+}

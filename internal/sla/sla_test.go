@@ -1,0 +1,97 @@
+package sla
+
+import (
+	"testing"
+	"time"
+)
+
+func TestViolationRecording(t *testing.T) {
+	tr := NewTracker()
+	tr.Record(Violation{Instance: "i1", Customer: "acme", Resource: "cpu", Limit: 500, Observed: 900, At: time.Second})
+	tr.Record(Violation{Instance: "i1", Customer: "acme", Resource: "memory", Limit: 100, Observed: 150, At: 2 * time.Second})
+	tr.Record(Violation{Instance: "i2", Customer: "beta", Resource: "cpu", Limit: 200, Observed: 300, At: time.Second})
+
+	if got := len(tr.Violations("i1")); got != 2 {
+		t.Fatalf("i1 violations = %d", got)
+	}
+	if got := tr.TotalViolations(); got != 3 {
+		t.Fatalf("total = %d", got)
+	}
+	if got := len(tr.Violations("unknown")); got != 0 {
+		t.Fatalf("unknown violations = %d", got)
+	}
+}
+
+func TestAvailabilityAccounting(t *testing.T) {
+	tr := NewTracker()
+	tr.MarkBorn("i1", 0)
+	// Down from 2s to 3s out of a 10s life: 90% availability.
+	tr.MarkDown("i1", 2*time.Second)
+	tr.MarkUp("i1", 3*time.Second)
+	if got := tr.Downtime("i1", 10*time.Second); got != time.Second {
+		t.Fatalf("downtime = %v", got)
+	}
+	avail := tr.Availability("i1", 10*time.Second)
+	if avail < 0.899 || avail > 0.901 {
+		t.Fatalf("availability = %f", avail)
+	}
+}
+
+func TestAvailabilityWhileDown(t *testing.T) {
+	tr := NewTracker()
+	tr.MarkBorn("i1", 0)
+	tr.MarkDown("i1", 5*time.Second)
+	// Still down at t=10s: 5s of downtime and counting.
+	if got := tr.Downtime("i1", 10*time.Second); got != 5*time.Second {
+		t.Fatalf("open-interval downtime = %v", got)
+	}
+	if avail := tr.Availability("i1", 10*time.Second); avail != 0.5 {
+		t.Fatalf("availability = %f", avail)
+	}
+	// Double MarkDown is idempotent.
+	tr.MarkDown("i1", 7*time.Second)
+	if got := tr.Downtime("i1", 10*time.Second); got != 5*time.Second {
+		t.Fatalf("downtime after double mark = %v", got)
+	}
+	// MarkUp closes the original interval.
+	tr.MarkUp("i1", 10*time.Second)
+	if got := tr.Downtime("i1", 20*time.Second); got != 5*time.Second {
+		t.Fatalf("closed downtime = %v", got)
+	}
+}
+
+func TestAvailabilityUnknownInstance(t *testing.T) {
+	tr := NewTracker()
+	if avail := tr.Availability("ghost", time.Hour); avail != 1.0 {
+		t.Fatalf("unknown availability = %f", avail)
+	}
+}
+
+func TestCheckAvailability(t *testing.T) {
+	tr := NewTracker()
+	agr := Agreement{Customer: "acme", AvailabilityTarget: 0.99}
+	tr.MarkBorn("i1", 0)
+	tr.MarkDown("i1", 0)
+	tr.MarkUp("i1", time.Second) // 1s down of 10s = 90%
+	if !tr.CheckAvailability("i1", agr, 10*time.Second) {
+		t.Fatal("breach not detected")
+	}
+	vs := tr.Violations("i1")
+	if len(vs) != 1 || vs[0].Resource != "availability" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Long uptime heals the ratio: 1s down of 1000s = 99.9%.
+	if tr.CheckAvailability("i1", agr, 1000*time.Second) {
+		t.Fatal("healthy availability flagged")
+	}
+}
+
+func TestInstancesListing(t *testing.T) {
+	tr := NewTracker()
+	tr.MarkBorn("b", 0)
+	tr.Record(Violation{Instance: "a"})
+	got := tr.Instances()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Instances = %v", got)
+	}
+}

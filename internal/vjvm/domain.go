@@ -1,0 +1,220 @@
+package vjvm
+
+import (
+	"fmt"
+	"time"
+)
+
+// DomainOption configures a resource domain at creation.
+type DomainOption func(*Domain)
+
+// WithWeight sets the fair-share weight (priority). Default 1.
+func WithWeight(w int) DomainOption {
+	return func(d *Domain) {
+		if w > 0 {
+			d.weight = w
+		}
+	}
+}
+
+// WithCPULimit caps the domain's CPU allocation (0 = uncapped). This is the
+// throttle the Autonomic Module applies to over-consuming instances.
+func WithCPULimit(mc Millicores) DomainOption {
+	return func(d *Domain) { d.cpuLimit = mc }
+}
+
+// WithMemoryLimit caps the domain's memory (0 = node capacity only).
+func WithMemoryLimit(bytes int64) DomainOption {
+	return func(d *Domain) { d.memLimit = bytes }
+}
+
+// WithDiskLimit caps the domain's disk usage (0 = unlimited).
+func WithDiskLimit(bytes int64) DomainOption {
+	return func(d *Domain) { d.diskLimit = bytes }
+}
+
+// Domain is the JSR-284 analog: the resource accounting and control scope
+// of one virtual instance.
+type Domain struct {
+	vm *VJVM
+	id string
+
+	// Guarded by vm.mu.
+	weight    int
+	cpuLimit  Millicores
+	memLimit  int64
+	diskLimit int64
+	cpuUsed   time.Duration
+	memUsed   int64
+	diskUsed  int64
+	tasks     map[int64]*Task
+	rate      float64 // current allocation, millicores
+}
+
+// ID returns the domain id.
+func (d *Domain) ID() string { return d.id }
+
+// Weight returns the fair-share weight.
+func (d *Domain) Weight() int {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	return d.weight
+}
+
+// SetWeight changes the fair-share weight, rebalancing allocations.
+func (d *Domain) SetWeight(w int) {
+	if w < 1 {
+		w = 1
+	}
+	d.vm.mu.Lock()
+	d.vm.advanceLocked()
+	d.weight = w
+	d.vm.recomputeLocked()
+	d.vm.mu.Unlock()
+}
+
+// CPULimit returns the current CPU cap (0 = uncapped).
+func (d *Domain) CPULimit() Millicores {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	return d.cpuLimit
+}
+
+// SetCPULimit throttles (or unthrottles with 0) the domain.
+func (d *Domain) SetCPULimit(mc Millicores) {
+	d.vm.mu.Lock()
+	d.vm.advanceLocked()
+	d.cpuLimit = mc
+	d.vm.recomputeLocked()
+	d.vm.mu.Unlock()
+}
+
+// CPUTime returns the exact integrated CPU time consumed by the domain —
+// the measurement the paper could not obtain from the JVM.
+func (d *Domain) CPUTime() time.Duration {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	d.vm.advanceLocked()
+	return d.cpuUsed
+}
+
+// CPURate returns the domain's current allocation in millicores.
+func (d *Domain) CPURate() Millicores {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	d.vm.advanceLocked()
+	return Millicores(d.rate)
+}
+
+// RunningTasks returns the number of live tasks.
+func (d *Domain) RunningTasks() int {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	return len(d.tasks)
+}
+
+// Alloc reserves memory for the domain, enforcing the domain limit and the
+// node capacity.
+func (d *Domain) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("vjvm: negative allocation %d", bytes)
+	}
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	if d.memLimit > 0 && d.memUsed+bytes > d.memLimit {
+		return fmt.Errorf("%w: domain %s at %d/%d bytes, requested %d",
+			ErrMemoryExceeded, d.id, d.memUsed, d.memLimit, bytes)
+	}
+	nodeUsed := d.vm.baseOverhead
+	for _, other := range d.vm.domains {
+		nodeUsed += other.memUsed
+	}
+	if nodeUsed+bytes > d.vm.memCapacity {
+		return fmt.Errorf("%w: node at %d/%d bytes, requested %d",
+			ErrMemoryExceeded, nodeUsed, d.vm.memCapacity, bytes)
+	}
+	d.memUsed += bytes
+	return nil
+}
+
+// Free releases memory.
+func (d *Domain) Free(bytes int64) {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	d.memUsed -= bytes
+	if d.memUsed < 0 {
+		d.memUsed = 0
+	}
+}
+
+// MemUsed returns the domain's current memory usage.
+func (d *Domain) MemUsed() int64 {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	return d.memUsed
+}
+
+// AllocDisk reserves disk space.
+func (d *Domain) AllocDisk(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("vjvm: negative disk allocation %d", bytes)
+	}
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	if d.diskLimit > 0 && d.diskUsed+bytes > d.diskLimit {
+		return fmt.Errorf("%w: domain %s at %d/%d bytes, requested %d",
+			ErrDiskExceeded, d.id, d.diskUsed, d.diskLimit, bytes)
+	}
+	d.diskUsed += bytes
+	return nil
+}
+
+// FreeDisk releases disk space.
+func (d *Domain) FreeDisk(bytes int64) {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	d.diskUsed -= bytes
+	if d.diskUsed < 0 {
+		d.diskUsed = 0
+	}
+}
+
+// DiskUsed returns the domain's disk usage.
+func (d *Domain) DiskUsed() int64 {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	return d.diskUsed
+}
+
+// Usage is a point-in-time snapshot of a domain's consumption.
+type Usage struct {
+	Domain    string
+	CPUTime   time.Duration
+	CPURate   Millicores
+	CPULimit  Millicores
+	Memory    int64
+	MemLimit  int64
+	Disk      int64
+	DiskLimit int64
+	Tasks     int
+	Weight    int
+}
+
+// Snapshot captures the domain's current usage.
+func (d *Domain) Snapshot() Usage {
+	d.vm.mu.Lock()
+	defer d.vm.mu.Unlock()
+	d.vm.advanceLocked()
+	return Usage{
+		Domain:    d.id,
+		CPUTime:   d.cpuUsed,
+		CPURate:   Millicores(d.rate),
+		CPULimit:  d.cpuLimit,
+		Memory:    d.memUsed,
+		MemLimit:  d.memLimit,
+		Disk:      d.diskUsed,
+		DiskLimit: d.diskLimit,
+		Tasks:     len(d.tasks),
+		Weight:    d.weight,
+	}
+}

@@ -1,0 +1,457 @@
+// Package vjvm simulates a resource-aware Java virtual machine: the
+// substrate the paper's Monitoring Module needed and could not get from the
+// 2008 JVM (§3.1). It provides
+//
+//   - a fluid-model CPU scheduler: tasks carry CPU-time demands, node
+//     capacity is divided among resource domains by weighted max-min fair
+//     share, and per-domain consumption is integrated exactly over virtual
+//     time (what JSR-284 promised);
+//   - byte-accurate memory and disk accounting with per-domain limits;
+//   - the paper's workaround — sampling running tasks the way
+//     ThreadMXBean + ThreadGroup can — as ThreadGroupEstimator, so the
+//     approximation error the paper complains about is measurable
+//     (experiment E5).
+//
+// All callbacks run on the clock.Scheduler's callback thread; public
+// methods are safe for concurrent use.
+package vjvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// Millicores expresses CPU capacity; 1000 = one fully used core.
+type Millicores int64
+
+// Errors returned by the runtime.
+var (
+	// ErrDomainExists is returned when creating a duplicate domain.
+	ErrDomainExists = errors.New("vjvm: domain already exists")
+	// ErrDomainNotFound is returned for operations on unknown domains.
+	ErrDomainNotFound = errors.New("vjvm: domain not found")
+	// ErrMemoryExceeded is returned when an allocation would exceed a
+	// domain limit or the node capacity.
+	ErrMemoryExceeded = errors.New("vjvm: memory limit exceeded")
+	// ErrDiskExceeded is the disk counterpart of ErrMemoryExceeded.
+	ErrDiskExceeded = errors.New("vjvm: disk limit exceeded")
+	// ErrStopped is returned after the runtime has been shut down.
+	ErrStopped = errors.New("vjvm: runtime stopped")
+)
+
+// Option configures a VJVM.
+type Option func(*VJVM)
+
+// WithCapacity sets the node CPU capacity (default 2000 = 2 cores).
+func WithCapacity(mc Millicores) Option {
+	return func(v *VJVM) { v.capacity = mc }
+}
+
+// WithMemoryCapacity sets the node memory capacity in bytes (default 4GiB).
+func WithMemoryCapacity(bytes int64) Option {
+	return func(v *VJVM) { v.memCapacity = bytes }
+}
+
+// WithBaseOverhead sets the fixed memory footprint of the runtime itself —
+// what makes one-JVM-per-customer expensive in Figure 1 (default 64MiB).
+func WithBaseOverhead(bytes int64) Option {
+	return func(v *VJVM) { v.baseOverhead = bytes }
+}
+
+// VJVM is one simulated JVM process on a node.
+type VJVM struct {
+	sched clock.Scheduler
+
+	mu           sync.Mutex
+	capacity     Millicores
+	memCapacity  int64
+	baseOverhead int64
+	domains      map[string]*Domain
+	nextTaskID   int64
+	timer        clock.Timer
+	lastAdvance  time.Duration
+	totalCPU     time.Duration
+	stopped      bool
+}
+
+// New builds a runtime driven by sched.
+func New(sched clock.Scheduler, opts ...Option) *VJVM {
+	v := &VJVM{
+		sched:        sched,
+		capacity:     2000,
+		memCapacity:  4 << 30,
+		baseOverhead: 64 << 20,
+		domains:      make(map[string]*Domain),
+		lastAdvance:  sched.Now(),
+	}
+	for _, opt := range opts {
+		opt(v)
+	}
+	return v
+}
+
+// Capacity returns the node CPU capacity.
+func (v *VJVM) Capacity() Millicores {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.capacity
+}
+
+// BaseOverhead returns the fixed memory footprint.
+func (v *VJVM) BaseOverhead() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.baseOverhead
+}
+
+// MemoryCapacity returns the node memory capacity.
+func (v *VJVM) MemoryCapacity() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.memCapacity
+}
+
+// MemoryUsed returns base overhead plus all domain allocations.
+func (v *VJVM) MemoryUsed() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	used := v.baseOverhead
+	for _, d := range v.domains {
+		used += d.memUsed
+	}
+	return used
+}
+
+// TotalCPUTime returns the CPU time consumed by all domains since start.
+func (v *VJVM) TotalCPUTime() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.advanceLocked()
+	return v.totalCPU
+}
+
+// UsedCapacity returns the current aggregate CPU allocation.
+func (v *VJVM) UsedCapacity() Millicores {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.advanceLocked()
+	var used float64
+	for _, d := range v.domains {
+		used += d.rate
+	}
+	return Millicores(math.Round(used))
+}
+
+// Stop cancels all tasks (without completion callbacks) and rejects further
+// work.
+func (v *VJVM) Stop() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.advanceLocked()
+	v.stopped = true
+	for _, d := range v.domains {
+		d.tasks = make(map[int64]*Task)
+	}
+	v.recomputeLocked()
+}
+
+// CreateDomain registers a resource domain (one per virtual instance).
+func (v *VJVM) CreateDomain(id string, opts ...DomainOption) (*Domain, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopped {
+		return nil, ErrStopped
+	}
+	if _, dup := v.domains[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDomainExists, id)
+	}
+	d := &Domain{
+		vm:     v,
+		id:     id,
+		weight: 1,
+		tasks:  make(map[int64]*Task),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	v.domains[id] = d
+	return d, nil
+}
+
+// Domain returns a domain by id.
+func (v *VJVM) Domain(id string) (*Domain, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d, ok := v.domains[id]
+	return d, ok
+}
+
+// Domains returns all domains sorted by id.
+func (v *VJVM) Domains() []*Domain {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*Domain, 0, len(v.domains))
+	for _, d := range v.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// RemoveDomain cancels the domain's tasks (their callbacks fire with
+// completed=false) and releases its memory and disk.
+func (v *VJVM) RemoveDomain(id string) error {
+	v.mu.Lock()
+	d, ok := v.domains[id]
+	if !ok {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDomainNotFound, id)
+	}
+	v.advanceLocked()
+	var canceled []*Task
+	for _, t := range d.tasks {
+		canceled = append(canceled, t)
+	}
+	d.tasks = make(map[int64]*Task)
+	d.memUsed = 0
+	d.diskUsed = 0
+	delete(v.domains, id)
+	v.recomputeLocked()
+	v.mu.Unlock()
+	sort.Slice(canceled, func(i, j int) bool { return canceled[i].id < canceled[j].id })
+	for _, t := range canceled {
+		if t.onDone != nil {
+			t.onDone(false)
+		}
+	}
+	return nil
+}
+
+// Submit schedules a task consuming cpu CPU-time in the given domain.
+// onDone fires with completed=true when the work finishes, or false if the
+// task or its domain is canceled.
+func (v *VJVM) Submit(domainID string, cpu time.Duration, onDone func(completed bool)) (*Task, error) {
+	if cpu < 0 {
+		cpu = 0
+	}
+	v.mu.Lock()
+	if v.stopped {
+		v.mu.Unlock()
+		return nil, ErrStopped
+	}
+	d, ok := v.domains[domainID]
+	if !ok {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDomainNotFound, domainID)
+	}
+	v.advanceLocked()
+	v.nextTaskID++
+	t := &Task{
+		vm:        v,
+		id:        v.nextTaskID,
+		domain:    d,
+		remaining: float64(cpu),
+		onDone:    onDone,
+	}
+	if cpu == 0 {
+		v.recomputeLocked()
+		v.mu.Unlock()
+		if onDone != nil {
+			onDone(true)
+		}
+		return t, nil
+	}
+	d.tasks[t.id] = t
+	v.recomputeLocked()
+	v.mu.Unlock()
+	return t, nil
+}
+
+// advanceLocked integrates consumption from lastAdvance to now at the
+// current rates. Callers must hold v.mu.
+func (v *VJVM) advanceLocked() {
+	now := v.sched.Now()
+	dt := now - v.lastAdvance
+	v.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for _, d := range v.domains {
+		if len(d.tasks) == 0 || d.rate <= 0 {
+			continue
+		}
+		perTask := d.rate / float64(len(d.tasks)) / 1000.0 // cores per task
+		for _, t := range d.tasks {
+			consumed := perTask * float64(dt)
+			if consumed > t.remaining {
+				consumed = t.remaining
+			}
+			t.remaining -= consumed
+			t.consumed += time.Duration(consumed)
+			d.cpuUsed += time.Duration(consumed)
+			v.totalCPU += time.Duration(consumed)
+		}
+	}
+}
+
+// recomputeLocked recalculates fair-share rates, completes finished tasks
+// and schedules the next completion event. Callers must hold v.mu; the
+// completion callbacks of finished tasks are scheduled on the event loop
+// rather than invoked inline, keeping lock discipline simple.
+func (v *VJVM) recomputeLocked() {
+	const epsilon = 50 // ns of CPU-time considered done
+
+	// Complete finished tasks.
+	var done []*Task
+	for _, d := range v.domains {
+		for id, t := range d.tasks {
+			if t.remaining <= epsilon {
+				delete(d.tasks, id)
+				done = append(done, t)
+			}
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].id < done[j].id })
+	for _, t := range done {
+		cb := t.onDone
+		if cb != nil {
+			v.sched.After(0, func() { cb(true) })
+		}
+	}
+
+	// Weighted max-min fair share across domains with demand caps.
+	type share struct {
+		d      *Domain
+		demand float64 // millicores
+		alloc  float64
+	}
+	var active []*share
+	for _, d := range v.domains {
+		n := len(d.tasks)
+		if n == 0 {
+			d.rate = 0
+			continue
+		}
+		demand := float64(n) * 1000.0
+		if d.cpuLimit > 0 && demand > float64(d.cpuLimit) {
+			demand = float64(d.cpuLimit)
+		}
+		active = append(active, &share{d: d, demand: demand})
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].d.id < active[j].d.id })
+	remaining := float64(v.capacity)
+	unsat := active
+	for remaining > 1e-9 && len(unsat) > 0 {
+		var totalWeight float64
+		for _, s := range unsat {
+			totalWeight += float64(s.d.weight)
+		}
+		if totalWeight <= 0 {
+			break
+		}
+		progressed := false
+		var nextUnsat []*share
+		grant := remaining
+		for _, s := range unsat {
+			offer := grant * float64(s.d.weight) / totalWeight
+			take := math.Min(offer, s.demand-s.alloc)
+			if take > 0 {
+				s.alloc += take
+				remaining -= take
+				progressed = true
+			}
+			if s.demand-s.alloc > 1e-9 {
+				nextUnsat = append(nextUnsat, s)
+			}
+		}
+		unsat = nextUnsat
+		if !progressed {
+			break
+		}
+	}
+	for _, s := range active {
+		s.d.rate = s.alloc
+	}
+
+	// Schedule the next completion.
+	if v.timer != nil {
+		v.timer.Cancel()
+		v.timer = nil
+	}
+	if v.stopped {
+		return
+	}
+	next := math.Inf(1)
+	for _, d := range v.domains {
+		if len(d.tasks) == 0 || d.rate <= 0 {
+			continue
+		}
+		perTask := d.rate / float64(len(d.tasks)) / 1000.0
+		for _, t := range d.tasks {
+			eta := t.remaining / perTask
+			if eta < next {
+				next = eta
+			}
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	delay := time.Duration(math.Ceil(next))
+	if delay < time.Nanosecond {
+		delay = time.Nanosecond
+	}
+	v.timer = v.sched.After(delay, v.onTimer)
+}
+
+func (v *VJVM) onTimer() {
+	v.mu.Lock()
+	v.timer = nil
+	v.advanceLocked()
+	v.recomputeLocked()
+	v.mu.Unlock()
+}
+
+// Task is a unit of CPU work.
+type Task struct {
+	vm        *VJVM
+	id        int64
+	domain    *Domain
+	remaining float64 // ns of CPU-time left
+	consumed  time.Duration
+	onDone    func(completed bool)
+}
+
+// ID returns the task id.
+func (t *Task) ID() int64 { return t.id }
+
+// Consumed returns the CPU time the task has used so far.
+func (t *Task) Consumed() time.Duration {
+	t.vm.mu.Lock()
+	defer t.vm.mu.Unlock()
+	t.vm.advanceLocked()
+	return t.consumed
+}
+
+// Cancel aborts the task; onDone fires with completed=false if the task was
+// still running.
+func (t *Task) Cancel() {
+	t.vm.mu.Lock()
+	_, running := t.domain.tasks[t.id]
+	if running {
+		t.vm.advanceLocked()
+		delete(t.domain.tasks, t.id)
+		t.vm.recomputeLocked()
+	}
+	cb := t.onDone
+	t.vm.mu.Unlock()
+	if running && cb != nil {
+		cb(false)
+	}
+}
