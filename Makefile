@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all fmt vet build test bench check
+
+all: check
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+# The tier-1 gate: formatting, static checks, build, tests.
+check: fmt vet build test

@@ -130,6 +130,25 @@ func BenchmarkE9GCSCharacteristics(b *testing.B) {
 	b.ReportMetric(float64(rows[len(rows)-1].BroadcastTime.Milliseconds()), "broadcast16-ms")
 }
 
+// BenchmarkE10RemoteInvocation measures the remote service invocation
+// layer: throughput and tail latency of pipelined pooled connections
+// against the one-connection-per-call baseline (simulated units; the
+// harness cost is the wall time).
+func BenchmarkE10RemoteInvocation(b *testing.B) {
+	var rows []experiments.E10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E10RemoteInvocation(5000, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "pipelined-rps")
+	b.ReportMetric(float64(rows[0].P99.Microseconds()), "pipelined-p99-us")
+	b.ReportMetric(rows[1].Throughput, "percall-rps")
+	b.ReportMetric(float64(rows[1].P99.Microseconds()), "percall-p99-us")
+}
+
 // BenchmarkA1DelegationLookup measures class lookup cost: local class,
 // wired import, and parent delegation through a virtual framework (the
 // ablation behind Figure 4's lookup chain).

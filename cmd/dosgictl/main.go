@@ -5,6 +5,15 @@
 //	dosgictl create tenant-a
 //	dosgictl start tenant-a
 //	dosgictl list
+//	dosgictl exports
+//	dosgictl call echo Upper hello
+//	dosgictl call echo Add 40 2
+//
+// call invokes a remotely exported service through the daemon's remote
+// invocation stack (see internal/remote); arguments are parsed by the
+// daemon as int64, float64, bool, then string. Double-quote an argument
+// (shell-escaped, e.g. '"hello world"') to force string typing or embed
+// spaces.
 package main
 
 import (
@@ -19,18 +28,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "dosgid admin address")
+	timeout := flag.Duration("timeout", 15*time.Second, "response timeout (a CALL may walk the whole failover chain)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dosgictl [-addr host:port] <command> [args...]")
+		fmt.Fprintln(os.Stderr, "usage: dosgictl [-addr host:port] [-timeout d] <command> [args...]")
 		os.Exit(2)
 	}
-	if err := run(*addr, strings.Join(flag.Args(), " ")); err != nil {
+	if err := runWithTimeout(*addr, strings.Join(flag.Args(), " "), *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "dosgictl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, command string) error {
+func runWithTimeout(addr, command string, timeout time.Duration) error {
 	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
 	if err != nil {
 		return err
@@ -40,7 +50,7 @@ func run(addr, command string) error {
 		return err
 	}
 	// Responses end with a line starting with OK or ERR.
-	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
 		line := sc.Text()

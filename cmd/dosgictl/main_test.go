@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubAdmin speaks just enough of the dosgid admin protocol to exercise
+// runWithTimeout: one request line, scripted response lines.
+func stubAdmin(t *testing.T, respond func(cmd string) []string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				if !sc.Scan() {
+					return
+				}
+				for _, line := range respond(sc.Text()) {
+					fmt.Fprintf(conn, "%s\n", line)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRunPrintsUntilOK(t *testing.T) {
+	addr := stubAdmin(t, func(cmd string) []string {
+		if cmd != "CALL echo Upper hi" {
+			t.Errorf("daemon saw %q", cmd)
+		}
+		return []string{"HI", "OK 1 result(s)"}
+	})
+	if err := runWithTimeout(addr, "CALL echo Upper hi", 5*time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunReturnsDaemonError(t *testing.T) {
+	addr := stubAdmin(t, func(cmd string) []string {
+		return []string{"ERR no such service"}
+	})
+	err := runWithTimeout(addr, "CALL ghost X", 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "no such service") {
+		t.Fatalf("run err = %v", err)
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	// A listener closed before the dial: run must surface the error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	if err := runWithTimeout(addr, "STATUS", 5*time.Second); err == nil {
+		t.Fatal("run succeeded against closed listener")
+	}
+}

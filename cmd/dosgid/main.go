@@ -1,17 +1,27 @@
 // Command dosgid runs a single platform node in real time: a host OSGi
 // framework with the shared base services and an Instance Manager, exposed
 // over a line-oriented TCP admin protocol (the role RMI/JMX consoles play
-// in the paper's Figure 1 discussion). Use dosgictl to talk to it.
+// in the paper's Figure 1 discussion), plus a remote-services listener
+// serving every service.exported=true registration over the binary
+// invocation protocol of internal/remote. Use dosgictl to talk to it.
 //
-// Protocol (one command per line, responses end with "OK" or "ERR <msg>"):
+// Admin protocol (one command per line, responses end with "OK" or
+// "ERR <msg>"):
 //
 //	STATUS
 //	LIST
 //	CREATE <id> [sharedService ...]
 //	START <id> | STOP <id> | DESTROY <id>
 //	BUNDLES <id>
+//	EXPORTS
+//	CALL <service> <method> [args...]
 //	LOG [n]
 //	QUIT
+//
+// CALL invokes an exported service through the full remote stack — TCP
+// transport, connection pool, failover-aware invoker — resolving first to
+// this daemon's own remote listener, then to any -peer daemons, so a
+// service exported by a peer is reached transparently.
 package main
 
 import (
@@ -29,15 +39,86 @@ import (
 	"dosgi/internal/clock"
 	"dosgi/internal/core"
 	"dosgi/internal/module"
+	"dosgi/internal/remote"
 	"dosgi/internal/services"
 )
 
 func main() {
 	listenAddr := flag.String("listen", "127.0.0.1:7700", "admin listen address")
+	remoteAddr := flag.String("remote", "127.0.0.1:7790", "remote-services listen address")
+	peers := flag.String("peers", "", "comma-separated remote-services addresses of peer daemons (failover targets)")
 	flag.Parse()
 
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	d, err := newDaemon(*listenAddr, *remoteAddr, peerList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.close()
+	log.Printf("dosgid: admin on %s, remote services on %s", d.adminLn.Addr(), d.remoteSrv.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		_ = d.adminLn.Close()
+	}()
+	d.serveAdmin()
+}
+
+// echoService is the built-in exported demo service.
+type echoService struct{}
+
+func (echoService) Upper(s string) string { return strings.ToUpper(s) }
+
+func (echoService) Reverse(s string) string {
+	runes := []rune(s)
+	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+		runes[i], runes[j] = runes[j], runes[i]
+	}
+	return string(runes)
+}
+
+func (echoService) Add(a, b int64) int64 { return a + b }
+
+// daemon bundles one dosgid node's moving parts so tests can run it
+// in-process on ephemeral ports.
+type daemon struct {
+	sched     *clock.Real
+	host      *module.Framework
+	mgr       *core.Manager
+	exporter  *remote.Exporter
+	remoteSrv *remote.TCPServer
+	invoker   *remote.Invoker
+	adminLn   net.Listener
+}
+
+// daemonResolver resolves CALL targets: the local remote listener first
+// when the service is exported here, then every configured peer.
+type daemonResolver struct {
+	exporter *remote.Exporter
+	self     string
+	peers    []string
+}
+
+func (r *daemonResolver) Endpoints(service string) []remote.Endpoint {
+	var eps []remote.Endpoint
+	if _, ok := r.exporter.Lookup(service); ok {
+		eps = append(eps, remote.Endpoint{Node: "self", Addr: r.self})
+	}
+	for _, p := range r.peers {
+		eps = append(eps, remote.Endpoint{Addr: p})
+	}
+	return eps
+}
+
+func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	sched := clock.NewReal()
-	defer sched.Stop()
 
 	defs := module.NewDefinitionRegistry()
 	defs.MustAdd("base:log", services.LogBundleDefinition(sched))
@@ -48,42 +129,134 @@ func main() {
 
 	host := module.New(module.WithName("dosgid"), module.WithDefinitions(defs))
 	if err := host.Start(); err != nil {
-		log.Fatal(err)
+		sched.Stop()
+		return nil, err
 	}
 	logBundle, err := host.InstallBundle("base:log")
 	if err != nil {
-		log.Fatal(err)
+		sched.Stop()
+		return nil, err
 	}
 	if err := logBundle.Start(); err != nil {
-		log.Fatal(err)
+		sched.Stop()
+		return nil, err
 	}
 	mgr := core.NewManager(host, core.Hooks{})
 
-	ln, err := net.Listen("tcp", *listenAddr)
-	if err != nil {
-		log.Fatal(err)
+	// The built-in exported service plus anything registered later with
+	// service.exported=true becomes remotely invocable.
+	if _, err := host.SystemContext().RegisterSingle("dosgi.Echo", echoService{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "echo",
+	}); err != nil {
+		sched.Stop()
+		return nil, err
 	}
-	log.Printf("dosgid: admin on %s", ln.Addr())
+	exporter, err := remote.NewExporter(host.SystemContext())
+	if err != nil {
+		sched.Stop()
+		return nil, err
+	}
 
-	done := make(chan os.Signal, 1)
-	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
-	go func() {
-		<-done
-		_ = ln.Close()
-	}()
+	remoteLn, err := net.Listen("tcp", remoteAddr)
+	if err != nil {
+		sched.Stop()
+		return nil, err
+	}
+	remoteSrv := remote.ServeTCP(remoteLn, remote.NewDispatcher(exporter))
 
+	transport := remote.NewTCPTransport(sched)
+	pool := remote.NewPool(transport)
+	// Ordered resolution: the resolver's local-first preference must hold
+	// on every call, not be rotated away.
+	invoker := remote.NewInvoker(pool, &daemonResolver{
+		exporter: exporter,
+		self:     remoteLn.Addr().String(),
+		peers:    peers,
+	}, remote.WithOrderedResolution())
+
+	adminLn, err := net.Listen("tcp", adminAddr)
+	if err != nil {
+		remoteSrv.Close()
+		sched.Stop()
+		return nil, err
+	}
+	return &daemon{
+		sched:     sched,
+		host:      host,
+		mgr:       mgr,
+		exporter:  exporter,
+		remoteSrv: remoteSrv,
+		invoker:   invoker,
+		adminLn:   adminLn,
+	}, nil
+}
+
+// serveAdmin accepts admin connections until the listener closes.
+func (d *daemon) serveAdmin() {
 	for {
-		conn, err := ln.Accept()
+		conn, err := d.adminLn.Accept()
 		if err != nil {
 			log.Printf("dosgid: shutting down: %v", err)
 			return
 		}
-		go serve(conn, host, mgr)
+		go d.serve(conn)
 	}
 }
 
-func serve(conn net.Conn, host *module.Framework, mgr *core.Manager) {
+func (d *daemon) close() {
+	_ = d.adminLn.Close()
+	d.invoker.Pool().Close()
+	d.remoteSrv.Close()
+	d.sched.Stop()
+}
+
+// parseCallArg maps a CLI token to a wire value: int64, float64, bool,
+// then string. Double quotes force string (`"42"` stays "42") and allow
+// embedded spaces.
+func parseCallArg(tok string) any {
+	if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(tok, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseBool(tok); err == nil {
+		return v
+	}
+	return strings.Trim(tok, `"`)
+}
+
+// splitCommand tokenizes an admin line like strings.Fields but keeps
+// double-quoted segments — quotes included, so parseCallArg still sees
+// them — intact: `CALL echo Upper "hello world"` is four tokens.
+func splitCommand(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case !inQuote && (r == ' ' || r == '\t'):
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func (d *daemon) serve(conn net.Conn) {
 	defer conn.Close()
+	host, mgr := d.host, d.mgr
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	reply := func(format string, args ...any) {
@@ -91,7 +264,7 @@ func serve(conn net.Conn, host *module.Framework, mgr *core.Manager) {
 		_ = out.Flush()
 	}
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+		fields := splitCommand(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
@@ -102,15 +275,47 @@ func serve(conn net.Conn, host *module.Framework, mgr *core.Manager) {
 			return
 		case "STATUS":
 			refs, _ := host.SystemContext().ServiceReferences("", "")
-			reply("framework=%s state=%s bundles=%d services=%d instances=%d",
-				host.Name(), host.State(), len(host.Bundles()), len(refs), len(mgr.List()))
+			reply("framework=%s state=%s bundles=%d services=%d instances=%d exports=%d",
+				host.Name(), host.State(), len(host.Bundles()), len(refs), len(mgr.List()),
+				len(d.exporter.Names()))
 			reply("OK")
 		case "LIST":
 			for _, inst := range mgr.List() {
-				d := inst.Descriptor()
-				reply("%s customer=%s state=%s", d.ID, d.Customer, inst.State())
+				desc := inst.Descriptor()
+				reply("%s customer=%s state=%s", desc.ID, desc.Customer, inst.State())
 			}
 			reply("OK %d instance(s)", len(mgr.List()))
+		case "EXPORTS":
+			for _, name := range d.exporter.Names() {
+				reply("%s", name)
+			}
+			reply("OK %d export(s)", len(d.exporter.Names()))
+		case "CALL":
+			if len(fields) < 3 {
+				reply("ERR usage: CALL <service> <method> [args...]")
+				continue
+			}
+			args := make([]any, 0, len(fields)-3)
+			for _, tok := range fields[3:] {
+				args = append(args, parseCallArg(tok))
+			}
+			results, err := d.invoker.Call(fields[1], fields[2], args...)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			// "= " keeps result values out of the OK/ERR status channel (a
+			// service returning "OK" or "ERR ..." must not terminate the
+			// response early), and embedded newlines are quoted so one
+			// result stays one protocol line.
+			for _, res := range results {
+				text := fmt.Sprintf("%v", res)
+				if strings.ContainsAny(text, "\n\r") {
+					text = strconv.Quote(text)
+				}
+				reply("= %s", text)
+			}
+			reply("OK %d result(s)", len(results))
 		case "CREATE":
 			if len(fields) < 2 {
 				reply("ERR usage: CREATE <id> [sharedService ...]")

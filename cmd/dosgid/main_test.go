@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/module"
+)
+
+// startDaemon runs an in-process dosgid on ephemeral ports.
+func startDaemon(t *testing.T, peers ...string) *daemon {
+	t.Helper()
+	d, err := newDaemon("127.0.0.1:0", "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.serveAdmin()
+	t.Cleanup(d.close)
+	return d
+}
+
+// admin sends one admin command and returns the response lines up to and
+// including the OK/ERR terminator — the same protocol dosgictl speaks.
+func admin(t *testing.T, d *daemon, command string) []string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", d.adminLn.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", command); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var lines []string
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		if strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") {
+			return lines
+		}
+	}
+	t.Fatalf("no terminator in response %q (err=%v)", lines, sc.Err())
+	return nil
+}
+
+func last(lines []string) string { return lines[len(lines)-1] }
+
+func TestAdminCallInvokesOverTCP(t *testing.T) {
+	d := startDaemon(t)
+
+	lines := admin(t, d, "CALL echo Upper hello")
+	if len(lines) != 2 || lines[0] != "= HELLO" || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("CALL Upper = %q", lines)
+	}
+	lines = admin(t, d, "CALL echo Add 40 2")
+	if lines[0] != "= 42" {
+		t.Fatalf("CALL Add = %q", lines)
+	}
+	lines = admin(t, d, "CALL echo Reverse dosgi")
+	if lines[0] != "= igsod" {
+		t.Fatalf("CALL Reverse = %q", lines)
+	}
+	// Unknown method is an application error, reported as ERR.
+	lines = admin(t, d, "CALL echo Nope")
+	if !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("CALL Nope = %q", lines)
+	}
+	// Unresolvable service.
+	lines = admin(t, d, "CALL ghost X")
+	if !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("CALL ghost = %q", lines)
+	}
+}
+
+func TestAdminExportsAndStatus(t *testing.T) {
+	d := startDaemon(t)
+	lines := admin(t, d, "EXPORTS")
+	if len(lines) != 2 || lines[0] != "echo" || last(lines) != "OK 1 export(s)" {
+		t.Fatalf("EXPORTS = %q", lines)
+	}
+	lines = admin(t, d, "STATUS")
+	if !strings.Contains(lines[0], "exports=1") {
+		t.Fatalf("STATUS = %q", lines)
+	}
+
+	// A service registered with service.exported=true becomes invocable
+	// while the daemon runs.
+	if _, err := d.host.SystemContext().RegisterSingle("dosgi.Extra", echoService{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "extra",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines = admin(t, d, "CALL extra Upper dyn")
+	if lines[0] != "= DYN" {
+		t.Fatalf("CALL extra = %q", lines)
+	}
+}
+
+func TestCallFailsOverToPeerDaemon(t *testing.T) {
+	// peer exports a service the front daemon does not have.
+	peer := startDaemon(t)
+	if _, err := peer.host.SystemContext().RegisterSingle("dosgi.Math", echoService{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "math",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	front := startDaemon(t, peer.remoteSrv.Addr().String())
+
+	// The service resolves only through the peer endpoint.
+	lines := admin(t, front, "CALL math Add 20 22")
+	if lines[0] != "= 42" || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("peer CALL = %q", lines)
+	}
+
+	// Local exports still resolve locally.
+	lines = admin(t, front, "CALL echo Upper local")
+	if lines[0] != "= LOCAL" {
+		t.Fatalf("local CALL = %q", lines)
+	}
+}
+
+func TestParseCallArg(t *testing.T) {
+	cases := []struct {
+		tok  string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"2.5", 2.5},
+		{"true", true},
+		{"hello", "hello"},
+		{`"quoted"`, "quoted"},
+	}
+	for _, tc := range cases {
+		if got := parseCallArg(tc.tok); got != tc.want {
+			t.Errorf("parseCallArg(%q) = %#v, want %#v", tc.tok, got, tc.want)
+		}
+	}
+}
+
+func TestCallQuotedMultiwordArgument(t *testing.T) {
+	d := startDaemon(t)
+	lines := admin(t, d, `CALL echo Upper "hello world"`)
+	if len(lines) != 2 || lines[0] != "= HELLO WORLD" || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("quoted CALL = %q", lines)
+	}
+	// Quotes force string type: "42" reaches Upper as a string, not int64.
+	lines = admin(t, d, `CALL echo Upper "42"`)
+	if lines[0] != "= 42" || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("forced-string CALL = %q", lines)
+	}
+}
+
+func TestSplitCommand(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{`CALL echo Upper hello`, []string{"CALL", "echo", "Upper", "hello"}},
+		{`CALL echo Upper "hello world"`, []string{"CALL", "echo", "Upper", `"hello world"`}},
+		{`  spaced   out  `, []string{"spaced", "out"}},
+		{``, nil},
+		{`a "b c" d`, []string{"a", `"b c"`, "d"}},
+	}
+	for _, tc := range cases {
+		got := splitCommand(tc.line)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitCommand(%q) = %q, want %q", tc.line, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitCommand(%q)[%d] = %q, want %q", tc.line, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestCallResultsStayOutOfStatusChannel(t *testing.T) {
+	// A service result that IS the string "OK" or "ERR ..." must not
+	// terminate or fail the admin response.
+	d := startDaemon(t)
+	lines := admin(t, d, "CALL echo Upper ok")
+	if len(lines) != 2 || lines[0] != "= OK" || last(lines) != "OK 1 result(s)" {
+		t.Fatalf("result 'OK' broke framing: %q", lines)
+	}
+	lines = admin(t, d, "CALL echo Upper err")
+	if len(lines) != 2 || lines[0] != "= ERR" || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("result 'ERR' broke framing: %q", lines)
+	}
+}
+
+// multiline is registered in the test to return a newline-bearing result.
+type multiline struct{}
+
+func (multiline) Lines() string { return "a\nOK 0 result(s)\nb" }
+
+func TestCallQuotesNewlineResults(t *testing.T) {
+	d := startDaemon(t)
+	if _, err := d.host.SystemContext().RegisterSingle("dosgi.Multi", multiline{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "multi",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := admin(t, d, "CALL multi Lines")
+	if len(lines) != 2 || last(lines) != "OK 1 result(s)" {
+		t.Fatalf("newline result broke framing: %q", lines)
+	}
+	if lines[0] != `= "a\nOK 0 result(s)\nb"` {
+		t.Fatalf("newline result = %q", lines[0])
+	}
+}

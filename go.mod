@@ -1,0 +1,3 @@
+module dosgi
+
+go 1.24

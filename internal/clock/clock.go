@@ -65,7 +65,7 @@ func (r *Real) After(delay time.Duration, fn func()) Timer {
 		delay = 0
 	}
 	t := &realTimer{parent: r}
-	t.inner = time.AfterFunc(delay, func() {
+	inner := time.AfterFunc(delay, func() {
 		if !t.markFired() {
 			return
 		}
@@ -73,6 +73,7 @@ func (r *Real) After(delay time.Duration, fn func()) Timer {
 		defer r.mu.Unlock()
 		fn()
 	})
+	t.setInner(inner)
 	r.track(t)
 	return t
 }
@@ -85,7 +86,7 @@ func (r *Real) Every(interval time.Duration, fn func()) Timer {
 	t := &realTimer{parent: r, periodic: true}
 	var schedule func()
 	schedule = func() {
-		t.inner = time.AfterFunc(interval, func() {
+		inner := time.AfterFunc(interval, func() {
 			if t.isCanceled() {
 				return
 			}
@@ -99,6 +100,7 @@ func (r *Real) Every(interval time.Duration, fn func()) Timer {
 				schedule()
 			}
 		})
+		t.setInner(inner)
 	}
 	schedule()
 	r.track(t)
@@ -149,6 +151,18 @@ type realTimer struct {
 }
 
 var _ Timer = (*realTimer)(nil)
+
+// setInner publishes the underlying timer under the mutex Cancel reads it
+// with; a cancellation that raced the assignment stops the timer here.
+func (t *realTimer) setInner(inner *time.Timer) {
+	t.mu.Lock()
+	t.inner = inner
+	canceled := t.canceled
+	t.mu.Unlock()
+	if canceled {
+		inner.Stop()
+	}
+}
 
 func (t *realTimer) Cancel() bool {
 	t.mu.Lock()

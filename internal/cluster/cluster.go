@@ -192,6 +192,12 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	n.mod = mod
 	n.mon = monitor.New(c.eng, n.vm)
 
+	// Remote services must wire up before the member starts so the
+	// view-change hook (connection pruning) misses nothing.
+	if err := n.setupRemote(); err != nil {
+		return nil, err
+	}
+
 	// SLA availability accounting across the instance lifecycle.
 	n.manager.OnEvent(func(ev core.Event) {
 		id := string(ev.Instance.ID())
@@ -330,6 +336,7 @@ func (c *Cluster) Crash(nodeID string) error {
 	n.mu.Unlock()
 	n.mon.Stop()
 	n.member.Crash()
+	n.teardownRemote()
 	n.vm.Stop()
 	n.nic.SetUp(false)
 	c.net.DetachNode(nodeID)
@@ -349,6 +356,7 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		n.powered = false
 		n.mu.Unlock()
 		n.mon.Stop()
+		n.teardownRemote()
 		c.metrics.UnregisterProvider("node:" + nodeID)
 		if onDone != nil {
 			onDone()

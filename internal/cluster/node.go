@@ -18,6 +18,7 @@ import (
 	"dosgi/internal/module"
 	"dosgi/internal/monitor"
 	"dosgi/internal/netsim"
+	"dosgi/internal/remote"
 	"dosgi/internal/services"
 	"dosgi/internal/vjvm"
 )
@@ -63,14 +64,18 @@ type Node struct {
 	cluster *Cluster
 	cfg     NodeConfig
 
-	vm      *vjvm.VJVM
-	nic     *netsim.NIC
-	host    *module.Framework
-	manager *core.Manager
-	member  *gcs.Member
-	mod     *migrate.Module
-	mon     *monitor.Monitor
-	logSvc  *services.LogService
+	vm        *vjvm.VJVM
+	nic       *netsim.NIC
+	host      *module.Framework
+	manager   *core.Manager
+	member    *gcs.Member
+	mod       *migrate.Module
+	mon       *monitor.Monitor
+	logSvc    *services.LogService
+	exporter  *remote.Exporter
+	remoteSrv *remote.NetsimServer
+	invoker   *remote.Invoker
+	importer  *remote.Importer
 
 	mu       sync.Mutex
 	powered  bool

@@ -1,0 +1,135 @@
+// Remote-services wiring: every node runs the full import/export stack of
+// internal/remote on the simulated fabric. Services registered in a node's
+// host framework with service.exported=true are announced through the
+// replicated migrate directory (total-order broadcast) and become
+// invocable from every other node through pooled, failover-aware netsim
+// connections; the gcs view-change hook severs pooled connections to
+// departed nodes so in-flight and queued calls fail over immediately.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dosgi/internal/gcs"
+	"dosgi/internal/migrate"
+	"dosgi/internal/module"
+	"dosgi/internal/netsim"
+	"dosgi/internal/remote"
+)
+
+// RemotePort is the remote-services listener port on every node.
+const RemotePort = 7100
+
+// RemoteCallTimeout bounds one call attempt; it sits well inside the
+// default failure-detector window (4 × 50ms) so a partitioned call fails
+// over before the membership view changes.
+const RemoteCallTimeout = 100 * time.Millisecond
+
+// directoryResolver resolves service replicas from the node's replica of
+// the cluster directory.
+type directoryResolver struct {
+	mod *migrate.Module
+}
+
+func (r directoryResolver) Endpoints(service string) []remote.Endpoint {
+	infos := r.mod.Directory().EndpointsFor(service)
+	eps := make([]remote.Endpoint, len(infos))
+	for i, info := range infos {
+		eps[i] = remote.Endpoint{Node: info.Node, Addr: info.Addr}
+	}
+	return eps
+}
+
+// remoteAddr is the node's remote-services listener address.
+func remoteAddr(ip netsim.IP) string {
+	return fmt.Sprintf("%s:%d", ip, RemotePort)
+}
+
+// setupRemote assembles the node's remote runtime. Call after the host
+// framework and migration module exist but BEFORE the group member starts,
+// so the view hook never misses a change.
+func (n *Node) setupRemote() error {
+	exporter, err := remote.NewExporter(n.host.SystemContext())
+	if err != nil {
+		return err
+	}
+	n.exporter = exporter
+
+	server := remote.NewNetsimServer(n.nic,
+		netsim.Addr{IP: n.cfg.IP, Port: RemotePort},
+		remote.NewDispatcher(exporter))
+	if err := server.Start(); err != nil {
+		exporter.Close()
+		return err
+	}
+	n.remoteSrv = server
+
+	transport := remote.NewNetsimTransport(n.cluster.eng, n.nic, n.cfg.IP,
+		remote.WithNetsimCallTimeout(RemoteCallTimeout))
+	pool := remote.NewPool(transport)
+	n.invoker = remote.NewInvoker(pool, directoryResolver{mod: n.mod})
+	n.importer = remote.NewImporter(n.host.SystemContext(), n.invoker)
+
+	// Exports flow into the replicated directory; withdrawals flow out.
+	exporter.OnChange(func(ev remote.ExportEvent) {
+		if ev.Exported {
+			n.mod.AnnounceEndpoint(ev.Name, remoteAddr(n.cfg.IP))
+		} else {
+			n.mod.WithdrawEndpoint(ev.Name)
+		}
+	})
+
+	// View changes sever pooled connections to departed nodes. This
+	// handler is registered before the migration module's, so it still
+	// sees the dead nodes' endpoint records and can map them to pooled
+	// addresses.
+	n.member.OnViewChange(func(v gcs.View) {
+		var all []remote.Endpoint
+		for _, info := range n.mod.Directory().Endpoints() {
+			all = append(all, remote.Endpoint{Node: info.Node, Addr: info.Addr})
+		}
+		n.invoker.PruneNodes(v.Members, all)
+	})
+	return nil
+}
+
+// teardownRemote stops the node's remote runtime (crash or power-off).
+func (n *Node) teardownRemote() {
+	if n.remoteSrv != nil {
+		n.remoteSrv.Stop()
+	}
+	if n.invoker != nil {
+		n.invoker.Pool().Close()
+	}
+}
+
+// Exporter returns the node's remote-service exporter.
+func (n *Node) Exporter() *remote.Exporter { return n.exporter }
+
+// Invoker returns the node's remote-service invoker.
+func (n *Node) Invoker() *remote.Invoker { return n.invoker }
+
+// RemoteAddr returns the node's remote-services listener address.
+func (n *Node) RemoteAddr() string { return remoteAddr(n.cfg.IP) }
+
+// ExportService registers svc in the node's host framework marked for
+// export under name, making it invocable from every node.
+func (n *Node) ExportService(name, class string, svc any) (*module.ServiceRegistration, error) {
+	return n.host.SystemContext().RegisterSingle(class, svc, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: name,
+	})
+}
+
+// ImportService registers a client proxy for a remotely exported service
+// into this node's host framework and returns it.
+func (n *Node) ImportService(class, service string) (*remote.Proxy, error) {
+	return n.importer.ImportService(class, service)
+}
+
+// InvokeRemote calls service.method from this node asynchronously; cb
+// fires with the results or the final post-failover error.
+func (n *Node) InvokeRemote(service, method string, args []any, cb func([]any, error)) {
+	n.invoker.Go(service, method, args, cb)
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/module"
+	"dosgi/internal/remote"
+)
+
+// greeter is the exported test service.
+type greeter struct{ node string }
+
+func (g greeter) Greet(name string) string { return "hello " + name + " from " + g.node }
+
+func (g greeter) Shout(s string) string { return strings.ToUpper(s) + "!" }
+
+// exportGreeter publishes a greeter replica on node.
+func exportGreeter(t *testing.T, n *Node) {
+	t.Helper()
+	if _, err := n.ExportService("greeter", "app.Greeter", greeter{node: n.ID()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteInvocationAcrossNodes(t *testing.T) {
+	c := newCluster(t, 3)
+	nodes := c.Nodes()
+	exportGreeter(t, nodes[0])
+	c.Settle(500 * time.Millisecond)
+
+	// The endpoint replicated into every node's directory.
+	for _, n := range nodes {
+		eps := n.Migration().Directory().EndpointsFor("greeter")
+		if len(eps) != 1 || eps[0].Node != nodes[0].ID() {
+			t.Fatalf("node %s directory endpoints = %+v", n.ID(), eps)
+		}
+	}
+
+	// Framework B (node02's host) invokes framework A's (node00's) service.
+	var results []any
+	var callErr error
+	done := false
+	nodes[2].InvokeRemote("greeter", "Greet", []any{"world"}, func(res []any, err error) {
+		results, callErr, done = res, err, true
+	})
+	c.Settle(100 * time.Millisecond)
+	if !done || callErr != nil {
+		t.Fatalf("remote call: done=%v err=%v", done, callErr)
+	}
+	if want := "hello world from node00"; len(results) != 1 || results[0] != want {
+		t.Fatalf("results = %v, want %q", results, want)
+	}
+}
+
+func TestRemoteInvocationThroughImportedProxy(t *testing.T) {
+	c := newCluster(t, 2)
+	nodes := c.Nodes()
+	exportGreeter(t, nodes[0])
+	c.Settle(500 * time.Millisecond)
+
+	// Import the remote service into node01's host framework: client
+	// bundles see a plain local registration.
+	if _, err := nodes[1].ImportService("app.Greeter", "greeter"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := nodes[1].Host().SystemContext()
+	ref, ok := ctx.ServiceReference("app.Greeter")
+	if !ok {
+		t.Fatal("imported proxy not visible in registry")
+	}
+	if imported, _ := ref.Property(module.PropServiceImported).(bool); !imported {
+		t.Fatal("proxy missing service.imported")
+	}
+	svc, err := ctx.GetService(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := svc.(*remote.Proxy)
+
+	done := false
+	var results []any
+	proxy.Go("Shout", []any{"osgi"}, func(res []any, err error) {
+		if err != nil {
+			t.Errorf("proxy call: %v", err)
+			return
+		}
+		results, done = res, true
+	})
+	c.Settle(100 * time.Millisecond)
+	if !done || len(results) != 1 || results[0] != "OSGI!" {
+		t.Fatalf("proxy results = %v (done=%v)", results, done)
+	}
+}
+
+func TestRemoteFailoverOnNodeCrash(t *testing.T) {
+	c := newCluster(t, 3)
+	nodes := c.Nodes()
+	// Two replicas: node00 and node01; node02 is the client.
+	exportGreeter(t, nodes[0])
+	exportGreeter(t, nodes[1])
+	c.Settle(500 * time.Millisecond)
+
+	client := nodes[2]
+	if eps := client.Migration().Directory().EndpointsFor("greeter"); len(eps) != 2 {
+		t.Fatalf("directory endpoints = %+v", eps)
+	}
+
+	// Warm both replicas.
+	warmed := 0
+	for i := 0; i < 4; i++ {
+		client.InvokeRemote("greeter", "Shout", []any{"warm"}, func(res []any, err error) {
+			if err == nil {
+				warmed++
+			}
+		})
+	}
+	c.Settle(200 * time.Millisecond)
+	if warmed != 4 {
+		t.Fatalf("warm-up calls ok = %d/4", warmed)
+	}
+
+	// Crash replica node00, then keep calling: every call must succeed
+	// against the survivor via retryable failover, before AND after the
+	// failure detector removes node00 from the view.
+	if err := c.Crash(nodes[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	okCalls, failed := 0, 0
+	for i := 0; i < 6; i++ {
+		client.InvokeRemote("greeter", "Greet", []any{"survivor"}, func(res []any, err error) {
+			if err != nil {
+				failed++
+				return
+			}
+			if res[0] == "hello survivor from node01" {
+				okCalls++
+			}
+		})
+	}
+	c.Settle(2 * time.Second) // past detection + view change
+	if okCalls != 6 || failed != 0 {
+		t.Fatalf("post-crash calls: ok=%d failed=%d", okCalls, failed)
+	}
+
+	// The view change pruned the dead replica's endpoint record.
+	eps := client.Migration().Directory().EndpointsFor("greeter")
+	if len(eps) != 1 || eps[0].Node != nodes[1].ID() {
+		t.Fatalf("directory after crash = %+v", eps)
+	}
+	// And the dead endpoint's pooled connections are gone.
+	if n := client.Invoker().Pool().ConnCount(nodes[0].RemoteAddr()); n != 0 {
+		t.Fatalf("dead node still pooled: %d conns", n)
+	}
+}
+
+func TestRemoteUnexportWithdrawsEndpoint(t *testing.T) {
+	c := newCluster(t, 2)
+	nodes := c.Nodes()
+	reg, err := nodes[0].ExportService("greeter", "app.Greeter", greeter{node: nodes[0].ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(500 * time.Millisecond)
+	if eps := nodes[1].Migration().Directory().EndpointsFor("greeter"); len(eps) != 1 {
+		t.Fatalf("endpoints = %+v", eps)
+	}
+	if err := reg.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(500 * time.Millisecond)
+	if eps := nodes[1].Migration().Directory().EndpointsFor("greeter"); len(eps) != 0 {
+		t.Fatalf("endpoints after unexport = %+v", eps)
+	}
+	done := false
+	var callErr error
+	nodes[1].InvokeRemote("greeter", "Greet", []any{"x"}, func(res []any, err error) {
+		callErr, done = err, true
+	})
+	c.Settle(100 * time.Millisecond)
+	if !done || callErr == nil {
+		t.Fatalf("call after withdrawal: done=%v err=%v", done, callErr)
+	}
+}
+
+func TestWithdrawalLostInPartitionConvergesAfterHeal(t *testing.T) {
+	c := newCluster(t, 2)
+	nodes := c.Nodes()
+	reg, err := nodes[0].ExportService("greeter", "app.Greeter", greeter{node: nodes[0].ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(500 * time.Millisecond)
+	if eps := nodes[1].Migration().Directory().EndpointsFor("greeter"); len(eps) != 1 {
+		t.Fatalf("endpoints before partition = %+v", eps)
+	}
+
+	// Partition, withdraw on node00 (the broadcast cannot reach node01),
+	// then heal: the view-change endpoint sync must clear the stale
+	// record on node01.
+	c.Network().Partition(nodes[0].ID(), nodes[1].ID())
+	c.Settle(2 * time.Second) // views split
+	if err := reg.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(200 * time.Millisecond)
+	c.Network().Heal(nodes[0].ID(), nodes[1].ID())
+	c.Settle(3 * time.Second) // views merge + resync
+
+	if eps := nodes[1].Migration().Directory().EndpointsFor("greeter"); len(eps) != 0 {
+		t.Fatalf("stale endpoint survived heal: %+v", eps)
+	}
+}

@@ -220,3 +220,30 @@ func TestA4TotalOrderNeverDiverges(t *testing.T) {
 		t.Errorf("fifo never diverged in %d trials; ablation shows nothing", r.Trials)
 	}
 }
+
+func TestE10PipeliningBeatsPerCall(t *testing.T) {
+	rows, err := E10RemoteInvocation(2000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pipelined, perCall := rows[0], rows[1]
+	if pipelined.Mode != "pipelined" || perCall.Mode != "conn-per-call" {
+		t.Fatalf("modes = %s, %s", pipelined.Mode, perCall.Mode)
+	}
+	for _, r := range rows {
+		if r.Calls != 2000 || r.Throughput <= 0 || r.P99 <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	// Pipelining over one pooled connection must beat a handshake per
+	// call on both throughput and tail latency.
+	if pipelined.Throughput <= perCall.Throughput {
+		t.Errorf("pipelined %.0f rps <= per-call %.0f rps", pipelined.Throughput, perCall.Throughput)
+	}
+	if pipelined.P99 >= perCall.P99 {
+		t.Errorf("pipelined p99 %v >= per-call p99 %v", pipelined.P99, perCall.P99)
+	}
+}

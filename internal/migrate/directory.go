@@ -40,6 +40,16 @@ type NodeInfo struct {
 	MemCapacity int64  `json:"memCapacity"`
 }
 
+// EndpointInfo is the directory's record of one remotely invocable service
+// replica: which node exports it and the transport address of that node's
+// remote-services listener. The import-side Invoker resolves replicas from
+// these records.
+type EndpointInfo struct {
+	Service string `json:"service"`
+	Node    string `json:"node"`
+	Addr    string `json:"addr"`
+}
+
 // Directory is each node's replica of the cluster state. All mutations
 // arrive through totally-ordered broadcasts (or deterministic local
 // application on view changes), so replicas converge.
@@ -47,6 +57,7 @@ type Directory struct {
 	mu        sync.Mutex
 	instances map[core.InstanceID]InstanceInfo
 	nodes     map[string]NodeInfo
+	endpoints map[string]map[string]EndpointInfo // service → node → record
 }
 
 // NewDirectory returns an empty directory.
@@ -54,6 +65,7 @@ func NewDirectory() *Directory {
 	return &Directory{
 		instances: make(map[core.InstanceID]InstanceInfo),
 		nodes:     make(map[string]NodeInfo),
+		endpoints: make(map[string]map[string]EndpointInfo),
 	}
 }
 
@@ -126,6 +138,96 @@ func (d *Directory) Nodes() []NodeInfo {
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// PutEndpoint upserts a service endpoint record.
+func (d *Directory) PutEndpoint(info EndpointInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.putEndpointLocked(info)
+}
+
+func (d *Directory) putEndpointLocked(info EndpointInfo) {
+	byNode := d.endpoints[info.Service]
+	if byNode == nil {
+		byNode = make(map[string]EndpointInfo)
+		d.endpoints[info.Service] = byNode
+	}
+	byNode[info.Node] = info
+}
+
+// RemoveEndpoint deletes the record of service on node.
+func (d *Directory) RemoveEndpoint(service, node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byNode := d.endpoints[service]
+	delete(byNode, node)
+	if len(byNode) == 0 {
+		delete(d.endpoints, service)
+	}
+}
+
+// RemoveEndpointsOf deletes every endpoint exported by node (crash or
+// graceful leave, applied deterministically on view change).
+func (d *Directory) RemoveEndpointsOf(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeEndpointsOfLocked(node)
+}
+
+func (d *Directory) removeEndpointsOfLocked(node string) {
+	for service, byNode := range d.endpoints {
+		delete(byNode, node)
+		if len(byNode) == 0 {
+			delete(d.endpoints, service)
+		}
+	}
+}
+
+// ReplaceEndpointsOf makes infos the complete endpoint set of node,
+// dropping any stale records — the authoritative resync each node
+// broadcasts on view change, which re-converges replicas that missed
+// incremental withdrawals during a partition.
+func (d *Directory) ReplaceEndpointsOf(node string, infos []EndpointInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeEndpointsOfLocked(node)
+	for _, info := range infos {
+		if info.Node == node {
+			d.putEndpointLocked(info)
+		}
+	}
+}
+
+// EndpointsFor returns the replicas of service, sorted by node.
+func (d *Directory) EndpointsFor(service string) []EndpointInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]EndpointInfo, 0, len(d.endpoints[service]))
+	for _, info := range d.endpoints[service] {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Endpoints returns every endpoint record, sorted by service then node.
+func (d *Directory) Endpoints() []EndpointInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []EndpointInfo
+	for _, byNode := range d.endpoints {
+		for _, info := range byNode {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Node < out[j].Node
+	})
 	return out
 }
 

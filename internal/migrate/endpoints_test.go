@@ -1,0 +1,46 @@
+package migrate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDirectoryEndpointRecords(t *testing.T) {
+	d := NewDirectory()
+	d.PutEndpoint(EndpointInfo{Service: "kv", Node: "n2", Addr: "10.0.0.2:7100"})
+	d.PutEndpoint(EndpointInfo{Service: "kv", Node: "n1", Addr: "10.0.0.1:7100"})
+	d.PutEndpoint(EndpointInfo{Service: "auth", Node: "n1", Addr: "10.0.0.1:7100"})
+
+	got := d.EndpointsFor("kv")
+	want := []EndpointInfo{
+		{Service: "kv", Node: "n1", Addr: "10.0.0.1:7100"},
+		{Service: "kv", Node: "n2", Addr: "10.0.0.2:7100"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EndpointsFor(kv) = %+v", got)
+	}
+
+	// Upsert replaces in place.
+	d.PutEndpoint(EndpointInfo{Service: "kv", Node: "n1", Addr: "10.0.0.9:7100"})
+	if got := d.EndpointsFor("kv")[0].Addr; got != "10.0.0.9:7100" {
+		t.Fatalf("upsert addr = %s", got)
+	}
+
+	// Full listing is sorted by service then node.
+	all := d.Endpoints()
+	if len(all) != 3 || all[0].Service != "auth" || all[1].Node != "n1" || all[2].Node != "n2" {
+		t.Fatalf("Endpoints() = %+v", all)
+	}
+
+	d.RemoveEndpoint("kv", "n2")
+	if got := d.EndpointsFor("kv"); len(got) != 1 {
+		t.Fatalf("after RemoveEndpoint = %+v", got)
+	}
+	d.RemoveEndpointsOf("n1")
+	if got := d.Endpoints(); len(got) != 0 {
+		t.Fatalf("after RemoveEndpointsOf = %+v", got)
+	}
+	// Removing from an empty directory is a no-op.
+	d.RemoveEndpoint("ghost", "n1")
+	d.RemoveEndpointsOf("n9")
+}

@@ -3,6 +3,7 @@ package migrate
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -68,6 +69,17 @@ type migrationAnnounce struct {
 	From string
 }
 
+type endpointPut struct{ Info EndpointInfo }
+
+type endpointRemove struct{ Service, Node string }
+
+// endpointSync replaces a node's complete endpoint set: broadcast on every
+// view change so withdrawals lost in a partition converge after the heal.
+type endpointSync struct {
+	Node  string
+	Infos []EndpointInfo
+}
+
 // Config wires a migration module into its node.
 type Config struct {
 	NodeID  string
@@ -108,6 +120,9 @@ type Module struct {
 	migrating map[core.InstanceID]bool
 	listeners []func(Event)
 	ckptTimer clock.Timer
+	// exported tracks the endpoints this node itself announced, keyed by
+	// service, so they can be re-broadcast on every view change.
+	exported map[string]EndpointInfo
 }
 
 // NewModule builds the module; call Start *before* starting the group
@@ -123,6 +138,7 @@ func NewModule(cfg Config) (*Module, error) {
 		cfg:       cfg,
 		dir:       NewDirectory(),
 		migrating: make(map[core.InstanceID]bool),
+		exported:  make(map[string]EndpointInfo),
 	}, nil
 }
 
@@ -204,6 +220,25 @@ func (m *Module) broadcast(body any) {
 	_ = m.cfg.Member.Broadcast(body, gcs.Total)
 }
 
+// AnnounceEndpoint records and broadcasts a remotely invocable service
+// exported by this node (the remote.Exporter hook calls it). Addr is the
+// node's remote-services listener, "ip:port".
+func (m *Module) AnnounceEndpoint(service, addr string) {
+	info := EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr}
+	m.mu.Lock()
+	m.exported[service] = info
+	m.mu.Unlock()
+	m.broadcast(endpointPut{Info: info})
+}
+
+// WithdrawEndpoint broadcasts that this node stopped exporting service.
+func (m *Module) WithdrawEndpoint(service string) {
+	m.mu.Lock()
+	delete(m.exported, service)
+	m.mu.Unlock()
+	m.broadcast(endpointRemove{Service: service, Node: m.cfg.NodeID})
+}
+
 // onView reacts to membership changes: (re-)announcement and crash
 // redeployment. Announcing on every view keeps directories convergent
 // across the singleton-view merges that happen at cluster startup and
@@ -211,13 +246,23 @@ func (m *Module) broadcast(body any) {
 func (m *Module) onView(v gcs.View) {
 	m.mu.Lock()
 	m.announced = true
+	localEndpoints := make([]EndpointInfo, 0, len(m.exported))
+	for _, info := range m.exported {
+		localEndpoints = append(localEndpoints, info)
+	}
 	m.mu.Unlock()
+	sort.Slice(localEndpoints, func(i, j int) bool {
+		return localEndpoints[i].Service < localEndpoints[j].Service
+	})
 
 	m.broadcast(nodeAnnounce{Info: NodeInfo{
 		Node:        m.cfg.NodeID,
 		CPUCapacity: m.cfg.CPUCapacity,
 		MemCapacity: m.cfg.MemCapacity,
 	}})
+	// Authoritative resync, not incremental puts: an empty set clears
+	// records peers kept while a withdrawal was partitioned away.
+	m.broadcast(endpointSync{Node: m.cfg.NodeID, Infos: localEndpoints})
 	for _, inst := range m.cfg.Manager.List() {
 		m.mu.Lock()
 		moving := m.migrating[inst.ID()]
@@ -233,6 +278,18 @@ func (m *Module) onView(v gcs.View) {
 	memberSet := make(map[string]bool, len(v.Members))
 	for _, id := range v.Members {
 		memberSet[id] = true
+	}
+	// Service endpoints of departed nodes vanish with them; every replica
+	// prunes the same records from the same view, so directories converge
+	// without a broadcast.
+	deadExporters := make(map[string]bool)
+	for _, ep := range m.dir.Endpoints() {
+		if !memberSet[ep.Node] {
+			deadExporters[ep.Node] = true
+		}
+	}
+	for node := range deadExporters {
+		m.dir.RemoveEndpointsOf(node)
 	}
 	lostNodes := make(map[string]bool)
 	var failed []InstanceInfo
@@ -309,6 +366,12 @@ func (m *Module) onDeliver(msg gcs.Message) {
 		m.dir.PutInstance(body.Info)
 	case instanceRemove:
 		m.dir.RemoveInstance(body.ID)
+	case endpointPut:
+		m.dir.PutEndpoint(body.Info)
+	case endpointRemove:
+		m.dir.RemoveEndpoint(body.Service, body.Node)
+	case endpointSync:
+		m.dir.ReplaceEndpointsOf(body.Node, body.Infos)
 	case migrationAnnounce:
 		m.dir.PutInstance(body.Info)
 		if body.From == m.cfg.NodeID {

@@ -13,6 +13,21 @@ const (
 	PropServiceID      = "service.id"
 	PropObjectClass    = "objectClass"
 	PropServiceRanking = "service.ranking"
+
+	// PropServiceExported marks a registration for export to other
+	// frameworks (Remote Services' service.exported.interfaces, collapsed
+	// to a boolean: set it to true and internal/remote publishes the
+	// service).
+	PropServiceExported = "service.exported"
+	// PropServiceExportedName overrides the name the service is exported
+	// under; the default is the first objectClass entry.
+	PropServiceExportedName = "service.exported.name"
+	// PropServiceImported marks a registration as a client-side proxy for
+	// a service exported elsewhere.
+	PropServiceImported = "service.imported"
+	// PropServiceImportedName records the remote service name a proxy
+	// invokes.
+	PropServiceImportedName = "service.imported.name"
 )
 
 // Properties carries service registration properties.

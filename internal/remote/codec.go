@@ -1,0 +1,376 @@
+// Package remote is the R-OSGi-style remote service invocation layer: a
+// service registered in a module framework with service.exported=true
+// becomes invocable from other frameworks through a client proxy that
+// speaks a compact length-prefixed binary protocol over a pluggable
+// Transport (deterministic netsim for experiments, real TCP for dosgid).
+//
+// Layering, bottom up:
+//
+//	netsim / TCP          the bytes actually move
+//	Transport / Conn      framed, correlation-id pipelined connections
+//	codec                 Request/Response wire encoding (this file)
+//	Pool                  per-endpoint connections, bounded in-flight
+//	Invoker               endpoint resolution + failover retry
+//	Proxy / Importer      the imported service seen by client bundles
+//	Exporter / Dispatcher the exported service on the provider side
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Frame kinds on the wire.
+const (
+	frameRequest  = 0x01
+	frameResponse = 0x02
+	frameHello    = 0x03 // connection handshake
+	frameHelloAck = 0x04
+)
+
+// Response status codes.
+const (
+	// StatusOK carries results.
+	StatusOK = 0
+	// StatusAppError carries an application-level error (not retryable:
+	// the call executed and failed).
+	StatusAppError = 1
+	// StatusUnavailable means the endpoint could not execute the call at
+	// all (unknown service, draining); retrying elsewhere is safe.
+	StatusUnavailable = 2
+)
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge rejects frames above MaxFrameSize.
+	ErrFrameTooLarge = errors.New("remote: frame exceeds maximum size")
+	// ErrBadFrame reports a malformed or truncated frame.
+	ErrBadFrame = errors.New("remote: malformed frame")
+	// ErrBadValue reports an unencodable argument or result value.
+	ErrBadValue = errors.New("remote: unencodable value")
+)
+
+// MaxFrameSize bounds a single request or response frame (16 MiB).
+const MaxFrameSize = 16 << 20
+
+// Request is one remote invocation on the wire. Corr correlates the
+// response on a pipelined connection; it is assigned by the Conn.
+type Request struct {
+	Corr    uint64
+	Service string
+	Method  string
+	Args    []any
+}
+
+// Response answers one Request.
+type Response struct {
+	Corr    uint64
+	Status  byte
+	Err     string // set when Status != StatusOK
+	Results []any
+}
+
+// Value tags. The codec carries the closed set of types that crosses the
+// wire: nil, bool, int64, float64, string, []byte and nested []any. Plain
+// ints are widened to int64 on encode.
+const (
+	tagNil   = 0x00
+	tagFalse = 0x01
+	tagTrue  = 0x02
+	tagInt   = 0x03
+	tagFloat = 0x04
+	tagStr   = 0x05
+	tagBytes = 0x06
+	tagList  = 0x07
+)
+
+// EncodeRequest serializes r (without the length prefix).
+func EncodeRequest(r *Request) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, frameRequest)
+	buf = binary.BigEndian.AppendUint64(buf, r.Corr)
+	buf = appendString(buf, r.Service)
+	buf = appendString(buf, r.Method)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Args)))
+	var err error
+	for _, v := range r.Args {
+		if buf, err = appendValue(buf, v, 0); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// EncodeResponse serializes r (without the length prefix).
+func EncodeResponse(r *Response) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, frameResponse)
+	buf = binary.BigEndian.AppendUint64(buf, r.Corr)
+	buf = append(buf, r.Status)
+	buf = appendString(buf, r.Err)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Results)))
+	var err error
+	for _, v := range r.Results {
+		if buf, err = appendValue(buf, v, 0); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// encodeResponseOrFallback serializes resp, degrading to a StatusAppError
+// envelope when the results cannot cross the wire — both transports' reply
+// paths share it.
+func encodeResponseOrFallback(resp *Response) []byte {
+	out, err := EncodeResponse(resp)
+	if err != nil {
+		out, _ = EncodeResponse(&Response{
+			Corr: resp.Corr, Status: StatusAppError,
+			Err: "unencodable results: " + err.Error(),
+		})
+	}
+	return out
+}
+
+// encodeHello serializes a handshake frame; ack answers it.
+func encodeHello(ack bool) []byte {
+	if ack {
+		return []byte{frameHelloAck}
+	}
+	return []byte{frameHello}
+}
+
+// DecodeFrame parses one frame. Exactly one of the returns is non-nil for
+// request/response frames; hello frames yield (nil, nil, kind, nil).
+func DecodeFrame(buf []byte) (*Request, *Response, byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, 0, ErrBadFrame
+	}
+	kind := buf[0]
+	body := buf[1:]
+	switch kind {
+	case frameHello, frameHelloAck:
+		return nil, nil, kind, nil
+	case frameRequest:
+		req, err := decodeRequest(body)
+		return req, nil, kind, err
+	case frameResponse:
+		resp, err := decodeResponse(body)
+		return nil, resp, kind, err
+	default:
+		return nil, nil, kind, fmt.Errorf("%w: unknown kind 0x%02x", ErrBadFrame, kind)
+	}
+}
+
+func decodeRequest(b []byte) (*Request, error) {
+	d := &decoder{buf: b}
+	r := &Request{}
+	r.Corr = d.uint64()
+	r.Service = d.string()
+	r.Method = d.string()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		return nil, fmt.Errorf("%w: arg count %d", ErrBadFrame, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Args = append(r.Args, d.value(0))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+func decodeResponse(b []byte) (*Response, error) {
+	d := &decoder{buf: b}
+	r := &Response{}
+	r.Corr = d.uint64()
+	r.Status = d.byte()
+	r.Err = d.string()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)) {
+		return nil, fmt.Errorf("%w: result count %d", ErrBadFrame, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Results = append(r.Results, d.value(0))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendValue encodes one value. The depth guard mirrors the decoder's
+// maxValueDepth so every frame the encoder accepts is decodable.
+func appendValue(buf []byte, v any, depth int) ([]byte, error) {
+	if depth > maxValueDepth {
+		return nil, fmt.Errorf("%w: nesting deeper than %d", ErrBadValue, maxValueDepth)
+	}
+	switch vv := v.(type) {
+	case nil:
+		return append(buf, tagNil), nil
+	case bool:
+		if vv {
+			return append(buf, tagTrue), nil
+		}
+		return append(buf, tagFalse), nil
+	case int:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, int64(vv)), nil
+	case int32:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, int64(vv)), nil
+	case int64:
+		buf = append(buf, tagInt)
+		return binary.AppendVarint(buf, vv), nil
+	case float64:
+		buf = append(buf, tagFloat)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(vv)), nil
+	case string:
+		buf = append(buf, tagStr)
+		return appendString(buf, vv), nil
+	case []byte:
+		buf = append(buf, tagBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(vv)))
+		return append(buf, vv...), nil
+	case []any:
+		buf = append(buf, tagList)
+		buf = binary.AppendUvarint(buf, uint64(len(vv)))
+		var err error
+		for _, e := range vv {
+			if buf, err = appendValue(buf, e, depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadValue, v)
+	}
+}
+
+// maxValueDepth bounds nested list decoding.
+const maxValueDepth = 16
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrBadFrame
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uint64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) value(depth int) any {
+	if depth > maxValueDepth {
+		d.fail()
+		return nil
+	}
+	switch d.byte() {
+	case tagNil:
+		return nil
+	case tagFalse:
+		return false
+	case tagTrue:
+		return true
+	case tagInt:
+		return d.varint()
+	case tagFloat:
+		return math.Float64frombits(d.uint64())
+	case tagStr:
+		return d.string()
+	case tagBytes:
+		return d.bytes()
+	case tagList:
+		n := d.uvarint()
+		if d.err != nil || n > uint64(len(d.buf)) {
+			d.fail()
+			return nil
+		}
+		out := make([]any, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			out = append(out, d.value(depth+1))
+		}
+		return out
+	default:
+		d.fail()
+		return nil
+	}
+}

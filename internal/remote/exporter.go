@@ -1,0 +1,392 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"dosgi/internal/module"
+)
+
+// Invocable is the explicit dispatch interface. Services that implement it
+// bypass reflection; client proxies implement it too, so an imported
+// service can be re-exported transparently.
+type Invocable interface {
+	Invoke(method string, args []any) ([]any, error)
+}
+
+// Dispatch errors (application-level: the endpoint was reached).
+var (
+	// ErrNoSuchMethod reports an unknown method name.
+	ErrNoSuchMethod = errors.New("remote: no such method")
+	// ErrBadArguments reports arguments a method cannot accept.
+	ErrBadArguments = errors.New("remote: arguments do not match method")
+)
+
+// exportFilter selects registrations to publish.
+const exportFilter = "(" + module.PropServiceExported + "=true)"
+
+// ExportEvent notifies an endpoint-directory integration that a service
+// became (un)available on this framework.
+type ExportEvent struct {
+	Name     string
+	Exported bool // false on withdrawal
+}
+
+// Exporter watches one framework's service registry and maintains the
+// table of remotely invocable services: every registration carrying
+// service.exported=true, keyed by its exported name.
+type Exporter struct {
+	ctx *module.Context
+
+	mu      sync.Mutex
+	exports map[string]*export
+	hooks   []func(ExportEvent)
+	handle  *module.ListenerHandle
+	closed  bool
+}
+
+type export struct {
+	name string
+	ref  *module.ServiceReference
+	svc  any
+}
+
+// ExportName returns the name a reference would be exported under.
+func ExportName(ref *module.ServiceReference) string {
+	if name, ok := ref.Property(module.PropServiceExportedName).(string); ok && name != "" {
+		return name
+	}
+	classes := ref.Classes()
+	if len(classes) > 0 {
+		return classes[0]
+	}
+	return ""
+}
+
+// NewExporter builds an exporter over ctx (normally the system context)
+// and snapshots services already exported at the time of the call.
+func NewExporter(ctx *module.Context) (*Exporter, error) {
+	e := &Exporter{ctx: ctx, exports: make(map[string]*export)}
+	handle, err := ctx.AddServiceListener(e.onServiceEvent, exportFilter)
+	if err != nil {
+		return nil, err
+	}
+	e.handle = handle
+	refs, err := ctx.ServiceReferences("", exportFilter)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range refs {
+		e.add(ref)
+	}
+	return e, nil
+}
+
+// OnChange registers a hook fired on export and withdrawal; current
+// exports are replayed so late registrations miss nothing.
+func (e *Exporter) OnChange(fn func(ExportEvent)) {
+	e.mu.Lock()
+	e.hooks = append(e.hooks, fn)
+	var current []string
+	for name := range e.exports {
+		current = append(current, name)
+	}
+	e.mu.Unlock()
+	sort.Strings(current)
+	for _, name := range current {
+		fn(ExportEvent{Name: name, Exported: true})
+	}
+}
+
+// Lookup resolves an exported service object by name.
+func (e *Exporter) Lookup(name string) (any, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ex, ok := e.exports[name]
+	if !ok {
+		return nil, false
+	}
+	return ex.svc, true
+}
+
+// Names lists the exported service names, sorted.
+func (e *Exporter) Names() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.exports))
+	for name := range e.exports {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops watching the registry and withdraws every export.
+func (e *Exporter) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	victims := make([]*export, 0, len(e.exports))
+	for name, ex := range e.exports {
+		delete(e.exports, name)
+		victims = append(victims, ex)
+	}
+	hooks := append(make([]func(ExportEvent), 0, len(e.hooks)), e.hooks...)
+	e.mu.Unlock()
+	e.handle.Remove()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].name < victims[j].name })
+	for _, ex := range victims {
+		e.ctx.UngetService(ex.ref)
+		for _, fn := range hooks {
+			fn(ExportEvent{Name: ex.name, Exported: false})
+		}
+	}
+}
+
+func (e *Exporter) onServiceEvent(ev module.ServiceEvent) {
+	switch ev.Type {
+	case module.ServiceRegistered:
+		e.add(ev.Reference)
+	case module.ServiceUnregistering:
+		e.removeRef(ev.Reference)
+	}
+}
+
+func (e *Exporter) add(ref *module.ServiceReference) {
+	name := ExportName(ref)
+	if name == "" {
+		return
+	}
+	svc, err := e.ctx.GetService(ref)
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.ctx.UngetService(ref)
+		return
+	}
+	if _, dup := e.exports[name]; dup {
+		// First registration wins (a later same-name registration stays
+		// local-only until promoted); a same-ref re-add — the constructor
+		// snapshot racing the listener — is an idempotent no-op. Either
+		// way the extra GetService use is released.
+		e.mu.Unlock()
+		e.ctx.UngetService(ref)
+		return
+	}
+	e.exports[name] = &export{name: name, ref: ref, svc: svc}
+	hooks := append(make([]func(ExportEvent), 0, len(e.hooks)), e.hooks...)
+	e.mu.Unlock()
+	for _, fn := range hooks {
+		fn(ExportEvent{Name: name, Exported: true})
+	}
+}
+
+func (e *Exporter) removeRef(ref *module.ServiceReference) {
+	e.mu.Lock()
+	var victim *export
+	for name, ex := range e.exports {
+		if ex.ref == ref {
+			victim = ex
+			delete(e.exports, name)
+			break
+		}
+	}
+	hooks := append(make([]func(ExportEvent), 0, len(e.hooks)), e.hooks...)
+	e.mu.Unlock()
+	if victim == nil {
+		return
+	}
+	e.ctx.UngetService(ref)
+	for _, fn := range hooks {
+		fn(ExportEvent{Name: victim.name, Exported: false})
+	}
+	// Another live registration may have lost the name race earlier (add
+	// keeps the first registration per export name): promote it so the
+	// name stays exported as long as any provider exists.
+	if refs, err := e.ctx.ServiceReferences("", exportFilter); err == nil {
+		for _, other := range refs {
+			if other != ref && other.IsLive() && ExportName(other) == victim.name {
+				e.add(other)
+				return
+			}
+		}
+	}
+}
+
+// Handler serves decoded requests; both transports' servers consume it.
+type Handler interface {
+	Serve(req *Request) *Response
+}
+
+// Dispatcher is the standard Handler: it resolves the service in an
+// Exporter and invokes the method via Invocable or reflection.
+type Dispatcher struct {
+	exporter *Exporter
+}
+
+// NewDispatcher builds a dispatcher over exporter.
+func NewDispatcher(exporter *Exporter) *Dispatcher {
+	return &Dispatcher{exporter: exporter}
+}
+
+// Serve implements Handler. A panicking service method is contained to a
+// StatusAppError response: one buggy export must not take down the node's
+// whole dispatch plane.
+func (d *Dispatcher) Serve(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{
+				Corr: req.Corr, Status: StatusAppError,
+				Err: fmt.Sprintf("panic in %s.%s: %v", req.Service, req.Method, r),
+			}
+		}
+	}()
+	svc, ok := d.exporter.Lookup(req.Service)
+	if !ok {
+		return &Response{
+			Corr: req.Corr, Status: StatusUnavailable,
+			Err: fmt.Sprintf("service %q not exported here", req.Service),
+		}
+	}
+	results, err := InvokeService(svc, req.Method, req.Args)
+	if err != nil {
+		return &Response{Corr: req.Corr, Status: StatusAppError, Err: err.Error()}
+	}
+	return &Response{Corr: req.Corr, Status: StatusOK, Results: results}
+}
+
+// InvokeService calls method on svc. Services implementing Invocable
+// dispatch directly; anything else dispatches by reflection over its
+// exported methods, with wire integers (int64) converted to the parameter's
+// integer kind. A trailing error return becomes the invocation error.
+func InvokeService(svc any, method string, args []any) ([]any, error) {
+	if inv, ok := svc.(Invocable); ok {
+		return inv.Invoke(method, args)
+	}
+	m := reflect.ValueOf(svc).MethodByName(method)
+	if !m.IsValid() {
+		return nil, fmt.Errorf("%w: %s on %T", ErrNoSuchMethod, method, svc)
+	}
+	mt := m.Type()
+	if mt.IsVariadic() {
+		if len(args) < mt.NumIn()-1 {
+			return nil, fmt.Errorf("%w: %s wants at least %d args, got %d",
+				ErrBadArguments, method, mt.NumIn()-1, len(args))
+		}
+	} else if len(args) != mt.NumIn() {
+		return nil, fmt.Errorf("%w: %s wants %d args, got %d",
+			ErrBadArguments, method, mt.NumIn(), len(args))
+	}
+	in := make([]reflect.Value, len(args))
+	for i, arg := range args {
+		var want reflect.Type
+		if mt.IsVariadic() && i >= mt.NumIn()-1 {
+			want = mt.In(mt.NumIn() - 1).Elem()
+		} else {
+			want = mt.In(i)
+		}
+		v, err := convertArg(arg, want)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadArguments, method, i, err)
+		}
+		in[i] = v
+	}
+	out := m.Call(in)
+	results := make([]any, 0, len(out))
+	for i, v := range out {
+		if i == len(out)-1 && v.Type() == errType {
+			if !v.IsNil() {
+				return nil, v.Interface().(error)
+			}
+			continue
+		}
+		results = append(results, normalizeResult(v.Interface()))
+	}
+	return results, nil
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// convertArg adapts a decoded wire value to the parameter type.
+func convertArg(arg any, want reflect.Type) (reflect.Value, error) {
+	if arg == nil {
+		switch want.Kind() {
+		case reflect.Interface, reflect.Ptr, reflect.Slice, reflect.Map:
+			return reflect.Zero(want), nil
+		}
+		return reflect.Value{}, fmt.Errorf("nil for %s", want)
+	}
+	v := reflect.ValueOf(arg)
+	if v.Type().AssignableTo(want) {
+		return v, nil
+	}
+	switch want.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if i, ok := arg.(int64); ok {
+			if reflect.Zero(want).OverflowInt(i) {
+				return reflect.Value{}, fmt.Errorf("%d overflows %s", i, want)
+			}
+			return reflect.ValueOf(i).Convert(want), nil
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if i, ok := arg.(int64); ok && i >= 0 {
+			if reflect.Zero(want).OverflowUint(uint64(i)) {
+				return reflect.Value{}, fmt.Errorf("%d overflows %s", i, want)
+			}
+			return reflect.ValueOf(i).Convert(want), nil
+		}
+	case reflect.Float32, reflect.Float64:
+		switch n := arg.(type) {
+		case float64:
+			return reflect.ValueOf(n).Convert(want), nil
+		case int64:
+			return reflect.ValueOf(float64(n)).Convert(want), nil
+		}
+	case reflect.String:
+		if s, ok := arg.(string); ok {
+			return reflect.ValueOf(s).Convert(want), nil
+		}
+	}
+	if v.Type().ConvertibleTo(want) && v.Kind() == want.Kind() {
+		return v.Convert(want), nil
+	}
+	return reflect.Value{}, fmt.Errorf("cannot use %T as %s", arg, want)
+}
+
+// normalizeResult folds native result types onto the wire type set: every
+// integer kind widens to int64, floats to float64, []string to []any.
+func normalizeResult(v any) any {
+	switch n := v.(type) {
+	case nil, bool, int64, float64, string, []byte, []any:
+		return v
+	case []string:
+		out := make([]any, len(n))
+		for i, s := range n {
+			out[i] = s
+		}
+		return out
+	}
+	switch rv := reflect.ValueOf(v); rv.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return rv.Int()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return int64(rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		return rv.Float()
+	case reflect.Bool:
+		return rv.Bool()
+	case reflect.String:
+		return rv.String()
+	default:
+		return v
+	}
+}

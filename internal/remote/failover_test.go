@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"dosgi/internal/module"
+)
+
+// failoverWindow is the GCS failure-detector suspicion threshold used by
+// the cluster defaults (4 × 50ms heartbeat). A partitioned call must fail
+// over to a surviving replica within it — i.e. before the membership view
+// even changes.
+const failoverWindow = 200 * time.Millisecond
+
+// addReplica starts a second calculator provider on nodeC / addr2.
+func addReplica(t *testing.T, r *rig) {
+	t.Helper()
+	nicC := r.net.AttachNode("nodeC")
+	if err := r.net.AssignIP("10.0.0.2", "nodeC"); err != nil {
+		t.Fatal(err)
+	}
+	fwC := module.New(module.WithName("providerC"))
+	if err := fwC.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwC.SystemContext().RegisterSingle("calc.Calculator", calculator{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "calc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	expC, err := NewExporter(fwC.SystemContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrC, _ := ParseAddr(rigServerAddr2)
+	srvC := NewNetsimServer(nicC, addrC, NewDispatcher(expC))
+	if err := srvC.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionMidCallSurfacesRetryableError proves the raw transport
+// contract: a call whose response is cut off by a partition fails with a
+// retryable (ErrUnavailable-wrapped) timeout.
+func TestPartitionMidCallSurfacesRetryableError(t *testing.T) {
+	r := newRig(t, 50*time.Millisecond)
+
+	// Warm the connection so the partition hits an established stream.
+	warm := false
+	r.invoker.Go("calc", "Add", []any{int64(1), int64(1)}, func([]any, error) { warm = true })
+	r.eng.RunFor(20 * time.Millisecond)
+	if !warm {
+		t.Fatal("warm-up call never completed")
+	}
+
+	// Issue the call; the request frame is already in flight when the
+	// partition lands, so the server executes it but the response is
+	// dropped — the classic lost-reply case that MUST surface retryable.
+	var gotErr error
+	done := false
+	req := &Request{Service: "calc", Method: "Add", Args: []any{int64(2), int64(2)}}
+	if err := r.pool.Invoke(rigServerAddr, req, func(resp *Response, err error) {
+		gotErr, done = err, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.net.Partition("nodeA", "nodeB")
+	r.eng.RunFor(100 * time.Millisecond)
+	if !done {
+		t.Fatal("partitioned call never completed")
+	}
+	if gotErr == nil || !Retryable(gotErr) {
+		t.Fatalf("partitioned call err = %v, want retryable", gotErr)
+	}
+}
+
+// TestFailoverToSurvivingReplica is the end-to-end dependability property:
+// a partition that cuts the client off from replica A mid-call is survived
+// by retrying replica C, well inside the failure-detector window.
+func TestFailoverToSurvivingReplica(t *testing.T) {
+	r := newRig(t, 50*time.Millisecond)
+	addReplica(t, r)
+	r.resolver.Set("calc",
+		Endpoint{Node: "nodeA", Addr: rigServerAddr},
+		Endpoint{Node: "nodeC", Addr: rigServerAddr2},
+	)
+
+	// Warm a connection to replica A only (round-robin slot 0).
+	warm := false
+	r.invoker.Go("calc", "Add", []any{int64(0), int64(0)}, func([]any, error) { warm = true })
+	r.eng.RunFor(20 * time.Millisecond)
+	if !warm {
+		t.Fatal("warm-up call never completed")
+	}
+
+	// Force the next call onto replica A, then partition mid-call.
+	r.invoker.mu.Lock()
+	r.invoker.rr["calc"] = 0
+	r.invoker.mu.Unlock()
+
+	start := r.eng.Now()
+	var results []any
+	var callErr error
+	done := false
+	r.invoker.Go("calc", "Add", []any{int64(21), int64(21)}, func(res []any, err error) {
+		results, callErr, done = res, err, true
+	})
+	r.net.Partition("nodeA", "nodeB")
+	r.eng.RunFor(failoverWindow)
+	if !done {
+		t.Fatal("failover call never completed")
+	}
+	if callErr != nil {
+		t.Fatalf("failover call err = %v", callErr)
+	}
+	if len(results) != 1 || results[0] != int64(42) {
+		t.Fatalf("failover result = %v", results)
+	}
+	if elapsed := r.eng.Now() - start; elapsed > failoverWindow {
+		t.Fatalf("failover took %v, want within %v", elapsed, failoverWindow)
+	}
+
+	// The pool must have retired the dead connection and kept C's.
+	if n := r.pool.ConnCount(rigServerAddr); n != 0 {
+		t.Fatalf("dead replica still pooled: %d conns", n)
+	}
+	if n := r.pool.ConnCount(rigServerAddr2); n == 0 {
+		t.Fatal("surviving replica has no pooled connection")
+	}
+
+	// Subsequent calls keep succeeding against the survivor while the
+	// partition lasts.
+	okCalls := 0
+	for i := 0; i < 4; i++ {
+		r.invoker.Go("calc", "Upper", []any{"ok"}, func(res []any, err error) {
+			if err == nil && res[0] == "OK" {
+				okCalls++
+			}
+		})
+	}
+	r.eng.RunFor(failoverWindow)
+	if okCalls != 4 {
+		t.Fatalf("post-failover calls ok = %d/4", okCalls)
+	}
+
+	// Healing the partition lets replica A serve again.
+	r.net.Heal("nodeA", "nodeB")
+	healed := 0
+	for i := 0; i < 4; i++ {
+		r.invoker.Go("calc", "Upper", []any{"hi"}, func(res []any, err error) {
+			if err == nil {
+				healed++
+			}
+		})
+	}
+	r.eng.RunFor(failoverWindow)
+	if healed != 4 {
+		t.Fatalf("post-heal calls ok = %d/4", healed)
+	}
+}
+
+// TestQueuedCallsFailOverWithConnection checks that calls queued behind a
+// partitioned connection's in-flight window are not stranded: when the
+// timeout retires the connection, they re-dial or fail over too.
+func TestQueuedCallsFailOverWithConnection(t *testing.T) {
+	r := newRig(t, 50*time.Millisecond, WithMaxConnsPerEndpoint(1), WithMaxInFlight(2))
+	addReplica(t, r)
+	r.resolver.Set("calc",
+		Endpoint{Node: "nodeA", Addr: rigServerAddr},
+		Endpoint{Node: "nodeC", Addr: rigServerAddr2},
+	)
+
+	netsimPartitionAfterFirstSend := func() { r.net.Partition("nodeA", "nodeB") }
+
+	// Pin every attempt's first candidate to A.
+	completed := 0
+	for i := 0; i < 6; i++ {
+		r.invoker.mu.Lock()
+		r.invoker.rr["calc"] = 0
+		r.invoker.mu.Unlock()
+		r.invoker.Go("calc", "Add", []any{int64(i), int64(1)}, func(res []any, err error) {
+			if err == nil {
+				completed++
+			}
+		})
+	}
+	netsimPartitionAfterFirstSend()
+	r.eng.RunFor(2 * failoverWindow)
+	if completed != 6 {
+		t.Fatalf("completed %d/6 after partition", completed)
+	}
+}

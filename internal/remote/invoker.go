@@ -1,0 +1,217 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoEndpoints means the directory knows no replica for the service.
+var ErrNoEndpoints = errors.New("remote: no endpoints for service")
+
+// AppError carries an application-level failure from the remote service;
+// it is never retried.
+type AppError struct {
+	Service string
+	Method  string
+	Msg     string
+}
+
+func (e *AppError) Error() string {
+	return fmt.Sprintf("remote: %s.%s: %s", e.Service, e.Method, e.Msg)
+}
+
+// Endpoint locates one replica of an exported service.
+type Endpoint struct {
+	// Node is the hosting node id ("" when unknown); the view-change hook
+	// prunes connections by it.
+	Node string
+	// Addr is the transport address, "ip:port".
+	Addr string
+}
+
+// EndpointResolver maps a service name to its current replicas. The
+// cluster implements it over the replicated migrate directory; daemons use
+// a StaticResolver.
+type EndpointResolver interface {
+	Endpoints(service string) []Endpoint
+}
+
+// StaticResolver is a fixed service→endpoints table.
+type StaticResolver struct {
+	mu sync.Mutex
+	m  map[string][]Endpoint
+}
+
+// NewStaticResolver returns an empty table.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{m: make(map[string][]Endpoint)}
+}
+
+// Set replaces the endpoints of service.
+func (r *StaticResolver) Set(service string, eps ...Endpoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[service] = append([]Endpoint(nil), eps...)
+}
+
+// Endpoints implements EndpointResolver.
+func (r *StaticResolver) Endpoints(service string) []Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Endpoint(nil), r.m[service]...)
+}
+
+// InvokerOption configures an Invoker.
+type InvokerOption func(*Invoker)
+
+// WithMaxAttempts caps failover attempts per call (default: every known
+// replica once).
+func WithMaxAttempts(n int) InvokerOption {
+	return func(inv *Invoker) {
+		if n > 0 {
+			inv.maxAttempts = n
+		}
+	}
+}
+
+// WithOrderedResolution disables round-robin rotation: candidates are
+// always tried in resolver order. Use when the resolver encodes a
+// preference (local endpoint first) rather than equal replicas.
+func WithOrderedResolution() InvokerOption {
+	return func(inv *Invoker) { inv.ordered = true }
+}
+
+// Invoker is the import-side entry point: it resolves a service to its
+// replicas, spreads calls across them round-robin (the ipvs discipline at
+// the client), and on a retryable failure — connection loss, call timeout,
+// or a replica answering StatusUnavailable after a migration — retries the
+// next replica transparently.
+//
+// Failover gives AT-LEAST-ONCE semantics: a timed-out call may have
+// executed on the server before the retry runs elsewhere, so exported
+// methods should be idempotent (request-deduplication tokens are a
+// ROADMAP item). Only AppError results are guaranteed single-execution.
+type Invoker struct {
+	pool        *Pool
+	resolver    EndpointResolver
+	maxAttempts int
+	ordered     bool
+
+	mu sync.Mutex
+	rr map[string]int
+}
+
+// NewInvoker builds an invoker calling through pool.
+func NewInvoker(pool *Pool, resolver EndpointResolver, opts ...InvokerOption) *Invoker {
+	inv := &Invoker{pool: pool, resolver: resolver, rr: make(map[string]int)}
+	for _, opt := range opts {
+		opt(inv)
+	}
+	return inv
+}
+
+// Pool returns the underlying connection pool.
+func (inv *Invoker) Pool() *Pool { return inv.pool }
+
+// DropEndpoint severs pooled connections to addr (gcs view-change hook or
+// an external health signal).
+func (inv *Invoker) DropEndpoint(addr string) { inv.pool.DropEndpoint(addr) }
+
+// PruneNodes drops pooled connections to every endpoint whose node is not
+// in alive — wired to gcs.Member.OnViewChange by the cluster layer.
+// endpoints is the full endpoint listing from the directory.
+func (inv *Invoker) PruneNodes(alive []string, endpoints []Endpoint) {
+	aliveSet := make(map[string]bool, len(alive))
+	for _, n := range alive {
+		aliveSet[n] = true
+	}
+	dropped := make(map[string]bool)
+	for _, ep := range endpoints {
+		if ep.Node != "" && !aliveSet[ep.Node] && !dropped[ep.Addr] {
+			dropped[ep.Addr] = true
+			inv.pool.DropEndpoint(ep.Addr)
+		}
+	}
+}
+
+// Go invokes service.method asynchronously; cb fires exactly once with
+// the results or the final error. Safe to call from simulation callbacks.
+func (inv *Invoker) Go(service, method string, args []any, cb func([]any, error)) {
+	eps := inv.resolver.Endpoints(service)
+	if len(eps) == 0 {
+		cb(nil, fmt.Errorf("%w: %s", ErrNoEndpoints, service))
+		return
+	}
+	// Rotate the candidate order so repeated calls spread across replicas
+	// deterministically (unless the resolver order is a preference).
+	start := 0
+	if !inv.ordered {
+		inv.mu.Lock()
+		start = inv.rr[service] % len(eps)
+		inv.rr[service]++
+		inv.mu.Unlock()
+	}
+	ordered := make([]Endpoint, 0, len(eps))
+	for i := 0; i < len(eps); i++ {
+		ordered = append(ordered, eps[(start+i)%len(eps)])
+	}
+	attempts := len(ordered)
+	if inv.maxAttempts > 0 && inv.maxAttempts < attempts {
+		attempts = inv.maxAttempts
+	}
+	inv.attempt(service, method, args, ordered, 0, attempts, cb)
+}
+
+func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, i, max int, cb func([]any, error)) {
+	req := &Request{Service: service, Method: method, Args: args}
+	next := func(cause error) {
+		if i+1 < max {
+			inv.attempt(service, method, args, eps, i+1, max, cb)
+		} else {
+			cb(nil, cause)
+		}
+	}
+	err := inv.pool.Invoke(eps[i].Addr, req, func(resp *Response, err error) {
+		switch {
+		case err != nil && Retryable(err):
+			next(err)
+		case err != nil:
+			cb(nil, err)
+		case resp.Status == StatusUnavailable:
+			next(fmt.Errorf("%w: %s", ErrUnavailable, resp.Err))
+		case resp.Status == StatusAppError:
+			cb(nil, &AppError{Service: service, Method: method, Msg: resp.Err})
+		default:
+			cb(resp.Results, nil)
+		}
+	})
+	if err != nil {
+		if Retryable(err) {
+			next(err)
+		} else {
+			cb(nil, err)
+		}
+	}
+}
+
+// Call invokes service.method and blocks for the result. Only for
+// real-time transports (TCP daemons, tests against wall clocks) — blocking
+// inside a simulation callback would deadlock the engine.
+func (inv *Invoker) Call(service, method string, args ...any) ([]any, error) {
+	type outcome struct {
+		results []any
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	inv.Go(service, method, args, func(results []any, err error) {
+		ch <- outcome{results, err}
+	})
+	out := <-ch
+	return out.results, out.err
+}
+
+// Proxy returns the client proxy for service.
+func (inv *Invoker) Proxy(service string) *Proxy {
+	return &Proxy{inv: inv, service: service}
+}

@@ -1,0 +1,214 @@
+package remote
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/netsim"
+)
+
+// ephemeralBase is the first client port a NetsimTransport binds.
+const ephemeralBase = 45000
+
+// NetsimOption configures a NetsimTransport.
+type NetsimOption func(*NetsimTransport)
+
+// WithNetsimCallTimeout bounds each call attempt (default
+// DefaultCallTimeout). Keep it below the GCS failure-detector window so a
+// partitioned call fails over before the membership view even changes.
+func WithNetsimCallTimeout(d time.Duration) NetsimOption {
+	return func(t *NetsimTransport) { t.callTimeout = d }
+}
+
+// NetsimTransport dials remote endpoints over the simulated fabric. A
+// "connection" is a bound ephemeral client port plus a hello/ack handshake
+// with the server, so connection setup costs one round trip exactly like
+// TCP — which is what makes the pooled-vs-per-call comparison of
+// experiment E10 meaningful.
+type NetsimTransport struct {
+	sched       clock.Scheduler
+	nic         *netsim.NIC
+	localIP     netsim.IP
+	callTimeout time.Duration
+
+	mu       sync.Mutex
+	nextPort uint16
+}
+
+// NewNetsimTransport builds a transport sending from localIP via nic.
+func NewNetsimTransport(sched clock.Scheduler, nic *netsim.NIC, localIP netsim.IP, opts ...NetsimOption) *NetsimTransport {
+	t := &NetsimTransport{
+		sched:    sched,
+		nic:      nic,
+		localIP:  localIP,
+		nextPort: ephemeralBase,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// ParseAddr splits "ip:port" into a netsim address.
+func ParseAddr(addr string) (netsim.Addr, error) {
+	idx := strings.LastIndex(addr, ":")
+	if idx <= 0 {
+		return netsim.Addr{}, fmt.Errorf("remote: bad address %q", addr)
+	}
+	port, err := strconv.ParseUint(addr[idx+1:], 10, 16)
+	if err != nil {
+		return netsim.Addr{}, fmt.Errorf("remote: bad port in %q", addr)
+	}
+	return netsim.Addr{IP: netsim.IP(addr[:idx]), Port: uint16(port)}, nil
+}
+
+// Dial implements Transport.
+func (t *NetsimTransport) Dial(addr string) (Conn, error) {
+	remoteAddr, err := ParseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &netsimConn{transport: t, addr: addr, remote: remoteAddr}
+	c.core = newConnCore(t.sched, t.callTimeout, false)
+	c.core.sendFrame = c.send
+
+	// Bind the next free ephemeral port for responses.
+	t.mu.Lock()
+	for tries := 0; ; tries++ {
+		t.nextPort++
+		if t.nextPort == 0 {
+			t.nextPort = ephemeralBase
+		}
+		c.local = netsim.Addr{IP: t.localIP, Port: t.nextPort}
+		if err := t.nic.Listen(c.local, c.onMessage); err == nil {
+			break
+		} else if tries > 1<<16 {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: no free client port", ErrUnavailable)
+		}
+	}
+	t.mu.Unlock()
+
+	// Handshake: the conn pipelines requests behind the hello and flushes
+	// them when the ack arrives.
+	if err := t.nic.Send(c.local, c.remote, encodeHello(false), 1); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return c, nil
+}
+
+// netsimConn is one simulated connection.
+type netsimConn struct {
+	transport *NetsimTransport
+	core      *connCore
+	addr      string
+	local     netsim.Addr
+	remote    netsim.Addr
+}
+
+var _ Conn = (*netsimConn)(nil)
+
+func (c *netsimConn) Call(req *Request, cb func(*Response, error)) error {
+	return c.core.call(req, cb)
+}
+
+func (c *netsimConn) InFlight() int { return c.core.inFlight() }
+
+func (c *netsimConn) Addr() string { return c.addr }
+
+func (c *netsimConn) Close() error {
+	if c.core.shutdown(ErrConnClosed) {
+		c.transport.nic.Close(c.local)
+	}
+	return nil
+}
+
+func (c *netsimConn) send(frame []byte) error {
+	return c.transport.nic.Send(c.local, c.remote, frame, len(frame))
+}
+
+func (c *netsimConn) onMessage(msg netsim.Message) {
+	frame, ok := msg.Payload.([]byte)
+	if !ok {
+		return
+	}
+	_, resp, kind, err := DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case frameHelloAck:
+		c.core.establish()
+	case frameResponse:
+		c.core.onResponse(resp)
+	}
+}
+
+// NetsimServer exposes a Handler on a simulated address.
+type NetsimServer struct {
+	nic     *netsim.NIC
+	addr    netsim.Addr
+	handler Handler
+
+	mu      sync.Mutex
+	running bool
+}
+
+// NewNetsimServer builds a server bound later by Start.
+func NewNetsimServer(nic *netsim.NIC, addr netsim.Addr, handler Handler) *NetsimServer {
+	return &NetsimServer{nic: nic, addr: addr, handler: handler}
+}
+
+// Addr returns the bound address.
+func (s *NetsimServer) Addr() netsim.Addr { return s.addr }
+
+// Start binds the service port.
+func (s *NetsimServer) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return nil
+	}
+	if err := s.nic.Listen(s.addr, s.onMessage); err != nil {
+		return err
+	}
+	s.running = true
+	return nil
+}
+
+// Stop unbinds the service port.
+func (s *NetsimServer) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.running {
+		return
+	}
+	s.nic.Close(s.addr)
+	s.running = false
+}
+
+func (s *NetsimServer) onMessage(msg netsim.Message) {
+	frame, ok := msg.Payload.([]byte)
+	if !ok {
+		return
+	}
+	req, _, kind, err := DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case frameHello:
+		ack := encodeHello(true)
+		_ = s.nic.Send(s.addr, msg.From, ack, len(ack))
+	case frameRequest:
+		resp := s.handler.Serve(req)
+		resp.Corr = req.Corr
+		out := encodeResponseOrFallback(resp)
+		_ = s.nic.Send(s.addr, msg.From, out, len(out))
+	}
+}

@@ -1,0 +1,98 @@
+package remote
+
+import (
+	"sync"
+
+	"dosgi/internal/module"
+)
+
+// Proxy is the client-side stand-in for a remote service: an Invocable
+// whose calls travel through the Invoker's pool and failover logic. It is
+// what an Importer registers into the consuming framework, so client
+// bundles acquire it like any local service.
+type Proxy struct {
+	inv     *Invoker
+	service string
+}
+
+var _ Invocable = (*Proxy)(nil)
+
+// Service returns the remote service name the proxy invokes.
+func (p *Proxy) Service() string { return p.service }
+
+// Invoke performs a blocking remote call (real-time transports only; see
+// Invoker.Call).
+func (p *Proxy) Invoke(method string, args []any) ([]any, error) {
+	return p.inv.Call(p.service, method, args...)
+}
+
+// Go performs an asynchronous remote call; use this from simulation
+// callbacks.
+func (p *Proxy) Go(method string, args []any, cb func([]any, error)) {
+	p.inv.Go(p.service, method, args, cb)
+}
+
+// Importer materializes remote services inside one framework: ImportService
+// registers a Proxy under the requested class with service.imported=true,
+// making the remote service indistinguishable from a local registration to
+// lookups.
+type Importer struct {
+	ctx *module.Context
+	inv *Invoker
+
+	mu   sync.Mutex
+	regs map[string]*module.ServiceRegistration
+}
+
+// NewImporter builds an importer registering proxies through ctx.
+func NewImporter(ctx *module.Context, inv *Invoker) *Importer {
+	return &Importer{ctx: ctx, inv: inv, regs: make(map[string]*module.ServiceRegistration)}
+}
+
+// ImportService registers a proxy for the remote service under class and
+// returns the proxy. Importing the same service twice returns an error
+// from the registry layer only if the prior import was not withdrawn.
+func (im *Importer) ImportService(class, service string) (*Proxy, error) {
+	proxy := im.inv.Proxy(service)
+	reg, err := im.ctx.RegisterService([]string{class}, proxy, module.Properties{
+		module.PropServiceImported:     true,
+		module.PropServiceImportedName: service,
+	})
+	if err != nil {
+		return nil, err
+	}
+	im.mu.Lock()
+	if prior, dup := im.regs[service]; dup {
+		im.mu.Unlock()
+		_ = prior.Unregister()
+		im.mu.Lock()
+	}
+	im.regs[service] = reg
+	im.mu.Unlock()
+	return proxy, nil
+}
+
+// Withdraw unregisters the proxy of service.
+func (im *Importer) Withdraw(service string) {
+	im.mu.Lock()
+	reg, ok := im.regs[service]
+	delete(im.regs, service)
+	im.mu.Unlock()
+	if ok {
+		_ = reg.Unregister()
+	}
+}
+
+// Close withdraws every import.
+func (im *Importer) Close() {
+	im.mu.Lock()
+	regs := make([]*module.ServiceRegistration, 0, len(im.regs))
+	for service, reg := range im.regs {
+		regs = append(regs, reg)
+		delete(im.regs, service)
+	}
+	im.mu.Unlock()
+	for _, reg := range regs {
+		_ = reg.Unregister()
+	}
+}

@@ -1,0 +1,261 @@
+package remote
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// writeFrame writes a length-prefixed frame to w. Callers serialize.
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// TCPOption configures a TCPTransport.
+type TCPOption func(*TCPTransport)
+
+// WithTCPCallTimeout bounds each call attempt (default DefaultCallTimeout).
+func WithTCPCallTimeout(d time.Duration) TCPOption {
+	return func(t *TCPTransport) { t.callTimeout = d }
+}
+
+// WithTCPDialTimeout bounds connection establishment (default 3s).
+func WithTCPDialTimeout(d time.Duration) TCPOption {
+	return func(t *TCPTransport) { t.dialTimeout = d }
+}
+
+// TCPTransport dials real TCP endpoints with the same framing and
+// pipelining semantics as the netsim transport; dosgid uses it.
+type TCPTransport struct {
+	sched       clock.Scheduler
+	callTimeout time.Duration
+	dialTimeout time.Duration
+}
+
+// NewTCPTransport builds a transport; sched drives call timeouts (pass
+// clock.NewReal() in daemons).
+func NewTCPTransport(sched clock.Scheduler, opts ...TCPOption) *TCPTransport {
+	t := &TCPTransport{sched: sched, dialTimeout: 3 * time.Second}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// detachedScheduler runs timer callbacks on their own goroutine. A call
+// timeout's completion chain can re-dial replicas (blocking up to
+// dialTimeout each); running that inside clock.Real's serialized callback
+// mutex would stall every other timer on the daemon. Only the real-time
+// transport detaches — the simulation path must stay on the engine
+// goroutine for determinism.
+type detachedScheduler struct{ clock.Scheduler }
+
+func (d detachedScheduler) After(delay time.Duration, fn func()) clock.Timer {
+	return d.Scheduler.After(delay, func() { go fn() })
+}
+
+// Dial implements Transport.
+func (t *TCPTransport) Dial(addr string) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	c := &tcpConn{addr: addr, nc: nc}
+	// TCP's own handshake already happened; the conn starts established.
+	c.core = newConnCore(detachedScheduler{t.sched}, t.callTimeout, true)
+	c.core.sendFrame = c.send
+	go c.readLoop()
+	return c, nil
+}
+
+// tcpConn is one pipelined TCP connection.
+type tcpConn struct {
+	core *connCore
+	addr string
+	nc   net.Conn
+
+	writeMu sync.Mutex
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func (c *tcpConn) Call(req *Request, cb func(*Response, error)) error {
+	return c.core.call(req, cb)
+}
+
+func (c *tcpConn) InFlight() int { return c.core.inFlight() }
+
+func (c *tcpConn) Addr() string { return c.addr }
+
+func (c *tcpConn) Close() error {
+	if c.core.shutdown(ErrConnClosed) {
+		return c.nc.Close()
+	}
+	return nil
+}
+
+func (c *tcpConn) send(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.nc, frame)
+}
+
+func (c *tcpConn) readLoop() {
+	for {
+		frame, err := readFrame(c.nc)
+		if err != nil {
+			if c.core.shutdown(ErrConnClosed) {
+				_ = c.nc.Close()
+			}
+			return
+		}
+		_, resp, kind, err := DecodeFrame(frame)
+		if err != nil {
+			continue
+		}
+		switch kind {
+		case frameHelloAck:
+			c.core.establish()
+		case frameResponse:
+			c.core.onResponse(resp)
+		}
+	}
+}
+
+// TCPServer serves a Handler on a TCP listener. Requests on one
+// connection dispatch concurrently and responses interleave in completion
+// order — the pipelining contract of the protocol.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts accepting on ln; it returns immediately.
+func ServeTCP(ln net.Listener, handler Handler) *TCPServer {
+	s := &TCPServer{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and every open connection.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+func (s *TCPServer) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		_ = nc.Close()
+	}()
+	var writeMu sync.Mutex
+	reply := func(resp *Response) {
+		out := encodeResponseOrFallback(resp)
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = writeFrame(nc, out)
+	}
+	var dispatch sync.WaitGroup
+	defer dispatch.Wait()
+	for {
+		frame, err := readFrame(nc)
+		if err != nil {
+			return
+		}
+		req, _, kind, err := DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case frameHello:
+			writeMu.Lock()
+			_ = writeFrame(nc, encodeHello(true))
+			writeMu.Unlock()
+		case frameRequest:
+			dispatch.Add(1)
+			go func(req *Request) {
+				defer dispatch.Done()
+				resp := s.handler.Serve(req)
+				resp.Corr = req.Corr
+				reply(resp)
+			}(req)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/module"
+)
+
+// tcpRig serves the calculator from a provider framework over a real TCP
+// loopback listener — the dosgid wire path.
+type tcpRig struct {
+	server  *TCPServer
+	invoker *Invoker
+	pool    *Pool
+	addr    string
+}
+
+func newTCPRig(t *testing.T, poolOpts ...PoolOption) *tcpRig {
+	t.Helper()
+	provider := module.New(module.WithName("provider"))
+	if err := provider.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := provider.SystemContext().RegisterSingle("calc.Calculator", calculator{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "calc",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exporter, err := NewExporter(provider.SystemContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := ServeTCP(ln, NewDispatcher(exporter))
+	t.Cleanup(server.Close)
+
+	sched := clock.NewReal()
+	t.Cleanup(sched.Stop)
+	transport := NewTCPTransport(sched, WithTCPCallTimeout(2*time.Second))
+	pool := NewPool(transport, poolOpts...)
+	t.Cleanup(pool.Close)
+	resolver := NewStaticResolver()
+	addr := ln.Addr().String()
+	resolver.Set("calc", Endpoint{Addr: addr})
+	return &tcpRig{
+		server:  server,
+		invoker: NewInvoker(pool, resolver),
+		pool:    pool,
+		addr:    addr,
+	}
+}
+
+func TestTCPBlockingInvocation(t *testing.T) {
+	r := newTCPRig(t)
+	results, err := r.invoker.Call("calc", "Add", int64(40), int64(2))
+	if err != nil || len(results) != 1 || results[0] != int64(42) {
+		t.Fatalf("Add = %v, %v", results, err)
+	}
+	results, err = r.invoker.Call("calc", "Upper", "tcp")
+	if err != nil || results[0] != "TCP" {
+		t.Fatalf("Upper = %v, %v", results, err)
+	}
+	// Application error.
+	_, err = r.invoker.Call("calc", "Div", 1.0, 0.0)
+	var appErr *AppError
+	if !errors.As(err, &appErr) || !strings.Contains(appErr.Msg, "division by zero") {
+		t.Fatalf("Div err = %v", err)
+	}
+	// Blocking proxy path.
+	proxy := r.invoker.Proxy("calc")
+	results, err = proxy.Invoke("Add", []any{int64(1), int64(2)})
+	if err != nil || results[0] != int64(3) {
+		t.Fatalf("proxy Invoke = %v, %v", results, err)
+	}
+}
+
+func TestTCPPipelinedConcurrency(t *testing.T) {
+	r := newTCPRig(t, WithMaxConnsPerEndpoint(1), WithMaxInFlight(64))
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results, err := r.invoker.Call("calc", "Add", int64(i), int64(i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if results[0] != int64(2*i) {
+				errs <- errors.New("bad result")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := r.pool.ConnCount(r.addr); n != 1 {
+		t.Fatalf("ConnCount = %d, want 1", n)
+	}
+}
+
+func TestTCPServerShutdownFailsPendingRetryably(t *testing.T) {
+	r := newTCPRig(t)
+	// Prime a connection, then stop the server; the next call must fail
+	// with a retryable error (so an invoker with other replicas would move
+	// on).
+	if _, err := r.invoker.Call("calc", "Add", int64(1), int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	r.server.Close()
+	_, err := r.invoker.Call("calc", "Add", int64(1), int64(1))
+	if err == nil || !Retryable(err) {
+		t.Fatalf("err after server close = %v, want retryable", err)
+	}
+}
+
+func TestTCPDialFailureIsRetryable(t *testing.T) {
+	sched := clock.NewReal()
+	defer sched.Stop()
+	transport := NewTCPTransport(sched, WithTCPDialTimeout(200*time.Millisecond))
+	// A listener we close immediately: dialing must fail retryably.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	if _, err := transport.Dial(addr); err == nil || !Retryable(err) {
+		t.Fatalf("Dial err = %v, want retryable", err)
+	}
+}

@@ -1,0 +1,190 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// Transport-level errors. Everything wrapping ErrUnavailable is retryable
+// against another replica: the call may not have executed.
+var (
+	// ErrUnavailable is the retryable root: the endpoint did not execute
+	// the call.
+	ErrUnavailable = errors.New("remote: endpoint unavailable")
+	// ErrConnClosed fails calls pending on a closed connection.
+	ErrConnClosed = fmt.Errorf("%w: connection closed", ErrUnavailable)
+	// ErrTimeout fails calls unanswered within the call timeout.
+	ErrTimeout = fmt.Errorf("%w: call timed out", ErrUnavailable)
+)
+
+// Retryable reports whether err means the call can safely be retried
+// against another replica.
+func Retryable(err error) bool { return errors.Is(err, ErrUnavailable) }
+
+// DefaultCallTimeout bounds one call attempt on a connection.
+const DefaultCallTimeout = 2 * time.Second
+
+// Conn is one pipelined connection to an endpoint: many calls may be in
+// flight; responses correlate by id and may complete out of order.
+type Conn interface {
+	// Call sends req (assigning req.Corr) and invokes cb exactly once with
+	// the response or a transport error. A synchronous error means the
+	// request was never sent and cb will not fire.
+	Call(req *Request, cb func(*Response, error)) error
+	// InFlight returns the number of outstanding calls.
+	InFlight() int
+	// Addr returns the dialed endpoint address.
+	Addr() string
+	// Close tears the connection down, failing outstanding calls with
+	// ErrConnClosed.
+	Close() error
+}
+
+// Transport dials endpoint addresses ("ip:port").
+type Transport interface {
+	Dial(addr string) (Conn, error)
+}
+
+// pendingCall tracks one outstanding request on a connection.
+type pendingCall struct {
+	cb    func(*Response, error)
+	timer clock.Timer
+}
+
+// connCore implements correlation-id bookkeeping shared by the netsim and
+// TCP connections. The embedding transport provides sendFrame.
+type connCore struct {
+	sched       clock.Scheduler
+	callTimeout time.Duration
+	sendFrame   func(frame []byte) error
+
+	mu          sync.Mutex
+	nextCorr    uint64
+	pending     map[uint64]*pendingCall
+	closed      bool
+	established bool     // handshake done (netsim); TCP starts established
+	backlog     [][]byte // frames queued until established
+}
+
+func newConnCore(sched clock.Scheduler, callTimeout time.Duration, established bool) *connCore {
+	if callTimeout <= 0 {
+		callTimeout = DefaultCallTimeout
+	}
+	return &connCore{
+		sched:       sched,
+		callTimeout: callTimeout,
+		pending:     make(map[uint64]*pendingCall),
+		established: established,
+	}
+}
+
+func (c *connCore) call(req *Request, cb func(*Response, error)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	c.nextCorr++
+	corr := c.nextCorr
+	req.Corr = corr
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	if len(frame) > MaxFrameSize {
+		// Caller error, surfaced synchronously and NOT ErrUnavailable-
+		// wrapped: an oversized request must neither condemn the shared
+		// connection nor be replayed against other replicas.
+		c.mu.Unlock()
+		return ErrFrameTooLarge
+	}
+	pc := &pendingCall{cb: cb}
+	c.pending[corr] = pc
+	pc.timer = c.sched.After(c.callTimeout, func() { c.complete(corr, nil, ErrTimeout) })
+	ready := c.established
+	if !ready {
+		c.backlog = append(c.backlog, frame)
+	}
+	c.mu.Unlock()
+	if ready {
+		if err := c.sendFrame(frame); err != nil {
+			c.complete(corr, nil, fmt.Errorf("%w: %v", ErrUnavailable, err))
+		}
+	}
+	return nil
+}
+
+// establish flushes the backlog once the handshake completes.
+func (c *connCore) establish() {
+	c.mu.Lock()
+	if c.closed || c.established {
+		c.mu.Unlock()
+		return
+	}
+	c.established = true
+	backlog := c.backlog
+	c.backlog = nil
+	c.mu.Unlock()
+	for _, frame := range backlog {
+		_ = c.sendFrame(frame)
+	}
+}
+
+// onResponse completes the matching pending call.
+func (c *connCore) onResponse(resp *Response) {
+	c.complete(resp.Corr, resp, nil)
+}
+
+// complete finishes one call, exactly once, outside the lock.
+func (c *connCore) complete(corr uint64, resp *Response, err error) {
+	c.mu.Lock()
+	pc, ok := c.pending[corr]
+	if ok {
+		delete(c.pending, corr)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return // duplicate, late or timed-out response
+	}
+	if pc.timer != nil {
+		pc.timer.Cancel()
+	}
+	pc.cb(resp, err)
+}
+
+// inFlight returns the outstanding call count.
+func (c *connCore) inFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// shutdown marks the core closed and fails every pending call with err.
+// It reports whether this call performed the close.
+func (c *connCore) shutdown(err error) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.closed = true
+	victims := make([]*pendingCall, 0, len(c.pending))
+	for corr, pc := range c.pending {
+		delete(c.pending, corr)
+		victims = append(victims, pc)
+	}
+	c.backlog = nil
+	c.mu.Unlock()
+	for _, pc := range victims {
+		if pc.timer != nil {
+			pc.timer.Cancel()
+		}
+		pc.cb(nil, err)
+	}
+	return true
+}
