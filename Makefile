@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test bench check
+.PHONY: all fmt vet build test test-race bench check
 
 all: check
 
@@ -18,6 +18,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

@@ -10,6 +10,7 @@
 package dosgi_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -147,6 +148,29 @@ func BenchmarkE10RemoteInvocation(b *testing.B) {
 	b.ReportMetric(float64(rows[0].P99.Microseconds()), "pipelined-p99-us")
 	b.ReportMetric(rows[1].Throughput, "percall-rps")
 	b.ReportMetric(float64(rows[1].P99.Microseconds()), "percall-p99-us")
+}
+
+// BenchmarkE11ArtifactTransfer measures chunked artifact provisioning
+// throughput across chunk sizes: a 4 MiB artifact fetched over netsim
+// with a pipelined chunk window. MB/s is in simulated units; allocs/op is
+// the real harness cost of one full transfer.
+func BenchmarkE11ArtifactTransfer(b *testing.B) {
+	for _, cs := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		name := fmt.Sprintf("chunk=%dKiB", cs>>10)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rows []experiments.E11Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = experiments.E11ArtifactTransfer(4<<20, []int64{cs}, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].MBps, "MB/s")
+			b.ReportMetric(float64(rows[0].Chunks), "chunks")
+		})
+	}
 }
 
 // BenchmarkA1DelegationLookup measures class lookup cost: local class,

@@ -8,6 +8,9 @@
 //	dosgictl exports
 //	dosgictl call echo Upper hello
 //	dosgictl call echo Add 40 2
+//	dosgictl repo seed
+//	dosgictl repo
+//	dosgictl deploy app:greeter
 //
 // call invokes a remotely exported service through the daemon's remote
 // invocation stack (see internal/remote); arguments are parsed by the
@@ -52,6 +55,9 @@ func runWithTimeout(addr, command string, timeout time.Duration) error {
 	// Responses end with a line starting with OK or ERR.
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
 	sc := bufio.NewScanner(conn)
+	// A CALL result line may carry up to a whole response frame (16 MiB);
+	// the default 64 KiB token cap would abort the response mid-stream.
+	sc.Buffer(make([]byte, 64<<10), 32<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)

@@ -15,6 +15,8 @@
 //	BUNDLES <id>
 //	EXPORTS
 //	CALL <service> <method> [args...]
+//	DEPLOY <location>
+//	REPO [LIST|SEED]
 //	LOG [n]
 //	QUIT
 //
@@ -22,6 +24,13 @@
 // transport, connection pool, failover-aware invoker — resolving first to
 // this daemon's own remote listener, then to any -peer daemons, so a
 // service exported by a peer is reached transparently.
+//
+// DEPLOY provisions a bundle artifact end-to-end: metadata resolved from
+// the local repository or a peer, chunks fetched over the remote stack,
+// digest and signature verified against the deploy policy, Require-Bundle
+// dependencies resolved, and the bundle installed and started in the host
+// framework. REPO lists the local artifact repository; REPO SEED publishes
+// the built-in signed sample artifacts so a peer daemon can DEPLOY them.
 package main
 
 import (
@@ -38,8 +47,11 @@ import (
 
 	"dosgi/internal/clock"
 	"dosgi/internal/core"
+	"dosgi/internal/manifest"
 	"dosgi/internal/module"
+	"dosgi/internal/provision"
 	"dosgi/internal/remote"
+	"dosgi/internal/security"
 	"dosgi/internal/services"
 )
 
@@ -96,6 +108,9 @@ type daemon struct {
 	remoteSrv *remote.TCPServer
 	invoker   *remote.Invoker
 	adminLn   net.Listener
+	peers     []string
+	repo      *provision.Store
+	deployer  *provision.Deployer
 }
 
 // daemonResolver resolves CALL targets: the local remote listener first
@@ -115,6 +130,71 @@ func (r *daemonResolver) Endpoints(service string) []remote.Endpoint {
 		eps = append(eps, remote.Endpoint{Addr: p})
 	}
 	return eps
+}
+
+// peerEndpoints maps the configured peers to fetch replicas: every peer
+// is a candidate for any digest; one lacking the artifact answers with an
+// application error and the fetcher fails over to the next.
+func peerEndpoints(peers []string) []remote.Endpoint {
+	eps := make([]remote.Endpoint, len(peers))
+	for i, p := range peers {
+		eps[i] = remote.Endpoint{Addr: p}
+	}
+	return eps
+}
+
+// daemonIndex resolves artifact metadata from the local repository, then
+// by asking each peer's provisioning service in turn over the remote
+// stack.
+type daemonIndex struct {
+	store *provision.Store
+	pool  *remote.Pool
+	peers []string
+}
+
+func (ix daemonIndex) ArtifactAt(location string) (provision.Artifact, bool) {
+	if art, ok := ix.store.ArtifactAt(location); ok {
+		return art, true
+	}
+	return ix.ask("Describe", location)
+}
+
+func (ix daemonIndex) FindBundle(name string, rng manifest.VersionRange) (provision.Artifact, bool) {
+	if art, ok := ix.store.FindBundle(name, rng); ok {
+		return art, true
+	}
+	return ix.ask("Find", name, rng.String())
+}
+
+// ask queries each peer's repository service and returns the first
+// successful answer (blocking; the admin connection handler tolerates
+// that on the real-time transport).
+func (ix daemonIndex) ask(method string, args ...any) (provision.Artifact, bool) {
+	type outcome struct {
+		resp *remote.Response
+		err  error
+	}
+	for _, addr := range ix.peers {
+		ch := make(chan outcome, 1)
+		req := &remote.Request{Service: provision.ServiceName, Method: method, Args: args}
+		if err := ix.pool.Invoke(addr, req, func(resp *remote.Response, err error) {
+			ch <- outcome{resp, err}
+		}); err != nil {
+			continue
+		}
+		o := <-ch
+		if o.err != nil || o.resp.Status != remote.StatusOK || len(o.resp.Results) == 0 {
+			continue
+		}
+		data, ok := o.resp.Results[0].([]byte)
+		if !ok {
+			continue
+		}
+		if art, err := provision.UnmarshalArtifact(data); err == nil {
+			return art, true
+		}
+	}
+	return provision.Artifact{}, false
 }
 
 func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
@@ -175,6 +255,39 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		peers:    peers,
 	}, remote.WithOrderedResolution())
 
+	// Provisioning stack: the local artifact repository is served to peers
+	// through the remote listener; DEPLOY fetches missing artifacts from
+	// peers, verifies them against the deploy policy and installs them.
+	repo := provision.NewStore()
+	if _, err := host.SystemContext().RegisterSingle(provision.ServiceClass,
+		provision.NewRepoService(repo), module.Properties{
+			module.PropServiceExported:     true,
+			module.PropServiceExportedName: provision.ServiceName,
+		}); err != nil {
+		remoteSrv.Close()
+		sched.Stop()
+		return nil, err
+	}
+	policy := security.NewPolicy(false)
+	policy.Grant(provision.SampleSigner, provision.DeployPermission("*"))
+	deployer, err := provision.NewDeployer(provision.DeployerConfig{
+		Store:       repo,
+		Fetcher:     provision.NewFetcher(pool, provision.StaticReplicas{Eps: peerEndpoints(peers)}),
+		Verifier:    provision.NewVerifier(provision.SampleKeyring(), policy),
+		Index:       daemonIndex{store: repo, pool: pool, peers: peers},
+		Definitions: defs,
+		Framework:   host,
+		// Continuations hop off the TCP reader goroutine: the dependency
+		// walk blocks on peer index lookups, which would deadlock the
+		// reader that delivered the fetch.
+		Async: func(fn func()) { go fn() },
+	})
+	if err != nil {
+		remoteSrv.Close()
+		sched.Stop()
+		return nil, err
+	}
+
 	adminLn, err := net.Listen("tcp", adminAddr)
 	if err != nil {
 		remoteSrv.Close()
@@ -189,6 +302,9 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		remoteSrv: remoteSrv,
 		invoker:   invoker,
 		adminLn:   adminLn,
+		peers:     peers,
+		repo:      repo,
+		deployer:  deployer,
 	}, nil
 }
 
@@ -258,6 +374,9 @@ func (d *daemon) serve(conn net.Conn) {
 	defer conn.Close()
 	host, mgr := d.host, d.mgr
 	sc := bufio.NewScanner(conn)
+	// Mirror dosgictl's cap: a CALL argument may be as large as a request
+	// frame allows; the 64 KiB Scanner default would drop the connection.
+	sc.Buffer(make([]byte, 64<<10), 32<<20)
 	out := bufio.NewWriter(conn)
 	reply := func(format string, args ...any) {
 		fmt.Fprintf(out, format+"\n", args...)
@@ -352,6 +471,56 @@ func (d *daemon) serve(conn net.Conn) {
 				continue
 			}
 			reply("OK %s %s", strings.ToLower(cmd), fields[1])
+		case "DEPLOY":
+			if len(fields) != 2 {
+				reply("ERR usage: DEPLOY <location>")
+				continue
+			}
+			location := fields[1]
+			errCh := make(chan error, 1)
+			d.deployer.Deploy(location, true, func(err error) { errCh <- err })
+			if err := <-errCh; err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			b, _ := host.GetBundleByLocation(location)
+			art, _ := d.repo.ArtifactAt(location)
+			reply("= %s %s/%s state=%s digest=%.12s",
+				location, b.SymbolicName(), b.Version(), b.State(), art.Digest)
+			reply("OK deployed %s", location)
+		case "REPO":
+			sub := "LIST"
+			if len(fields) > 1 {
+				sub = strings.ToUpper(fields[1])
+			}
+			switch sub {
+			case "LIST":
+				arts := d.repo.List()
+				for _, art := range arts {
+					reply("%s %.12s %dB chunks=%d signer=%s",
+						art.Location, art.Digest, art.Size, art.Chunks, art.Signer)
+				}
+				reply("OK %d artifact(s)", len(arts))
+			case "SEED":
+				arts, payloads, err := provision.SampleArtifacts(0)
+				if err != nil {
+					reply("ERR %v", err)
+					continue
+				}
+				seeded := 0
+				for i, art := range arts {
+					if err := d.repo.Add(art, payloads[i]); err != nil {
+						reply("ERR %v", err)
+						break
+					}
+					seeded++
+				}
+				if seeded == len(arts) {
+					reply("OK seeded %d artifact(s)", seeded)
+				}
+			default:
+				reply("ERR usage: REPO [LIST|SEED]")
+			}
 		case "BUNDLES":
 			if len(fields) != 2 {
 				reply("ERR usage: BUNDLES <id>")
@@ -386,7 +555,11 @@ func (d *daemon) serve(conn net.Conn) {
 			}
 			reply("OK")
 		default:
-			reply("ERR unknown command %s", cmd)
+			reply("ERR unknown command %s (supported: %s)", cmd, supportedVerbs)
 		}
 	}
 }
+
+// supportedVerbs lists every admin verb, printed when a command is not
+// recognized so operators discover the protocol from any typo.
+const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL DEPLOY REPO LOG QUIT"

@@ -38,6 +38,7 @@ func admin(t *testing.T, d *daemon, command string) []string {
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	var lines []string
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 32<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		lines = append(lines, line)
@@ -80,12 +81,14 @@ func TestAdminCallInvokesOverTCP(t *testing.T) {
 
 func TestAdminExportsAndStatus(t *testing.T) {
 	d := startDaemon(t)
+	// The built-in echo service plus the provisioning repository.
 	lines := admin(t, d, "EXPORTS")
-	if len(lines) != 2 || lines[0] != "echo" || last(lines) != "OK 1 export(s)" {
+	if len(lines) != 3 || lines[0] != "dosgi.provision" || lines[1] != "echo" ||
+		last(lines) != "OK 2 export(s)" {
 		t.Fatalf("EXPORTS = %q", lines)
 	}
 	lines = admin(t, d, "STATUS")
-	if !strings.Contains(lines[0], "exports=1") {
+	if !strings.Contains(lines[0], "exports=2") {
 		t.Fatalf("STATUS = %q", lines)
 	}
 
@@ -195,6 +198,128 @@ func TestCallResultsStayOutOfStatusChannel(t *testing.T) {
 	lines = admin(t, d, "CALL echo Upper err")
 	if len(lines) != 2 || lines[0] != "= ERR" || !strings.HasPrefix(last(lines), "OK") {
 		t.Fatalf("result 'ERR' broke framing: %q", lines)
+	}
+}
+
+// TestUnknownVerbListsSupported covers the discoverability contract: any
+// unrecognized admin verb answers ERR naming every supported verb.
+func TestUnknownVerbListsSupported(t *testing.T) {
+	d := startDaemon(t)
+	cases := []struct {
+		line string
+		verb string // what the ERR line should echo back
+	}{
+		{"FOO", "FOO"},
+		{"fetch app:greeter", "FETCH"}, // commands are case-folded
+		{"DEPLOYY x", "DEPLOYY"},
+		{"HELP", "HELP"},
+	}
+	for _, tc := range cases {
+		lines := admin(t, d, tc.line)
+		got := last(lines)
+		if !strings.HasPrefix(got, "ERR unknown command "+tc.verb) {
+			t.Errorf("%q → %q, want ERR unknown command %s ...", tc.line, got, tc.verb)
+			continue
+		}
+		for _, verb := range strings.Fields(supportedVerbs) {
+			if !strings.Contains(got, verb) {
+				t.Errorf("%q response %q does not list supported verb %s", tc.line, got, verb)
+			}
+		}
+	}
+	// Known verbs never hit the unknown-command path.
+	if lines := admin(t, d, "STATUS"); strings.Contains(last(lines), "unknown command") {
+		t.Fatalf("STATUS misrouted: %q", lines)
+	}
+}
+
+// TestRepoSeedAndList drives the REPO verb: seeding publishes the signed
+// sample artifacts into the local repository and LIST shows them.
+func TestRepoSeedAndList(t *testing.T) {
+	d := startDaemon(t)
+	if lines := admin(t, d, "REPO"); last(lines) != "OK 0 artifact(s)" {
+		t.Fatalf("empty REPO = %q", lines)
+	}
+	if lines := admin(t, d, "REPO SEED"); last(lines) != "OK seeded 2 artifact(s)" {
+		t.Fatalf("REPO SEED = %q", lines)
+	}
+	lines := admin(t, d, "REPO LIST")
+	if len(lines) != 3 || last(lines) != "OK 2 artifact(s)" {
+		t.Fatalf("REPO LIST = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "app:greeter ") || !strings.Contains(lines[0], "signer=dev") {
+		t.Fatalf("REPO LIST row = %q", lines[0])
+	}
+	if lines := admin(t, d, "REPO NONSENSE"); !strings.HasPrefix(last(lines), "ERR usage: REPO") {
+		t.Fatalf("REPO NONSENSE = %q", lines)
+	}
+}
+
+// TestDeployFetchesFromPeerDaemon is the daemon-side provisioning loop: a
+// front daemon that never held the artifacts deploys them by fetching
+// chunks from a seeded peer over TCP, verifying, resolving the
+// Require-Bundle dependency, installing and starting — after which the
+// provisioned service is CALLable locally.
+func TestDeployFetchesFromPeerDaemon(t *testing.T) {
+	peer := startDaemon(t)
+	if lines := admin(t, peer, "REPO SEED"); !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("seeding peer: %q", lines)
+	}
+	front := startDaemon(t, peer.remoteSrv.Addr().String())
+
+	// Deploying a location the front daemon has never seen resolves the
+	// metadata and the bytes through the peer.
+	lines := admin(t, front, "DEPLOY app:greeter")
+	if !strings.HasPrefix(last(lines), "OK deployed app:greeter") {
+		t.Fatalf("DEPLOY = %q", lines)
+	}
+	if !strings.Contains(lines[0], "com.example.greeter/1.0.0 state=ACTIVE") {
+		t.Fatalf("DEPLOY detail = %q", lines[0])
+	}
+	// The dependency rode along and the fetched copies are now local.
+	lines = admin(t, front, "REPO LIST")
+	if last(lines) != "OK 2 artifact(s)" {
+		t.Fatalf("front REPO after deploy = %q", lines)
+	}
+	// The provisioned bundle's exported service answers through CALL.
+	lines = admin(t, front, "CALL greet Hello dosgi")
+	if len(lines) != 2 || !strings.Contains(lines[0], "hello, dosgi!") {
+		t.Fatalf("CALL greet = %q", lines)
+	}
+
+	// Unknown locations still fail cleanly.
+	if lines := admin(t, front, "DEPLOY app:ghost"); !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("DEPLOY ghost = %q", lines)
+	}
+}
+
+// bigResult returns a result far beyond bufio.Scanner's 64 KiB default.
+type bigResult struct{}
+
+func (bigResult) Blob() string { return strings.Repeat("x", 256<<10) }
+
+func TestCallResultLargerThanScannerDefault(t *testing.T) {
+	d := startDaemon(t)
+	if _, err := d.host.SystemContext().RegisterSingle("dosgi.Big", bigResult{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "big",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := admin(t, d, "CALL big Blob")
+	if len(lines) != 2 || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("big CALL framing broke: %d lines, last %q", len(lines), last(lines))
+	}
+	if len(lines[0]) != len("= ")+256<<10 {
+		t.Fatalf("big CALL result truncated: %d bytes", len(lines[0]))
+	}
+	// A large inbound argument survives the daemon-side scanner too.
+	lines = admin(t, d, `CALL echo Upper "`+strings.Repeat("y", 128<<10)+`"`)
+	if len(lines) != 2 || !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("big argument framing broke: last %q", last(lines))
+	}
+	if len(lines[0]) != len("= ")+128<<10 {
+		t.Fatalf("big argument result truncated: %d bytes", len(lines[0]))
 	}
 }
 

@@ -1,0 +1,132 @@
+// Example provision demonstrates cluster-wide bundle provisioning: signed
+// bundle artifacts published on one node are advertised through the
+// replicated directory and proactively replicated; an instance using them
+// is deployed on the publisher, the publisher is partitioned away, and
+// the instance is redeployed on a node that never held the artifacts —
+// which fetches them chunk-by-chunk from a surviving replica, verifies
+// digest and signature against the deploy policy, resolves the
+// Require-Bundle dependency and restarts the bundle.
+//
+//	go run ./examples/provision
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dosgi/internal/cluster"
+	"dosgi/internal/core"
+	"dosgi/internal/migrate"
+	"dosgi/internal/module"
+	"dosgi/internal/provision"
+	"dosgi/internal/security"
+)
+
+// provisionFillerDef is a plain (non-provisioned) bundle that occupies
+// node 2's capacity so redeployment picks node 3.
+var provisionFillerDef = module.Definition{
+	ManifestText: "Bundle-SymbolicName: com.example.filler\nBundle-Version: 1.0.0\n",
+	Classes:      map[string]any{"com.example.filler.Main": "main"},
+}
+
+func main() {
+	// Only the development signer may deploy app:* artifacts.
+	policy := security.NewPolicy(false)
+	policy.Grant(provision.SampleSigner, provision.DeployPermission("app:*"))
+	c := cluster.New(42, cluster.WithProvisionPolicy(policy))
+	for _, id := range []string{"1", "2", "3"} {
+		if _, err := c.AddNode(cluster.NodeConfig{ID: id}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Settle(2 * time.Second) // group formation
+
+	n1, _ := c.Node("1")
+	n3, _ := c.Node("3")
+	n3.Migration().OnEvent(func(ev migrate.Event) {
+		if ev.Type == migrate.EventRedeployed {
+			fmt.Printf("node 3: instance %s redeployed (from %s)\n", ev.Instance, ev.From)
+		}
+	})
+
+	// Publish the signed sample artifacts (greetlib + greeter) on node 1.
+	arts, payloads, err := provision.SampleArtifacts(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, art := range arts {
+		if err := n1.Provision().Publish(art, payloads[i]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %s (%d bytes, %d chunks, signer %q) on node 1\n",
+			art.Location, art.Size, art.Chunks, art.Signer)
+	}
+	c.Settle(time.Second) // announcements replicate; node 2 copies proactively
+
+	for _, art := range arts {
+		holders := n3.Migration().Directory().ArtifactReplicas(art.Digest)
+		nodes := make([]string, len(holders))
+		for i, h := range holders {
+			nodes[i] = h.Node
+		}
+		fmt.Printf("directory: %s held by %v\n", art.Location, nodes)
+	}
+
+	// Keep node 2 busy so redeployment picks node 3 — the node that never
+	// held the artifacts.
+	c.Definitions().MustAdd("app:filler", &provisionFillerDef)
+	if err := c.Deploy("2", core.Descriptor{
+		ID: "filler", Customer: "filler",
+		Bundles:   []core.BundleSpec{{Location: "app:filler"}},
+		Resources: core.ResourceSpec{CPUMillicores: 3000, MemoryBytes: 1 << 30},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The customer instance runs the provisioned greeter on node 1.
+	if err := c.Deploy("1", core.Descriptor{
+		ID: "greet-1", Customer: "acme",
+		Bundles: []core.BundleSpec{
+			{Location: provision.SampleGreetLibLocation},
+			{Location: provision.SampleGreeterLocation, Start: true},
+		},
+		Resources: core.ResourceSpec{CPUMillicores: 500, MemoryBytes: 64 << 20},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	c.Settle(time.Second)
+	fmt.Printf("\ninstance greet-1 says: %s\n", greeting(c, "1"))
+
+	fmt.Println("\n*** partitioning node 1 away ***")
+	c.Network().Partition("1", "2")
+	c.Network().Partition("1", "3")
+	c.Settle(3 * time.Second) // failure detection, fetch, verify, restore
+
+	counters := n3.Provision().Counters()
+	fmt.Printf("\nnode 3 fetched %d artifacts (%d bytes) with %d retries, %d rejections\n",
+		counters.ArtifactsFetched.Load(), counters.BytesTransferred.Load(),
+		counters.FetchRetries.Load(), counters.VerificationRejections.Load())
+	fmt.Printf("instance greet-1 says: %s\n", greeting(c, "3"))
+}
+
+// greeting calls the greeter service inside the instance on the node.
+func greeting(c *cluster.Cluster, nodeID string) string {
+	n, _ := c.Node(nodeID)
+	inst, ok := n.Manager().Get("greet-1")
+	if !ok {
+		return fmt.Sprintf("<not running on node %s>", nodeID)
+	}
+	ctx := inst.Virtual().Framework().SystemContext()
+	ref, ok := ctx.ServiceReference("com.example.greeter.Greeter")
+	if !ok {
+		return "<greeter service missing>"
+	}
+	svc, err := ctx.GetService(ref)
+	if err != nil {
+		return err.Error()
+	}
+	defer ctx.UngetService(ref)
+	type helloer interface{ Hello(string) string }
+	return svc.(helloer).Hello("world")
+}

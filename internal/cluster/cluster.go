@@ -12,7 +12,9 @@ import (
 	"dosgi/internal/module"
 	"dosgi/internal/monitor"
 	"dosgi/internal/netsim"
+	"dosgi/internal/provision"
 	"dosgi/internal/san"
+	"dosgi/internal/security"
 	"dosgi/internal/services"
 	"dosgi/internal/sim"
 	"dosgi/internal/sla"
@@ -46,6 +48,29 @@ func WithGCSTimeouts(heartbeat, failTimeout time.Duration) Option {
 	}
 }
 
+// WithProvisionKeyring replaces the artifact-signing keyring (default:
+// the built-in development keyring).
+func WithProvisionKeyring(k provision.Keyring) Option {
+	return func(c *Cluster) { c.provKeyring = k }
+}
+
+// WithProvisionPolicy installs the security policy gating which signer
+// subjects may deploy artifacts (default: allow everything, the stance of
+// a cluster with no SecurityManager configured).
+func WithProvisionPolicy(p *security.Policy) Option {
+	return func(c *Cluster) { c.provPolicy = p }
+}
+
+// WithReplicationFactor sets how many nodes proactively hold a copy of
+// every published artifact (default 2; on-demand fetches add more).
+func WithReplicationFactor(n int) Option {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.provReplicas = n
+		}
+	}
+}
+
 // Cluster is a simulated datacenter running the distributed OSGi platform.
 type Cluster struct {
 	eng   *sim.Engine
@@ -59,6 +84,10 @@ type Cluster struct {
 	gcsHeartbeat   time.Duration
 	gcsFailTimeout time.Duration
 
+	provKeyring  provision.Keyring
+	provPolicy   *security.Policy
+	provReplicas int
+
 	mu         sync.Mutex
 	nodes      map[string]*Node
 	tracker    *sla.Tracker
@@ -69,14 +98,16 @@ type Cluster struct {
 // New builds an empty cluster with a deterministic seed.
 func New(seed int64, opts ...Option) *Cluster {
 	c := &Cluster{
-		netLatency: 500 * time.Microsecond,
-		sanLatency: 200 * time.Microsecond,
-		nodes:      make(map[string]*Node),
-		tracker:    sla.NewTracker(),
-		agreements: make(map[core.InstanceID]sla.Agreement),
-		gdir:       gcs.NewDirectory(),
-		defs:       module.NewDefinitionRegistry(),
-		metrics:    services.NewMetricsService(),
+		netLatency:   500 * time.Microsecond,
+		sanLatency:   200 * time.Microsecond,
+		nodes:        make(map[string]*Node),
+		tracker:      sla.NewTracker(),
+		agreements:   make(map[core.InstanceID]sla.Agreement),
+		gdir:         gcs.NewDirectory(),
+		defs:         module.NewDefinitionRegistry(),
+		metrics:      services.NewMetricsService(),
+		provKeyring:  provision.SampleKeyring(),
+		provReplicas: 2,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -142,9 +173,12 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	)
 
 	// Host framework with the shared base services (Figure 4's pulled-down
-	// bundles).
+	// bundles). Each node overlays the shared base registry with its own
+	// layer, where provisioned artifacts land — a bundle fetched onto one
+	// node does not magically exist on the others.
 	c.ensureBaseDefinitions()
-	n.host = module.New(module.WithName(cfg.ID), module.WithDefinitions(c.defs))
+	n.defs = module.NewLayeredDefinitionRegistry(c.defs)
+	n.host = module.New(module.WithName(cfg.ID), module.WithDefinitions(n.defs))
 	if err := n.host.Start(); err != nil {
 		return nil, err
 	}
@@ -185,6 +219,12 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		CPUCapacity: int64(cfg.CPUCapacity),
 		MemCapacity: cfg.MemoryBytes,
 		Mode:        cfg.PlacementMode,
+		// Failover to an artifact-less node transparently fetches first:
+		// restores wait until every bundle location the checkpoint needs
+		// is installable here.
+		EnsureBundles: func(locations []string, done func(error)) {
+			n.ensureBundleLocations(locations, done)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -213,6 +253,10 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	if err := mod.Start(); err != nil {
 		return nil, err
 	}
+	// Provisioning hooks register after the migration module's so its
+	// replication duty check sees the directory already pruned and
+	// resynced, and before the member starts so no change is missed.
+	n.setupProvision()
 	if err := member.Start(); err != nil {
 		return nil, err
 	}
@@ -341,6 +385,7 @@ func (c *Cluster) Crash(nodeID string) error {
 	n.nic.SetUp(false)
 	c.net.DetachNode(nodeID)
 	c.metrics.UnregisterProvider("node:" + nodeID)
+	c.metrics.UnregisterProvider("provision:" + nodeID)
 	return nil
 }
 
@@ -358,6 +403,7 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		n.mon.Stop()
 		n.teardownRemote()
 		c.metrics.UnregisterProvider("node:" + nodeID)
+		c.metrics.UnregisterProvider("provision:" + nodeID)
 		if onDone != nil {
 			onDone()
 		}

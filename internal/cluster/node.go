@@ -67,6 +67,7 @@ type Node struct {
 	vm        *vjvm.VJVM
 	nic       *netsim.NIC
 	host      *module.Framework
+	defs      *module.DefinitionRegistry
 	manager   *core.Manager
 	member    *gcs.Member
 	mod       *migrate.Module
@@ -76,6 +77,7 @@ type Node struct {
 	remoteSrv *remote.NetsimServer
 	invoker   *remote.Invoker
 	importer  *remote.Importer
+	prov      *nodeProvision
 
 	mu       sync.Mutex
 	powered  bool
@@ -93,6 +95,10 @@ func (n *Node) VM() *vjvm.VJVM { return n.vm }
 
 // Host returns the node's host framework.
 func (n *Node) Host() *module.Framework { return n.host }
+
+// Definitions returns the node-local definition registry (layered over
+// the cluster's shared base registry).
+func (n *Node) Definitions() *module.DefinitionRegistry { return n.defs }
 
 // Manager returns the node's instance manager.
 func (n *Node) Manager() *core.Manager { return n.manager }

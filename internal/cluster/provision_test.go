@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/core"
+	"dosgi/internal/module"
+	"dosgi/internal/provision"
+	"dosgi/internal/security"
+)
+
+// newProvisionCluster builds a settled n-node cluster with a restrictive
+// deploy policy: only the development signer may deploy app:* artifacts.
+func newProvisionCluster(t *testing.T, n int, opts ...Option) *Cluster {
+	t.Helper()
+	policy := security.NewPolicy(false)
+	policy.Grant(provision.SampleSigner,
+		security.NewPermission(security.PermAdmin, "app:*", security.ActionDeploy))
+	opts = append([]Option{WithProvisionPolicy(policy)}, opts...)
+	c := New(7, opts...)
+	for i := 1; i <= n; i++ {
+		if _, err := c.AddNode(NodeConfig{ID: nodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(2 * time.Second) // group formation
+	return c
+}
+
+func nodeID(i int) string { return []string{"", "1", "2", "3", "4"}[i] }
+
+// publishSamples publishes the signed sample artifacts (greetlib +
+// greeter) on node and lets the announcements and proactive replication
+// settle.
+func publishSamples(t *testing.T, c *Cluster, node *Node) []provision.Artifact {
+	t.Helper()
+	arts, payloads, err := provision.SampleArtifacts(64) // small chunks: multi-chunk transfers
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, art := range arts {
+		if err := node.Provision().Publish(art, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(time.Second)
+	return arts
+}
+
+// callGreeter invokes the exported greeter service from node and returns
+// the reply.
+func callGreeter(t *testing.T, c *Cluster, n *Node) string {
+	t.Helper()
+	var reply string
+	var callErr error
+	n.InvokeRemote(provision.SampleGreeterService, "Hello", []any{"cluster"}, func(res []any, err error) {
+		callErr = err
+		if err == nil {
+			reply, _ = res[0].(string)
+		}
+	})
+	c.Settle(500 * time.Millisecond)
+	if callErr != nil {
+		t.Fatalf("greeter call failed: %v", callErr)
+	}
+	return reply
+}
+
+// TestProvisionPublishReplicatesToFactor checks the decentralized
+// replication duty: a publish on one node is proactively copied until the
+// replication factor holds, with holdings advertised in every replica of
+// the directory.
+func TestProvisionPublishReplicatesToFactor(t *testing.T) {
+	c := newProvisionCluster(t, 3)
+	n1, _ := c.Node("1")
+	arts := publishSamples(t, c, n1)
+
+	for _, art := range arts {
+		// Every node's directory replica sees the same holders.
+		for _, n := range c.Nodes() {
+			holders := n.Migration().Directory().ArtifactReplicas(art.Digest)
+			if len(holders) != 2 {
+				t.Fatalf("node %s sees %d holders of %s, want 2 (replication factor)",
+					n.ID(), len(holders), art.Location)
+			}
+			if holders[0].Node != "1" || holders[1].Node != "2" {
+				t.Fatalf("holders of %s = %s,%s; want deterministic 1,2",
+					art.Location, holders[0].Node, holders[1].Node)
+			}
+		}
+		// The copy is real, not just advertised.
+		n2, _ := c.Node("2")
+		if !n2.Provision().Store().Has(art.Digest) {
+			t.Fatalf("node 2 advertised %s without holding it", art.Location)
+		}
+		n3, _ := c.Node("3")
+		if n3.Provision().Store().Has(art.Digest) {
+			t.Fatalf("node 3 holds %s beyond the replication factor", art.Location)
+		}
+	}
+}
+
+// TestProvisionDeployOnDemandFetch checks the on-demand path: a node that
+// never held an artifact deploys it — metadata from the replicated index,
+// chunks fetched from a live replica, signature verified, Require-Bundle
+// dependency resolved and fetched too, bundle installed and started.
+func TestProvisionDeployOnDemandFetch(t *testing.T) {
+	c := newProvisionCluster(t, 3)
+	n1, _ := c.Node("1")
+	n3, _ := c.Node("3")
+	publishSamples(t, c, n1)
+
+	var deployErr error
+	done := false
+	n3.Provision().Deploy(provision.SampleGreeterLocation, true, func(err error) {
+		deployErr, done = err, true
+	})
+	c.Settle(time.Second)
+	if !done {
+		t.Fatal("deploy did not complete")
+	}
+	if deployErr != nil {
+		t.Fatalf("deploy failed: %v", deployErr)
+	}
+
+	// Both the bundle and its dependency landed and the greeter started.
+	b, ok := n3.Host().GetBundleByLocation(provision.SampleGreeterLocation)
+	if !ok || b.State() != module.StateActive {
+		t.Fatalf("greeter on node 3: installed=%v state=%v", ok, b)
+	}
+	if _, ok := n3.Host().GetBundleByLocation(provision.SampleGreetLibLocation); !ok {
+		t.Fatal("greetlib dependency was not installed on node 3")
+	}
+	if reply := callGreeter(t, c, n1); !strings.Contains(reply, "hello, cluster!") {
+		t.Fatalf("greeter reply = %q", reply)
+	}
+
+	// Counters account for the transfer: two artifacts, payload bytes.
+	counters := n3.Provision().Counters()
+	if got := counters.ArtifactsFetched.Load(); got != 2 {
+		t.Fatalf("artifactsFetched = %d, want 2", got)
+	}
+	if counters.BytesTransferred.Load() == 0 {
+		t.Fatal("bytesTransferred = 0")
+	}
+	if got := counters.VerificationRejections.Load(); got != 0 {
+		t.Fatalf("verificationRejections = %d, want 0", got)
+	}
+	// The fetched copies are re-advertised (on-demand caching adds a
+	// third replica).
+	c.Settle(time.Second)
+	art, _ := n3.Provision().Store().ArtifactAt(provision.SampleGreeterLocation)
+	if holders := n1.Migration().Directory().ArtifactReplicas(art.Digest); len(holders) != 3 {
+		t.Fatalf("holders after on-demand fetch = %d, want 3", len(holders))
+	}
+	// And the metrics service exposes the counters.
+	attrs, ok := c.Metrics().Read("provision:3")
+	if !ok || attrs["artifactsFetched"].(int64) != 2 {
+		t.Fatalf("metrics provider provision:3 = %v (ok=%v)", attrs, ok)
+	}
+}
+
+// TestProvisionFailoverToArtifactlessNode is the dependability loop of
+// the issue: deploy an instance using provisioned bundles on node 1,
+// partition-kill node 1, and verify the instance is redeployed on node 3
+// — which never held the artifacts — after fetching, verifying, resolving
+// and installing them from the surviving replica on node 2.
+func TestProvisionFailoverToArtifactlessNode(t *testing.T) {
+	c := newProvisionCluster(t, 3)
+	n1, _ := c.Node("1")
+	n2, _ := c.Node("2")
+	n3, _ := c.Node("3")
+	publishSamples(t, c, n1)
+
+	// Load node 2 so decentralized placement sends the failed instance to
+	// node 3, the node without the artifacts.
+	c.Definitions().MustAdd("app:filler", &module.Definition{
+		ManifestText: "Bundle-SymbolicName: com.example.filler\nBundle-Version: 1.0.0\n",
+		Classes:      map[string]any{"com.example.filler.Main": "main"},
+	})
+	if err := c.Deploy("2", core.Descriptor{
+		ID: "filler", Customer: "filler",
+		Bundles:   []core.BundleSpec{{Location: "app:filler"}},
+		Resources: core.ResourceSpec{CPUMillicores: 3000, MemoryBytes: 1 << 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The customer instance runs the provisioned greeter on node 1.
+	if err := c.Deploy("1", core.Descriptor{
+		ID: "greet-1", Customer: "acme",
+		Bundles: []core.BundleSpec{
+			{Location: provision.SampleGreetLibLocation},
+			{Location: provision.SampleGreeterLocation, Start: true},
+		},
+		Resources: core.ResourceSpec{CPUMillicores: 500, MemoryBytes: 64 << 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+	if got := instanceGreeting(t, n1, "greet-1"); !strings.Contains(got, "hello, cluster!") {
+		t.Fatalf("greeter not serving before the failure: %q", got)
+	}
+
+	// Sanity: node 3 must not hold the artifacts before the failure.
+	art, _ := n1.Provision().Store().ArtifactAt(provision.SampleGreeterLocation)
+	if n3.Provision().Store().Has(art.Digest) {
+		t.Fatal("node 3 already holds the artifact; the test would prove nothing")
+	}
+
+	// Partition-kill node 1: the survivors' failure detectors remove it
+	// from the view and redeploy its instances.
+	c.Network().Partition("1", "2")
+	c.Network().Partition("1", "3")
+	c.Settle(3 * time.Second)
+
+	inst, ok := n3.Manager().Get("greet-1")
+	if !ok {
+		if _, onN2 := n2.Manager().Get("greet-1"); onN2 {
+			t.Fatal("instance redeployed on node 2, want the artifact-less node 3")
+		}
+		t.Fatal("instance not redeployed on a survivor")
+	}
+
+	// The artifacts were fetched from node 2, verified and installed; the
+	// greeter bundle is active inside the restored instance.
+	counters := n3.Provision().Counters()
+	if got := counters.ArtifactsFetched.Load(); got != 2 {
+		t.Fatalf("node 3 fetched %d artifacts, want 2", got)
+	}
+	if counters.VerificationRejections.Load() != 0 {
+		t.Fatal("unexpected verification rejections on clean failover")
+	}
+	vb, ok := inst.Virtual().Framework().GetBundleByLocation(provision.SampleGreeterLocation)
+	if !ok || vb.State() != module.StateActive {
+		t.Fatalf("restored greeter bundle: installed=%v", ok)
+	}
+	// And the service answers again from the restored instance on node 3.
+	if got := instanceGreeting(t, n3, "greet-1"); !strings.Contains(got, "hello, cluster!") {
+		t.Fatalf("greeter reply after failover = %q", got)
+	}
+}
+
+// instanceGreeting calls the greeter service registered inside the named
+// instance's virtual framework on node n.
+func instanceGreeting(t *testing.T, n *Node, id core.InstanceID) string {
+	t.Helper()
+	inst, ok := n.Manager().Get(id)
+	if !ok {
+		t.Fatalf("instance %s not found on node %s", id, n.ID())
+	}
+	ctx := inst.Virtual().Framework().SystemContext()
+	ref, ok := ctx.ServiceReference("com.example.greeter.Greeter")
+	if !ok {
+		t.Fatalf("greeter service not registered in %s", id)
+	}
+	svc, err := ctx.GetService(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.UngetService(ref)
+	type helloer interface{ Hello(string) string }
+	return svc.(helloer).Hello("cluster")
+}
+
+// TestProvisionCorruptChunkRetriesOtherReplica checks the verifier gate
+// inside the fetch loop: a replica serving a corrupted chunk is rejected
+// (digest mismatch) and the fetch retries the next replica mid-loop.
+func TestProvisionCorruptChunkRetriesOtherReplica(t *testing.T) {
+	c := newProvisionCluster(t, 3)
+	n1, _ := c.Node("1")
+	n3, _ := c.Node("3")
+	arts := publishSamples(t, c, n1)
+
+	// Corrupt every artifact copy on node 1 — the first replica in the
+	// deterministic fetch order — so node 3's fetches must fail over to
+	// node 2's clean copies.
+	for _, art := range arts {
+		if !n1.Provision().Store().CorruptChunk(art.Digest, 0) {
+			t.Fatalf("could not corrupt %s on node 1", art.Location)
+		}
+	}
+
+	var deployErr error
+	done := false
+	n3.Provision().Deploy(provision.SampleGreeterLocation, true, func(err error) {
+		deployErr, done = err, true
+	})
+	c.Settle(2 * time.Second)
+	if !done || deployErr != nil {
+		t.Fatalf("deploy after corruption: done=%v err=%v", done, deployErr)
+	}
+	b, ok := n3.Host().GetBundleByLocation(provision.SampleGreeterLocation)
+	if !ok || b.State() != module.StateActive {
+		t.Fatal("greeter not active after corrupted-replica failover")
+	}
+
+	counters := n3.Provision().Counters()
+	if counters.VerificationRejections.Load() < 2 {
+		t.Fatalf("verificationRejections = %d, want ≥ 2 (one per corrupted artifact)",
+			counters.VerificationRejections.Load())
+	}
+	if counters.FetchRetries.Load() < 2 {
+		t.Fatalf("fetchRetries = %d, want ≥ 2", counters.FetchRetries.Load())
+	}
+}
+
+// TestProvisionRepublishReplicatesNewDigest covers the republish path: a
+// location published again under new content gets its new digest
+// replicated (repair is keyed by digest, not location) and every replica
+// resolves the location to the highest bundle version.
+func TestProvisionRepublishReplicatesNewDigest(t *testing.T) {
+	c := newProvisionCluster(t, 3)
+	n1, _ := c.Node("1")
+	n2, _ := c.Node("2")
+	n3, _ := c.Node("3")
+	publishSamples(t, c, n1)
+	v1, _ := n1.Provision().Store().ArtifactAt(provision.SampleGreetLibLocation)
+
+	// Republish greetlib at the same location with a higher version and
+	// different content.
+	img := &provision.BundleImage{
+		ManifestText: "Bundle-SymbolicName: com.example.greetlib\n" +
+			"Bundle-Version: 1.3.0\n" +
+			"Export-Package: com.example.greetlib;version=\"1.3.0\"\n",
+		Classes: map[string]string{"com.example.greetlib.Greeting": "hi, %s!"},
+	}
+	v2, payload, err := provision.NewArtifact(provision.SampleGreetLibLocation, img,
+		provision.SampleSigner, provision.SampleKeyring()[provision.SampleSigner], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Digest == v1.Digest {
+		t.Fatal("test needs distinct content")
+	}
+	if err := n1.Provision().Publish(v2, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(time.Second)
+
+	// Every replica resolves the location to the new version…
+	for _, n := range c.Nodes() {
+		rec, ok := n.Migration().Directory().ArtifactByLocation(provision.SampleGreetLibLocation)
+		if !ok || rec.Digest != v2.Digest || rec.Version != "1.3.0" {
+			t.Fatalf("node %s resolves %s to %s/%s, want the republished 1.3.0",
+				n.ID(), provision.SampleGreetLibLocation, rec.Version, rec.Digest[:8])
+		}
+	}
+	// …and the new digest was repaired to the replication factor even
+	// though node 2 already held the old digest (and a definition could
+	// exist at the location).
+	if !n2.Provision().Store().Has(v2.Digest) {
+		t.Fatal("node 2 did not replicate the republished digest")
+	}
+	if !n2.Provision().Store().Has(v1.Digest) {
+		t.Fatal("old digest vanished from node 2 (withdrawals are explicit)")
+	}
+
+	// A fresh deploy elsewhere installs the new version.
+	var deployErr error
+	n3.Provision().Deploy(provision.SampleGreetLibLocation, false, func(err error) { deployErr = err })
+	c.Settle(time.Second)
+	if deployErr != nil {
+		t.Fatal(deployErr)
+	}
+	b, ok := n3.Host().GetBundleByLocation(provision.SampleGreetLibLocation)
+	if !ok || b.Version().String() != "1.3.0" {
+		t.Fatalf("node 3 installed %v, want 1.3.0", b)
+	}
+}
+
+// TestProvisionPolicyRejectsUntrustedSigner checks the policy gate: an
+// artifact signed by a subject without the deploy permission never
+// installs, even with a valid signature.
+func TestProvisionPolicyRejectsUntrustedSigner(t *testing.T) {
+	keyring := provision.SampleKeyring()
+	keyring["intruder"] = []byte("intruder-key")
+	policy := security.NewPolicy(false)
+	policy.Grant(provision.SampleSigner,
+		security.NewPermission(security.PermAdmin, "app:*", security.ActionDeploy))
+	c := New(7, WithProvisionPolicy(policy), WithProvisionKeyring(keyring))
+	for i := 1; i <= 2; i++ {
+		if _, err := c.AddNode(NodeConfig{ID: nodeID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(2 * time.Second)
+	n1, _ := c.Node("1")
+
+	img := provision.SampleImages()[provision.SampleGreetLibLocation]
+	art, payload, err := provision.NewArtifact(provision.SampleGreetLibLocation,
+		img, "intruder", keyring["intruder"], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = n1.Provision().Publish(art, payload)
+	if !errors.Is(err, provision.ErrVerification) {
+		t.Fatalf("publish by untrusted signer = %v, want ErrVerification", err)
+	}
+	var denied *security.AccessDeniedError
+	if !errors.As(err, &denied) {
+		t.Fatalf("expected an access-denied cause, got %v", err)
+	}
+	if n1.Provision().Counters().VerificationRejections.Load() != 1 {
+		t.Fatal("rejection not counted")
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dosgi/internal/module"
+	"dosgi/internal/netsim"
+	"dosgi/internal/provision"
+	"dosgi/internal/remote"
+	"dosgi/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// E11 — chunked artifact transfer: provisioning throughput across chunk
+// sizes.
+//
+// A repository node serves one artifact of a fixed total size over the
+// netsim remote stack; a client fetches it with the provisioning Fetcher
+// (pipelined chunk requests, window W). Small chunks pay a per-chunk
+// round-trip and framing tax; large chunks amortize it. Throughput is in
+// MB per simulated second — the harness cost (allocations per transfer)
+// is what the wall-clock benchmark measures.
+
+// E11Row reports one chunk-size configuration.
+type E11Row struct {
+	ChunkSize int64
+	Bytes     int64
+	Chunks    int64
+	Elapsed   time.Duration
+	MBps      float64
+}
+
+// E11ArtifactTransfer fetches a totalBytes artifact once per chunk size
+// with `window` chunk requests in flight.
+func E11ArtifactTransfer(totalBytes int64, chunkSizes []int64, window int) ([]E11Row, error) {
+	if totalBytes <= 0 || window <= 0 {
+		return nil, fmt.Errorf("experiments: e11 needs positive size and window")
+	}
+	payload := make([]byte, totalBytes)
+	// Deterministic, incompressible-ish content.
+	state := uint32(0x9e3779b9)
+	for i := range payload {
+		state = state*1664525 + 1013904223
+		payload[i] = byte(state >> 24)
+	}
+	var rows []E11Row
+	for _, cs := range chunkSizes {
+		row, err := e11Run(payload, cs, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func e11Run(payload []byte, chunkSize int64, window int) (E11Row, error) {
+	if chunkSize <= 0 {
+		return E11Row{}, fmt.Errorf("experiments: e11 chunk size must be positive")
+	}
+	eng := sim.New(11)
+	net := netsim.NewNetwork(eng)
+	serverNIC := net.AttachNode("repo")
+	if err := net.AssignIP("10.0.0.1", "repo"); err != nil {
+		return E11Row{}, err
+	}
+	clientNIC := net.AttachNode("client")
+	if err := net.AssignIP("10.0.0.2", "client"); err != nil {
+		return E11Row{}, err
+	}
+
+	// The repository service rides the standard export/dispatch stack.
+	store := provision.NewStore()
+	art := provision.Artifact{
+		Digest:    provision.PayloadDigest(payload),
+		Location:  "bench:blob",
+		Size:      int64(len(payload)),
+		ChunkSize: chunkSize,
+		Chunks:    (int64(len(payload)) + chunkSize - 1) / chunkSize,
+		Signer:    provision.SampleSigner,
+	}
+	if err := store.Add(art, payload); err != nil {
+		return E11Row{}, err
+	}
+	provider := module.New(module.WithName("e11-repo"))
+	if err := provider.Start(); err != nil {
+		return E11Row{}, err
+	}
+	if _, err := provider.SystemContext().RegisterSingle(provision.ServiceClass,
+		provision.NewRepoService(store), module.Properties{
+			module.PropServiceExported:     true,
+			module.PropServiceExportedName: provision.ServiceName,
+		}); err != nil {
+		return E11Row{}, err
+	}
+	exporter, err := remote.NewExporter(provider.SystemContext())
+	if err != nil {
+		return E11Row{}, err
+	}
+	server := remote.NewNetsimServer(serverNIC,
+		netsim.Addr{IP: "10.0.0.1", Port: 7100}, remote.NewDispatcher(exporter))
+	if err := server.Start(); err != nil {
+		return E11Row{}, err
+	}
+
+	transport := remote.NewNetsimTransport(eng, clientNIC, "10.0.0.2")
+	pool := remote.NewPool(transport,
+		remote.WithMaxConnsPerEndpoint(1), remote.WithMaxInFlight(window))
+	fetcher := provision.NewFetcher(pool,
+		provision.StaticReplicas{Eps: []remote.Endpoint{{Node: "repo", Addr: "10.0.0.1:7100"}}},
+		provision.WithFetchWindow(window))
+
+	var fetched []byte
+	var fetchErr error
+	begin := eng.Now()
+	var end time.Duration
+	done := false
+	fetcher.Fetch(art, func(p []byte, err error) {
+		fetched, fetchErr, done = p, err, true
+		end = eng.Now()
+	})
+	for deadline := 0; !done && deadline < 10_000; deadline++ {
+		eng.RunFor(100 * time.Millisecond)
+	}
+	if fetchErr != nil {
+		return E11Row{}, fetchErr
+	}
+	if !done {
+		return E11Row{}, fmt.Errorf("experiments: e11 chunk=%d stalled", chunkSize)
+	}
+	if int64(len(fetched)) != art.Size {
+		return E11Row{}, fmt.Errorf("experiments: e11 short payload: %d", len(fetched))
+	}
+	elapsed := end - begin
+	row := E11Row{ChunkSize: chunkSize, Bytes: art.Size, Chunks: art.Chunks, Elapsed: elapsed}
+	if elapsed > 0 {
+		row.MBps = float64(art.Size) / elapsed.Seconds() / 1e6
+	}
+	return row, nil
+}

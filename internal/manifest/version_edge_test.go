@@ -1,0 +1,117 @@
+package manifest
+
+import "testing"
+
+// Edge cases the provisioning deployer leans on when matching artifact
+// versions against Require-Bundle ranges.
+
+// TestVersionQualifierOrdering pins OSGi qualifier semantics: the
+// unqualified version sorts before any qualified one, qualifiers compare
+// lexicographically (case-sensitive, so digits < uppercase < lowercase),
+// and multi-digit qualifiers compare as text, not numbers.
+func TestVersionQualifierOrdering(t *testing.T) {
+	ordered := []string{
+		"1.0.0",       // no qualifier is the smallest
+		"1.0.0.ALPHA", // uppercase before lowercase in ASCII
+		"1.0.0.RC1",
+		"1.0.0.alpha",   // a prefix sorts before its extensions
+		"1.0.0.alpha-2", // '-' (0x2d) before '_' (0x5f)
+		"1.0.0.alpha_2",
+		"1.0.0.beta",
+		"1.0.0.rc10", // lexicographic: "rc10" < "rc2"
+		"1.0.0.rc2",
+		"1.0.1", // micro bump beats any qualifier
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			a, b := MustParseVersion(ordered[i]), MustParseVersion(ordered[j])
+			if got, want := a.Compare(b), sign(i-j); got != want {
+				t.Errorf("Compare(%s, %s) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+// TestVersionRangeQualifierBoundaries checks qualified versions against
+// half-open range endpoints: [1.0,2.0) admits 1.x qualifiers but rejects
+// 2.0.0 and everything above it, including 2.0.0 with a qualifier.
+func TestVersionRangeQualifierBoundaries(t *testing.T) {
+	r := MustParseVersionRange("[1.0,2.0)")
+	for _, v := range []string{"1.0.0", "1.0.0.alpha", "1.9.9.zz"} {
+		if !r.Includes(MustParseVersion(v)) {
+			t.Errorf("range [1.0,2.0) should include %s", v)
+		}
+	}
+	for _, v := range []string{"2.0.0", "2.0.0.alpha", "0.9.9.zz"} {
+		if r.Includes(MustParseVersion(v)) {
+			t.Errorf("range [1.0,2.0) should exclude %s", v)
+		}
+	}
+	// An exclusive minimum rejects the endpoint but not its qualified
+	// successors (1.0.0.q > 1.0.0).
+	r = MustParseVersionRange("(1.0,2.0)")
+	if r.Includes(MustParseVersion("1.0.0")) {
+		t.Error("range (1.0,2.0) should exclude its minimum")
+	}
+	if !r.Includes(MustParseVersion("1.0.0.alpha")) {
+		t.Error("range (1.0,2.0) should include 1.0.0.alpha")
+	}
+}
+
+// TestVersionRangeOpenEnded checks the bare-version form "v" meaning
+// [v, ∞): no upper bound, inclusive lower bound, round-tripping String.
+func TestVersionRangeOpenEnded(t *testing.T) {
+	r := MustParseVersionRange("1.5")
+	if r.HasMax {
+		t.Fatal("bare version parsed with an upper bound")
+	}
+	for _, v := range []string{"1.5.0", "1.5.0.q", "99.0.0", "2147483647.0.0"} {
+		if !r.Includes(MustParseVersion(v)) {
+			t.Errorf("open-ended 1.5 should include %s", v)
+		}
+	}
+	for _, v := range []string{"1.4.9", "0.0.0"} {
+		if r.Includes(MustParseVersion(v)) {
+			t.Errorf("open-ended 1.5 should exclude %s", v)
+		}
+	}
+	if got := r.String(); got != "1.5.0" {
+		t.Errorf("open-ended String = %q, want canonical bare version", got)
+	}
+	// The empty range expression is the unbounded AnyVersion.
+	any, err := ParseVersionRange("")
+	if err != nil || any != AnyVersion {
+		t.Fatalf("ParseVersionRange(\"\") = %v, %v", any, err)
+	}
+	if !any.Includes(VersionZero) || !any.Includes(MustParseVersion("999.999.999.zz")) {
+		t.Error("AnyVersion must include everything")
+	}
+}
+
+// TestVersionRangeMalformed rejects the strings a hand-written manifest
+// (or a corrupted artifact) could smuggle in.
+func TestVersionRangeMalformed(t *testing.T) {
+	for _, in := range []string{
+		"[",           // truncated
+		"]",           // closing bracket only
+		"[]",          // no endpoints
+		"[1.0",        // missing closing bracket
+		"1.0,2.0]",    // missing opening bracket
+		"[1.0;2.0]",   // wrong separator
+		"[1.0,2.0,3]", // too many endpoints
+		"[1.0,two]",   // non-numeric endpoint
+		"[1.0.0.!,2]", // invalid qualifier character
+		"[-1.0,2.0]",  // negative segment
+		"(2.0,1.0)",   // inverted
+		"(1.0,1.0]",   // empty: exclusive min meets inclusive max
+		"[2.0,2.0)",   // empty: inclusive min meets exclusive max
+	} {
+		if _, err := ParseVersionRange(in); err == nil {
+			t.Errorf("ParseVersionRange(%q) accepted a malformed range", in)
+		}
+	}
+	// Whitespace around a well-formed range is tolerated.
+	if _, err := ParseVersionRange("  [1.0,2.0)  "); err != nil {
+		t.Errorf("surrounding whitespace rejected: %v", err)
+	}
+}

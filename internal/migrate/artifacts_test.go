@@ -1,0 +1,74 @@
+package migrate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func art(digest, node string) ArtifactInfo {
+	return ArtifactInfo{
+		Digest: digest, Location: "app:" + digest, SymbolicName: "com." + digest,
+		Version: "1.0.0", Size: 100, ChunkSize: 64, Chunks: 2, Signer: "dev", Node: node,
+	}
+}
+
+func TestDirectoryArtifactRecords(t *testing.T) {
+	d := NewDirectory()
+	d.PutArtifact(art("aaa", "n2"))
+	d.PutArtifact(art("aaa", "n1"))
+	d.PutArtifact(art("bbb", "n1"))
+
+	got := d.ArtifactReplicas("aaa")
+	want := []ArtifactInfo{art("aaa", "n1"), art("aaa", "n2")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ArtifactReplicas(aaa) = %+v", got)
+	}
+
+	// Lookup by install location.
+	rec, ok := d.ArtifactByLocation("app:bbb")
+	if !ok || rec.Digest != "bbb" {
+		t.Fatalf("ArtifactByLocation = %+v (ok=%v)", rec, ok)
+	}
+	if _, ok := d.ArtifactByLocation("app:ghost"); ok {
+		t.Fatal("found a ghost artifact")
+	}
+
+	// Full listing sorted by digest then node.
+	all := d.Artifacts()
+	if len(all) != 3 || all[0].Node != "n1" || all[1].Node != "n2" || all[2].Digest != "bbb" {
+		t.Fatalf("Artifacts() = %+v", all)
+	}
+
+	d.RemoveArtifact("aaa", "n2")
+	if got := d.ArtifactReplicas("aaa"); len(got) != 1 {
+		t.Fatalf("after RemoveArtifact = %+v", got)
+	}
+	d.RemoveArtifactsOf("n1")
+	if got := d.Artifacts(); len(got) != 0 {
+		t.Fatalf("after RemoveArtifactsOf = %+v", got)
+	}
+	// Removing from an empty directory is a no-op.
+	d.RemoveArtifact("ghost", "n1")
+	d.RemoveArtifactsOf("n9")
+}
+
+func TestDirectoryReplaceArtifactsOf(t *testing.T) {
+	d := NewDirectory()
+	d.PutArtifact(art("aaa", "n1"))
+	d.PutArtifact(art("bbb", "n1"))
+	d.PutArtifact(art("aaa", "n2"))
+
+	// The anti-entropy resync: n1 now holds only ccc; its stale aaa/bbb
+	// records vanish, other nodes' records survive.
+	d.ReplaceArtifactsOf("n1", []ArtifactInfo{art("ccc", "n1")})
+	all := d.Artifacts()
+	if len(all) != 2 || all[0].Digest != "aaa" || all[0].Node != "n2" || all[1].Digest != "ccc" {
+		t.Fatalf("after replace = %+v", all)
+	}
+	// Records claiming another node are ignored (a node only speaks for
+	// itself in a sync).
+	d.ReplaceArtifactsOf("n2", []ArtifactInfo{art("ddd", "n3")})
+	if got := d.Artifacts(); len(got) != 1 || got[0].Digest != "ccc" {
+		t.Fatalf("forged sync applied: %+v", got)
+	}
+}

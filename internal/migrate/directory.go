@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"dosgi/internal/core"
+	"dosgi/internal/manifest"
 )
 
 // InstanceInfo is the directory's record of one virtual instance.
@@ -50,6 +51,36 @@ type EndpointInfo struct {
 	Addr    string `json:"addr"`
 }
 
+// ArtifactInfo is the directory's record of one replica of a provisioned
+// bundle artifact: the artifact's identity (content digest, install
+// location, bundle coordinates, chunking geometry, signer) plus the node
+// holding a copy. The provisioning subsystem announces holdings through
+// these records and resolves fetch replicas from them — the decentralized
+// component repository replacing a centralized deployment directory.
+type ArtifactInfo struct {
+	// Digest is the hex SHA-256 of the artifact payload: the artifact's
+	// content-addressed identity.
+	Digest string `json:"digest"`
+	// Location is the bundle install location the artifact deploys under.
+	Location string `json:"location"`
+	// SymbolicName/Version are the bundle coordinates from the manifest,
+	// replicated so dependency resolution can search the index without
+	// fetching payloads.
+	SymbolicName string `json:"symbolicName"`
+	Version      string `json:"version"`
+	// Size is the payload length in bytes; ChunkSize and Chunks describe
+	// how fetchers address pieces of it.
+	Size      int64 `json:"size"`
+	ChunkSize int64 `json:"chunkSize"`
+	Chunks    int64 `json:"chunks"`
+	// Signer is the subject that signed the artifact; Signature
+	// authenticates (signer, digest) under the verifier's keyring.
+	Signer    string `json:"signer"`
+	Signature string `json:"signature"`
+	// Node holds a copy ("" in contexts describing the artifact itself).
+	Node string `json:"node"`
+}
+
 // Directory is each node's replica of the cluster state. All mutations
 // arrive through totally-ordered broadcasts (or deterministic local
 // application on view changes), so replicas converge.
@@ -58,6 +89,7 @@ type Directory struct {
 	instances map[core.InstanceID]InstanceInfo
 	nodes     map[string]NodeInfo
 	endpoints map[string]map[string]EndpointInfo // service → node → record
+	artifacts map[string]map[string]ArtifactInfo // digest → node → record
 }
 
 // NewDirectory returns an empty directory.
@@ -66,6 +98,7 @@ func NewDirectory() *Directory {
 		instances: make(map[core.InstanceID]InstanceInfo),
 		nodes:     make(map[string]NodeInfo),
 		endpoints: make(map[string]map[string]EndpointInfo),
+		artifacts: make(map[string]map[string]ArtifactInfo),
 	}
 }
 
@@ -225,6 +258,120 @@ func (d *Directory) Endpoints() []EndpointInfo {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Service != out[j].Service {
 			return out[i].Service < out[j].Service
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// PutArtifact upserts an artifact-holding record.
+func (d *Directory) PutArtifact(info ArtifactInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.putArtifactLocked(info)
+}
+
+func (d *Directory) putArtifactLocked(info ArtifactInfo) {
+	byNode := d.artifacts[info.Digest]
+	if byNode == nil {
+		byNode = make(map[string]ArtifactInfo)
+		d.artifacts[info.Digest] = byNode
+	}
+	byNode[info.Node] = info
+}
+
+// RemoveArtifact deletes node's holding record for digest.
+func (d *Directory) RemoveArtifact(digest, node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byNode := d.artifacts[digest]
+	delete(byNode, node)
+	if len(byNode) == 0 {
+		delete(d.artifacts, digest)
+	}
+}
+
+// RemoveArtifactsOf deletes every holding record of node (crash or
+// graceful leave, applied deterministically on view change).
+func (d *Directory) RemoveArtifactsOf(node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeArtifactsOfLocked(node)
+}
+
+func (d *Directory) removeArtifactsOfLocked(node string) {
+	for digest, byNode := range d.artifacts {
+		delete(byNode, node)
+		if len(byNode) == 0 {
+			delete(d.artifacts, digest)
+		}
+	}
+}
+
+// ReplaceArtifactsOf makes infos the complete holding set of node — the
+// anti-entropy resync broadcast on view change, which re-converges
+// replicas that missed incremental announcements during a partition.
+func (d *Directory) ReplaceArtifactsOf(node string, infos []ArtifactInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeArtifactsOfLocked(node)
+	for _, info := range infos {
+		if info.Node == node {
+			d.putArtifactLocked(info)
+		}
+	}
+}
+
+// ArtifactReplicas returns the holding records of digest, sorted by node.
+func (d *Directory) ArtifactReplicas(digest string) []ArtifactInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ArtifactInfo, 0, len(d.artifacts[digest]))
+	for _, info := range d.artifacts[digest] {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// ArtifactByLocation returns one record of the artifact deploying at
+// location. When a location was republished and several digests coexist,
+// the highest bundle version wins (version ties break on the lower
+// digest), so every replica deterministically resolves the newest
+// content rather than an arbitrary hash.
+func (d *Directory) ArtifactByLocation(location string) (ArtifactInfo, bool) {
+	var best ArtifactInfo
+	var bestV manifest.Version
+	found := false
+	for _, info := range d.Artifacts() {
+		if info.Location != location {
+			continue
+		}
+		v, _ := manifest.ParseVersion(info.Version) // zero on a bad record
+		c := 1
+		if found {
+			c = v.Compare(bestV)
+		}
+		if c > 0 || (c == 0 && info.Digest < best.Digest) {
+			best, bestV, found = info, v, true
+		}
+	}
+	return best, found
+}
+
+// Artifacts returns every holding record, sorted by digest then node.
+func (d *Directory) Artifacts() []ArtifactInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []ArtifactInfo
+	for _, byNode := range d.artifacts {
+		for _, info := range byNode {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Digest != out[j].Digest {
+			return out[i].Digest < out[j].Digest
 		}
 		return out[i].Node < out[j].Node
 	})

@@ -28,6 +28,11 @@ const (
 	EventMigratedIn
 	// EventUnplaceable fires when placement found no node for an instance.
 	EventUnplaceable
+	// EventRestoreFailed fires when this node was assigned a restore but
+	// could not make the instance's bundles available (provisioning fetch
+	// or verification failed); the instance stays down until the next
+	// view change retries placement.
+	EventRestoreFailed
 )
 
 func (t EventType) String() string {
@@ -42,6 +47,8 @@ func (t EventType) String() string {
 		return "MIGRATED_IN"
 	case EventUnplaceable:
 		return "UNPLACEABLE"
+	case EventRestoreFailed:
+		return "RESTORE_FAILED"
 	}
 	return "UNKNOWN"
 }
@@ -53,6 +60,8 @@ type Event struct {
 	From     string
 	To       string
 	At       time.Duration
+	// Err carries the cause of a RESTORE_FAILED event.
+	Err error
 }
 
 // Wire messages (broadcast with Total ordering so every replica applies
@@ -80,6 +89,18 @@ type endpointSync struct {
 	Infos []EndpointInfo
 }
 
+type artifactPut struct{ Info ArtifactInfo }
+
+type artifactRemove struct{ Digest, Node string }
+
+// artifactSync replaces a node's complete artifact-holding set: the
+// anti-entropy resync broadcast on every view change so repository
+// advertisements converge after partition healing.
+type artifactSync struct {
+	Node  string
+	Infos []ArtifactInfo
+}
+
 // Config wires a migration module into its node.
 type Config struct {
 	NodeID  string
@@ -98,6 +119,13 @@ type Config struct {
 	// OnRelocate runs after an instance lands on this node so the
 	// embedder can rebind its network endpoints (IP takeover / ipvs).
 	OnRelocate func(InstanceInfo)
+	// EnsureBundles, when set, runs before a restore to make the given
+	// bundle install locations available locally — the provisioning
+	// subsystem fetches missing artifacts on demand here, so failover to
+	// a node that never held a bundle's artifact transparently fetches
+	// first. done must be invoked exactly once; a non-nil error aborts
+	// the restore.
+	EnsureBundles func(locations []string, done func(error))
 }
 
 // Errors returned by the module.
@@ -123,6 +151,12 @@ type Module struct {
 	// exported tracks the endpoints this node itself announced, keyed by
 	// service, so they can be re-broadcast on every view change.
 	exported map[string]EndpointInfo
+	// held tracks the artifacts this node itself announced, keyed by
+	// digest, re-broadcast on every view change (anti-entropy resync).
+	held map[string]ArtifactInfo
+	// artifactHooks fire after any replicated artifact-record change so
+	// the provisioning layer can re-evaluate its replication duties.
+	artifactHooks []func()
 }
 
 // NewModule builds the module; call Start *before* starting the group
@@ -139,6 +173,7 @@ func NewModule(cfg Config) (*Module, error) {
 		dir:       NewDirectory(),
 		migrating: make(map[core.InstanceID]bool),
 		exported:  make(map[string]EndpointInfo),
+		held:      make(map[string]ArtifactInfo),
 	}, nil
 }
 
@@ -239,6 +274,41 @@ func (m *Module) WithdrawEndpoint(service string) {
 	m.broadcast(endpointRemove{Service: service, Node: m.cfg.NodeID})
 }
 
+// AnnounceArtifact records and broadcasts that this node holds a copy of
+// the artifact (the provisioning repository calls it after a publish or a
+// verified fetch).
+func (m *Module) AnnounceArtifact(info ArtifactInfo) {
+	info.Node = m.cfg.NodeID
+	m.mu.Lock()
+	m.held[info.Digest] = info
+	m.mu.Unlock()
+	m.broadcast(artifactPut{Info: info})
+}
+
+// WithdrawArtifact broadcasts that this node no longer holds the artifact.
+func (m *Module) WithdrawArtifact(digest string) {
+	m.mu.Lock()
+	delete(m.held, digest)
+	m.mu.Unlock()
+	m.broadcast(artifactRemove{Digest: digest, Node: m.cfg.NodeID})
+}
+
+// OnArtifactChange subscribes to replicated artifact-record changes.
+func (m *Module) OnArtifactChange(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.artifactHooks = append(m.artifactHooks, fn)
+}
+
+func (m *Module) notifyArtifacts() {
+	m.mu.Lock()
+	hooks := append(make([]func(), 0, len(m.artifactHooks)), m.artifactHooks...)
+	m.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // onView reacts to membership changes: (re-)announcement and crash
 // redeployment. Announcing on every view keeps directories convergent
 // across the singleton-view merges that happen at cluster startup and
@@ -250,9 +320,16 @@ func (m *Module) onView(v gcs.View) {
 	for _, info := range m.exported {
 		localEndpoints = append(localEndpoints, info)
 	}
+	localArtifacts := make([]ArtifactInfo, 0, len(m.held))
+	for _, info := range m.held {
+		localArtifacts = append(localArtifacts, info)
+	}
 	m.mu.Unlock()
 	sort.Slice(localEndpoints, func(i, j int) bool {
 		return localEndpoints[i].Service < localEndpoints[j].Service
+	})
+	sort.Slice(localArtifacts, func(i, j int) bool {
+		return localArtifacts[i].Digest < localArtifacts[j].Digest
 	})
 
 	m.broadcast(nodeAnnounce{Info: NodeInfo{
@@ -263,6 +340,7 @@ func (m *Module) onView(v gcs.View) {
 	// Authoritative resync, not incremental puts: an empty set clears
 	// records peers kept while a withdrawal was partitioned away.
 	m.broadcast(endpointSync{Node: m.cfg.NodeID, Infos: localEndpoints})
+	m.broadcast(artifactSync{Node: m.cfg.NodeID, Infos: localArtifacts})
 	for _, inst := range m.cfg.Manager.List() {
 		m.mu.Lock()
 		moving := m.migrating[inst.ID()]
@@ -290,6 +368,20 @@ func (m *Module) onView(v gcs.View) {
 	}
 	for node := range deadExporters {
 		m.dir.RemoveEndpointsOf(node)
+	}
+	// Artifact holdings of departed nodes vanish the same way; the
+	// provisioning layer re-evaluates replication afterwards.
+	deadHolders := make(map[string]bool)
+	for _, art := range m.dir.Artifacts() {
+		if !memberSet[art.Node] {
+			deadHolders[art.Node] = true
+		}
+	}
+	for node := range deadHolders {
+		m.dir.RemoveArtifactsOf(node)
+	}
+	if len(deadHolders) > 0 {
+		m.notifyArtifacts()
 	}
 	lostNodes := make(map[string]bool)
 	var failed []InstanceInfo
@@ -341,20 +433,62 @@ func (m *Module) restoreFromStore(info InstanceInfo, kind EventType, from string
 		if err != nil {
 			return
 		}
-		if _, exists := m.cfg.Manager.Get(info.ID); exists {
+		revive := func() {
+			if _, exists := m.cfg.Manager.Get(info.ID); exists {
+				return
+			}
+			start := chk.Running || info.Running
+			if _, err := m.cfg.Manager.RestoreInstance(chk, start); err != nil {
+				return
+			}
+			if m.cfg.OnRelocate != nil {
+				landed := info
+				landed.Node = m.cfg.NodeID
+				m.cfg.OnRelocate(landed)
+			}
+			m.emit(Event{Type: kind, Instance: info.ID, From: from, To: m.cfg.NodeID, At: m.cfg.Sched.Now()})
+		}
+		if m.cfg.EnsureBundles == nil {
+			revive()
 			return
 		}
-		start := chk.Running || info.Running
-		if _, err := m.cfg.Manager.RestoreInstance(chk, start); err != nil {
-			return
-		}
-		if m.cfg.OnRelocate != nil {
-			landed := info
-			landed.Node = m.cfg.NodeID
-			m.cfg.OnRelocate(landed)
-		}
-		m.emit(Event{Type: kind, Instance: info.ID, From: from, To: m.cfg.NodeID, At: m.cfg.Sched.Now()})
+		// Fetch missing bundle artifacts before the restore: the union of
+		// the descriptor's bundle list and the snapshot's installed set
+		// covers bundles installed after creation.
+		m.cfg.EnsureBundles(checkpointLocations(chk), func(err error) {
+			if err != nil {
+				m.emit(Event{
+					Type: EventRestoreFailed, Instance: info.ID,
+					From: from, To: m.cfg.NodeID,
+					At: m.cfg.Sched.Now(), Err: err,
+				})
+				return
+			}
+			revive()
+		})
 	})
+}
+
+// checkpointLocations returns the bundle install locations a checkpoint
+// needs, deduplicated, in first-seen order.
+func checkpointLocations(chk *core.Checkpoint) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(loc string) {
+		if loc != "" && !seen[loc] {
+			seen[loc] = true
+			out = append(out, loc)
+		}
+	}
+	for _, b := range chk.Descriptor.Bundles {
+		add(b.Location)
+	}
+	if chk.Snapshot != nil {
+		for _, b := range chk.Snapshot.Bundles {
+			add(b.Location)
+		}
+	}
+	return out
 }
 
 // onDeliver applies replicated directory updates and migration handoffs.
@@ -372,6 +506,15 @@ func (m *Module) onDeliver(msg gcs.Message) {
 		m.dir.RemoveEndpoint(body.Service, body.Node)
 	case endpointSync:
 		m.dir.ReplaceEndpointsOf(body.Node, body.Infos)
+	case artifactPut:
+		m.dir.PutArtifact(body.Info)
+		m.notifyArtifacts()
+	case artifactRemove:
+		m.dir.RemoveArtifact(body.Digest, body.Node)
+		m.notifyArtifacts()
+	case artifactSync:
+		m.dir.ReplaceArtifactsOf(body.Node, body.Infos)
+		m.notifyArtifacts()
 	case migrationAnnounce:
 		m.dir.PutInstance(body.Info)
 		if body.From == m.cfg.NodeID {

@@ -61,13 +61,22 @@ type Definition struct {
 // analog of the bundle repository every node can read (the paper assumes
 // bundle JARs are reachable from all nodes via the SAN).
 type DefinitionRegistry struct {
-	mu   sync.RWMutex
-	defs map[string]*Definition
+	mu     sync.RWMutex
+	defs   map[string]*Definition
+	parent *DefinitionRegistry
 }
 
 // NewDefinitionRegistry returns an empty registry.
 func NewDefinitionRegistry() *DefinitionRegistry {
 	return &DefinitionRegistry{defs: make(map[string]*Definition)}
+}
+
+// NewLayeredDefinitionRegistry returns a registry whose lookups fall back
+// to parent when the location is not registered locally. Adds always land
+// in the local layer, so per-node registries can overlay a shared base set
+// with bundles provisioned onto just this node.
+func NewLayeredDefinitionRegistry(parent *DefinitionRegistry) *DefinitionRegistry {
+	return &DefinitionRegistry{defs: make(map[string]*Definition), parent: parent}
 }
 
 // Add registers def under location, replacing any previous definition (the
@@ -92,21 +101,37 @@ func (r *DefinitionRegistry) MustAdd(location string, def *Definition) {
 	}
 }
 
-// Get returns the definition for location.
+// Get returns the definition for location, consulting the parent layer
+// when the local one misses.
 func (r *DefinitionRegistry) Get(location string) (*Definition, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	d, ok := r.defs[location]
+	parent := r.parent
+	r.mu.RUnlock()
+	if !ok && parent != nil {
+		return parent.Get(location)
+	}
 	return d, ok
 }
 
-// Locations returns all registered locations.
+// Locations returns all registered locations, including the parent
+// layer's, deduplicated.
 func (r *DefinitionRegistry) Locations() []string {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.defs))
+	local := make(map[string]bool, len(r.defs))
 	for loc := range r.defs {
 		out = append(out, loc)
+		local[loc] = true
+	}
+	parent := r.parent
+	r.mu.RUnlock()
+	if parent != nil {
+		for _, loc := range parent.Locations() {
+			if !local[loc] {
+				out = append(out, loc)
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,408 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dosgi/internal/manifest"
+	"dosgi/internal/module"
+	"dosgi/internal/services"
+)
+
+// Index resolves artifact metadata cluster-wide: by install location and
+// by bundle coordinates (for dependency resolution). The cluster
+// implements it over the replicated migrate directory; daemons consult
+// their local store and then their peers.
+type Index interface {
+	ArtifactAt(location string) (Artifact, bool)
+	FindBundle(symbolicName string, rng manifest.VersionRange) (Artifact, bool)
+}
+
+// DeployerConfig wires a Deployer into its node.
+type DeployerConfig struct {
+	Store    *Store
+	Fetcher  *Fetcher
+	Verifier *Verifier
+	Index    Index
+	// Definitions is the node-local registry definitions land in.
+	Definitions *module.DefinitionRegistry
+	// Framework is where Deploy installs bundles (the node's host
+	// framework; instance restores install from Definitions themselves).
+	Framework *module.Framework
+	Counters  *services.ProvisionCounters
+	// OnStored fires after a fetched artifact passed verification and
+	// entered the local store — the cluster announces the new holding
+	// here so on-demand caching strengthens the repository.
+	OnStored func(Artifact)
+	// Async, when set, runs fetch continuations (verify, register, the
+	// dependency walk) instead of the transport callback goroutine.
+	// Real-time embedders pass a goroutine-spawning executor so a
+	// blocking Index lookup inside a continuation cannot deadlock the
+	// transport reader that delivered the fetch; the deterministic
+	// simulator leaves it nil (inline).
+	Async func(func())
+}
+
+// Deployer turns repository artifacts into installed, started bundles:
+// fetch (if missing locally), verify, register the definition, resolve
+// Require-Bundle dependencies against the repository index and the module
+// resolver, install and start.
+type Deployer struct {
+	cfg DeployerConfig
+
+	mu sync.Mutex
+	// pending coalesces concurrent ensures of the same location and
+	// transfers coalesces concurrent fetches of the same digest (a
+	// failover restore racing a replication-repair fetch) onto one fetch.
+	pending   map[string][]func(error)
+	transfers map[string][]func(error)
+}
+
+// NewDeployer builds a deployer.
+func NewDeployer(cfg DeployerConfig) (*Deployer, error) {
+	if cfg.Store == nil || cfg.Fetcher == nil || cfg.Verifier == nil ||
+		cfg.Index == nil || cfg.Definitions == nil || cfg.Framework == nil {
+		return nil, errors.New("provision: incomplete deployer config")
+	}
+	return &Deployer{
+		cfg:       cfg,
+		pending:   make(map[string][]func(error)),
+		transfers: make(map[string][]func(error)),
+	}, nil
+}
+
+// EnsureDefinition makes the definition at location installable locally:
+// a no-op when already registered, otherwise the artifact is looked up in
+// the index, fetched from a replica if the local store lacks it, verified
+// and registered. cb fires exactly once; concurrent ensures of the same
+// location share one fetch.
+func (d *Deployer) EnsureDefinition(location string, cb func(error)) {
+	if _, ok := d.cfg.Definitions.Get(location); ok {
+		cb(nil)
+		return
+	}
+	d.mu.Lock()
+	if cbs, inflight := d.pending[location]; inflight {
+		d.pending[location] = append(cbs, cb)
+		d.mu.Unlock()
+		return
+	}
+	d.pending[location] = []func(error){cb}
+	d.mu.Unlock()
+	d.ensure(location, func(err error) {
+		d.mu.Lock()
+		cbs := d.pending[location]
+		delete(d.pending, location)
+		d.mu.Unlock()
+		for _, fn := range cbs {
+			fn(err)
+		}
+	})
+}
+
+// ensure performs one lookup-fetch-verify-register pass; done fires
+// exactly once.
+func (d *Deployer) ensure(location string, done func(error)) {
+	art, ok := d.lookup(location)
+	if !ok {
+		done(fmt.Errorf("%w: no definition or artifact at %q", ErrUnknownArtifact, location))
+		return
+	}
+	if payload, ok := d.cfg.Store.Payload(art.Digest); ok {
+		done(d.register(art, payload, false))
+		return
+	}
+	d.fetchIntoStore(art, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		payload, ok := d.cfg.Store.Payload(art.Digest)
+		if !ok {
+			done(fmt.Errorf("%w: %s vanished from the store", ErrUnknownArtifact, art.Location))
+			return
+		}
+		done(d.register(art, payload, false))
+	})
+}
+
+// EnsureArtifact makes the payload of art resident in the local store,
+// fetching and verifying it on demand. It is keyed by content digest —
+// unlike EnsureDefinition's install-location key — so replication-factor
+// repair still copies every digest of a location that was republished
+// under new content.
+func (d *Deployer) EnsureArtifact(art Artifact, cb func(error)) {
+	if d.cfg.Store.Has(art.Digest) {
+		cb(nil)
+		return
+	}
+	d.fetchIntoStore(art, cb)
+}
+
+// fetchIntoStore streams art from a replica, verifies it and stores it,
+// advertising the new holding. done fires exactly once, through the
+// configured executor; concurrent fetches of the same digest share one
+// transfer.
+func (d *Deployer) fetchIntoStore(art Artifact, done func(error)) {
+	d.mu.Lock()
+	if waiters, inflight := d.transfers[art.Digest]; inflight {
+		d.transfers[art.Digest] = append(waiters, done)
+		d.mu.Unlock()
+		return
+	}
+	d.transfers[art.Digest] = []func(error){done}
+	d.mu.Unlock()
+	done = func(err error) {
+		d.mu.Lock()
+		waiters := d.transfers[art.Digest]
+		delete(d.transfers, art.Digest)
+		d.mu.Unlock()
+		for _, fn := range waiters {
+			fn(err)
+		}
+	}
+	art.Node = ""
+	d.cfg.Fetcher.Fetch(art, func(payload []byte, err error) {
+		d.resume(func() {
+			if err != nil {
+				done(err)
+				return
+			}
+			if err := d.verify(art, payload); err != nil {
+				done(err)
+				return
+			}
+			if err := d.cfg.Store.Add(art, payload); err != nil {
+				done(err)
+				return
+			}
+			if d.cfg.OnStored != nil {
+				d.cfg.OnStored(art)
+			}
+			done(nil)
+		})
+	})
+}
+
+// RegisterLocal verifies and registers the definition of an artifact
+// whose payload is already in the local store — the synchronous tail of
+// a publish.
+func (d *Deployer) RegisterLocal(art Artifact) error {
+	payload, ok := d.cfg.Store.Payload(art.Digest)
+	if !ok {
+		return fmt.Errorf("%w: payload of %s is not stored locally", ErrUnknownArtifact, art.Location)
+	}
+	return d.register(art, payload, true)
+}
+
+// resume runs a fetch continuation through the configured executor.
+func (d *Deployer) resume(fn func()) {
+	if d.cfg.Async != nil {
+		d.cfg.Async(fn)
+		return
+	}
+	fn()
+}
+
+// lookup prefers the local store's metadata (the publisher itself) and
+// falls back to the cluster index.
+func (d *Deployer) lookup(location string) (Artifact, bool) {
+	if art, ok := d.cfg.Store.ArtifactAt(location); ok {
+		return art, true
+	}
+	return d.cfg.Index.ArtifactAt(location)
+}
+
+// verify gates payload through the verifier, counting rejections.
+func (d *Deployer) verify(art Artifact, payload []byte) error {
+	if err := d.cfg.Verifier.Verify(art, payload); err != nil {
+		if d.cfg.Counters != nil {
+			d.cfg.Counters.VerificationRejections.Add(1)
+		}
+		return err
+	}
+	return nil
+}
+
+// register decodes the payload into a bundle definition and adds it to
+// the node-local registry. The activator named by the manifest is
+// resolved through the activator factory registry. An existing
+// registration wins unless replace is set (a republish replaces the
+// definition like replacing a JAR).
+func (d *Deployer) register(art Artifact, payload []byte, replace bool) error {
+	if _, ok := d.cfg.Definitions.Get(art.Location); ok && !replace {
+		return nil
+	}
+	if err := d.verify(art, payload); err != nil {
+		return err
+	}
+	img, err := DecodeImage(payload)
+	if err != nil {
+		return err
+	}
+	m, err := manifest.Parse(img.ManifestText)
+	if err != nil {
+		return err
+	}
+	def := &module.Definition{
+		ManifestText: img.ManifestText,
+		DataFiles:    img.DataFiles,
+	}
+	if len(img.Classes) > 0 {
+		def.Classes = make(map[string]any, len(img.Classes))
+		for name, payload := range img.Classes {
+			def.Classes[name] = payload
+		}
+	}
+	if m.Activator != "" {
+		factory, ok := ActivatorFactory(m.Activator)
+		if !ok {
+			return fmt.Errorf("provision: no activator factory registered for %q (artifact %s)",
+				m.Activator, art.Location)
+		}
+		def.NewActivator = factory
+	}
+	return d.cfg.Definitions.Add(art.Location, def)
+}
+
+// EnsureClosure ensures the definition at location plus its transitive
+// Require-Bundle dependencies, resolving missing ones through the
+// repository index. cb receives the locations in dependency-first install
+// order.
+func (d *Deployer) EnsureClosure(location string, cb func([]string, error)) {
+	visited := make(map[string]bool)
+	var order []string
+
+	var ensure func(loc string, done func(error))
+	ensure = func(loc string, done func(error)) {
+		if visited[loc] {
+			done(nil)
+			return
+		}
+		visited[loc] = true
+		d.EnsureDefinition(loc, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			def, ok := d.cfg.Definitions.Get(loc)
+			if !ok {
+				done(fmt.Errorf("%w: %q vanished after ensure", ErrUnknownArtifact, loc))
+				return
+			}
+			m, err := manifest.Parse(def.ManifestText)
+			if err != nil {
+				done(err)
+				return
+			}
+			var deps []string
+			for _, req := range m.Requires {
+				depLoc, found, err := d.resolveRequire(req)
+				if err != nil {
+					done(err)
+					return
+				}
+				if found {
+					deps = append(deps, depLoc)
+				}
+			}
+			var step func(i int)
+			step = func(i int) {
+				if i >= len(deps) {
+					order = append(order, loc)
+					done(nil)
+					return
+				}
+				ensure(deps[i], func(err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					step(i + 1)
+				})
+			}
+			step(0)
+		})
+	}
+	ensure(location, func(err error) { cb(order, err) })
+}
+
+// resolveRequire maps one Require-Bundle clause to the location that must
+// be ensured (and later installed), or found=false when an installed
+// bundle already satisfies it — the module resolver wires that case. A
+// mandatory clause nothing satisfies is an error. Registered-but-not-
+// installed definitions still surface their location so Deploy installs
+// them.
+func (d *Deployer) resolveRequire(req manifest.RequiredBundle) (loc string, found bool, err error) {
+	if b, ok := d.cfg.Framework.GetBundleBySymbolicName(req.SymbolicName); ok && req.Range.Includes(b.Version()) {
+		return "", false, nil
+	}
+	if loc, ok := d.definitionLocation(req); ok {
+		return loc, true, nil
+	}
+	if art, ok := d.cfg.Store.FindBundle(req.SymbolicName, req.Range); ok {
+		return art.Location, true, nil
+	}
+	if art, ok := d.cfg.Index.FindBundle(req.SymbolicName, req.Range); ok {
+		return art.Location, true, nil
+	}
+	if req.Optional {
+		return "", false, nil
+	}
+	return "", false, fmt.Errorf("%w: nothing provides required bundle %s %s",
+		ErrUnknownArtifact, req.SymbolicName, req.Range)
+}
+
+// definitionLocation returns the highest-version already-registered
+// definition providing the required bundle.
+func (d *Deployer) definitionLocation(req manifest.RequiredBundle) (string, bool) {
+	var bestLoc string
+	var bestV manifest.Version
+	found := false
+	for _, loc := range d.cfg.Definitions.Locations() {
+		def, ok := d.cfg.Definitions.Get(loc)
+		if !ok {
+			continue
+		}
+		m, err := manifest.Parse(def.ManifestText)
+		if err != nil {
+			continue
+		}
+		if m.SymbolicName != req.SymbolicName || !req.Range.Includes(m.Version) {
+			continue
+		}
+		if !found || m.Version.Compare(bestV) > 0 {
+			bestLoc, bestV, found = loc, m.Version, true
+		}
+	}
+	return bestLoc, found
+}
+
+// Deploy fetches, verifies, resolves, installs and (optionally) starts
+// the bundle at location in the node's framework, installing missing
+// dependencies first. cb fires exactly once.
+func (d *Deployer) Deploy(location string, start bool, cb func(error)) {
+	d.EnsureClosure(location, func(order []string, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		for _, loc := range order {
+			b, installed := d.cfg.Framework.GetBundleByLocation(loc)
+			if !installed {
+				if b, err = d.cfg.Framework.InstallBundle(loc); err != nil {
+					cb(err)
+					return
+				}
+			}
+			if loc == location && start {
+				if err := b.Start(); err != nil {
+					cb(err)
+					return
+				}
+			}
+		}
+		cb(nil)
+	})
+}

@@ -1,0 +1,256 @@
+package provision
+
+import (
+	"fmt"
+	"sync"
+
+	"dosgi/internal/remote"
+	"dosgi/internal/services"
+)
+
+// ReplicaResolver maps an artifact digest to the remote endpoints of live
+// nodes advertising a copy. The cluster implements it over the replicated
+// migrate directory; daemons resolve their configured peers.
+type ReplicaResolver interface {
+	Replicas(digest string) []remote.Endpoint
+}
+
+// StaticReplicas resolves every digest to a fixed endpoint list.
+type StaticReplicas struct {
+	Eps []remote.Endpoint
+}
+
+// Replicas implements ReplicaResolver.
+func (r StaticReplicas) Replicas(string) []remote.Endpoint {
+	return append([]remote.Endpoint(nil), r.Eps...)
+}
+
+// DefaultFetchWindow is how many chunk requests a fetch keeps in flight
+// on one replica's pipelined connection.
+const DefaultFetchWindow = 4
+
+// FetcherOption configures a Fetcher.
+type FetcherOption func(*Fetcher)
+
+// WithFetchWindow sets the in-flight chunk request window.
+func WithFetchWindow(n int) FetcherOption {
+	return func(f *Fetcher) {
+		if n > 0 {
+			f.window = n
+		}
+	}
+}
+
+// WithCounters wires the provisioning counters.
+func WithCounters(c *services.ProvisionCounters) FetcherOption {
+	return func(f *Fetcher) { f.counters = c }
+}
+
+// Fetcher streams artifact payloads chunk-by-chunk from repository
+// replicas over the shared remote connection pool. Like the Invoker it
+// fails over on any per-replica error — but mid-transfer: chunks already
+// received survive the switch and only the missing ones are requested
+// from the next replica. An assembled payload whose digest does not match
+// the metadata (a corrupted replica) is discarded wholesale and refetched
+// from the next replica.
+type Fetcher struct {
+	pool     *remote.Pool
+	resolver ReplicaResolver
+	counters *services.ProvisionCounters
+	window   int
+}
+
+// NewFetcher builds a fetcher calling through pool.
+func NewFetcher(pool *remote.Pool, resolver ReplicaResolver, opts ...FetcherOption) *Fetcher {
+	f := &Fetcher{pool: pool, resolver: resolver, window: DefaultFetchWindow}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Fetch retrieves the payload of art asynchronously; cb fires exactly
+// once with the digest-verified payload or the final post-failover error.
+// Safe to call from simulation callbacks.
+func (f *Fetcher) Fetch(art Artifact, cb func([]byte, error)) {
+	replicas := f.resolver.Replicas(art.Digest)
+	if len(replicas) == 0 {
+		cb(nil, fmt.Errorf("%w: %s (%s)", ErrNoReplica, art.Location, short(art.Digest)))
+		return
+	}
+	if art.Chunks == 0 {
+		// An empty artifact has nothing to transfer; only its digest
+		// needs to check out.
+		if PayloadDigest(nil) != art.Digest {
+			cb(nil, fmt.Errorf("%w: %s: empty payload digest mismatch", ErrVerification, art.Location))
+			return
+		}
+		if f.counters != nil {
+			f.counters.ArtifactsFetched.Add(1)
+		}
+		cb([]byte{}, nil)
+		return
+	}
+	st := &fetchState{
+		f:        f,
+		art:      art,
+		cb:       cb,
+		replicas: replicas,
+		chunks:   make([][]byte, art.Chunks),
+	}
+	st.mu.Lock()
+	st.launchLocked()
+}
+
+// fetchState is one in-progress fetch. launchLocked and the helpers it
+// hands off to are entered with st.mu held and release it themselves so
+// pool callbacks (which may run synchronously on netsim) never re-enter
+// the lock.
+type fetchState struct {
+	f   *Fetcher
+	art Artifact
+	cb  func([]byte, error)
+
+	mu       sync.Mutex
+	replicas []remote.Endpoint
+	ri       int // replica being read
+	gen      int // attempt generation; callbacks from older attempts are stale
+	chunks   [][]byte
+	got      int64
+	cursor   int64 // scan position for the next missing chunk
+	inflight int
+	done     bool
+}
+
+// launchLocked fills the request window against the current replica and
+// releases the lock.
+func (st *fetchState) launchLocked() {
+	type launch struct {
+		idx int64
+		gen int
+	}
+	var launches []launch
+	for st.inflight < st.f.window {
+		idx, ok := st.nextMissingLocked()
+		if !ok {
+			break
+		}
+		st.inflight++
+		launches = append(launches, launch{idx: idx, gen: st.gen})
+	}
+	addr := st.replicas[st.ri].Addr
+	st.mu.Unlock()
+	for _, l := range launches {
+		l := l
+		req := &remote.Request{Service: ServiceName, Method: "Chunk", Args: []any{st.art.Digest, l.idx}}
+		err := st.f.pool.Invoke(addr, req, func(resp *remote.Response, err error) {
+			st.onChunk(l.gen, l.idx, resp, err)
+		})
+		if err != nil {
+			st.onChunk(l.gen, l.idx, nil, err)
+		}
+	}
+}
+
+func (st *fetchState) nextMissingLocked() (int64, bool) {
+	for ; st.cursor < st.art.Chunks; st.cursor++ {
+		if st.chunks[st.cursor] == nil {
+			idx := st.cursor
+			st.cursor++
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+func (st *fetchState) onChunk(gen int, idx int64, resp *remote.Response, err error) {
+	st.mu.Lock()
+	if st.done || gen != st.gen {
+		st.mu.Unlock()
+		return
+	}
+	st.inflight--
+	switch {
+	case err != nil:
+		st.failoverLocked(fmt.Errorf("provision: fetching %s from %s: %w",
+			st.art.Location, st.replicas[st.ri].Addr, err))
+		return
+	case resp.Status != remote.StatusOK:
+		st.failoverLocked(fmt.Errorf("provision: fetching %s from %s: %s",
+			st.art.Location, st.replicas[st.ri].Addr, resp.Err))
+		return
+	}
+	chunk, ok := firstBytes(resp.Results)
+	if !ok {
+		st.failoverLocked(fmt.Errorf("provision: fetching %s from %s: malformed chunk response",
+			st.art.Location, st.replicas[st.ri].Addr))
+		return
+	}
+	if st.chunks[idx] == nil {
+		st.chunks[idx] = chunk
+		st.got++
+		if st.f.counters != nil {
+			st.f.counters.BytesTransferred.Add(int64(len(chunk)))
+		}
+	}
+	if st.got == st.art.Chunks {
+		st.assembleLocked()
+		return
+	}
+	st.launchLocked()
+}
+
+// assembleLocked joins the chunks and verifies the content digest; a
+// mismatch (a corrupted replica) discards everything and retries from the
+// next replica.
+func (st *fetchState) assembleLocked() {
+	payload := make([]byte, 0, st.art.Size)
+	for _, c := range st.chunks {
+		payload = append(payload, c...)
+	}
+	if PayloadDigest(payload) != st.art.Digest {
+		if st.f.counters != nil {
+			st.f.counters.VerificationRejections.Add(1)
+		}
+		st.chunks = make([][]byte, st.art.Chunks)
+		st.got = 0
+		st.failoverLocked(fmt.Errorf("%w: %s: corrupt payload from %s",
+			ErrVerification, st.art.Location, st.replicas[st.ri].Addr))
+		return
+	}
+	st.done = true
+	st.mu.Unlock()
+	if st.f.counters != nil {
+		st.f.counters.ArtifactsFetched.Add(1)
+	}
+	st.cb(payload, nil)
+}
+
+// failoverLocked moves to the next replica (bumping the generation so
+// outstanding callbacks from the failed one are ignored) or fails the
+// fetch when none remain. Fetched chunks are kept unless the caller
+// discarded them — mid-transfer failover resumes where it left off.
+func (st *fetchState) failoverLocked(cause error) {
+	st.gen++
+	st.inflight = 0
+	st.cursor = 0
+	st.ri++
+	if st.ri >= len(st.replicas) {
+		st.done = true
+		st.mu.Unlock()
+		st.cb(nil, cause)
+		return
+	}
+	if st.f.counters != nil {
+		st.f.counters.FetchRetries.Add(1)
+	}
+	st.launchLocked()
+}
+
+func firstBytes(results []any) ([]byte, bool) {
+	if len(results) == 0 {
+		return nil, false
+	}
+	b, ok := results[0].([]byte)
+	return b, ok
+}

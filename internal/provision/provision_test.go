@@ -1,0 +1,462 @@
+package provision
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/manifest"
+	"dosgi/internal/module"
+	"dosgi/internal/netsim"
+	"dosgi/internal/remote"
+	"dosgi/internal/security"
+	"dosgi/internal/services"
+	"dosgi/internal/sim"
+)
+
+func sampleArtifact(t *testing.T, chunkSize int64) (Artifact, []byte) {
+	t.Helper()
+	img := SampleImages()[SampleGreetLibLocation]
+	art, payload, err := NewArtifact(SampleGreetLibLocation, img,
+		SampleSigner, SampleKeyring()[SampleSigner], chunkSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art, payload
+}
+
+func TestImageRoundTripAndDigest(t *testing.T) {
+	art, payload := sampleArtifact(t, 0)
+	if art.ChunkSize != DefaultChunkSize {
+		t.Fatalf("default chunk size = %d", art.ChunkSize)
+	}
+	if art.Size != int64(len(payload)) || art.Chunks != 1 {
+		t.Fatalf("size=%d chunks=%d", art.Size, art.Chunks)
+	}
+	if art.SymbolicName != "com.example.greetlib" || art.Version != "1.2.0" {
+		t.Fatalf("coordinates = %s/%s", art.SymbolicName, art.Version)
+	}
+	img, err := DecodeImage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Classes["com.example.greetlib.Greeting"] != "hello, %s!" {
+		t.Fatalf("classes = %v", img.Classes)
+	}
+	// Deterministic encoding: same image, same digest.
+	_, payload2 := sampleArtifact(t, 0)
+	if !bytes.Equal(payload, payload2) {
+		t.Fatal("image encoding is not deterministic")
+	}
+}
+
+func TestStoreChunkingRoundTrip(t *testing.T) {
+	art, payload := sampleArtifact(t, 16)
+	s := NewStore()
+	if err := s.Add(art, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(art.Digest) {
+		t.Fatal("store lost the artifact")
+	}
+	var assembled []byte
+	for i := int64(0); i < art.Chunks; i++ {
+		chunk, ok := s.Chunk(art.Digest, i)
+		if !ok {
+			t.Fatalf("missing chunk %d", i)
+		}
+		if int64(len(chunk)) > art.ChunkSize {
+			t.Fatalf("chunk %d oversized: %d", i, len(chunk))
+		}
+		assembled = append(assembled, chunk...)
+	}
+	if !bytes.Equal(assembled, payload) {
+		t.Fatal("chunks do not reassemble the payload")
+	}
+	if _, ok := s.Chunk(art.Digest, art.Chunks); ok {
+		t.Fatal("out-of-range chunk served")
+	}
+	got, ok := s.Payload(art.Digest)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("payload round trip failed")
+	}
+
+	// Tampered payloads never enter the store.
+	bad := append([]byte(nil), payload...)
+	bad[0] ^= 1
+	if err := s.Add(art, bad); !errors.Is(err, ErrVerification) {
+		t.Fatalf("tampered Add = %v", err)
+	}
+}
+
+func TestStoreFindBundle(t *testing.T) {
+	s := NewStore()
+	key := SampleKeyring()[SampleSigner]
+	for _, v := range []string{"1.0.0", "1.4.0", "2.0.0"} {
+		img := &BundleImage{ManifestText: "Bundle-SymbolicName: lib\nBundle-Version: " + v + "\n"}
+		art, payload, err := NewArtifact("app:lib-"+v, img, SampleSigner, key, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	art, ok := s.FindBundle("lib", manifest.MustParseVersionRange("[1.0,2.0)"))
+	if !ok || art.Version != "1.4.0" {
+		t.Fatalf("FindBundle picked %v (ok=%v), want 1.4.0", art.Version, ok)
+	}
+	if _, ok := s.FindBundle("lib", manifest.MustParseVersionRange("[3.0,4.0)")); ok {
+		t.Fatal("FindBundle matched an impossible range")
+	}
+	if _, ok := s.FindBundle("ghost", manifest.AnyVersion); ok {
+		t.Fatal("FindBundle matched an unknown bundle")
+	}
+}
+
+func TestVerifierGates(t *testing.T) {
+	art, payload := sampleArtifact(t, 0)
+	keyring := SampleKeyring()
+
+	t.Run("ok", func(t *testing.T) {
+		if err := NewVerifier(keyring, nil).Verify(art, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("corrupt-payload", func(t *testing.T) {
+		bad := append([]byte(nil), payload...)
+		bad[3] ^= 0x40
+		if err := NewVerifier(keyring, nil).Verify(art, bad); !errors.Is(err, ErrVerification) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("forged-signature", func(t *testing.T) {
+		forged := art
+		forged.Signature = Sign([]byte("wrong-key"), art.Signer, art.Digest)
+		if err := NewVerifier(keyring, nil).Verify(forged, payload); !errors.Is(err, ErrVerification) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown-signer", func(t *testing.T) {
+		alien := art
+		alien.Signer = "nobody"
+		if err := NewVerifier(keyring, nil).Verify(alien, payload); !errors.Is(err, ErrVerification) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("policy-denied", func(t *testing.T) {
+		policy := security.NewPolicy(false) // deny everything
+		err := NewVerifier(keyring, policy).Verify(art, payload)
+		if !errors.Is(err, ErrVerification) {
+			t.Fatalf("got %v", err)
+		}
+		var denied *security.AccessDeniedError
+		if !errors.As(err, &denied) {
+			t.Fatalf("cause = %v", err)
+		}
+	})
+	t.Run("policy-granted", func(t *testing.T) {
+		policy := security.NewPolicy(false)
+		policy.Grant(SampleSigner, DeployPermission("app:*"))
+		if err := NewVerifier(keyring, policy).Verify(art, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// repoHandler serves a RepoService over a transport without a framework:
+// the reflection dispatch is the same one the real Dispatcher uses.
+type repoHandler struct {
+	svc    *RepoService
+	served *int // Chunk requests answered
+}
+
+func (h repoHandler) Serve(req *remote.Request) *remote.Response {
+	if req.Method == "Chunk" {
+		*h.served++
+	}
+	results, err := remote.InvokeService(h.svc, req.Method, req.Args)
+	if err != nil {
+		return &remote.Response{Corr: req.Corr, Status: remote.StatusAppError, Err: err.Error()}
+	}
+	return &remote.Response{Corr: req.Corr, Status: remote.StatusOK, Results: results}
+}
+
+// fetchRig is a netsim client plus n repository servers.
+type fetchRig struct {
+	eng     *sim.Engine
+	servers []*remote.NetsimServer
+	stores  []*Store
+	served  []int
+	fetcher *Fetcher
+	eps     []remote.Endpoint
+}
+
+func newFetchRig(t *testing.T, nServers int, counters *services.ProvisionCounters) *fetchRig {
+	t.Helper()
+	rig := &fetchRig{eng: sim.New(99), served: make([]int, nServers)}
+	net := netsim.NewNetwork(rig.eng)
+	for i := 0; i < nServers; i++ {
+		id := fmt.Sprintf("srv%d", i+1)
+		ip := netsim.IP(fmt.Sprintf("10.0.0.%d", i+1))
+		nic := net.AttachNode(id)
+		if err := net.AssignIP(ip, id); err != nil {
+			t.Fatal(err)
+		}
+		store := NewStore()
+		srv := remote.NewNetsimServer(nic, netsim.Addr{IP: ip, Port: 7100},
+			repoHandler{svc: NewRepoService(store), served: &rig.served[i]})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		rig.servers = append(rig.servers, srv)
+		rig.stores = append(rig.stores, store)
+		rig.eps = append(rig.eps, remote.Endpoint{Node: id, Addr: string(ip) + ":7100"})
+	}
+	clientNIC := net.AttachNode("client")
+	if err := net.AssignIP("10.0.0.100", "client"); err != nil {
+		t.Fatal(err)
+	}
+	transport := remote.NewNetsimTransport(rig.eng, clientNIC, "10.0.0.100",
+		remote.WithNetsimCallTimeout(20*time.Millisecond))
+	opts := []FetcherOption{}
+	if counters != nil {
+		opts = append(opts, WithCounters(counters))
+	}
+	rig.fetcher = NewFetcher(remote.NewPool(transport), StaticReplicas{Eps: rig.eps}, opts...)
+	return rig
+}
+
+func TestFetcherMidTransferFailover(t *testing.T) {
+	counters := &services.ProvisionCounters{}
+	rig := newFetchRig(t, 2, counters)
+
+	// A multi-chunk artifact held by both servers.
+	art, payload := sampleArtifact(t, 8)
+	if art.Chunks < 16 {
+		t.Fatalf("want a long transfer, got %d chunks", art.Chunks)
+	}
+	for _, s := range rig.stores {
+		if err := s.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []byte
+	var fetchErr error
+	done := false
+	rig.fetcher.Fetch(art, func(p []byte, err error) { got, fetchErr, done = p, err, true })
+
+	// Kill server 1 mid-transfer: in-flight chunk requests time out and
+	// the fetch resumes — not restarts — on server 2.
+	rig.eng.RunFor(2 * time.Millisecond)
+	if rig.served[0] == 0 || done {
+		t.Fatalf("transfer not mid-flight: served=%d done=%v", rig.served[0], done)
+	}
+	rig.servers[0].Stop()
+	rig.eng.RunFor(time.Second)
+
+	if !done || fetchErr != nil {
+		t.Fatalf("fetch after failover: done=%v err=%v", done, fetchErr)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted across failover")
+	}
+	if counters.FetchRetries.Load() != 1 {
+		t.Fatalf("fetchRetries = %d, want 1", counters.FetchRetries.Load())
+	}
+	// Resume, not restart: server 2 served only the chunks server 1 had
+	// not completed.
+	if int64(rig.served[1]) >= art.Chunks {
+		t.Fatalf("server 2 served %d of %d chunks — the transfer restarted",
+			rig.served[1], art.Chunks)
+	}
+	if total := counters.BytesTransferred.Load(); total != art.Size {
+		t.Fatalf("bytesTransferred = %d, want exactly the payload size %d", total, art.Size)
+	}
+}
+
+func TestFetcherCorruptReplicaFallsBack(t *testing.T) {
+	counters := &services.ProvisionCounters{}
+	rig := newFetchRig(t, 2, counters)
+	art, payload := sampleArtifact(t, 8)
+	for _, s := range rig.stores {
+		if err := s.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rig.stores[0].CorruptChunk(art.Digest, 2) {
+		t.Fatal("corruption failed")
+	}
+
+	var got []byte
+	var fetchErr error
+	rig.fetcher.Fetch(art, func(p []byte, err error) { got, fetchErr = p, err })
+	rig.eng.RunFor(time.Second)
+	if fetchErr != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fetch = err %v", fetchErr)
+	}
+	if counters.VerificationRejections.Load() != 1 {
+		t.Fatalf("rejections = %d, want 1", counters.VerificationRejections.Load())
+	}
+
+	// Both replicas corrupt: the fetch fails verification outright.
+	rig2 := newFetchRig(t, 2, nil)
+	for _, s := range rig2.stores {
+		if err := s.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+		s.CorruptChunk(art.Digest, 0)
+	}
+	var finalErr error
+	rig2.fetcher.Fetch(art, func(_ []byte, err error) { finalErr = err })
+	rig2.eng.RunFor(time.Second)
+	if !errors.Is(finalErr, ErrVerification) {
+		t.Fatalf("all-corrupt fetch = %v, want ErrVerification", finalErr)
+	}
+}
+
+func TestFetcherNoReplica(t *testing.T) {
+	f := NewFetcher(remote.NewPool(nil), StaticReplicas{})
+	art, _ := sampleArtifact(t, 0)
+	var err error
+	f.Fetch(art, func(_ []byte, e error) { err = e })
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// localIndex satisfies Index from a store (unit tests have no directory).
+type localIndex struct{ s *Store }
+
+func (ix localIndex) ArtifactAt(loc string) (Artifact, bool) { return ix.s.ArtifactAt(loc) }
+func (ix localIndex) FindBundle(name string, rng manifest.VersionRange) (Artifact, bool) {
+	return ix.s.FindBundle(name, rng)
+}
+
+func TestDeployerResolvesRequireBundleClosure(t *testing.T) {
+	store := NewStore()
+	arts, payloads, err := SampleArtifacts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, art := range arts {
+		if err := store.Add(art, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defs := module.NewDefinitionRegistry()
+	fw := module.New(module.WithName("unit"), module.WithDefinitions(defs))
+	if err := fw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployer(DeployerConfig{
+		Store:       store,
+		Fetcher:     NewFetcher(remote.NewPool(nil), StaticReplicas{}),
+		Verifier:    NewVerifier(SampleKeyring(), nil),
+		Index:       localIndex{s: store},
+		Definitions: defs,
+		Framework:   fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	dep.EnsureClosure(SampleGreeterLocation, func(locs []string, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = locs
+	})
+	if len(order) != 2 || order[0] != SampleGreetLibLocation || order[1] != SampleGreeterLocation {
+		t.Fatalf("closure order = %v, want [greetlib greeter]", order)
+	}
+
+	var deployErr error
+	dep.Deploy(SampleGreeterLocation, true, func(err error) { deployErr = err })
+	if deployErr != nil {
+		t.Fatal(deployErr)
+	}
+	b, ok := fw.GetBundleByLocation(SampleGreeterLocation)
+	if !ok || b.State() != module.StateActive {
+		t.Fatal("greeter not active")
+	}
+	// The activator loaded the format class through the Require-Bundle
+	// wiring and registered the service.
+	ref, ok := fw.SystemContext().ServiceReference("com.example.greeter.Greeter")
+	if !ok {
+		t.Fatal("greeter service missing")
+	}
+	svc, err := fw.SystemContext().GetService(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type helloer interface{ Hello(string) string }
+	if got := svc.(helloer).Hello("unit"); !strings.Contains(got, "hello, unit!") {
+		t.Fatalf("greeting = %q", got)
+	}
+}
+
+func TestDeployerErrors(t *testing.T) {
+	store := NewStore()
+	defs := module.NewDefinitionRegistry()
+	fw := module.New(module.WithDefinitions(defs))
+	if err := fw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployer(DeployerConfig{
+		Store:       store,
+		Fetcher:     NewFetcher(remote.NewPool(nil), StaticReplicas{}),
+		Verifier:    NewVerifier(SampleKeyring(), nil),
+		Index:       localIndex{s: store},
+		Definitions: defs,
+		Framework:   fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("unknown-location", func(t *testing.T) {
+		var got error
+		dep.Deploy("app:ghost", true, func(err error) { got = err })
+		if !errors.Is(got, ErrUnknownArtifact) {
+			t.Fatalf("got %v", got)
+		}
+	})
+	t.Run("unresolvable-require", func(t *testing.T) {
+		img := &BundleImage{ManifestText: "Bundle-SymbolicName: orphan\nBundle-Version: 1.0.0\n" +
+			"Require-Bundle: com.example.nothere\n"}
+		art, payload, err := NewArtifact("app:orphan", img, SampleSigner, SampleKeyring()[SampleSigner], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+		var got error
+		dep.Deploy("app:orphan", true, func(err error) { got = err })
+		if !errors.Is(got, ErrUnknownArtifact) || !strings.Contains(got.Error(), "com.example.nothere") {
+			t.Fatalf("got %v", got)
+		}
+	})
+	t.Run("missing-activator-factory", func(t *testing.T) {
+		img := &BundleImage{ManifestText: "Bundle-SymbolicName: noact\nBundle-Version: 1.0.0\n" +
+			"Bundle-Activator: com.example.unregistered.Activator\n"}
+		art, payload, err := NewArtifact("app:noact", img, SampleSigner, SampleKeyring()[SampleSigner], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(art, payload); err != nil {
+			t.Fatal(err)
+		}
+		var got error
+		dep.EnsureDefinition("app:noact", func(err error) { got = err })
+		if got == nil || !strings.Contains(got.Error(), "no activator factory") {
+			t.Fatalf("got %v", got)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package provision
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dosgi/internal/manifest"
+)
+
+// RepoService is the provider side of the provisioning verbs: every
+// repository node registers it with service.exported=true under
+// ServiceName, so fetchers reach it through the standard remote stack
+// (dispatch by reflection, wire types only). Errors travel as application
+// errors, which the fetcher treats as "this replica cannot serve the
+// artifact" and fails over.
+type RepoService struct {
+	store *Store
+}
+
+// NewRepoService serves store.
+func NewRepoService(store *Store) *RepoService {
+	return &RepoService{store: store}
+}
+
+// Describe returns the JSON metadata of the artifact installed at
+// location.
+func (s *RepoService) Describe(location string) ([]byte, error) {
+	art, ok := s.store.ArtifactAt(location)
+	if !ok {
+		return nil, fmt.Errorf("unknown artifact at %q", location)
+	}
+	return json.Marshal(art)
+}
+
+// DescribeDigest returns the JSON metadata of digest.
+func (s *RepoService) DescribeDigest(digest string) ([]byte, error) {
+	art, ok := s.store.Describe(digest)
+	if !ok {
+		return nil, fmt.Errorf("unknown artifact %s", short(digest))
+	}
+	return json.Marshal(art)
+}
+
+// Find returns the JSON metadata of the highest-version stored artifact
+// satisfying (symbolicName, versionRange) — the dependency-resolution
+// probe.
+func (s *RepoService) Find(symbolicName, versionRange string) ([]byte, error) {
+	rng, err := manifest.ParseVersionRange(versionRange)
+	if err != nil {
+		return nil, err
+	}
+	art, ok := s.store.FindBundle(symbolicName, rng)
+	if !ok {
+		return nil, fmt.Errorf("no artifact provides %s %s", symbolicName, versionRange)
+	}
+	return json.Marshal(art)
+}
+
+// Chunk returns chunk index of digest.
+func (s *RepoService) Chunk(digest string, index int64) ([]byte, error) {
+	chunk, ok := s.store.Chunk(digest, index)
+	if !ok {
+		return nil, fmt.Errorf("no chunk %d of artifact %s", index, short(digest))
+	}
+	return chunk, nil
+}
+
+// Locations lists the install locations stored here, sorted.
+func (s *RepoService) Locations() []string {
+	arts := s.store.List()
+	out := make([]string, 0, len(arts))
+	for _, art := range arts {
+		out = append(out, art.Location)
+	}
+	return out
+}
+
+// UnmarshalArtifact parses the JSON metadata the describe verbs return.
+func UnmarshalArtifact(data []byte) (Artifact, error) {
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return Artifact{}, fmt.Errorf("provision: decoding artifact metadata: %w", err)
+	}
+	return art, nil
+}

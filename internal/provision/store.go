@@ -1,0 +1,171 @@
+package provision
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dosgi/internal/manifest"
+)
+
+// Store is one node's content-addressed artifact store: payloads keyed by
+// their SHA-256 digest, split into fixed-size chunks so fetchers can
+// address pieces of them. All methods are safe for concurrent use.
+type Store struct {
+	mu         sync.Mutex
+	meta       map[string]Artifact // digest → metadata (Node empty)
+	chunks     map[string][][]byte // digest → payload chunks
+	byLocation map[string]string   // location → digest
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		meta:       make(map[string]Artifact),
+		chunks:     make(map[string][][]byte),
+		byLocation: make(map[string]string),
+	}
+}
+
+// Add stores an artifact payload under its metadata. The payload must
+// match the metadata's digest and size — Add is the last line of defense
+// against caching bytes that would fail verification on every future read.
+func (s *Store) Add(art Artifact, payload []byte) error {
+	if got := PayloadDigest(payload); got != art.Digest {
+		return fmt.Errorf("%w: digest mismatch storing %s (payload %s, metadata %s)",
+			ErrVerification, art.Location, got[:12], art.Digest[:12])
+	}
+	if int64(len(payload)) != art.Size {
+		return fmt.Errorf("%w: size mismatch storing %s (%d bytes, metadata %d)",
+			ErrVerification, art.Location, len(payload), art.Size)
+	}
+	if art.ChunkSize <= 0 {
+		return fmt.Errorf("provision: artifact %s has no chunk size", art.Location)
+	}
+	art.Node = ""
+	split := make([][]byte, 0, art.Chunks)
+	for off := int64(0); off < int64(len(payload)); off += art.ChunkSize {
+		end := off + art.ChunkSize
+		if end > int64(len(payload)) {
+			end = int64(len(payload))
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, payload[off:end])
+		split = append(split, chunk)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta[art.Digest] = art
+	s.chunks[art.Digest] = split
+	s.byLocation[art.Location] = art.Digest
+	return nil
+}
+
+// Remove drops an artifact from the store.
+func (s *Store) Remove(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if art, ok := s.meta[digest]; ok && s.byLocation[art.Location] == digest {
+		delete(s.byLocation, art.Location)
+	}
+	delete(s.meta, digest)
+	delete(s.chunks, digest)
+}
+
+// Has reports whether the store holds digest.
+func (s *Store) Has(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.meta[digest]
+	return ok
+}
+
+// Describe returns the metadata of digest.
+func (s *Store) Describe(digest string) (Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	art, ok := s.meta[digest]
+	return art, ok
+}
+
+// ArtifactAt returns the metadata of the artifact installed at location.
+func (s *Store) ArtifactAt(location string) (Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	digest, ok := s.byLocation[location]
+	if !ok {
+		return Artifact{}, false
+	}
+	art, ok := s.meta[digest]
+	return art, ok
+}
+
+// FindBundle returns the highest-version stored artifact whose bundle
+// coordinates satisfy (symbolicName, rng).
+func (s *Store) FindBundle(symbolicName string, rng manifest.VersionRange) (Artifact, bool) {
+	return FindBest(s.List(), symbolicName, rng)
+}
+
+// Chunk returns chunk index of digest.
+func (s *Store) Chunk(digest string, index int64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks, ok := s.chunks[digest]
+	if !ok || index < 0 || index >= int64(len(chunks)) {
+		return nil, false
+	}
+	out := make([]byte, len(chunks[index]))
+	copy(out, chunks[index])
+	return out, true
+}
+
+// Payload reassembles the full payload of digest.
+func (s *Store) Payload(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks, ok := s.chunks[digest]
+	if !ok {
+		return nil, false
+	}
+	var n int
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := make([]byte, 0, n)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, true
+}
+
+// List returns stored artifact metadata sorted by location then digest.
+func (s *Store) List() []Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Artifact, 0, len(s.meta))
+	for _, art := range s.meta {
+		out = append(out, art)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Location != out[j].Location {
+			return out[i].Location < out[j].Location
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}
+
+// CorruptChunk flips a byte of one stored chunk — fault injection for
+// dependability tests: a fetcher reading from this store assembles a
+// payload whose digest no longer matches, which the verifier must reject
+// and retry from another replica.
+func (s *Store) CorruptChunk(digest string, index int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chunks, ok := s.chunks[digest]
+	if !ok || index < 0 || index >= int64(len(chunks)) || len(chunks[index]) == 0 {
+		return false
+	}
+	chunks[index][0] ^= 0xff
+	return true
+}

@@ -404,29 +404,7 @@ func TestRoundRobinSpreadsAcrossReplicas(t *testing.T) {
 	r := newRig(t, 0)
 
 	// Second replica on nodeC with its own framework and exporter.
-	nicC := r.net.AttachNode("nodeC")
-	if err := r.net.AssignIP("10.0.0.2", "nodeC"); err != nil {
-		t.Fatal(err)
-	}
-	fwC := module.New(module.WithName("providerC"))
-	if err := fwC.Start(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := fwC.SystemContext().RegisterSingle("calc.Calculator", calculator{}, module.Properties{
-		module.PropServiceExported:     true,
-		module.PropServiceExportedName: "calc",
-	}); err != nil {
-		t.Fatal(err)
-	}
-	expC, err := NewExporter(fwC.SystemContext())
-	if err != nil {
-		t.Fatal(err)
-	}
-	addrC, _ := ParseAddr(rigServerAddr2)
-	srvC := NewNetsimServer(nicC, addrC, NewDispatcher(expC))
-	if err := srvC.Start(); err != nil {
-		t.Fatal(err)
-	}
+	addReplica(t, r)
 	r.resolver.Set("calc",
 		Endpoint{Node: "nodeA", Addr: rigServerAddr},
 		Endpoint{Node: "nodeC", Addr: rigServerAddr2},

@@ -52,6 +52,10 @@ const (
 	ActionGet      = "get"
 	ActionImport   = "import"
 	ActionLifecyle = "lifecycle"
+	// ActionDeploy guards provisioned-artifact installation: the
+	// provisioning verifier checks the artifact's signer subject holds it
+	// for the install location before a fetched bundle may be deployed.
+	ActionDeploy = "deploy"
 )
 
 // Permission is a (type, target pattern, actions) triple. Target patterns

@@ -3,6 +3,7 @@ package services
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dosgi/internal/module"
 )
@@ -86,6 +87,30 @@ func FrameworkProvider(f *module.Framework) func() map[string]any {
 			attrs["bundles."+state] = n
 		}
 		return attrs
+	}
+}
+
+// ProvisionCounters aggregates one node's bundle-provisioning activity so
+// experiments and operators can assert on it: artifacts fetched from
+// replicas, payload bytes moved over the wire, artifacts the verifier
+// rejected (digest or signature mismatch, policy denial), and fetch
+// attempts that failed over to another replica.
+type ProvisionCounters struct {
+	ArtifactsFetched       atomic.Int64
+	BytesTransferred       atomic.Int64
+	VerificationRejections atomic.Int64
+	FetchRetries           atomic.Int64
+}
+
+// Provider exposes the counters as a metrics attribute source.
+func (c *ProvisionCounters) Provider() func() map[string]any {
+	return func() map[string]any {
+		return map[string]any{
+			"artifactsFetched":       c.ArtifactsFetched.Load(),
+			"bytesTransferred":       c.BytesTransferred.Load(),
+			"verificationRejections": c.VerificationRejections.Load(),
+			"fetchRetries":           c.FetchRetries.Load(),
+		}
 	}
 }
 
