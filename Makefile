@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race bench check
+.PHONY: all fmt vet lint build test test-race bench check
 
 all: check
 
@@ -12,6 +12,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static checks only: formatting + vet (what CI's lint step runs).
+lint: fmt vet
 
 build:
 	$(GO) build ./...

@@ -8,6 +8,9 @@
 //	dosgictl exports
 //	dosgictl call echo Upper hello
 //	dosgictl call echo Add 40 2
+//	dosgictl call app.tenant-a Upper hello
+//	dosgictl subscribe 3
+//	dosgictl -timeout 60s subscribe 5 'app.*'
 //	dosgictl repo seed
 //	dosgictl repo
 //	dosgictl deploy app:greeter
@@ -16,7 +19,14 @@
 // invocation stack (see internal/remote); arguments are parsed by the
 // daemon as int64, float64, bool, then string. Double-quote an argument
 // (shell-escaped, e.g. '"hello world"') to force string typing or embed
-// spaces.
+// spaces. Exports include services registered inside the daemon's
+// virtual instances (listed by `exports` as "name instance=<id>").
+//
+// subscribe streams remote service events (the dosgi.events verbs of
+// docs/PROTOCOL.md) as EVENT lines until the requested count arrives: a
+// synthetic resync of the current exports first, then live
+// REGISTERED/MODIFIED/UNREGISTERING deltas. Raise -timeout when waiting
+// for live events; the daemon gives up after its own 30s window.
 package main
 
 import (

@@ -15,6 +15,7 @@
 //	BUNDLES <id>
 //	EXPORTS
 //	CALL <service> <method> [args...]
+//	SUBSCRIBE <count> [filter] [addr]
 //	DEPLOY <location>
 //	REPO [LIST|SEED]
 //	LOG [n]
@@ -23,7 +24,17 @@
 // CALL invokes an exported service through the full remote stack — TCP
 // transport, connection pool, failover-aware invoker — resolving first to
 // this daemon's own remote listener, then to any -peer daemons, so a
-// service exported by a peer is reached transparently.
+// service exported by a peer is reached transparently. Exports are served
+// from the daemon's host framework AND from every started virtual
+// instance: a bundle inside an instance that registers a service with
+// service.exported=true is remotely invocable like any host export.
+//
+// SUBSCRIBE opens a dosgi.events subscription (see docs/PROTOCOL.md)
+// against addr (default: this daemon's own remote listener) and streams
+// service events as "EVENT ..." lines until count events arrived or the
+// subscription times out. A new subscription first receives the current
+// exports as synthetic REGISTERED events — the resync — then live
+// REGISTERED/MODIFIED/UNREGISTERING deltas.
 //
 // DEPLOY provisions a bundle artifact end-to-end: metadata resolved from
 // the local repository or a peer, chunks fetched over the remote stack,
@@ -44,6 +55,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"dosgi/internal/clock"
 	"dosgi/internal/core"
@@ -101,29 +113,110 @@ func (echoService) Add(a, b int64) int64 { return a + b }
 // daemon bundles one dosgid node's moving parts so tests can run it
 // in-process on ephemeral ports.
 type daemon struct {
-	sched     *clock.Real
-	host      *module.Framework
-	mgr       *core.Manager
-	exporter  *remote.Exporter
-	remoteSrv *remote.TCPServer
-	invoker   *remote.Invoker
-	adminLn   net.Listener
-	peers     []string
-	repo      *provision.Store
-	deployer  *provision.Deployer
+	sched      *clock.Real
+	host       *module.Framework
+	mgr        *core.Manager
+	exporter   *remote.Exporter
+	remoteSrv  *remote.TCPServer
+	remoteAddr string
+	transport  *remote.TCPTransport
+	invoker    *remote.Invoker
+	broker     *remote.EventBroker
+	services   *remote.CompositeSource
+	adminLn    net.Listener
+	peers      []string
+	repo       *provision.Store
+	deployer   *provision.Deployer
+
+	// instExp exports services registered inside started virtual
+	// instances (one exporter per instance).
+	instExp *remote.ExporterSet
+}
+
+// serviceSources is the dispatch-side lookup order: host-framework
+// exports first, then every started instance's exports (host wins name
+// collisions). remote.NewCompositeSource composes it per lookup.
+func (d *daemon) serviceSources() []remote.ServiceSource {
+	return append([]remote.ServiceSource{d.exporter}, d.instExp.Sources()...)
+}
+
+// exportNames lists every exported service: host exports plainly,
+// instance exports annotated with their owning instance.
+func (d *daemon) exportNames() []string {
+	out := d.exporter.Names()
+	for _, ke := range d.instExp.Snapshot() {
+		for _, name := range ke.Exp.Names() {
+			out = append(out, fmt.Sprintf("%s instance=%s", name, ke.Key))
+		}
+	}
+	return out
+}
+
+// exportSnapshot feeds the event broker's synthetic resync.
+func (d *daemon) exportSnapshot() []remote.ServiceEvent {
+	var evs []remote.ServiceEvent
+	for _, name := range d.exporter.Names() {
+		evs = append(evs, remote.ServiceEvent{Service: name, Node: "self", Addr: d.remoteAddr})
+	}
+	for _, ke := range d.instExp.Snapshot() {
+		for _, name := range ke.Exp.Names() {
+			evs = append(evs, remote.ServiceEvent{
+				Service: name, Node: "self", Addr: d.remoteAddr, Instance: ke.Key,
+			})
+		}
+	}
+	return evs
+}
+
+// publishExportEvent maps an exporter change onto the event stream.
+func (d *daemon) publishExportEvent(ev remote.ExportEvent, instance string) {
+	typ := remote.ServiceRegistered
+	switch {
+	case !ev.Exported:
+		// Host and instance exports share one name space on this
+		// daemon: suppress the withdrawal while another framework still
+		// serves the name, so subscribers never see an UNREGISTERING
+		// for a service that still answers.
+		if _, still := d.services.Lookup(ev.Name); still {
+			return
+		}
+		typ = remote.ServiceUnregistering
+	case ev.Modified:
+		typ = remote.ServiceModified
+	}
+	d.broker.Publish(remote.ServiceEvent{
+		Type: typ, Service: ev.Name, Node: "self",
+		Addr: d.remoteAddr, Instance: instance,
+	})
+}
+
+// attachInstanceExporter exports a started instance's
+// service.exported=true registrations through the daemon's listener
+// (the ExporterSet handles the attach/detach races of instance
+// lifecycle).
+func (d *daemon) attachInstanceExporter(inst *core.Instance) {
+	vf := inst.Virtual()
+	if vf == nil {
+		return
+	}
+	instance := string(inst.ID())
+	d.instExp.Attach(instance, vf.Framework().SystemContext(),
+		func(ev remote.ExportEvent) { d.publishExportEvent(ev, instance) },
+		func() bool { return inst.State() == core.InstanceRunning })
 }
 
 // daemonResolver resolves CALL targets: the local remote listener first
-// when the service is exported here, then every configured peer.
+// when the service is exported here (host framework or any instance),
+// then every configured peer.
 type daemonResolver struct {
-	exporter *remote.Exporter
-	self     string
-	peers    []string
+	lookup remote.ServiceSource
+	self   string
+	peers  []string
 }
 
 func (r *daemonResolver) Endpoints(service string) []remote.Endpoint {
 	var eps []remote.Endpoint
-	if _, ok := r.exporter.Lookup(service); ok {
+	if _, ok := r.lookup.Lookup(service); ok {
 		eps = append(eps, remote.Endpoint{Node: "self", Addr: r.self})
 	}
 	for _, p := range r.peers {
@@ -202,9 +295,36 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 
 	defs := module.NewDefinitionRegistry()
 	defs.MustAdd("base:log", services.LogBundleDefinition(sched))
+	// The placeholder bundle every CREATEd instance runs: its activator
+	// exports an echo service named app.<instance> from inside the virtual
+	// framework, demonstrating instance exports over the daemon's remote
+	// listener.
 	defs.MustAdd("app:placeholder", &module.Definition{
-		ManifestText: "Bundle-SymbolicName: com.example.app\nBundle-Version: 1.0.0\n",
+		ManifestText: "Bundle-SymbolicName: com.example.app\nBundle-Version: 1.0.0\nBundle-Activator: com.example.app.Activator\n",
 		Classes:      map[string]any{"com.example.app.Main": "main"},
+		NewActivator: func() module.Activator {
+			var reg *module.ServiceRegistration
+			return &module.ActivatorFuncs{
+				OnStart: func(ctx *module.Context) error {
+					name := "app"
+					if inst := ctx.Property("vosgi.instance"); inst != "" {
+						name = "app." + inst
+					}
+					var err error
+					reg, err = ctx.RegisterSingle("com.example.app.Main", echoService{}, module.Properties{
+						module.PropServiceExported:     true,
+						module.PropServiceExportedName: name,
+					})
+					return err
+				},
+				OnStop: func(ctx *module.Context) error {
+					if reg != nil {
+						_ = reg.Unregister()
+					}
+					return nil
+				},
+			}
+		},
 	})
 
 	host := module.New(module.WithName("dosgid"), module.WithDefinitions(defs))
@@ -238,22 +358,49 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		return nil, err
 	}
 
+	d := &daemon{
+		sched:    sched,
+		host:     host,
+		mgr:      mgr,
+		exporter: exporter,
+		peers:    peers,
+		instExp:  remote.NewExporterSet(),
+	}
+
 	remoteLn, err := net.Listen("tcp", remoteAddr)
 	if err != nil {
 		sched.Stop()
 		return nil, err
 	}
-	remoteSrv := remote.ServeTCP(remoteLn, remote.NewDispatcher(exporter))
+	d.remoteAddr = remoteLn.Addr().String()
+	// The event broker serves dosgi.events on the same listener as
+	// invocations, replaying the current exports to new subscribers.
+	d.broker = remote.NewEventBroker(sched, remote.WithEventSnapshot(d.exportSnapshot))
+	d.services = remote.NewCompositeSource(d.serviceSources)
+	exporter.OnChange(func(ev remote.ExportEvent) { d.publishExportEvent(ev, "") })
+	mgr.OnEvent(func(ev core.Event) {
+		switch ev.Type {
+		case core.EventStarted:
+			d.attachInstanceExporter(ev.Instance)
+		case core.EventStopped, core.EventDestroyed:
+			d.instExp.Detach(string(ev.Instance.ID()))
+		}
+	})
+	remoteSrv := remote.ServeTCP(remoteLn,
+		remote.NewEventDispatcher(remote.NewDispatcher(d.services), d.broker))
+	d.remoteSrv = remoteSrv
 
 	transport := remote.NewTCPTransport(sched)
+	d.transport = transport
 	pool := remote.NewPool(transport)
 	// Ordered resolution: the resolver's local-first preference must hold
 	// on every call, not be rotated away.
 	invoker := remote.NewInvoker(pool, &daemonResolver{
-		exporter: exporter,
-		self:     remoteLn.Addr().String(),
-		peers:    peers,
+		lookup: d.services,
+		self:   remoteLn.Addr().String(),
+		peers:  peers,
 	}, remote.WithOrderedResolution())
+	d.invoker = invoker
 
 	// Provisioning stack: the local artifact repository is served to peers
 	// through the remote listener; DEPLOY fetches missing artifacts from
@@ -294,18 +441,10 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		sched.Stop()
 		return nil, err
 	}
-	return &daemon{
-		sched:     sched,
-		host:      host,
-		mgr:       mgr,
-		exporter:  exporter,
-		remoteSrv: remoteSrv,
-		invoker:   invoker,
-		adminLn:   adminLn,
-		peers:     peers,
-		repo:      repo,
-		deployer:  deployer,
-	}, nil
+	d.adminLn = adminLn
+	d.repo = repo
+	d.deployer = deployer
+	return d, nil
 }
 
 // serveAdmin accepts admin connections until the listener closes.
@@ -396,7 +535,7 @@ func (d *daemon) serve(conn net.Conn) {
 			refs, _ := host.SystemContext().ServiceReferences("", "")
 			reply("framework=%s state=%s bundles=%d services=%d instances=%d exports=%d",
 				host.Name(), host.State(), len(host.Bundles()), len(refs), len(mgr.List()),
-				len(d.exporter.Names()))
+				len(d.exportNames()))
 			reply("OK")
 		case "LIST":
 			for _, inst := range mgr.List() {
@@ -405,10 +544,11 @@ func (d *daemon) serve(conn net.Conn) {
 			}
 			reply("OK %d instance(s)", len(mgr.List()))
 		case "EXPORTS":
-			for _, name := range d.exporter.Names() {
+			names := d.exportNames()
+			for _, name := range names {
 				reply("%s", name)
 			}
-			reply("OK %d export(s)", len(d.exporter.Names()))
+			reply("OK %d export(s)", len(names))
 		case "CALL":
 			if len(fields) < 3 {
 				reply("ERR usage: CALL <service> <method> [args...]")
@@ -435,6 +575,30 @@ func (d *daemon) serve(conn net.Conn) {
 				reply("= %s", text)
 			}
 			reply("OK %d result(s)", len(results))
+		case "SUBSCRIBE":
+			if len(fields) < 2 || len(fields) > 4 {
+				reply("ERR usage: SUBSCRIBE <count> [filter] [addr]")
+				continue
+			}
+			count, err := strconv.Atoi(fields[1])
+			if err != nil || count <= 0 {
+				reply("ERR count must be a positive integer")
+				continue
+			}
+			filter := ""
+			if len(fields) >= 3 {
+				filter = strings.Trim(fields[2], `"`)
+			}
+			addr := d.remoteAddr
+			if len(fields) == 4 {
+				addr = fields[3]
+			}
+			n, err := d.streamEvents(addr, filter, count, reply)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK %d event(s)", n)
 		case "CREATE":
 			if len(fields) < 2 {
 				reply("ERR usage: CREATE <id> [sharedService ...]")
@@ -560,6 +724,47 @@ func (d *daemon) serve(conn net.Conn) {
 	}
 }
 
+// subscribeTimeout bounds how long SUBSCRIBE waits for the requested
+// event count before answering with what arrived.
+const subscribeTimeout = 30 * time.Second
+
+// streamEvents subscribes to addr's event stream and emits up to count
+// events as "EVENT ..." lines, returning how many arrived before the
+// timeout.
+func (d *daemon) streamEvents(addr, filter string, count int, reply func(string, ...any)) (int, error) {
+	events := make(chan remote.ServiceEvent, 64)
+	sub, err := remote.NewSubscriber(remote.SubscriberConfig{
+		Transport: d.transport,
+		Sched:     d.sched,
+		Addrs:     []string{addr},
+		Filter:    filter,
+		OnEvent: func(ev remote.ServiceEvent) {
+			select {
+			case events <- ev:
+			default: // an overwhelmed admin client drops, not deadlocks
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sub.Close()
+	deadline := time.NewTimer(subscribeTimeout)
+	defer deadline.Stop()
+	received := 0
+	for received < count {
+		select {
+		case ev := <-events:
+			reply("EVENT %s %s node=%s addr=%s instance=%s seq=%d",
+				ev.Type, ev.Service, ev.Node, ev.Addr, ev.Instance, ev.Seq)
+			received++
+		case <-deadline.C:
+			return received, nil
+		}
+	}
+	return received, nil
+}
+
 // supportedVerbs lists every admin verb, printed when a command is not
 // recognized so operators discover the protocol from any typo.
-const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL DEPLOY REPO LOG QUIT"
+const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL SUBSCRIBE DEPLOY REPO LOG QUIT"

@@ -130,6 +130,75 @@ func TestCallFailsOverToPeerDaemon(t *testing.T) {
 	}
 }
 
+// TestSubscribeStreamsResyncEvents drives the SUBSCRIBE verb: a new
+// subscription first receives the daemon's current exports as synthetic
+// REGISTERED events over the dosgi.events wire protocol.
+func TestSubscribeStreamsResyncEvents(t *testing.T) {
+	d := startDaemon(t)
+	lines := admin(t, d, "SUBSCRIBE 2")
+	if last(lines) != "OK 2 event(s)" {
+		t.Fatalf("SUBSCRIBE = %q", lines)
+	}
+	if len(lines) != 3 ||
+		!strings.HasPrefix(lines[0], "EVENT REGISTERED dosgi.provision") ||
+		!strings.HasPrefix(lines[1], "EVENT REGISTERED echo") {
+		t.Fatalf("SUBSCRIBE events = %q", lines)
+	}
+	// Filters narrow the stream.
+	lines = admin(t, d, "SUBSCRIBE 1 echo")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "EVENT REGISTERED echo") {
+		t.Fatalf("filtered SUBSCRIBE = %q", lines)
+	}
+	if lines := admin(t, d, "SUBSCRIBE zero"); !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("bad count = %q", lines)
+	}
+}
+
+// TestInstanceExportsInvocableAndObservable: a service registered inside
+// a CREATEd virtual instance is listed, remotely CALLable through the
+// daemon's listener, visible as a REGISTERED event with the instance id,
+// and withdrawn when the instance stops.
+func TestInstanceExportsInvocableAndObservable(t *testing.T) {
+	d := startDaemon(t)
+	if lines := admin(t, d, "CREATE t1"); !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("CREATE = %q", lines)
+	}
+	if lines := admin(t, d, "START t1"); !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("START = %q", lines)
+	}
+	lines := admin(t, d, "EXPORTS")
+	found := false
+	for _, line := range lines {
+		if line == "app.t1 instance=t1" {
+			found = true
+		}
+	}
+	if !found || last(lines) != "OK 3 export(s)" {
+		t.Fatalf("EXPORTS after START = %q", lines)
+	}
+	// The instance's service answers through the standard remote stack.
+	lines = admin(t, d, "CALL app.t1 Upper vosgi")
+	if len(lines) != 2 || lines[0] != "= VOSGI" {
+		t.Fatalf("CALL app.t1 = %q", lines)
+	}
+	// The event stream carries the instance id.
+	lines = admin(t, d, "SUBSCRIBE 1 app.t1")
+	if len(lines) != 2 || !strings.Contains(lines[0], "instance=t1") {
+		t.Fatalf("SUBSCRIBE app.t1 = %q", lines)
+	}
+	// Stopping the instance withdraws the export.
+	if lines := admin(t, d, "STOP t1"); !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("STOP = %q", lines)
+	}
+	lines = admin(t, d, "EXPORTS")
+	if last(lines) != "OK 2 export(s)" {
+		t.Fatalf("EXPORTS after STOP = %q", lines)
+	}
+	if lines := admin(t, d, "CALL app.t1 Upper x"); !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("CALL after STOP = %q", lines)
+	}
+}
+
 func TestParseCallArg(t *testing.T) {
 	cases := []struct {
 		tok  string

@@ -1,0 +1,134 @@
+// Example events demonstrates cluster-wide virtual-framework exports and
+// server-push remote service events: a bundle inside a virtual OSGi
+// instance on node01 exports a service, node02 imports it through a
+// proxy and subscribes to the dosgi.events stream, the instance is
+// migrated to node03 — the SAME proxy keeps working — and the subscriber
+// observes the UNREGISTERING/REGISTERED event pair carrying the instance
+// id, without ever polling the directory.
+//
+//	go run ./examples/events
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dosgi/internal/cluster"
+	"dosgi/internal/core"
+	"dosgi/internal/module"
+	"dosgi/internal/remote"
+)
+
+// tickerDef is the customer bundle: its activator exports svc.ticker from
+// whatever (virtual) framework it starts in, so the export follows the
+// instance wherever migration and failover take it.
+func tickerDef() *module.Definition {
+	return &module.Definition{
+		ManifestText: `Bundle-SymbolicName: app.ticker
+Bundle-Version: 1.0.0
+Bundle-Activator: app.ticker.Activator
+`,
+		Classes: map[string]any{"app.ticker.Ticker": "ticker"},
+		NewActivator: func() module.Activator {
+			var reg *module.ServiceRegistration
+			return &module.ActivatorFuncs{
+				OnStart: func(ctx *module.Context) error {
+					instance := ctx.Property("vosgi.instance")
+					svc := &ticker{instance: instance}
+					var err error
+					reg, err = ctx.RegisterSingle("app.Ticker", svc, module.Properties{
+						module.PropServiceExported:     true,
+						module.PropServiceExportedName: "svc.ticker",
+					})
+					return err
+				},
+				OnStop: func(ctx *module.Context) error {
+					if reg != nil {
+						_ = reg.Unregister()
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+type ticker struct{ instance string }
+
+func (t *ticker) Tick(n int64) string {
+	return fmt.Sprintf("tick %d from instance %q", n, t.instance)
+}
+
+func main() {
+	c := cluster.New(42)
+	for _, id := range []string{"node01", "node02", "node03"} {
+		if _, err := c.AddNode(cluster.NodeConfig{ID: id}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.Definitions().MustAdd("app:ticker", tickerDef())
+	c.Settle(2 * time.Second) // group formation
+
+	// A virtual instance running the ticker bundle lands on node01.
+	if err := c.Deploy("node01", core.Descriptor{
+		ID:       "tenant-a",
+		Customer: "acme",
+		Bundles:  []core.BundleSpec{{Location: "app:ticker", Start: true}},
+		Resources: core.ResourceSpec{
+			CPUMillicores: 500, MemoryBytes: 128 << 20, Weight: 1, Priority: 1,
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	c.Settle(500 * time.Millisecond) // endpoint announcement replicates
+
+	n1, _ := c.Node("node01")
+	n2, _ := c.Node("node02")
+	eps := n2.Migration().Directory().EndpointsFor("svc.ticker")
+	fmt.Printf("directory on node02: svc.ticker served by %s (instance %s)\n",
+		eps[0].Node, eps[0].Instance)
+
+	// node02 subscribes to the event stream — served by its own broker,
+	// which is fed from the replicated directory, so it covers the whole
+	// cluster — and imports the service as a local proxy registration.
+	sub, err := n2.SubscribeEvents("svc.*", func(ev remote.ServiceEvent) {
+		fmt.Printf("event on node02: %s %s node=%s instance=%s\n",
+			ev.Type, ev.Service, ev.Node, ev.Instance)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	proxy, err := n2.ImportService("app.Ticker", "svc.ticker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Settle(200 * time.Millisecond) // synthetic resync arrives
+
+	call := func(n int64) {
+		proxy.Go("Tick", []any{n}, func(res []any, err error) {
+			if err != nil {
+				fmt.Printf("Tick(%d): ERROR %v\n", n, err)
+				return
+			}
+			fmt.Printf("Tick(%d) -> %v\n", n, res[0])
+		})
+		c.Settle(200 * time.Millisecond)
+	}
+	call(1)
+
+	fmt.Println("\n*** migrating tenant-a from node01 to node03 ***")
+	if err := n1.Migration().Migrate("tenant-a", "node03"); err != nil {
+		log.Fatal(err)
+	}
+	c.Settle(2 * time.Second) // checkpoint → handoff → restore → re-announce
+
+	eps = n2.Migration().Directory().EndpointsFor("svc.ticker")
+	fmt.Printf("\ndirectory on node02: svc.ticker now served by %s (instance %s)\n",
+		eps[0].Node, eps[0].Instance)
+	// Same proxy, no re-import: the invoker resolves the new replica.
+	call(2)
+	gaps, dupes := sub.Stats()
+	fmt.Printf("\nsubscriber stats: gaps=%d duplicates-suppressed=%d\n", gaps, dupes)
+}

@@ -13,6 +13,7 @@ import (
 	"dosgi/internal/monitor"
 	"dosgi/internal/netsim"
 	"dosgi/internal/provision"
+	"dosgi/internal/remote"
 	"dosgi/internal/san"
 	"dosgi/internal/security"
 	"dosgi/internal/services"
@@ -159,6 +160,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		cluster:  c,
 		cfg:      cfg,
 		httpSvcs: make(map[core.InstanceID][]*services.HTTPService),
+		instExp:  remote.NewExporterSet(),
 		powered:  true,
 	}
 	n.nic = c.net.AttachNode(cfg.ID)

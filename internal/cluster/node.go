@@ -64,20 +64,26 @@ type Node struct {
 	cluster *Cluster
 	cfg     NodeConfig
 
-	vm        *vjvm.VJVM
-	nic       *netsim.NIC
-	host      *module.Framework
-	defs      *module.DefinitionRegistry
-	manager   *core.Manager
-	member    *gcs.Member
-	mod       *migrate.Module
-	mon       *monitor.Monitor
-	logSvc    *services.LogService
-	exporter  *remote.Exporter
-	remoteSrv *remote.NetsimServer
-	invoker   *remote.Invoker
-	importer  *remote.Importer
-	prov      *nodeProvision
+	vm         *vjvm.VJVM
+	nic        *netsim.NIC
+	host       *module.Framework
+	defs       *module.DefinitionRegistry
+	manager    *core.Manager
+	member     *gcs.Member
+	mod        *migrate.Module
+	mon        *monitor.Monitor
+	logSvc     *services.LogService
+	exporter   *remote.Exporter
+	remoteSrv  *remote.NetsimServer
+	rtransport *remote.NetsimTransport
+	invoker    *remote.Invoker
+	importer   *remote.Importer
+	broker     *remote.EventBroker
+	prov       *nodeProvision
+
+	// instExp exports services registered inside started virtual
+	// frameworks (one exporter per instance).
+	instExp *remote.ExporterSet
 
 	mu       sync.Mutex
 	powered  bool

@@ -44,11 +44,15 @@ type NodeInfo struct {
 // EndpointInfo is the directory's record of one remotely invocable service
 // replica: which node exports it and the transport address of that node's
 // remote-services listener. The import-side Invoker resolves replicas from
-// these records.
+// these records. Instance names the virtual framework exporting the
+// service ("" for host-level exports); a migrated instance's endpoints are
+// re-announced from the new host node under the same instance id, so
+// importers can follow a service across relocations.
 type EndpointInfo struct {
-	Service string `json:"service"`
-	Node    string `json:"node"`
-	Addr    string `json:"addr"`
+	Service  string `json:"service"`
+	Node     string `json:"node"`
+	Addr     string `json:"addr"`
+	Instance string `json:"instance,omitempty"`
 }
 
 // ArtifactInfo is the directory's record of one replica of a provisioned
@@ -174,63 +178,139 @@ func (d *Directory) Nodes() []NodeInfo {
 	return out
 }
 
-// PutEndpoint upserts a service endpoint record.
-func (d *Directory) PutEndpoint(info EndpointInfo) {
+// PutEndpoint upserts a service endpoint record, reporting whether a
+// record for (service, node) already existed — callers turn the result
+// into REGISTERED vs MODIFIED service events.
+func (d *Directory) PutEndpoint(info EndpointInfo) (existed bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.putEndpointLocked(info)
+	return d.putEndpointLocked(info)
 }
 
-func (d *Directory) putEndpointLocked(info EndpointInfo) {
+func (d *Directory) putEndpointLocked(info EndpointInfo) (existed bool) {
 	byNode := d.endpoints[info.Service]
 	if byNode == nil {
 		byNode = make(map[string]EndpointInfo)
 		d.endpoints[info.Service] = byNode
 	}
+	_, existed = byNode[info.Node]
 	byNode[info.Node] = info
+	return existed
 }
 
-// RemoveEndpoint deletes the record of service on node.
-func (d *Directory) RemoveEndpoint(service, node string) {
+// RemoveEndpoint deletes the record of service on node, returning the
+// removed record (ok=false when there was none).
+func (d *Directory) RemoveEndpoint(service, node string) (EndpointInfo, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	byNode := d.endpoints[service]
+	info, ok := byNode[node]
 	delete(byNode, node)
 	if len(byNode) == 0 {
 		delete(d.endpoints, service)
 	}
+	return info, ok
 }
 
 // RemoveEndpointsOf deletes every endpoint exported by node (crash or
-// graceful leave, applied deterministically on view change).
-func (d *Directory) RemoveEndpointsOf(node string) {
+// graceful leave, applied deterministically on view change) and returns
+// the removed records sorted by service.
+func (d *Directory) RemoveEndpointsOf(node string) []EndpointInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.removeEndpointsOfLocked(node)
+	return d.removeEndpointsOfLocked(node)
 }
 
-func (d *Directory) removeEndpointsOfLocked(node string) {
+func (d *Directory) removeEndpointsOfLocked(node string) []EndpointInfo {
+	var removed []EndpointInfo
 	for service, byNode := range d.endpoints {
-		delete(byNode, node)
+		if info, ok := byNode[node]; ok {
+			removed = append(removed, info)
+			delete(byNode, node)
+		}
 		if len(byNode) == 0 {
 			delete(d.endpoints, service)
 		}
 	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i].Service < removed[j].Service })
+	return removed
 }
 
 // ReplaceEndpointsOf makes infos the complete endpoint set of node,
 // dropping any stale records — the authoritative resync each node
 // broadcasts on view change, which re-converges replicas that missed
-// incremental withdrawals during a partition.
-func (d *Directory) ReplaceEndpointsOf(node string, infos []EndpointInfo) {
+// incremental withdrawals during a partition. The returned deltas are
+// exact (an unchanged record appears in neither list), so the resync a
+// healed partition replays produces no spurious service events.
+func (d *Directory) ReplaceEndpointsOf(node string, infos []EndpointInfo) (added, updated, removed []EndpointInfo) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.removeEndpointsOfLocked(node)
-	for _, info := range infos {
-		if info.Node == node {
-			d.putEndpointLocked(info)
+	prev := make(map[string]EndpointInfo)
+	for service, byNode := range d.endpoints {
+		if info, ok := byNode[node]; ok {
+			prev[service] = info
 		}
 	}
+	next := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		if info.Node != node {
+			continue
+		}
+		next[info.Service] = true
+		old, existed := prev[info.Service]
+		switch {
+		case !existed:
+			added = append(added, info)
+		case old != info:
+			updated = append(updated, info)
+		}
+		d.putEndpointLocked(info)
+	}
+	for service, old := range prev {
+		if !next[service] {
+			removed = append(removed, old)
+			byNode := d.endpoints[service]
+			delete(byNode, node)
+			if len(byNode) == 0 {
+				delete(d.endpoints, service)
+			}
+		}
+	}
+	byService := func(s []EndpointInfo) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Service < s[j].Service })
+	}
+	byService(added)
+	byService(updated)
+	byService(removed)
+	return added, updated, removed
+}
+
+// EndpointsAt returns every endpoint record served at addr, sorted by
+// service then node.
+func (d *Directory) EndpointsAt(addr string) []EndpointInfo {
+	var out []EndpointInfo
+	for _, info := range d.Endpoints() {
+		if info.Addr == addr {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// AddrInUse reports whether any endpoint record is served at addr — the
+// cheap emptiness probe (early exit, no copying or sorting) the eager
+// pool-pruning hook runs on every endpoint removal.
+func (d *Directory) AddrInUse(addr string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, byNode := range d.endpoints {
+		for _, info := range byNode {
+			if info.Addr == addr {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // EndpointsFor returns the replicas of service, sorted by node.

@@ -64,6 +64,41 @@ type Event struct {
 	Err error
 }
 
+// EndpointChangeType enumerates replicated endpoint-record changes.
+type EndpointChangeType int
+
+// Endpoint-record changes, derived from totally-ordered directory
+// mutations (and from deterministic view-change pruning), so every node
+// observes the same sequence.
+const (
+	// EndpointAdded: a new (service, node) replica appeared.
+	EndpointAdded EndpointChangeType = iota + 1
+	// EndpointUpdated: an existing replica re-announced (record content
+	// or service properties changed).
+	EndpointUpdated
+	// EndpointRemoved: a replica withdrew or its node departed.
+	EndpointRemoved
+)
+
+func (t EndpointChangeType) String() string {
+	switch t {
+	case EndpointAdded:
+		return "ADDED"
+	case EndpointUpdated:
+		return "UPDATED"
+	case EndpointRemoved:
+		return "REMOVED"
+	}
+	return "UNKNOWN"
+}
+
+// EndpointChange reports one replicated endpoint-record change — the feed
+// the remote event brokers push to subscribed importers.
+type EndpointChange struct {
+	Type EndpointChangeType
+	Info EndpointInfo
+}
+
 // Wire messages (broadcast with Total ordering so every replica applies
 // the same directory mutations in the same order).
 
@@ -157,6 +192,9 @@ type Module struct {
 	// artifactHooks fire after any replicated artifact-record change so
 	// the provisioning layer can re-evaluate its replication duties.
 	artifactHooks []func()
+	// endpointHooks fire on every replicated endpoint-record change
+	// (incremental put/remove, resync deltas, view-change pruning).
+	endpointHooks []func(EndpointChange)
 }
 
 // NewModule builds the module; call Start *before* starting the group
@@ -256,19 +294,43 @@ func (m *Module) broadcast(body any) {
 }
 
 // AnnounceEndpoint records and broadcasts a remotely invocable service
-// exported by this node (the remote.Exporter hook calls it). Addr is the
-// node's remote-services listener, "ip:port".
+// exported by this node's host framework (the remote.Exporter hook calls
+// it). Addr is the node's remote-services listener, "ip:port".
 func (m *Module) AnnounceEndpoint(service, addr string) {
-	info := EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr}
+	m.AnnounceEndpointFor(service, addr, "")
+}
+
+// AnnounceEndpointFor records and broadcasts a remotely invocable service
+// exported by the named virtual instance on this node ("" for host-level
+// exports). Re-announcing an existing (service, node) record surfaces as
+// an UPDATED endpoint change — a MODIFIED service event — on every node.
+func (m *Module) AnnounceEndpointFor(service, addr, instance string) {
+	info := EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance}
 	m.mu.Lock()
 	m.exported[service] = info
 	m.mu.Unlock()
 	m.broadcast(endpointPut{Info: info})
 }
 
-// WithdrawEndpoint broadcasts that this node stopped exporting service.
+// WithdrawEndpoint broadcasts that this node's host framework stopped
+// exporting service.
 func (m *Module) WithdrawEndpoint(service string) {
+	m.WithdrawEndpointFor(service, "")
+}
+
+// WithdrawEndpointFor withdraws service only when this node's current
+// record is owned by instance. Host and instance exports share the
+// per-node service namespace (the directory keys records by (service,
+// node)); the ownership check keeps a stale withdrawal — say, a stopped
+// instance whose export name collides with a live host export — from
+// erasing the surviving owner's record cluster-wide.
+func (m *Module) WithdrawEndpointFor(service, instance string) {
 	m.mu.Lock()
+	info, owned := m.exported[service]
+	if !owned || info.Instance != instance {
+		m.mu.Unlock()
+		return
+	}
 	delete(m.exported, service)
 	m.mu.Unlock()
 	m.broadcast(endpointRemove{Service: service, Node: m.cfg.NodeID})
@@ -298,6 +360,39 @@ func (m *Module) OnArtifactChange(fn func()) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.artifactHooks = append(m.artifactHooks, fn)
+}
+
+// OnEndpointChange subscribes to replicated endpoint-record changes. The
+// deltas are exact: resyncs replaying unchanged records fire nothing, so
+// a subscriber bridging these changes onto the remote event stream never
+// emits duplicates after a partition heals.
+func (m *Module) OnEndpointChange(fn func(EndpointChange)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.endpointHooks = append(m.endpointHooks, fn)
+}
+
+func (m *Module) notifyEndpoints(changes ...EndpointChange) {
+	if len(changes) == 0 {
+		return
+	}
+	m.mu.Lock()
+	hooks := append(make([]func(EndpointChange), 0, len(m.endpointHooks)), m.endpointHooks...)
+	m.mu.Unlock()
+	for _, fn := range hooks {
+		for _, ch := range changes {
+			fn(ch)
+		}
+	}
+}
+
+// endpointChanges maps directory deltas of one kind onto changes.
+func endpointChanges(kind EndpointChangeType, infos []EndpointInfo) []EndpointChange {
+	out := make([]EndpointChange, len(infos))
+	for i, info := range infos {
+		out[i] = EndpointChange{Type: kind, Info: info}
+	}
+	return out
 }
 
 func (m *Module) notifyArtifacts() {
@@ -366,8 +461,14 @@ func (m *Module) onView(v gcs.View) {
 			deadExporters[ep.Node] = true
 		}
 	}
+	var deadExporterIDs []string
 	for node := range deadExporters {
-		m.dir.RemoveEndpointsOf(node)
+		deadExporterIDs = append(deadExporterIDs, node)
+	}
+	sort.Strings(deadExporterIDs)
+	for _, node := range deadExporterIDs {
+		removed := m.dir.RemoveEndpointsOf(node)
+		m.notifyEndpoints(endpointChanges(EndpointRemoved, removed)...)
 	}
 	// Artifact holdings of departed nodes vanish the same way; the
 	// provisioning layer re-evaluates replication afterwards.
@@ -501,11 +602,23 @@ func (m *Module) onDeliver(msg gcs.Message) {
 	case instanceRemove:
 		m.dir.RemoveInstance(body.ID)
 	case endpointPut:
-		m.dir.PutEndpoint(body.Info)
+		// A re-announcement of an existing record (even with identical
+		// content) is deliberately an UPDATED change: it is how a node
+		// signals a MODIFIED service to remote listeners.
+		if m.dir.PutEndpoint(body.Info) {
+			m.notifyEndpoints(EndpointChange{Type: EndpointUpdated, Info: body.Info})
+		} else {
+			m.notifyEndpoints(EndpointChange{Type: EndpointAdded, Info: body.Info})
+		}
 	case endpointRemove:
-		m.dir.RemoveEndpoint(body.Service, body.Node)
+		if info, ok := m.dir.RemoveEndpoint(body.Service, body.Node); ok {
+			m.notifyEndpoints(EndpointChange{Type: EndpointRemoved, Info: info})
+		}
 	case endpointSync:
-		m.dir.ReplaceEndpointsOf(body.Node, body.Infos)
+		added, updated, removed := m.dir.ReplaceEndpointsOf(body.Node, body.Infos)
+		m.notifyEndpoints(endpointChanges(EndpointAdded, added)...)
+		m.notifyEndpoints(endpointChanges(EndpointUpdated, updated)...)
+		m.notifyEndpoints(endpointChanges(EndpointRemoved, removed)...)
 	case artifactPut:
 		m.dir.PutArtifact(body.Info)
 		m.notifyArtifacts()

@@ -20,6 +20,13 @@
 // (total-order broadcast, anti-entropy resync on view change), so every
 // node resolves fetch replicas from its local directory copy.
 //
+// On the wire, fetches are ordinary remote invocations on the reserved
+// service name "dosgi.provision" (verbs Describe / DescribeDigest / Find
+// / Chunk / Locations — see docs/PROTOCOL.md §6.1), so they share
+// connections, pooling and failover with application calls: a replica
+// answering an application error is simply skipped, and a transfer
+// resumes on the next replica with only its missing chunks.
+//
 // Go cannot load code dynamically, so an artifact payload carries the
 // bundle's *content* — manifest text, named class entries with literal
 // payloads, data files — while activator code is resolved at install time

@@ -3,16 +3,32 @@
 // becomes invocable from other frameworks through a client proxy that
 // speaks a compact length-prefixed binary protocol over a pluggable
 // Transport (deterministic netsim for experiments, real TCP for dosgid).
+// The wire format is specified end-to-end in docs/PROTOCOL.md.
 //
 // Layering, bottom up:
 //
-//	netsim / TCP          the bytes actually move
-//	Transport / Conn      framed, correlation-id pipelined connections
-//	codec                 Request/Response wire encoding (this file)
-//	Pool                  per-endpoint connections, bounded in-flight
-//	Invoker               endpoint resolution + failover retry
-//	Proxy / Importer      the imported service seen by client bundles
-//	Exporter / Dispatcher the exported service on the provider side
+//	netsim / TCP            the bytes actually move
+//	Transport / Conn        framed, correlation-id pipelined connections;
+//	                        PushConn adds unsolicited server→client frames
+//	codec                   Request/Response wire encoding (this file)
+//	Pool                    per-endpoint connections, bounded in-flight
+//	Invoker                 endpoint resolution + failover retry
+//	Proxy / Importer        the imported service seen by client bundles
+//	Exporter / Dispatcher   the exported service on the provider side; a
+//	                        Dispatcher resolves through any ServiceSource,
+//	                        so one listener can serve several frameworks
+//	                        (host + virtual instances)
+//	EventBroker/Subscriber  the dosgi.events verbs: server-push service
+//	                        events (REGISTERED/MODIFIED/UNREGISTERING)
+//	                        with leased subscriptions, synthetic resync on
+//	                        (re)connect, and client-side deduplication
+//
+// Failure semantics: everything wrapping ErrUnavailable is retryable
+// against another replica (the call may not have executed — at-least-once
+// overall); AppError results executed exactly once and are never retried.
+// Event subscriptions survive endpoint failure by failing over to another
+// event server and resynchronizing, so "every delivered event is a real
+// change" holds across reconnects.
 package remote
 
 import (

@@ -1,0 +1,415 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+	"dosgi/internal/manifest"
+)
+
+// The dosgi.events verb set: remote service events pushed server→client
+// over the same framed, correlation-id-pipelined connections every other
+// verb uses, so importers hear about service churn without polling a
+// directory. Client→server verbs (ordinary requests on the reserved
+// service name EventsServiceName):
+//
+//	Subscribe(subID int64, filter string) → [leaseMillis int64]
+//	Renew(subID int64)                    → []           (unknown id → app error)
+//	Unsubscribe(subID int64)              → []
+//
+// Server→client push (an unsolicited Request frame on the subscriber's
+// connection; no response travels back):
+//
+//	Notify(subID int64, type string, service, node, addr, instance string)
+//
+// A Notify's correlation id carries the per-subscription sequence number,
+// so a subscriber can detect losses; a reconnect replays the current
+// state as synthetic REGISTERED events and the Subscriber deduplicates.
+const (
+	// EventsServiceName is the reserved service name of the event verbs.
+	EventsServiceName = "dosgi.events"
+
+	// MethodSubscribe opens a subscription chosen by the client.
+	MethodSubscribe = "Subscribe"
+	// MethodRenew extends a subscription's lease (the keepalive).
+	MethodRenew = "Renew"
+	// MethodUnsubscribe closes a subscription.
+	MethodUnsubscribe = "Unsubscribe"
+	// MethodNotify is the push verb delivering one ServiceEvent.
+	MethodNotify = "Notify"
+)
+
+// ServiceEventType enumerates remote service event kinds.
+type ServiceEventType string
+
+// Remote service events, mirroring OSGi ServiceEvent semantics across the
+// wire.
+const (
+	// ServiceRegistered announces a new (service, node) replica.
+	ServiceRegistered ServiceEventType = "REGISTERED"
+	// ServiceModified announces a re-announcement of an existing replica
+	// (properties or record content changed).
+	ServiceModified ServiceEventType = "MODIFIED"
+	// ServiceUnregistering announces a replica going away.
+	ServiceUnregistering ServiceEventType = "UNREGISTERING"
+)
+
+// ServiceEvent is one remote service change: a replica of Service
+// appeared on, changed on, or left Node (reachable at Addr). Instance
+// names the virtual framework exporting the service ("" for host-level
+// exports). Seq is the per-subscription sequence number assigned on push.
+type ServiceEvent struct {
+	Type     ServiceEventType
+	Service  string
+	Node     string
+	Addr     string
+	Instance string
+	Seq      uint64
+}
+
+func (ev ServiceEvent) String() string {
+	return fmt.Sprintf("%s %s node=%s addr=%s instance=%s seq=%d",
+		ev.Type, ev.Service, ev.Node, ev.Addr, ev.Instance, ev.Seq)
+}
+
+// key identifies the replica a ServiceEvent describes.
+func (ev ServiceEvent) key() string { return ev.Service + "\x00" + ev.Node }
+
+// MatchesFilter reports whether the event's service name matches a
+// subscription filter: exact name, "prefix.*" or "*" (empty = "*").
+func (ev ServiceEvent) MatchesFilter(filter string) bool {
+	if filter == "" {
+		return true
+	}
+	return manifest.MatchesPattern(filter, ev.Service)
+}
+
+// EncodeNotify builds the push frame of ev for subscription subID. The
+// event's Seq travels as the frame's correlation id.
+func EncodeNotify(subID int64, ev ServiceEvent) ([]byte, error) {
+	return EncodeRequest(&Request{
+		Corr:    ev.Seq,
+		Service: EventsServiceName,
+		Method:  MethodNotify,
+		Args:    []any{subID, string(ev.Type), ev.Service, ev.Node, ev.Addr, ev.Instance},
+	})
+}
+
+// DecodeNotify parses a pushed Notify request.
+func DecodeNotify(req *Request) (subID int64, ev ServiceEvent, err error) {
+	if req.Service != EventsServiceName || req.Method != MethodNotify {
+		return 0, ServiceEvent{}, fmt.Errorf("remote: not a Notify request: %s.%s", req.Service, req.Method)
+	}
+	if len(req.Args) < 6 {
+		return 0, ServiceEvent{}, fmt.Errorf("remote: Notify wants 6 args, got %d", len(req.Args))
+	}
+	id, ok := req.Args[0].(int64)
+	if !ok {
+		return 0, ServiceEvent{}, fmt.Errorf("remote: Notify subscription id %T", req.Args[0])
+	}
+	strs := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		s, ok := req.Args[i+1].(string)
+		if !ok {
+			return 0, ServiceEvent{}, fmt.Errorf("remote: Notify arg %d is %T, want string", i+1, req.Args[i+1])
+		}
+		strs[i] = s
+	}
+	return id, ServiceEvent{
+		Type: ServiceEventType(strs[0]), Service: strs[1],
+		Node: strs[2], Addr: strs[3], Instance: strs[4],
+		Seq: req.Corr,
+	}, nil
+}
+
+// Pusher sends unsolicited frames back to one client over the connection
+// that carried its requests. Implementations must be comparable, and two
+// equal Pushers must denote the same client connection — the broker keys
+// subscriptions by (Pusher, subID), so Renew and Unsubscribe find the
+// subscription opened by an earlier request of the same connection.
+type Pusher interface {
+	Push(frame []byte) error
+}
+
+// PushHandler is a Handler that can also serve requests needing a
+// push-back channel (the Subscribe verb). Servers pass the connection's
+// Pusher; handlers that never push ignore the extra capability.
+type PushHandler interface {
+	Handler
+	ServePush(req *Request, push Pusher) *Response
+}
+
+// DefaultEventLease is how long a subscription survives without a Renew.
+const DefaultEventLease = 5 * time.Second
+
+// BrokerOption configures an EventBroker.
+type BrokerOption func(*EventBroker)
+
+// WithEventLease sets the subscription lease (default DefaultEventLease).
+// Subscribers renew at a fraction of it; a partitioned or dead subscriber
+// is forgotten one lease after its last renewal.
+func WithEventLease(d time.Duration) BrokerOption {
+	return func(b *EventBroker) {
+		if d > 0 {
+			b.lease = d
+		}
+	}
+}
+
+// WithEventSnapshot installs the resync source: the current set of
+// exports, replayed to every new subscription as synthetic REGISTERED
+// events so a reconnecting subscriber converges without polling.
+func WithEventSnapshot(fn func() []ServiceEvent) BrokerOption {
+	return func(b *EventBroker) { b.snapshot = fn }
+}
+
+// EventBroker is the provider side of dosgi.events on one node: it tracks
+// subscriptions (keyed by the client's connection and client-chosen id)
+// and fans published ServiceEvents out to the matching ones. Expired
+// subscriptions (no Renew within the lease) are pruned lazily, so a
+// silently partitioned subscriber costs one map entry until its lease
+// runs out.
+type EventBroker struct {
+	sched    clock.Scheduler
+	lease    time.Duration
+	snapshot func() []ServiceEvent
+
+	mu   sync.Mutex
+	subs map[brokerSubKey]*brokerSub
+}
+
+type brokerSubKey struct {
+	push Pusher
+	id   int64
+}
+
+type brokerSub struct {
+	filter   string
+	seq      uint64
+	deadline time.Duration
+	// pushMu serializes sequence assignment with the frame write, so
+	// wire order always matches sequence order for one subscription.
+	pushMu sync.Mutex
+}
+
+// NewEventBroker builds a broker; sched drives lease expiry.
+func NewEventBroker(sched clock.Scheduler, opts ...BrokerOption) *EventBroker {
+	b := &EventBroker{
+		sched: sched,
+		lease: DefaultEventLease,
+		subs:  make(map[brokerSubKey]*brokerSub),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// SubscriberCount returns the live subscription count (tests, metrics).
+func (b *EventBroker) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.sched.Now()
+	n := 0
+	for _, sub := range b.subs {
+		if sub.deadline > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Publish fans ev out to every live subscription whose filter matches.
+// A failed push drops the subscription (its connection is gone).
+func (b *EventBroker) Publish(ev ServiceEvent) {
+	b.mu.Lock()
+	now := b.sched.Now()
+	type target struct {
+		key brokerSubKey
+		sub *brokerSub
+	}
+	var targets []target
+	for key, sub := range b.subs {
+		if sub.deadline <= now {
+			delete(b.subs, key)
+			continue
+		}
+		if !ev.MatchesFilter(sub.filter) {
+			continue
+		}
+		targets = append(targets, target{key: key, sub: sub})
+	}
+	b.mu.Unlock()
+	for _, t := range targets {
+		b.pushEvent(t.key, t.sub, ev)
+	}
+}
+
+// pushEvent assigns the subscription's next sequence number and writes
+// the Notify frame under the subscription's push lock: a concurrent
+// Publish (or an in-flight resync) cannot put a higher sequence number
+// on the wire before a lower one, which the subscriber's duplicate
+// suppression depends on. Returns false when the subscription is gone.
+func (b *EventBroker) pushEvent(key brokerSubKey, sub *brokerSub, ev ServiceEvent) bool {
+	sub.pushMu.Lock()
+	defer sub.pushMu.Unlock()
+	return b.pushEventLocked(key, sub, ev)
+}
+
+// pushEventLocked is pushEvent with sub.pushMu already held (the
+// Subscribe resync holds it across the whole snapshot).
+func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev ServiceEvent) bool {
+	b.mu.Lock()
+	if b.subs[key] != sub {
+		b.mu.Unlock()
+		return false // dropped or replaced meanwhile
+	}
+	sub.seq++
+	ev.Seq = sub.seq
+	b.mu.Unlock()
+	frame, err := EncodeNotify(key.id, ev)
+	if err != nil {
+		return true // unencodable event: nothing a subscriber could do
+	}
+	if err := key.push.Push(frame); err != nil {
+		b.drop(key)
+		return false
+	}
+	return true
+}
+
+func (b *EventBroker) drop(key brokerSubKey) {
+	b.mu.Lock()
+	delete(b.subs, key)
+	b.mu.Unlock()
+}
+
+// Serve handles a dosgi.events request arriving without a push channel:
+// only the connectionless verbs work.
+func (b *EventBroker) Serve(req *Request) *Response {
+	return b.ServePush(req, nil)
+}
+
+// ServePush handles one dosgi.events request. push is the connection's
+// push-back channel (nil on transports that cannot push).
+func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
+	appErr := func(format string, args ...any) *Response {
+		return &Response{Corr: req.Corr, Status: StatusAppError, Err: fmt.Sprintf(format, args...)}
+	}
+	subID := func() (int64, bool) {
+		if len(req.Args) < 1 {
+			return 0, false
+		}
+		id, ok := req.Args[0].(int64)
+		return id, ok
+	}
+	switch req.Method {
+	case MethodSubscribe:
+		if push == nil {
+			return appErr("subscriptions need a push-capable connection")
+		}
+		id, ok := subID()
+		if !ok {
+			return appErr("usage: Subscribe(subID, filter)")
+		}
+		filter := ""
+		if len(req.Args) > 1 {
+			if s, isStr := req.Args[1].(string); isStr {
+				filter = s
+			}
+		}
+		key := brokerSubKey{push: push, id: id}
+		sub := &brokerSub{filter: filter, deadline: b.sched.Now() + b.lease}
+		// Synthetic resync: the current exports replay as REGISTERED
+		// events ahead of the Subscribe response, so a (re)connecting
+		// subscriber converges to the live state before live deltas
+		// resume. The Subscriber deduplicates replicas it already knows.
+		//
+		// The push lock is held from BEFORE the subscription becomes
+		// visible until the snapshot is fully pushed: a concurrent
+		// Publish either precedes the snapshot (its change is already in
+		// it) or queues behind the resync — a live UNREGISTERING can
+		// never overtake the stale snapshot REGISTERED of the same
+		// replica and resurrect a dead service at the subscriber.
+		sub.pushMu.Lock()
+		b.mu.Lock()
+		b.subs[key] = sub
+		b.mu.Unlock()
+		if b.snapshot != nil {
+			for _, ev := range b.snapshot() {
+				if !ev.MatchesFilter(filter) {
+					continue
+				}
+				ev.Type = ServiceRegistered
+				if !b.pushEventLocked(key, sub, ev) {
+					sub.pushMu.Unlock()
+					return appErr("subscription lost during resync")
+				}
+			}
+		}
+		sub.pushMu.Unlock()
+		return &Response{Corr: req.Corr, Status: StatusOK,
+			Results: []any{int64(b.lease / time.Millisecond)}}
+	case MethodRenew:
+		id, ok := subID()
+		if !ok {
+			return appErr("usage: Renew(subID)")
+		}
+		key := brokerSubKey{push: push, id: id}
+		b.mu.Lock()
+		sub, live := b.subs[key]
+		if live && sub.deadline > b.sched.Now() {
+			sub.deadline = b.sched.Now() + b.lease
+			b.mu.Unlock()
+			return &Response{Corr: req.Corr, Status: StatusOK}
+		}
+		delete(b.subs, key)
+		b.mu.Unlock()
+		// An expired or unknown subscription is an application error, NOT
+		// StatusUnavailable: the subscriber must resubscribe (and receive
+		// a resync), not retry the renew elsewhere.
+		return appErr("unknown subscription %d", id)
+	case MethodUnsubscribe:
+		id, ok := subID()
+		if !ok {
+			return appErr("usage: Unsubscribe(subID)")
+		}
+		b.drop(brokerSubKey{push: push, id: id})
+		return &Response{Corr: req.Corr, Status: StatusOK}
+	default:
+		return appErr("unknown %s method %q", EventsServiceName, req.Method)
+	}
+}
+
+// EventDispatcher routes dosgi.events requests to a broker and everything
+// else to the inner handler — the standard server handler of a node that
+// serves both invocations and event subscriptions on one listener.
+type EventDispatcher struct {
+	inner  Handler
+	broker *EventBroker
+}
+
+// NewEventDispatcher wraps inner with broker.
+func NewEventDispatcher(inner Handler, broker *EventBroker) *EventDispatcher {
+	return &EventDispatcher{inner: inner, broker: broker}
+}
+
+var _ PushHandler = (*EventDispatcher)(nil)
+
+// Serve implements Handler (no push channel: Subscribe fails cleanly).
+func (d *EventDispatcher) Serve(req *Request) *Response {
+	return d.ServePush(req, nil)
+}
+
+// ServePush implements PushHandler.
+func (d *EventDispatcher) ServePush(req *Request, push Pusher) *Response {
+	if req.Service == EventsServiceName {
+		return d.broker.ServePush(req, push)
+	}
+	if ph, ok := d.inner.(PushHandler); ok {
+		return ph.ServePush(req, push)
+	}
+	return d.inner.Serve(req)
+}

@@ -29,10 +29,12 @@ var (
 const exportFilter = "(" + module.PropServiceExported + "=true)"
 
 // ExportEvent notifies an endpoint-directory integration that a service
-// became (un)available on this framework.
+// became (un)available on this framework, or (Modified) that an exported
+// registration changed its properties and should be re-announced.
 type ExportEvent struct {
 	Name     string
 	Exported bool // false on withdrawal
+	Modified bool // true when an existing export changed (Exported stays true)
 }
 
 // Exporter watches one framework's service registry and maintains the
@@ -66,11 +68,28 @@ func ExportName(ref *module.ServiceReference) string {
 	return ""
 }
 
+// isExported reports whether a reference currently carries
+// service.exported=true.
+func isExported(ref *module.ServiceReference) bool {
+	switch v := ref.Property(module.PropServiceExported).(type) {
+	case bool:
+		return v
+	case string:
+		return v == "true"
+	}
+	return false
+}
+
 // NewExporter builds an exporter over ctx (normally the system context)
 // and snapshots services already exported at the time of the call.
 func NewExporter(ctx *module.Context) (*Exporter, error) {
 	e := &Exporter{ctx: ctx, exports: make(map[string]*export)}
-	handle, err := ctx.AddServiceListener(e.onServiceEvent, exportFilter)
+	// The listener is deliberately UNFILTERED: a filtered listener would
+	// never deliver the Modified event of a registration whose property
+	// change just cleared service.exported (the registry matches filters
+	// against the new properties), leaving a stale export behind. The
+	// handlers check exportedness themselves.
+	handle, err := ctx.AddServiceListener(e.onServiceEvent, "")
 	if err != nil {
 		return nil, err
 	}
@@ -155,10 +174,53 @@ func (e *Exporter) onServiceEvent(ev module.ServiceEvent) {
 		e.add(ev.Reference)
 	case module.ServiceUnregistering:
 		e.removeRef(ev.Reference)
+	case module.ServiceModified:
+		e.modifiedRef(ev.Reference)
+	}
+}
+
+// modifiedRef handles a property change: clearing service.exported
+// withdraws the export, setting it (or losing an earlier name race)
+// adds one, a changed export name re-keys (withdraw + re-add), and any
+// other change fires hooks with Modified so directories re-announce the
+// record and remote listeners see a MODIFIED service event.
+func (e *Exporter) modifiedRef(ref *module.ServiceReference) {
+	e.mu.Lock()
+	var current *export
+	for _, ex := range e.exports {
+		if ex.ref == ref {
+			current = ex
+			break
+		}
+	}
+	hooks := append(make([]func(ExportEvent), 0, len(e.hooks)), e.hooks...)
+	e.mu.Unlock()
+	if !isExported(ref) {
+		if current != nil {
+			e.removeRef(ref)
+		}
+		return
+	}
+	if current == nil {
+		// Not exported under any name yet (it lost a duplicate-name race,
+		// or export properties just appeared): try a plain add.
+		e.add(ref)
+		return
+	}
+	if name := ExportName(ref); name != current.name {
+		e.removeRef(ref)
+		e.add(ref)
+		return
+	}
+	for _, fn := range hooks {
+		fn(ExportEvent{Name: current.name, Exported: true, Modified: true})
 	}
 }
 
 func (e *Exporter) add(ref *module.ServiceReference) {
+	if !isExported(ref) {
+		return // the listener is unfiltered; exportedness checks live here
+	}
 	name := ExportName(ref)
 	if name == "" {
 		return
@@ -227,15 +289,45 @@ type Handler interface {
 	Serve(req *Request) *Response
 }
 
-// Dispatcher is the standard Handler: it resolves the service in an
-// Exporter and invokes the method via Invocable or reflection.
-type Dispatcher struct {
-	exporter *Exporter
+// ServiceSource resolves an exported service name to its implementation.
+// An Exporter is one; a node hosting virtual frameworks composes several
+// (host exports plus every instance's exports) behind one lookup.
+type ServiceSource interface {
+	Lookup(name string) (any, bool)
 }
 
-// NewDispatcher builds a dispatcher over exporter.
-func NewDispatcher(exporter *Exporter) *Dispatcher {
-	return &Dispatcher{exporter: exporter}
+// CompositeSource resolves through a dynamic, ordered list of sources —
+// first hit wins. Nodes use it to serve host-framework exports and every
+// virtual instance's exports behind one listener; snapshot is called per
+// lookup so sources may come and go with instance lifecycle.
+type CompositeSource struct {
+	snapshot func() []ServiceSource
+}
+
+// NewCompositeSource builds a composite over snapshot.
+func NewCompositeSource(snapshot func() []ServiceSource) *CompositeSource {
+	return &CompositeSource{snapshot: snapshot}
+}
+
+// Lookup implements ServiceSource.
+func (c *CompositeSource) Lookup(name string) (any, bool) {
+	for _, src := range c.snapshot() {
+		if svc, ok := src.Lookup(name); ok {
+			return svc, true
+		}
+	}
+	return nil, false
+}
+
+// Dispatcher is the standard Handler: it resolves the service in a
+// ServiceSource and invokes the method via Invocable or reflection.
+type Dispatcher struct {
+	src ServiceSource
+}
+
+// NewDispatcher builds a dispatcher over src (typically an Exporter).
+func NewDispatcher(src ServiceSource) *Dispatcher {
+	return &Dispatcher{src: src}
 }
 
 // Serve implements Handler. A panicking service method is contained to a
@@ -250,7 +342,7 @@ func (d *Dispatcher) Serve(req *Request) (resp *Response) {
 			}
 		}
 	}()
-	svc, ok := d.exporter.Lookup(req.Service)
+	svc, ok := d.src.Lookup(req.Service)
 	if !ok {
 		return &Response{
 			Corr: req.Corr, Status: StatusUnavailable,

@@ -1,0 +1,112 @@
+package remote
+
+import (
+	"sort"
+	"sync"
+
+	"dosgi/internal/module"
+)
+
+// KeyedExporter pairs an ExporterSet key (typically a virtual-framework
+// instance id) with its exporter.
+type KeyedExporter struct {
+	Key string
+	Exp *Exporter
+}
+
+// ExporterSet manages one Exporter per key — a node's per-instance
+// exporters — behind a race-safe attach/detach protocol: instance
+// lifecycle events may race (a Stop's detach can run before the Start's
+// attach has stored its exporter), so Attach re-checks for duplicates at
+// store time and reconciles against stillWanted afterwards, guaranteeing
+// no exporter outlives its framework.
+type ExporterSet struct {
+	mu   sync.Mutex
+	exps map[string]*Exporter
+}
+
+// NewExporterSet returns an empty set.
+func NewExporterSet() *ExporterSet {
+	return &ExporterSet{exps: make(map[string]*Exporter)}
+}
+
+// Attach builds an exporter over ctx under key, wiring onChange before
+// the exporter is exposed (current exports replay through it). After the
+// store, stillWanted is consulted: false — the owner stopped while the
+// attach was in flight — detaches again. Attaching an existing key is a
+// no-op.
+func (s *ExporterSet) Attach(key string, ctx *module.Context, onChange func(ExportEvent), stillWanted func() bool) {
+	s.mu.Lock()
+	if _, dup := s.exps[key]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	exp, err := NewExporter(ctx)
+	if err != nil {
+		return
+	}
+	if onChange != nil {
+		exp.OnChange(onChange)
+	}
+	s.mu.Lock()
+	if _, dup := s.exps[key]; dup {
+		s.mu.Unlock()
+		exp.Close()
+		return
+	}
+	s.exps[key] = exp
+	s.mu.Unlock()
+	if stillWanted != nil && !stillWanted() {
+		s.Detach(key)
+	}
+}
+
+// Detach closes and forgets key's exporter (withdrawing any exports the
+// registry unregistrations have not already withdrawn).
+func (s *ExporterSet) Detach(key string) {
+	s.mu.Lock()
+	exp, ok := s.exps[key]
+	delete(s.exps, key)
+	s.mu.Unlock()
+	if ok {
+		exp.Close()
+	}
+}
+
+// Snapshot returns the (key, exporter) pairs sorted by key.
+func (s *ExporterSet) Snapshot() []KeyedExporter {
+	s.mu.Lock()
+	out := make([]KeyedExporter, 0, len(s.exps))
+	for key, exp := range s.exps {
+		out = append(out, KeyedExporter{Key: key, Exp: exp})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Sources returns the exporters as ServiceSources in key order —
+// appended after a host exporter to form a node's composite lookup.
+func (s *ExporterSet) Sources() []ServiceSource {
+	snap := s.Snapshot()
+	out := make([]ServiceSource, len(snap))
+	for i, ke := range snap {
+		out[i] = ke.Exp
+	}
+	return out
+}
+
+// CloseAll detaches everything (node teardown).
+func (s *ExporterSet) CloseAll() {
+	s.mu.Lock()
+	exps := make([]*Exporter, 0, len(s.exps))
+	for key, exp := range s.exps {
+		exps = append(exps, exp)
+		delete(s.exps, key)
+	}
+	s.mu.Unlock()
+	for _, exp := range exps {
+		exp.Close()
+	}
+}

@@ -109,9 +109,12 @@ type netsimConn struct {
 	addr      string
 	local     netsim.Addr
 	remote    netsim.Addr
+
+	pushMu sync.Mutex
+	pushFn func(*Request)
 }
 
-var _ Conn = (*netsimConn)(nil)
+var _ PushConn = (*netsimConn)(nil)
 
 func (c *netsimConn) Call(req *Request, cb func(*Response, error)) error {
 	return c.core.call(req, cb)
@@ -132,12 +135,19 @@ func (c *netsimConn) send(frame []byte) error {
 	return c.transport.nic.Send(c.local, c.remote, frame, len(frame))
 }
 
+// SetPushHandler implements PushConn.
+func (c *netsimConn) SetPushHandler(fn func(*Request)) {
+	c.pushMu.Lock()
+	c.pushFn = fn
+	c.pushMu.Unlock()
+}
+
 func (c *netsimConn) onMessage(msg netsim.Message) {
 	frame, ok := msg.Payload.([]byte)
 	if !ok {
 		return
 	}
-	_, resp, kind, err := DecodeFrame(frame)
+	req, resp, kind, err := DecodeFrame(frame)
 	if err != nil {
 		return
 	}
@@ -146,6 +156,15 @@ func (c *netsimConn) onMessage(msg netsim.Message) {
 		c.core.establish()
 	case frameResponse:
 		c.core.onResponse(resp)
+	case frameRequest:
+		// Server push (dosgi.events Notify). Stays on the engine
+		// goroutine for determinism, like every other sim callback.
+		c.pushMu.Lock()
+		fn := c.pushFn
+		c.pushMu.Unlock()
+		if fn != nil {
+			fn(req)
+		}
 	}
 }
 
@@ -162,6 +181,24 @@ type NetsimServer struct {
 // NewNetsimServer builds a server bound later by Start.
 func NewNetsimServer(nic *netsim.NIC, addr netsim.Addr, handler Handler) *NetsimServer {
 	return &NetsimServer{nic: nic, addr: addr, handler: handler}
+}
+
+// netsimPusher pushes frames back to one client address. It is a value
+// type, so two pushers for the same (server, client) pair compare equal
+// and a subscription's identity survives across the requests of its
+// connection without the server tracking per-client state.
+type netsimPusher struct {
+	srv *NetsimServer
+	to  netsim.Addr
+}
+
+func (p netsimPusher) Push(frame []byte) error {
+	return p.srv.nic.Send(p.srv.addr, p.to, frame, len(frame))
+}
+
+// pusherFor returns the pusher of a client address.
+func (s *NetsimServer) pusherFor(from netsim.Addr) Pusher {
+	return netsimPusher{srv: s, to: from}
 }
 
 // Addr returns the bound address.
@@ -206,7 +243,12 @@ func (s *NetsimServer) onMessage(msg netsim.Message) {
 		ack := encodeHello(true)
 		_ = s.nic.Send(s.addr, msg.From, ack, len(ack))
 	case frameRequest:
-		resp := s.handler.Serve(req)
+		var resp *Response
+		if ph, ok := s.handler.(PushHandler); ok {
+			resp = ph.ServePush(req, s.pusherFor(msg.From))
+		} else {
+			resp = s.handler.Serve(req)
+		}
 		resp.Corr = req.Corr
 		out := encodeResponseOrFallback(resp)
 		_ = s.nic.Send(s.addr, msg.From, out, len(out))

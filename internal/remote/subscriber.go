@@ -1,0 +1,371 @@
+package remote
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+// DefaultRenewEvery is the subscription keepalive interval. It doubles as
+// the failure-detection bound: a partition is noticed one call timeout
+// after the next renew.
+const DefaultRenewEvery = time.Second
+
+// ErrSubscriberClosed is returned for operations on a closed Subscriber.
+var ErrSubscriberClosed = errors.New("remote: subscriber closed")
+
+// SubscriberConfig wires a Subscriber.
+type SubscriberConfig struct {
+	// Transport dials the event servers. Connections made for
+	// subscriptions are dedicated — never shared with a Pool — so pushed
+	// frames reach exactly one consumer.
+	Transport Transport
+	// Sched drives renew timers and reconnect backoff.
+	Sched clock.Scheduler
+	// Addrs are the candidate event servers, tried in order; on
+	// connection loss the subscriber fails over to the next one.
+	Addrs []string
+	// Filter restricts events by service name (exact, "prefix.*" or ""
+	// for everything).
+	Filter string
+	// OnEvent receives deduplicated events: synthetic resync REGISTERED
+	// events for replicas already known are suppressed, as are
+	// UNREGISTERING events for replicas never seen. UNREGISTERING events
+	// missed during a blackout are synthesized when a resync completes.
+	OnEvent func(ServiceEvent)
+	// RenewEvery overrides the keepalive interval (default
+	// DefaultRenewEvery). Keep it under the server's lease.
+	RenewEvery time.Duration
+	// RetryEvery is the pause before re-walking the address list after
+	// every candidate failed (default: RenewEvery).
+	RetryEvery time.Duration
+}
+
+// Subscriber maintains one live dosgi.events subscription against the
+// first reachable address of its candidate list: it dials a dedicated
+// connection, subscribes with a client-chosen id, renews the lease on a
+// timer, and on any failure tears down and resubscribes to the next
+// candidate. Known-replica state survives reconnects, so the synthetic
+// resync a new subscription receives produces no duplicate events — the
+// importer-facing contract is "every event is a real change".
+type Subscriber struct {
+	cfg SubscriberConfig
+
+	mu        sync.Mutex
+	closed    bool
+	conn      PushConn
+	subID     int64
+	nextSub   int64
+	addrIdx   int
+	connected string // addr of the live subscription ("" while down)
+	renew     clock.Timer
+	lastSeq   uint64
+	gaps      uint64
+	dupes     uint64
+	known     map[string]ServiceEvent // replica key → last event content
+	resync    map[string]bool         // non-nil while a resync is in flight
+}
+
+// NewSubscriber builds a subscriber and starts connecting immediately.
+func NewSubscriber(cfg SubscriberConfig) (*Subscriber, error) {
+	if cfg.Transport == nil || cfg.Sched == nil || cfg.OnEvent == nil || len(cfg.Addrs) == 0 {
+		return nil, errors.New("remote: subscriber needs transport, scheduler, addrs and an event sink")
+	}
+	if cfg.RenewEvery <= 0 {
+		cfg.RenewEvery = DefaultRenewEvery
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = cfg.RenewEvery
+	}
+	s := &Subscriber{cfg: cfg, known: make(map[string]ServiceEvent)}
+	s.connect(0)
+	return s, nil
+}
+
+// Connected returns the address currently holding the subscription
+// ("" while disconnected).
+func (s *Subscriber) Connected() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected
+}
+
+// Stats reports sequence gaps (events lost to drops; each gap is healed
+// by the next resync) and duplicates suppressed.
+func (s *Subscriber) Stats() (gaps, duplicates uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gaps, s.dupes
+}
+
+// Known returns the number of currently known replicas.
+func (s *Subscriber) Known() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.known)
+}
+
+// Close tears the subscription down.
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conn := s.conn
+	s.conn = nil
+	s.connected = ""
+	if s.renew != nil {
+		s.renew.Cancel()
+		s.renew = nil
+	}
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// connect tries the addrIdx'th candidate; exhaustion schedules a retry.
+func (s *Subscriber) connect(attempt int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if attempt >= len(s.cfg.Addrs) {
+		s.mu.Unlock()
+		s.cfg.Sched.After(s.cfg.RetryEvery, func() { s.connect(0) })
+		return
+	}
+	addr := s.cfg.Addrs[(s.addrIdx+attempt)%len(s.cfg.Addrs)]
+	s.nextSub++
+	subID := s.nextSub
+	s.mu.Unlock()
+
+	conn, err := s.cfg.Transport.Dial(addr)
+	if err != nil {
+		s.connect(attempt + 1)
+		return
+	}
+	pc, ok := conn.(PushConn)
+	if !ok {
+		_ = conn.Close()
+		s.connect(attempt + 1) // transport cannot push; hopeless but safe
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = pc.Close()
+		return
+	}
+	s.conn = pc
+	s.subID = subID
+	s.lastSeq = 0
+	s.resync = make(map[string]bool)
+	s.mu.Unlock()
+
+	pc.SetPushHandler(func(req *Request) { s.onPush(pc, req) })
+	err = pc.Call(&Request{
+		Service: EventsServiceName,
+		Method:  MethodSubscribe,
+		Args:    []any{subID, s.cfg.Filter},
+	}, func(resp *Response, err error) {
+		if err != nil || resp.Status != StatusOK {
+			s.teardown(pc, attempt+1)
+			return
+		}
+		s.mu.Lock()
+		if s.closed || s.conn != pc {
+			s.mu.Unlock()
+			return
+		}
+		s.connected = addr
+		s.addrIdx = (s.addrIdx + attempt) % len(s.cfg.Addrs)
+		// Resync complete: every replica known before the subscribe that
+		// the snapshot did not confirm disappeared during the blackout.
+		var lost []ServiceEvent
+		for key, last := range s.known {
+			if !s.resync[key] {
+				delete(s.known, key)
+				gone := last
+				gone.Type = ServiceUnregistering
+				gone.Seq = 0 // synthesized locally, no wire sequence
+				lost = append(lost, gone)
+			}
+		}
+		s.resync = nil
+		s.renew = s.cfg.Sched.Every(s.cfg.RenewEvery, func() { s.sendRenew(pc) })
+		s.mu.Unlock()
+		for _, ev := range lost {
+			s.cfg.OnEvent(ev)
+		}
+	})
+	if err != nil {
+		s.teardown(pc, attempt+1)
+	}
+}
+
+// sendRenew keeps the lease alive; any failure reconnects.
+func (s *Subscriber) sendRenew(pc PushConn) {
+	s.mu.Lock()
+	if s.closed || s.conn != pc {
+		s.mu.Unlock()
+		return
+	}
+	subID := s.subID
+	s.mu.Unlock()
+	err := pc.Call(&Request{
+		Service: EventsServiceName,
+		Method:  MethodRenew,
+		Args:    []any{subID},
+	}, func(resp *Response, err error) {
+		if err != nil || resp.Status != StatusOK {
+			// Timeout/conn loss or an expired lease ("unknown
+			// subscription"): resubscribe from the top of the list.
+			s.teardown(pc, 0)
+		}
+	})
+	if err != nil {
+		s.teardown(pc, 0)
+	}
+}
+
+// teardown closes the connection (once) and moves on to the next
+// candidate.
+func (s *Subscriber) teardown(pc PushConn, nextAttempt int) {
+	s.mu.Lock()
+	if s.closed || s.conn != pc {
+		s.mu.Unlock()
+		return
+	}
+	s.conn = nil
+	s.connected = ""
+	s.resync = nil
+	if s.renew != nil {
+		s.renew.Cancel()
+		s.renew = nil
+	}
+	s.mu.Unlock()
+	_ = pc.Close()
+	s.connect(nextAttempt)
+}
+
+// onPush handles one pushed Notify frame.
+func (s *Subscriber) onPush(pc PushConn, req *Request) {
+	subID, ev, err := DecodeNotify(req)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed || s.conn != pc || subID != s.subID {
+		s.mu.Unlock()
+		return // stale subscription's stragglers
+	}
+	if ev.Seq != s.lastSeq+1 && s.lastSeq != 0 {
+		s.gaps++
+	}
+	if ev.Seq > s.lastSeq {
+		s.lastSeq = ev.Seq
+	}
+	key := ev.key()
+	if s.resync != nil {
+		s.resync[key] = true
+	}
+	deliver := false
+	switch ev.Type {
+	case ServiceRegistered:
+		last, seen := s.known[key]
+		if seen && sameReplica(last, ev) {
+			s.dupes++ // resync replay of a replica we already know
+		} else {
+			s.known[key] = ev
+			deliver = true
+		}
+	case ServiceModified:
+		s.known[key] = ev
+		deliver = true
+	case ServiceUnregistering:
+		if _, seen := s.known[key]; seen {
+			delete(s.known, key)
+			deliver = true
+		} else {
+			s.dupes++
+		}
+	default:
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	if deliver {
+		s.cfg.OnEvent(ev)
+	}
+}
+
+// sameReplica reports whether two events describe the same replica
+// content (sequence numbers aside).
+func sameReplica(a, b ServiceEvent) bool {
+	return a.Service == b.Service && a.Node == b.Node &&
+		a.Addr == b.Addr && a.Instance == b.Instance
+}
+
+// EventResolver is an EndpointResolver fed by the remote event stream:
+// REGISTERED/MODIFIED events add or refresh replicas, UNREGISTERING
+// removes them — the importer's replica sets refresh eagerly on events
+// instead of lazily on call errors. Daemons without a replicated
+// directory point their Invoker at one of these and wire a Subscriber's
+// OnEvent to Apply.
+type EventResolver struct {
+	mu sync.Mutex
+	m  map[string]map[string]Endpoint // service → node → endpoint
+}
+
+// NewEventResolver returns an empty resolver.
+func NewEventResolver() *EventResolver {
+	return &EventResolver{m: make(map[string]map[string]Endpoint)}
+}
+
+// Apply folds one event into the table.
+func (r *EventResolver) Apply(ev ServiceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch ev.Type {
+	case ServiceRegistered, ServiceModified:
+		byNode := r.m[ev.Service]
+		if byNode == nil {
+			byNode = make(map[string]Endpoint)
+			r.m[ev.Service] = byNode
+		}
+		byNode[ev.Node] = Endpoint{Node: ev.Node, Addr: ev.Addr}
+	case ServiceUnregistering:
+		byNode := r.m[ev.Service]
+		delete(byNode, ev.Node)
+		if len(byNode) == 0 {
+			delete(r.m, ev.Service)
+		}
+	}
+}
+
+// Endpoints implements EndpointResolver (replicas sorted by node id so
+// every caller walks the same failover order).
+func (r *EventResolver) Endpoints(service string) []Endpoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byNode := r.m[service]
+	out := make([]Endpoint, 0, len(byNode))
+	for _, ep := range byNode {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}

@@ -106,9 +106,19 @@ type tcpConn struct {
 	nc   net.Conn
 
 	writeMu sync.Mutex
+	pushMu  sync.Mutex
+	pushFn  func(*Request)
+	pushes  serialQueue
 }
 
-var _ Conn = (*tcpConn)(nil)
+var _ PushConn = (*tcpConn)(nil)
+
+// SetPushHandler implements PushConn.
+func (c *tcpConn) SetPushHandler(fn func(*Request)) {
+	c.pushMu.Lock()
+	c.pushFn = fn
+	c.pushMu.Unlock()
+}
 
 func (c *tcpConn) Call(req *Request, cb func(*Response, error)) error {
 	return c.core.call(req, cb)
@@ -140,7 +150,7 @@ func (c *tcpConn) readLoop() {
 			}
 			return
 		}
-		_, resp, kind, err := DecodeFrame(frame)
+		req, resp, kind, err := DecodeFrame(frame)
 		if err != nil {
 			continue
 		}
@@ -148,8 +158,72 @@ func (c *tcpConn) readLoop() {
 		case frameHelloAck:
 			c.core.establish()
 		case frameResponse:
-			c.core.onResponse(resp)
+			// Completions run off the read loop: a completion
+			// continuation may dial (pool drain, invoker failover) and
+			// block up to the dial timeout, which must not stall
+			// response reads for the other calls pipelined on this
+			// connection. Pool connections (no push handler) complete on
+			// their own goroutines; push-enabled connections (event
+			// subscriptions) complete through the same serialized queue
+			// as pushes, preserving the server's write order between a
+			// resync's Notify frames and the Subscribe response — the
+			// Subscriber's resync accounting depends on it.
+			c.pushMu.Lock()
+			hasPush := c.pushFn != nil
+			c.pushMu.Unlock()
+			if hasPush {
+				c.pushes.enqueue(func() { c.core.onResponse(resp) })
+			} else {
+				go c.core.onResponse(resp)
+			}
+		case frameRequest:
+			// Server push (dosgi.events Notify): serialized off the
+			// reader so event order is preserved per connection while a
+			// slow consumer cannot stall response reads either.
+			c.pushes.enqueue(func() {
+				c.pushMu.Lock()
+				fn := c.pushFn
+				c.pushMu.Unlock()
+				if fn != nil {
+					fn(req)
+				}
+			})
 		}
+	}
+}
+
+// serialQueue runs enqueued functions in order on a single lazily started
+// worker goroutine (exiting whenever the queue drains).
+type serialQueue struct {
+	mu      sync.Mutex
+	queue   []func()
+	running bool
+}
+
+func (q *serialQueue) enqueue(fn func()) {
+	q.mu.Lock()
+	q.queue = append(q.queue, fn)
+	if q.running {
+		q.mu.Unlock()
+		return
+	}
+	q.running = true
+	q.mu.Unlock()
+	go q.run()
+}
+
+func (q *serialQueue) run() {
+	for {
+		q.mu.Lock()
+		if len(q.queue) == 0 {
+			q.running = false
+			q.mu.Unlock()
+			return
+		}
+		fn := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		fn()
 	}
 }
 
@@ -217,6 +291,19 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// tcpPusher pushes frames to one accepted connection, sharing its write
+// mutex with the response path so frames never interleave.
+type tcpPusher struct {
+	nc      net.Conn
+	writeMu *sync.Mutex
+}
+
+func (p *tcpPusher) Push(frame []byte) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	return writeFrame(p.nc, frame)
+}
+
 func (s *TCPServer) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -226,6 +313,7 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 		_ = nc.Close()
 	}()
 	var writeMu sync.Mutex
+	pusher := &tcpPusher{nc: nc, writeMu: &writeMu}
 	reply := func(resp *Response) {
 		out := encodeResponseOrFallback(resp)
 		writeMu.Lock()
@@ -252,7 +340,12 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			dispatch.Add(1)
 			go func(req *Request) {
 				defer dispatch.Done()
-				resp := s.handler.Serve(req)
+				var resp *Response
+				if ph, ok := s.handler.(PushHandler); ok {
+					resp = ph.ServePush(req, pusher)
+				} else {
+					resp = s.handler.Serve(req)
+				}
 				resp.Corr = req.Corr
 				reply(resp)
 			}(req)

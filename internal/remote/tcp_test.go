@@ -128,6 +128,54 @@ func TestTCPServerShutdownFailsPendingRetryably(t *testing.T) {
 	}
 }
 
+// TestTCPBlockingCompletionDoesNotStallReader pins the fix for the pool
+// stall: a response callback that blocks (the way failover/drain
+// continuations block in a dial for up to the dial timeout) must not
+// stall response reads for other calls pipelined on the same connection.
+func TestTCPBlockingCompletionDoesNotStallReader(t *testing.T) {
+	r := newTCPRig(t)
+	sched := clock.NewReal()
+	t.Cleanup(sched.Stop)
+	transport := NewTCPTransport(sched, WithTCPCallTimeout(5*time.Second))
+	conn, err := transport.Dial(r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+
+	const block = 600 * time.Millisecond
+	release := make(chan struct{})
+	first := make(chan struct{})
+	err = conn.Call(&Request{Service: "calc", Method: "Add", Args: []any{int64(1), int64(1)}},
+		func(*Response, error) {
+			close(first)
+			<-release // the "blocking dial" of a failover continuation
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first // the blocking callback is running now
+	done := make(chan error, 1)
+	start := time.Now()
+	err = conn.Call(&Request{Service: "calc", Method: "Add", Args: []any{int64(2), int64(2)}},
+		func(resp *Response, err error) { done <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second call: %v", err)
+		}
+		if d := time.Since(start); d >= block {
+			t.Fatalf("second call took %v, reader stalled behind blocked callback", d)
+		}
+	case <-time.After(block):
+		t.Fatal("second pipelined response stuck behind a blocked completion")
+	}
+	close(release)
+}
+
 func TestTCPDialFailureIsRetryable(t *testing.T) {
 	sched := clock.NewReal()
 	defer sched.Stop()

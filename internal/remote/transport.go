@@ -49,6 +49,17 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
+// PushConn is a Conn that can also deliver unsolicited server→client
+// request frames (the dosgi.events Notify verb). Both in-repo transports
+// implement it; the Subscriber requires it.
+type PushConn interface {
+	Conn
+	// SetPushHandler installs the sink for pushed requests. Install it
+	// before the first call that can trigger pushes (Subscribe); a nil or
+	// absent handler drops pushed frames.
+	SetPushHandler(fn func(*Request))
+}
+
 // pendingCall tracks one outstanding request on a connection.
 type pendingCall struct {
 	cb    func(*Response, error)
