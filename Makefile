@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet lint build test test-race bench check
+.PHONY: all fmt vet lint build test test-race test-chaos bench check
 
 all: check
 
@@ -24,6 +24,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The cluster chaos harness: seeded kill/restart/partition/heal schedules
+# over netsim with event-stream invariant checks, run under the race
+# detector. The seed matrix is fixed inside the tests, so a pass here is
+# reproducible bit for bit.
+test-chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/cluster -v
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

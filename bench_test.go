@@ -173,6 +173,29 @@ func BenchmarkE11ArtifactTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkE12EventBackpressure measures event delivery with one fast
+// and one slow subscriber on real TCP, before and after credit-based
+// backpressure: the fast subscriber's throughput and p99 notify latency
+// must survive the slow peer, while the slow subscriber's client-side
+// push queue shrinks from "the whole burst" to "the credit window".
+// Latencies here are real microseconds (wall clock), not simulated.
+func BenchmarkE12EventBackpressure(b *testing.B) {
+	var rows []experiments.E12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.E12EventBackpressure(2000, 64, time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "nobp-fast-eps")
+	b.ReportMetric(float64(rows[0].P99.Microseconds()), "nobp-fast-p99-us")
+	b.ReportMetric(float64(rows[0].SlowPeakQueue), "nobp-slow-peak-queue")
+	b.ReportMetric(rows[1].Throughput, "bp-fast-eps")
+	b.ReportMetric(float64(rows[1].P99.Microseconds()), "bp-fast-p99-us")
+	b.ReportMetric(float64(rows[1].SlowPeakQueue), "bp-slow-peak-queue")
+}
+
 // BenchmarkA1DelegationLookup measures class lookup cost: local class,
 // wired import, and parent delegation through a virtual framework (the
 // ablation behind Figure 4's lookup chain).

@@ -11,6 +11,7 @@
 //	dosgictl call app.tenant-a Upper hello
 //	dosgictl subscribe 3
 //	dosgictl -timeout 60s subscribe 5 'app.*'
+//	dosgictl subscribe 5 '*' 127.0.0.1:7790 32
 //	dosgictl repo seed
 //	dosgictl repo
 //	dosgictl deploy app:greeter
@@ -25,8 +26,11 @@
 // subscribe streams remote service events (the dosgi.events verbs of
 // docs/PROTOCOL.md) as EVENT lines until the requested count arrives: a
 // synthetic resync of the current exports first, then live
-// REGISTERED/MODIFIED/UNREGISTERING deltas. Raise -timeout when waiting
-// for live events; the daemon gives up after its own 30s window.
+// REGISTERED/MODIFIED/UNREGISTERING deltas. The optional trailing
+// arguments select the event server address and the credit window (how
+// many pushes the broker may send unacknowledged before it suspends
+// delivery; 0 disables flow control). Raise -timeout when waiting for
+// live events; the daemon gives up after its own 30s window.
 package main
 
 import (

@@ -15,7 +15,7 @@
 //	BUNDLES <id>
 //	EXPORTS
 //	CALL <service> <method> [args...]
-//	SUBSCRIBE <count> [filter] [addr]
+//	SUBSCRIBE <count> [filter] [addr] [window]
 //	DEPLOY <location>
 //	REPO [LIST|SEED]
 //	LOG [n]
@@ -34,7 +34,9 @@
 // service events as "EVENT ..." lines until count events arrived or the
 // subscription times out. A new subscription first receives the current
 // exports as synthetic REGISTERED events — the resync — then live
-// REGISTERED/MODIFIED/UNREGISTERING deltas.
+// REGISTERED/MODIFIED/UNREGISTERING deltas. window is the credit window
+// advertised to the broker (how many pushes may ride unacknowledged
+// before delivery suspends; default 128, 0 disables flow control).
 //
 // DEPLOY provisions a bundle artifact end-to-end: metadata resolved from
 // the local repository or a peer, chunks fetched over the remote stack,
@@ -576,8 +578,8 @@ func (d *daemon) serve(conn net.Conn) {
 			}
 			reply("OK %d result(s)", len(results))
 		case "SUBSCRIBE":
-			if len(fields) < 2 || len(fields) > 4 {
-				reply("ERR usage: SUBSCRIBE <count> [filter] [addr]")
+			if len(fields) < 2 || len(fields) > 5 {
+				reply("ERR usage: SUBSCRIBE <count> [filter] [addr] [window]")
 				continue
 			}
 			count, err := strconv.Atoi(fields[1])
@@ -590,10 +592,23 @@ func (d *daemon) serve(conn net.Conn) {
 				filter = strings.Trim(fields[2], `"`)
 			}
 			addr := d.remoteAddr
-			if len(fields) == 4 {
+			if len(fields) >= 4 {
 				addr = fields[3]
 			}
-			n, err := d.streamEvents(addr, filter, count, reply)
+			window := int64(0) // 0 → the subscriber's default credit window
+			if len(fields) == 5 {
+				w, werr := strconv.ParseInt(fields[4], 10, 64)
+				if werr != nil || w < 0 {
+					reply("ERR window must be a non-negative integer")
+					continue
+				}
+				if w == 0 {
+					window = -1 // explicit 0 disables flow control
+				} else {
+					window = w
+				}
+			}
+			n, err := d.streamEvents(addr, filter, count, window, reply)
 			if err != nil {
 				reply("ERR %v", err)
 				continue
@@ -730,14 +745,16 @@ const subscribeTimeout = 30 * time.Second
 
 // streamEvents subscribes to addr's event stream and emits up to count
 // events as "EVENT ..." lines, returning how many arrived before the
-// timeout.
-func (d *daemon) streamEvents(addr, filter string, count int, reply func(string, ...any)) (int, error) {
+// timeout. window is the advertised credit window (0 = subscriber
+// default, negative = flow control off).
+func (d *daemon) streamEvents(addr, filter string, count int, window int64, reply func(string, ...any)) (int, error) {
 	events := make(chan remote.ServiceEvent, 64)
 	sub, err := remote.NewSubscriber(remote.SubscriberConfig{
 		Transport: d.transport,
 		Sched:     d.sched,
 		Addrs:     []string{addr},
 		Filter:    filter,
+		Window:    window,
 		OnEvent: func(ev remote.ServiceEvent) {
 			select {
 			case events <- ev:

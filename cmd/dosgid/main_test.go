@@ -149,8 +149,16 @@ func TestSubscribeStreamsResyncEvents(t *testing.T) {
 	if len(lines) != 2 || !strings.HasPrefix(lines[0], "EVENT REGISTERED echo") {
 		t.Fatalf("filtered SUBSCRIBE = %q", lines)
 	}
+	// An explicit credit window (and addr) rides the same verb.
+	lines = admin(t, d, "SUBSCRIBE 1 echo "+d.remoteAddr+" 4")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "EVENT REGISTERED echo") {
+		t.Fatalf("windowed SUBSCRIBE = %q", lines)
+	}
 	if lines := admin(t, d, "SUBSCRIBE zero"); !strings.HasPrefix(last(lines), "ERR") {
 		t.Fatalf("bad count = %q", lines)
+	}
+	if lines := admin(t, d, "SUBSCRIBE 1 echo "+d.remoteAddr+" -3"); !strings.HasPrefix(last(lines), "ERR") {
+		t.Fatalf("bad window = %q", lines)
 	}
 }
 

@@ -129,6 +129,7 @@ func main() {
 		eps[0].Node, eps[0].Instance)
 	// Same proxy, no re-import: the invoker resolves the new replica.
 	call(2)
-	gaps, dupes := sub.Stats()
-	fmt.Printf("\nsubscriber stats: gaps=%d duplicates-suppressed=%d\n", gaps, dupes)
+	st := sub.Stats()
+	fmt.Printf("\nsubscriber stats: gaps=%d duplicates-suppressed=%d replays=%d resyncs=%d\n",
+		st.Gaps, st.Dupes, st.Replays, st.Resyncs)
 }

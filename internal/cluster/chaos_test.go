@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/module"
+	"dosgi/internal/remote"
+)
+
+// This file is the cluster chaos harness: a seeded, deterministic churn
+// driver (random kill/restart of event servers, partition/heal of node
+// pairs, export/unexport of services) over the netsim fabric, with the
+// event-stream invariants checked continuously and convergence checked
+// at the end:
+//
+//   - no duplicate deliveries — a REGISTERED for an already-known
+//     replica (same content) or an UNREGISTERING for an unknown one
+//     never reaches the application;
+//   - no permanent gaps — once the faults stop, every subscriber's view
+//     converges to the replicated directory (gaps healed by replay when
+//     the broker's window still holds the range, by resync otherwise);
+//   - final subscriber view == directory view, replica by replica.
+//
+// Everything runs on the simulation engine, so a (seed, schedule) pair
+// replays identically — including under -race. Extend it by adding ops
+// to step() or observers with other filters; `make test-chaos` runs the
+// fixed seed matrix.
+
+// chaosObserver tracks one subscriber's delivered view of the cluster
+// and records invariant violations as they happen. Callbacks run on the
+// engine goroutine, so no locking is needed.
+type chaosObserver struct {
+	name       string
+	sub        *remote.Subscriber
+	state      map[string]remote.ServiceEvent // "svc@node" → last content
+	events     int
+	violations []string
+}
+
+func (o *chaosObserver) onEvent(ev remote.ServiceEvent) {
+	o.events++
+	key := ev.Service + "@" + ev.Node
+	switch ev.Type {
+	case remote.ServiceRegistered:
+		if last, known := o.state[key]; known && last.Addr == ev.Addr && last.Instance == ev.Instance {
+			o.violations = append(o.violations,
+				fmt.Sprintf("duplicate REGISTERED for %s: %+v", key, ev))
+		}
+		o.state[key] = ev
+	case remote.ServiceModified:
+		if _, known := o.state[key]; !known {
+			o.violations = append(o.violations,
+				fmt.Sprintf("MODIFIED for unknown %s: %+v", key, ev))
+		}
+		o.state[key] = ev
+	case remote.ServiceUnregistering:
+		if _, known := o.state[key]; !known {
+			o.violations = append(o.violations,
+				fmt.Sprintf("UNREGISTERING for unknown %s: %+v", key, ev))
+		}
+		delete(o.state, key)
+	}
+}
+
+// chaosHarness drives the schedule. All random choices come from its
+// seeded rng and all picks walk sorted slices, so a run is a pure
+// function of (seed, step count, node count).
+type chaosHarness struct {
+	t     *testing.T
+	c     *Cluster
+	rng   *rand.Rand
+	nodes []*Node
+	obs   []*chaosObserver
+
+	exports []string // sorted names of currently exported chaos services
+	regs    map[string]*module.ServiceRegistration
+	parts   map[[2]int]bool // partitioned node-index pairs
+	downSrv map[int]bool    // nodes whose remote server is "killed"
+	nextID  int
+}
+
+func newChaosHarness(t *testing.T, seed int64, nodeCount int) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{
+		t:       t,
+		c:       New(seed),
+		rng:     rand.New(rand.NewSource(seed)),
+		regs:    make(map[string]*module.ServiceRegistration),
+		parts:   make(map[[2]int]bool),
+		downSrv: make(map[int]bool),
+	}
+	for i := 0; i < nodeCount; i++ {
+		if _, err := h.c.AddNode(NodeConfig{ID: fmt.Sprintf("node%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.c.Settle(2 * time.Second)
+	h.nodes = h.c.Nodes()
+	return h
+}
+
+// observe opens a subscriber on the nodeIdx'th node, failing over across
+// the given server nodes (default: its own node plus the next one).
+func (h *chaosHarness) observe(name string, nodeIdx int, serverIdxs ...int) *chaosObserver {
+	h.t.Helper()
+	if len(serverIdxs) == 0 {
+		serverIdxs = []int{nodeIdx, (nodeIdx + 1) % len(h.nodes)}
+	}
+	addrs := make([]string, len(serverIdxs))
+	for i, idx := range serverIdxs {
+		addrs[i] = h.nodes[idx].RemoteAddr()
+	}
+	o := &chaosObserver{name: name, state: make(map[string]remote.ServiceEvent)}
+	sub, err := h.nodes[nodeIdx].SubscribeEvents("svc.*", o.onEvent, addrs...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	o.sub = sub
+	h.obs = append(h.obs, o)
+	h.t.Cleanup(sub.Close)
+	return o
+}
+
+// step performs one random fault/churn operation and lets the cluster
+// run for a random slice of simulated time.
+func (h *chaosHarness) step() {
+	switch roll := h.rng.Intn(100); {
+	case roll < 20:
+		h.exportOne()
+	case roll < 34:
+		h.unexportOne()
+	case roll < 52:
+		h.partitionPair()
+	case roll < 70:
+		h.healPair()
+	case roll < 80:
+		h.killServer()
+	case roll < 90:
+		h.restartServer()
+	default:
+		h.blip()
+	}
+	h.c.Settle(time.Duration(20+h.rng.Intn(180)) * time.Millisecond)
+}
+
+// blip cuts a random link just long enough to lose pushes published
+// meanwhile, then heals it before the failure detector or the renew
+// notices — the scenario the broker's replay window and tail
+// retransmission exist for (a long partition heals by resync instead).
+func (h *chaosHarness) blip() {
+	pair := h.pickPair()
+	if h.parts[pair] {
+		return
+	}
+	h.c.Network().Partition(h.nodes[pair[0]].ID(), h.nodes[pair[1]].ID())
+	h.exportOne()
+	h.c.Settle(time.Duration(10+h.rng.Intn(30)) * time.Millisecond)
+	h.c.Network().Heal(h.nodes[pair[0]].ID(), h.nodes[pair[1]].ID())
+}
+
+func (h *chaosHarness) exportOne() {
+	h.nextID++
+	name := fmt.Sprintf("svc.chaos%03d", h.nextID)
+	node := h.nodes[h.rng.Intn(len(h.nodes))]
+	reg, err := node.ExportService(name, "app.Chaos", greeter{node: node.ID()})
+	if err != nil {
+		h.t.Fatalf("export %s on %s: %v", name, node.ID(), err)
+	}
+	h.regs[name] = reg
+	h.exports = append(h.exports, name)
+	sort.Strings(h.exports)
+}
+
+func (h *chaosHarness) unexportOne() {
+	if len(h.exports) == 0 {
+		return
+	}
+	i := h.rng.Intn(len(h.exports))
+	name := h.exports[i]
+	h.exports = append(h.exports[:i], h.exports[i+1:]...)
+	if err := h.regs[name].Unregister(); err != nil {
+		h.t.Fatalf("unexport %s: %v", name, err)
+	}
+	delete(h.regs, name)
+}
+
+func (h *chaosHarness) pickPair() [2]int {
+	a := h.rng.Intn(len(h.nodes))
+	b := h.rng.Intn(len(h.nodes) - 1)
+	if b >= a {
+		b++
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (h *chaosHarness) partitionPair() {
+	pair := h.pickPair()
+	if h.parts[pair] {
+		return
+	}
+	h.parts[pair] = true
+	h.c.Network().Partition(h.nodes[pair[0]].ID(), h.nodes[pair[1]].ID())
+}
+
+func (h *chaosHarness) healPair() {
+	if len(h.parts) == 0 {
+		return
+	}
+	pairs := make([][2]int, 0, len(h.parts))
+	for p := range h.parts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		return pairs[i][0] < pairs[j][0] ||
+			(pairs[i][0] == pairs[j][0] && pairs[i][1] < pairs[j][1])
+	})
+	pair := pairs[h.rng.Intn(len(pairs))]
+	delete(h.parts, pair)
+	h.c.Network().Heal(h.nodes[pair[0]].ID(), h.nodes[pair[1]].ID())
+}
+
+// killServer stops a node's remote-services listener — the event broker
+// and invocation plane die while GCS membership stays up, the sharpest
+// version of "the event server went away". At least one server survives.
+func (h *chaosHarness) killServer() {
+	if len(h.downSrv) >= len(h.nodes)-1 {
+		return
+	}
+	idx := h.rng.Intn(len(h.nodes))
+	for h.downSrv[idx] {
+		idx = (idx + 1) % len(h.nodes)
+	}
+	h.downSrv[idx] = true
+	h.nodes[idx].remoteSrv.Stop()
+}
+
+func (h *chaosHarness) restartServer() {
+	if len(h.downSrv) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(h.downSrv))
+	for i := range h.downSrv {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	idx := idxs[h.rng.Intn(len(idxs))]
+	delete(h.downSrv, idx)
+	if err := h.nodes[idx].remoteSrv.Start(); err != nil {
+		h.t.Fatalf("restart server on %s: %v", h.nodes[idx].ID(), err)
+	}
+}
+
+// quiesce ends the fault injection: heal every partition, restart every
+// killed server and let views merge, directories resync and subscribers
+// heal their last gaps.
+func (h *chaosHarness) quiesce() {
+	h.c.Network().HealAll()
+	h.parts = make(map[[2]int]bool)
+	idxs := make([]int, 0, len(h.downSrv))
+	for i := range h.downSrv {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs) // keep the run a pure function of the seed
+	for _, idx := range idxs {
+		if err := h.nodes[idx].remoteSrv.Start(); err != nil {
+			h.t.Fatalf("restart server on %s: %v", h.nodes[idx].ID(), err)
+		}
+	}
+	h.downSrv = make(map[int]bool)
+	h.c.Settle(8 * time.Second)
+}
+
+// directoryView returns the converged "svc.*" slice of the replicated
+// directory, failing the test if the nodes still disagree.
+func (h *chaosHarness) directoryView() map[string]remote.ServiceEvent {
+	h.t.Helper()
+	view := make(map[string]remote.ServiceEvent)
+	for _, info := range h.nodes[0].Migration().Directory().Endpoints() {
+		if !strings.HasPrefix(info.Service, "svc.") {
+			continue
+		}
+		view[info.Service+"@"+info.Node] = remote.ServiceEvent{
+			Service: info.Service, Node: info.Node,
+			Addr: info.Addr, Instance: info.Instance,
+		}
+	}
+	for _, n := range h.nodes[1:] {
+		other := 0
+		for _, info := range n.Migration().Directory().Endpoints() {
+			if !strings.HasPrefix(info.Service, "svc.") {
+				continue
+			}
+			other++
+			key := info.Service + "@" + info.Node
+			if ref, ok := view[key]; !ok || ref.Addr != info.Addr || ref.Instance != info.Instance {
+				h.t.Fatalf("directories diverged: %s has %s = %+v, %s disagrees",
+					n.ID(), key, info, h.nodes[0].ID())
+			}
+		}
+		if other != len(view) {
+			h.t.Fatalf("directories diverged: %s holds %d svc.* records, %s holds %d",
+				n.ID(), other, h.nodes[0].ID(), len(view))
+		}
+	}
+	return view
+}
+
+// verify asserts the stream invariants: no violations during the run,
+// and every observer's final view equal to the directory view.
+func (h *chaosHarness) verify() {
+	h.t.Helper()
+	dir := h.directoryView()
+	for _, o := range h.obs {
+		if len(o.violations) > 0 {
+			h.t.Fatalf("observer %s: %d invariant violations, first: %s",
+				o.name, len(o.violations), o.violations[0])
+		}
+		if len(o.state) != len(dir) {
+			h.t.Fatalf("observer %s: view has %d replicas, directory %d\nview: %v\ndir:  %v\nstats: %+v",
+				o.name, len(o.state), len(dir), keysOf(o.state), keysOf(dir), o.sub.Stats())
+		}
+		for key, ref := range dir {
+			got, ok := o.state[key]
+			if !ok || got.Addr != ref.Addr || got.Instance != ref.Instance {
+				h.t.Fatalf("observer %s: replica %s = %+v, directory says %+v",
+					o.name, key, got, ref)
+			}
+		}
+		if o.events == 0 {
+			h.t.Fatalf("observer %s saw no events at all", o.name)
+		}
+	}
+}
+
+func keysOf(m map[string]remote.ServiceEvent) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosEventStreamInvariants runs the harness over a fixed seed
+// matrix on a 3-node cluster: randomized kill/restart/partition/heal
+// with continuous export churn must never violate the event-stream
+// invariants, and every subscriber converges to the directory.
+func TestChaosEventStreamInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newChaosHarness(t, seed, 3)
+			// Seed a few exports so the first resync is non-trivial.
+			for i := 0; i < 3; i++ {
+				h.exportOne()
+			}
+			h.c.Settle(500 * time.Millisecond)
+			h.observe("obs-a", 1, 0, 1, 2)
+			h.observe("obs-b", 2, 2, 0)
+			h.c.Settle(300 * time.Millisecond)
+			for i := 0; i < 40; i++ {
+				h.step()
+			}
+			h.quiesce()
+			h.verify()
+		})
+	}
+}
+
+// TestChaosSoakFiveNodes reuses the harness for a longer churn run on a
+// five-node cluster with three observers — the soak configuration.
+func TestChaosSoakFiveNodes(t *testing.T) {
+	h := newChaosHarness(t, 7, 5)
+	for i := 0; i < 4; i++ {
+		h.exportOne()
+	}
+	h.c.Settle(500 * time.Millisecond)
+	h.observe("soak-a", 0, 0, 2, 4)
+	h.observe("soak-b", 2, 3, 1)
+	h.observe("soak-c", 4, 4, 0, 1)
+	h.c.Settle(300 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		h.step()
+	}
+	h.quiesce()
+	h.verify()
+}

@@ -388,6 +388,7 @@ func (c *Cluster) Crash(nodeID string) error {
 	c.net.DetachNode(nodeID)
 	c.metrics.UnregisterProvider("node:" + nodeID)
 	c.metrics.UnregisterProvider("provision:" + nodeID)
+	c.metrics.UnregisterProvider("events:" + nodeID)
 	return nil
 }
 
@@ -406,6 +407,7 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		n.teardownRemote()
 		c.metrics.UnregisterProvider("node:" + nodeID)
 		c.metrics.UnregisterProvider("provision:" + nodeID)
+		c.metrics.UnregisterProvider("events:" + nodeID)
 		if onDone != nil {
 			onDone()
 		}

@@ -268,8 +268,8 @@ func TestEventSubscriptionResyncsAcrossPartitionHeal(t *testing.T) {
 	if len(events) != 2 || events[1].Type != remote.ServiceRegistered || events[1].Service != "svc.extra" {
 		t.Fatalf("events after failover = %+v", events)
 	}
-	if _, dupes := sub.Stats(); dupes == 0 {
-		t.Fatal("resync did not replay (and suppress) the known export")
+	if st := sub.Stats(); st.Dupes == 0 {
+		t.Fatalf("resync did not replay (and suppress) the known export: %+v", st)
 	}
 
 	c.Network().HealAll()

@@ -35,8 +35,15 @@ const RemoteCallTimeout = 100 * time.Millisecond
 
 // EventRenewInterval is how often cluster subscribers renew their event
 // subscription lease; a partitioned event server is abandoned at most one
-// interval plus one call timeout after the split.
+// interval plus one call timeout after the split. Renews double as the
+// delivery acknowledgements that replenish the broker's credit window.
 const EventRenewInterval = 500 * time.Millisecond
+
+// EventWindow is the credit window cluster subscribers advertise: the
+// broker keeps at most this many pushes unacknowledged before suspending
+// delivery (bounding its memory behind a slow subscriber) and resumes
+// from its replay ring once renews acknowledge progress.
+const EventWindow = 128
 
 // directoryResolver resolves service replicas from the node's replica of
 // the cluster directory.
@@ -99,6 +106,23 @@ func (n *Node) setupRemote() error {
 		return err
 	}
 	n.remoteSrv = server
+
+	// Broker delivery counters (replay hits/misses, suspensions, lagging
+	// subscriptions) surface per node alongside the provisioning metrics.
+	n.cluster.metrics.RegisterProvider("events:"+n.cfg.ID, func() map[string]any {
+		st := n.broker.Stats()
+		return map[string]any{
+			"published":    int64(st.Published),
+			"pushed":       int64(st.Pushed),
+			"lagging":      int64(st.Lagging),
+			"suspends":     int64(st.Suspends),
+			"resumes":      int64(st.Resumes),
+			"replayHits":   int64(st.ReplayHits),
+			"replayMisses": int64(st.ReplayMisses),
+			"retransmits":  int64(st.Retransmits),
+			"overflowed":   int64(st.Overflowed),
+		}
+	})
 
 	transport := remote.NewNetsimTransport(n.cluster.eng, n.nic, n.cfg.IP,
 		remote.WithNetsimCallTimeout(RemoteCallTimeout))
@@ -274,5 +298,6 @@ func (n *Node) SubscribeEvents(filter string, onEvent func(remote.ServiceEvent),
 		Filter:     filter,
 		OnEvent:    onEvent,
 		RenewEvery: EventRenewInterval,
+		Window:     EventWindow,
 	})
 }

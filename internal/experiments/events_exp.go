@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dosgi/internal/bench"
+	"dosgi/internal/clock"
+	"dosgi/internal/remote"
+)
+
+// ---------------------------------------------------------------------------
+// E12 — event delivery under a slow subscriber: before/after credit-based
+// backpressure.
+//
+// One dosgi.events broker serves two real-TCP subscribers: a fast one
+// (delivers instantly) and a slow one (sleeps per event, the overwhelmed
+// importer). A burst of events is published and the fast subscriber's
+// delivery throughput and p99 notify latency are measured, together with
+// the peak depth of the slow subscriber's client-side push queue — the
+// memory that grew unboundedly before backpressure. The "before" mode
+// disables flow control (the legacy protocol); the "after" mode
+// advertises a credit window, so the broker suspends the slow
+// subscription at the limit and the queue stays bounded by the window.
+// This experiment runs on real TCP and a wall clock: latencies are real
+// microseconds, not simulated units.
+
+// E12Row reports one flow-control mode.
+type E12Row struct {
+	Mode          string
+	Events        int
+	Delivered     int           // events the fast subscriber received
+	Elapsed       time.Duration // publish start → last fast delivery
+	Throughput    float64       // fast-subscriber events per second
+	P99           time.Duration // fast-subscriber notify latency
+	SlowPeakQueue int           // peak client-side push-queue depth (slow)
+	BrokerLagged  bool          // broker suspended the slow subscription
+}
+
+// emptyEventSource exports nothing (the broker is the only service).
+type emptyEventSource struct{}
+
+func (emptyEventSource) Lookup(string) (any, bool) { return nil, false }
+
+// E12EventBackpressure publishes `events` events to one fast and one
+// slow subscriber, with flow control off and then with the given credit
+// window. slowDelay is the slow subscriber's per-event processing time.
+func E12EventBackpressure(events int, window int64, slowDelay time.Duration) ([]E12Row, error) {
+	if events <= 0 || window <= 0 || slowDelay <= 0 {
+		return nil, fmt.Errorf("experiments: e12 needs positive events, window and delay")
+	}
+	modes := []struct {
+		name   string
+		window int64
+	}{
+		{"no-backpressure", -1}, // negative disables flow control
+		{fmt.Sprintf("window=%d", window), window},
+	}
+	var rows []E12Row
+	for _, mode := range modes {
+		row, err := e12Run(mode.name, events, mode.window, slowDelay)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func e12Run(name string, events int, window int64, slowDelay time.Duration) (E12Row, error) {
+	sched := clock.NewReal()
+	defer sched.Stop()
+
+	// The snapshot is state-backed, as in the real system (events are
+	// directory deltas): a subscriber forced into a resync converges to
+	// everything published so far instead of losing history. The replay
+	// ring is sized to cover the whole burst, so the suspended slow
+	// subscriber resumes from broker memory (the configured retention)
+	// rather than cycling through state-size resyncs.
+	var stateMu sync.Mutex
+	var state []remote.ServiceEvent
+	broker := remote.NewEventBroker(sched,
+		remote.WithReplayWindow(events+64),
+		remote.WithEventSnapshot(func() []remote.ServiceEvent {
+			stateMu.Lock()
+			defer stateMu.Unlock()
+			return append([]remote.ServiceEvent(nil), state...)
+		}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return E12Row{}, err
+	}
+	server := remote.ServeTCP(ln,
+		remote.NewEventDispatcher(remote.NewDispatcher(emptyEventSource{}), broker))
+	defer server.Close()
+	transport := remote.NewTCPTransport(sched, remote.WithTCPCallTimeout(5*time.Second))
+
+	var mu sync.Mutex
+	published := make(map[string]time.Time, events)
+	hist := &bench.Histogram{}
+	fastDone := make(chan struct{})
+	delivered := 0
+	var lastAt time.Time
+
+	fast, err := remote.NewSubscriber(remote.SubscriberConfig{
+		Transport: transport,
+		Sched:     sched,
+		Addrs:     []string{ln.Addr().String()},
+		OnEvent: func(ev remote.ServiceEvent) {
+			now := time.Now()
+			mu.Lock()
+			if at, ok := published[ev.Service]; ok {
+				hist.Add(now.Sub(at))
+			}
+			delivered++
+			lastAt = now
+			if delivered == events {
+				close(fastDone)
+			}
+			mu.Unlock()
+		},
+		RenewEvery: 100 * time.Millisecond,
+		Window:     window,
+	})
+	if err != nil {
+		return E12Row{}, err
+	}
+	defer fast.Close()
+
+	slow, err := remote.NewSubscriber(remote.SubscriberConfig{
+		Transport:  transport,
+		Sched:      sched,
+		Addrs:      []string{ln.Addr().String()},
+		OnEvent:    func(remote.ServiceEvent) { time.Sleep(slowDelay) },
+		RenewEvery: 100 * time.Millisecond,
+		Window:     window,
+	})
+	if err != nil {
+		return E12Row{}, err
+	}
+	defer slow.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for fast.Connected() == "" || slow.Connected() == "" {
+		if time.Now().After(deadline) {
+			return E12Row{}, fmt.Errorf("experiments: e12 subscribers never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Watch the slow subscriber's push queue while the burst publishes.
+	peak := 0
+	lagged := false
+	stopWatch := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			default:
+			}
+			if q := slow.PendingPushes(); q > peak {
+				peak = q
+			}
+			if broker.Stats().Lagging > 0 {
+				lagged = true
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Publish in millisecond bursts of 50 (~50k events/s nominal): orders
+	// of magnitude beyond the slow consumer, while the inter-burst gaps
+	// let the fast consumer's acknowledgements keep its credit flowing —
+	// the regime real directory churn lives in.
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		svc := fmt.Sprintf("svc.e%05d", i)
+		ev := remote.ServiceEvent{
+			Type: remote.ServiceRegistered, Service: svc,
+			Node: "bench", Addr: "bench:0",
+		}
+		mu.Lock()
+		published[svc] = time.Now()
+		mu.Unlock()
+		stateMu.Lock()
+		state = append(state, ev)
+		stateMu.Unlock()
+		broker.Publish(ev)
+		if i%50 == 49 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	select {
+	case <-fastDone:
+	case <-time.After(30 * time.Second):
+	}
+	close(stopWatch)
+	watch.Wait()
+
+	mu.Lock()
+	row := E12Row{
+		Mode:          name,
+		Events:        events,
+		Delivered:     delivered,
+		SlowPeakQueue: peak,
+		BrokerLagged:  lagged,
+	}
+	if delivered > 0 {
+		row.Elapsed = lastAt.Sub(start)
+		if row.Elapsed > 0 {
+			row.Throughput = float64(delivered) / row.Elapsed.Seconds()
+		}
+		row.P99 = hist.Percentile(0.99)
+	}
+	mu.Unlock()
+	if row.Delivered != events {
+		return row, fmt.Errorf("experiments: e12 fast subscriber got %d of %d events", row.Delivered, events)
+	}
+	return row, nil
+}

@@ -184,3 +184,14 @@ type totalMsg struct {
 	LocalID int64
 	Body    any
 }
+
+// gapReq asks the coordinator to retransmit the sequenced messages the
+// requester is missing: a totalMsg lost inside an epoch (a partition blip
+// too short to change the view) would otherwise stall the requester's
+// delivery stream — everything later buffers behind the hole — until the
+// next view change.
+type gapReq struct {
+	From    string
+	Epoch   int64
+	FromSeq int64 // first missing sequence number
+}

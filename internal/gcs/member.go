@@ -94,6 +94,14 @@ type Member struct {
 	totalNext int64 // next global sequence to deliver
 	totalBuf  map[int64]totalMsg
 	seen      map[string]map[int64]bool
+	// totalLog retains the coordinator's recently sequenced messages of
+	// the current epoch (bounded by totalLogCap) to serve gap
+	// retransmission requests.
+	totalLog map[int64]totalMsg
+	// gapReqSeq/gapReqAt throttle gap requests: one per stalled sequence
+	// number per heartbeat interval.
+	gapReqSeq int64
+	gapReqAt  time.Duration
 
 	// viewChanges counts installed views (experiment metric).
 	viewChanges int
@@ -118,9 +126,15 @@ func NewMember(sched clock.Scheduler, cfg Config) (*Member, error) {
 		pending:  make(map[int64]any),
 		totalBuf: make(map[int64]totalMsg),
 		seen:     make(map[string]map[int64]bool),
+		totalLog: make(map[int64]totalMsg),
 	}
 	return m, nil
 }
+
+// totalLogCap bounds the coordinator's per-epoch retransmission log. A
+// gap older than this cannot be served; the stalled member recovers at
+// the next view change instead (the flush-with-holes path).
+const totalLogCap = 1024
 
 // ID returns the member's node id.
 func (m *Member) ID() string { return m.cfg.NodeID }
@@ -446,6 +460,9 @@ func (m *Member) installView(v View) {
 	}
 	m.totalNext = 1
 	m.globalSeq = 0
+	m.totalLog = make(map[int64]totalMsg)
+	m.gapReqSeq = 0
+	m.gapReqAt = 0
 	// Re-submit unacknowledged total-order requests to the new
 	// coordinator; receivers dedupe on (sender, local id).
 	resend := make(map[int64]any, len(m.pending))
@@ -480,7 +497,21 @@ func (m *Member) handle(nm netsim.Message) {
 	case hbMsg:
 		m.mu.Lock()
 		m.lastSeen[p.From] = m.sched.Now()
+		// A member heartbeating with a stale view id lost the viewMsg
+		// that installed the current view (partitioned away mid-issue).
+		// Without repair it would stay divergent forever — heartbeats
+		// keep flowing, so no failure is ever suspected. The coordinator
+		// re-sends the current view and the straggler catches up.
+		resend := m.state == stateRunning && m.view.Coordinator() == m.cfg.NodeID &&
+			m.view.Contains(p.From) && p.ViewID < m.view.ID
+		var v View
+		if resend {
+			v = m.view.clone()
+		}
 		m.mu.Unlock()
+		if resend {
+			m.sendTo(p.From, viewMsg{View: v})
+		}
 	case joinMsg:
 		m.handleJoin(p)
 	case leaveMsg:
@@ -493,6 +524,8 @@ func (m *Member) handle(nm netsim.Message) {
 		m.handleOrderReq(p)
 	case totalMsg:
 		m.handleTotal(p)
+	case gapReq:
+		m.handleGapReq(p)
 	}
 }
 
@@ -601,10 +634,32 @@ func (m *Member) handleOrderReq(p orderReq) {
 	}
 	m.globalSeq++
 	tm := totalMsg{Epoch: m.view.ID, Seq: m.globalSeq, From: p.From, LocalID: p.LocalID, Body: p.Body}
+	m.totalLog[tm.Seq] = tm
+	delete(m.totalLog, tm.Seq-totalLogCap)
 	members := append([]string(nil), m.view.Members...)
 	m.mu.Unlock()
 	for _, id := range members {
 		m.sendTo(id, tm)
+	}
+}
+
+// handleGapReq retransmits logged messages a stalled member is missing.
+func (m *Member) handleGapReq(p gapReq) {
+	m.mu.Lock()
+	if m.state != stateRunning || m.view.Coordinator() != m.cfg.NodeID ||
+		p.Epoch != m.view.ID || !m.view.Contains(p.From) {
+		m.mu.Unlock()
+		return
+	}
+	var resend []totalMsg
+	for seq := p.FromSeq; seq <= m.globalSeq && len(resend) < 64; seq++ {
+		if tm, ok := m.totalLog[seq]; ok {
+			resend = append(resend, tm)
+		}
+	}
+	m.mu.Unlock()
+	for _, tm := range resend {
+		m.sendTo(p.From, tm)
 	}
 }
 
@@ -655,8 +710,25 @@ func (m *Member) handleTotal(p totalMsg) {
 	if m.globalSeq < next-1 {
 		m.globalSeq = next - 1
 	}
+	// Still buffering means a hole: a totalMsg for a slot below the
+	// buffered ones was lost. Ask the coordinator to retransmit (at most
+	// once per stalled slot per heartbeat interval), or the stream stays
+	// wedged until the next view change.
+	var nack *gapReq
+	if len(m.totalBuf) > 0 {
+		now := m.sched.Now()
+		if m.gapReqSeq != m.totalNext || now-m.gapReqAt > m.cfg.HeartbeatInterval {
+			m.gapReqSeq = m.totalNext
+			m.gapReqAt = now
+			nack = &gapReq{From: m.cfg.NodeID, Epoch: m.view.ID, FromSeq: m.totalNext}
+		}
+	}
+	coord := m.view.Coordinator()
 	deliver := append(make([]func(Message), 0, len(m.onMsg)), m.onMsg...)
 	m.mu.Unlock()
+	if nack != nil && coord != m.cfg.NodeID {
+		m.sendTo(coord, *nack)
+	}
 	for _, r := range ready {
 		m.deliverTotal(r, deliver)
 	}

@@ -151,6 +151,14 @@ type Config struct {
 	// CheckpointEvery adds periodic checkpoints on top of the
 	// lifecycle-driven ones (0 disables).
 	CheckpointEvery time.Duration
+	// ResyncEvery is the endpoint anti-entropy period: the node
+	// re-broadcasts its authoritative endpoint set so records lost to a
+	// partition blip too short to change the membership view still
+	// converge (view changes remain the immediate resync trigger).
+	// Replaying an unchanged set fires no endpoint hooks, so a converged
+	// directory stays silent. 0 means DefaultResyncEvery; negative
+	// disables.
+	ResyncEvery time.Duration
 	// OnRelocate runs after an instance lands on this node so the
 	// embedder can rebind its network endpoints (IP takeover / ipvs).
 	OnRelocate func(InstanceInfo)
@@ -162,6 +170,9 @@ type Config struct {
 	// the restore.
 	EnsureBundles func(locations []string, done func(error))
 }
+
+// DefaultResyncEvery is the default endpoint anti-entropy period.
+const DefaultResyncEvery = 2 * time.Second
 
 // Errors returned by the module.
 var (
@@ -177,12 +188,13 @@ type Module struct {
 	cfg Config
 	dir *Directory
 
-	mu        sync.Mutex
-	started   bool
-	announced bool
-	migrating map[core.InstanceID]bool
-	listeners []func(Event)
-	ckptTimer clock.Timer
+	mu          sync.Mutex
+	started     bool
+	announced   bool
+	migrating   map[core.InstanceID]bool
+	listeners   []func(Event)
+	ckptTimer   clock.Timer
+	resyncTimer clock.Timer
 	// exported tracks the endpoints this node itself announced, keyed by
 	// service, so they can be re-broadcast on every view change.
 	exported map[string]EndpointInfo
@@ -205,6 +217,9 @@ func NewModule(cfg Config) (*Module, error) {
 	}
 	if cfg.Mode == 0 {
 		cfg.Mode = BestEffort
+	}
+	if cfg.ResyncEvery == 0 {
+		cfg.ResyncEvery = DefaultResyncEvery
 	}
 	return &Module{
 		cfg:       cfg,
@@ -247,16 +262,19 @@ func (m *Module) Start() error {
 	m.cfg.Member.OnViewChange(m.onView)
 	m.cfg.Member.OnDeliver(m.onDeliver)
 	m.cfg.Manager.OnEvent(m.onInstanceEvent)
+	m.mu.Lock()
 	if m.cfg.CheckpointEvery > 0 {
-		m.mu.Lock()
 		m.ckptTimer = m.cfg.Sched.Every(m.cfg.CheckpointEvery, m.checkpointAll)
-		m.mu.Unlock()
 	}
+	if m.cfg.ResyncEvery > 0 {
+		m.resyncTimer = m.cfg.Sched.Every(m.cfg.ResyncEvery, m.antiEntropy)
+	}
+	m.mu.Unlock()
 	return nil
 }
 
-// Stop halts periodic checkpointing (the group member is stopped
-// separately, usually through Shutdown).
+// Stop halts periodic checkpointing and anti-entropy (the group member
+// is stopped separately, usually through Shutdown).
 func (m *Module) Stop() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -264,7 +282,33 @@ func (m *Module) Stop() {
 		m.ckptTimer.Cancel()
 		m.ckptTimer = nil
 	}
+	if m.resyncTimer != nil {
+		m.resyncTimer.Cancel()
+		m.resyncTimer = nil
+	}
 	m.started = false
+}
+
+// antiEntropy re-broadcasts this node's authoritative endpoint set. A
+// total-order broadcast lost to a partition blip short enough to leave
+// the membership view intact has no view change to trigger the resync;
+// this periodic replay converges those records too. Exact deltas mean a
+// converged directory produces no endpoint events.
+func (m *Module) antiEntropy() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started || !m.announced {
+		return
+	}
+	infos := make([]EndpointInfo, 0, len(m.exported))
+	for _, info := range m.exported {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Service < infos[j].Service })
+	// Snapshot and broadcast atomically: a sync submitted after a
+	// concurrent announce/withdraw must reflect it, or total-order
+	// sequencing could apply the stale snapshot last.
+	m.broadcast(endpointSync{Node: m.cfg.NodeID, Infos: infos})
 }
 
 // CheckpointPath returns the SAN location of an instance's state.
@@ -308,8 +352,13 @@ func (m *Module) AnnounceEndpointFor(service, addr, instance string) {
 	info := EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance}
 	m.mu.Lock()
 	m.exported[service] = info
-	m.mu.Unlock()
+	// Broadcast under the lock: endpoint broadcasts must submit in the
+	// same order the local state mutates, or a concurrent anti-entropy
+	// sync whose snapshot predates this change could be sequenced after
+	// it and briefly erase the endpoint cluster-wide (m.mu → member
+	// internals is a safe lock order; deliveries run with both released).
 	m.broadcast(endpointPut{Info: info})
+	m.mu.Unlock()
 }
 
 // WithdrawEndpoint broadcasts that this node's host framework stopped
@@ -332,8 +381,9 @@ func (m *Module) WithdrawEndpointFor(service, instance string) {
 		return
 	}
 	delete(m.exported, service)
-	m.mu.Unlock()
+	// Under the lock for the same submission-order reason as announce.
 	m.broadcast(endpointRemove{Service: service, Node: m.cfg.NodeID})
+	m.mu.Unlock()
 }
 
 // AnnounceArtifact records and broadcasts that this node holds a copy of

@@ -21,14 +21,19 @@
 //	EventBroker/Subscriber  the dosgi.events verbs: server-push service
 //	                        events (REGISTERED/MODIFIED/UNREGISTERING)
 //	                        with leased subscriptions, synthetic resync on
-//	                        (re)connect, and client-side deduplication
+//	                        (re)connect, a bounded per-subscription replay
+//	                        window healing sequence gaps in place, and
+//	                        credit-based backpressure suspending delivery
+//	                        to slow consumers instead of queueing
 //
 // Failure semantics: everything wrapping ErrUnavailable is retryable
 // against another replica (the call may not have executed — at-least-once
 // overall); AppError results executed exactly once and are never retried.
 // Event subscriptions survive endpoint failure by failing over to another
-// event server and resynchronizing, so "every delivered event is a real
-// change" holds across reconnects.
+// event server and resynchronizing; a mere sequence gap (lost push,
+// suspended delivery) heals cheaper, by replaying the missing range from
+// the broker's window. Either way "every delivered event is a real
+// change" holds across reconnects, replays and resyncs.
 package remote
 
 import (

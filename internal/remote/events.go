@@ -15,9 +15,11 @@ import (
 // directory. Client→server verbs (ordinary requests on the reserved
 // service name EventsServiceName):
 //
-//	Subscribe(subID int64, filter string) → [leaseMillis int64]
-//	Renew(subID int64)                    → []           (unknown id → app error)
-//	Unsubscribe(subID int64)              → []
+//	Subscribe(subID int64, filter string[, window int64])
+//	                         → [leaseMillis int64, replayWindow int64]
+//	Renew(subID int64[, ackSeq int64]) → []  (unknown id → app error)
+//	Replay(subID int64, fromSeq int64) → [count int64]  (rolled → app error)
+//	Unsubscribe(subID int64)           → []
 //
 // Server→client push (an unsolicited Request frame on the subscriber's
 // connection; no response travels back):
@@ -25,16 +27,27 @@ import (
 //	Notify(subID int64, type string, service, node, addr, instance string)
 //
 // A Notify's correlation id carries the per-subscription sequence number,
-// so a subscriber can detect losses; a reconnect replays the current
-// state as synthetic REGISTERED events and the Subscriber deduplicates.
+// so a subscriber can detect losses. The broker retains a bounded ring of
+// recent deltas per subscription: a subscriber that detects a gap first
+// asks for Replay(fromSeq) and only falls back to a full
+// resubscribe-and-resync when the window has rolled past. The window
+// argument of Subscribe is the subscriber's credit: the broker keeps at
+// most that many Notify frames unacknowledged (acks ride Renew) and
+// suspends delivery — marking the subscription lagging — instead of
+// queueing unboundedly behind a slow consumer; suspended deltas resume
+// from the ring once credit frees up.
 const (
 	// EventsServiceName is the reserved service name of the event verbs.
 	EventsServiceName = "dosgi.events"
 
 	// MethodSubscribe opens a subscription chosen by the client.
 	MethodSubscribe = "Subscribe"
-	// MethodRenew extends a subscription's lease (the keepalive).
+	// MethodRenew extends a subscription's lease (the keepalive) and
+	// carries the subscriber's delivery acknowledgement.
 	MethodRenew = "Renew"
+	// MethodReplay re-pushes recent deltas from the broker's replay
+	// window, healing a sequence gap without a full resync.
+	MethodReplay = "Replay"
 	// MethodUnsubscribe closes a subscription.
 	MethodUnsubscribe = "Unsubscribe"
 	// MethodNotify is the push verb delivering one ServiceEvent.
@@ -144,6 +157,12 @@ type PushHandler interface {
 // DefaultEventLease is how long a subscription survives without a Renew.
 const DefaultEventLease = 5 * time.Second
 
+// DefaultReplayWindow is how many recent events the broker retains per
+// subscription for Replay requests and suspended-delivery resume. Keep
+// it at or above the subscribers' credit windows, so a suspension within
+// credit never rolls undelivered events out of replay reach.
+const DefaultReplayWindow = 256
+
 // BrokerOption configures an EventBroker.
 type BrokerOption func(*EventBroker)
 
@@ -165,19 +184,63 @@ func WithEventSnapshot(fn func() []ServiceEvent) BrokerOption {
 	return func(b *EventBroker) { b.snapshot = fn }
 }
 
+// WithReplayWindow sets the per-subscription replay ring depth (default
+// DefaultReplayWindow; 0 disables replay — every gap forces a resync).
+func WithReplayWindow(n int) BrokerOption {
+	return func(b *EventBroker) {
+		if n >= 0 {
+			b.replayWindow = n
+		}
+	}
+}
+
+// EventBrokerStats are the broker's delivery counters.
+type EventBrokerStats struct {
+	// Published counts events offered to Publish.
+	Published uint64
+	// Pushed counts Notify frames written (live, resync, resume, replay).
+	Pushed uint64
+	// Lagging is the number of subscriptions currently suspended at
+	// their credit limit.
+	Lagging int
+	// Suspends counts flowing→suspended transitions (credit exhausted).
+	Suspends uint64
+	// Resumes counts suspended→flowing transitions (credit freed and the
+	// backlog fully drained from the ring).
+	Resumes uint64
+	// ReplayHits counts Replay requests served from the ring.
+	ReplayHits uint64
+	// ReplayMisses counts Replay requests the ring had rolled past (the
+	// subscriber must fall back to a full resync).
+	ReplayMisses uint64
+	// Retransmits counts sender-driven tail retransmissions: a Renew
+	// whose ack is stuck behind the sent watermark on an otherwise quiet
+	// subscription re-pushes the unacknowledged tail from the ring, so a
+	// push lost with no follow-up traffic still heals within one renew
+	// interval.
+	Retransmits uint64
+	// Overflowed counts undelivered events that rolled out of a
+	// suspended subscription's ring — deliveries only a resync can heal.
+	Overflowed uint64
+}
+
 // EventBroker is the provider side of dosgi.events on one node: it tracks
 // subscriptions (keyed by the client's connection and client-chosen id)
 // and fans published ServiceEvents out to the matching ones. Expired
 // subscriptions (no Renew within the lease) are pruned lazily, so a
 // silently partitioned subscriber costs one map entry until its lease
-// runs out.
+// runs out. Each subscription keeps a bounded ring of its recent events
+// (the replay window) and, when it advertised a credit window, is
+// suspended rather than flooded once too many pushes are unacknowledged.
 type EventBroker struct {
-	sched    clock.Scheduler
-	lease    time.Duration
-	snapshot func() []ServiceEvent
+	sched        clock.Scheduler
+	lease        time.Duration
+	snapshot     func() []ServiceEvent
+	replayWindow int
 
-	mu   sync.Mutex
-	subs map[brokerSubKey]*brokerSub
+	mu    sync.Mutex
+	subs  map[brokerSubKey]*brokerSub
+	stats EventBrokerStats
 }
 
 type brokerSubKey struct {
@@ -187,24 +250,70 @@ type brokerSubKey struct {
 
 type brokerSub struct {
 	filter   string
-	seq      uint64
+	window   uint64 // credit: max unacked pushes in flight (0 = unlimited)
 	deadline time.Duration
+
+	seq     uint64 // last sequence number assigned
+	sent    uint64 // last sequence number pushed to the wire
+	acked   uint64 // last sequence number acknowledged via Renew
+	lagging bool   // suspended at the credit limit
+	retried bool   // the current stagnant tail was already retransmitted
+	// pushedSince records a push since the last stagnant ack: frames may
+	// still be in flight (or queued at a slow consumer), so a repeated
+	// ack alone does not yet prove the tail was lost.
+	pushedSince bool
+
+	// ring holds the events with sequence numbers (seq-cap, seq],
+	// indexed by seq % cap — the replay window.
+	ring []ServiceEvent
+
 	// pushMu serializes sequence assignment with the frame write, so
 	// wire order always matches sequence order for one subscription.
 	pushMu sync.Mutex
 }
 
+// firstAvail returns the oldest sequence number still in the ring.
+func (sub *brokerSub) firstAvail() uint64 {
+	c := uint64(len(sub.ring))
+	if c == 0 || sub.seq <= c {
+		return sub.seq - min(sub.seq, c) + 1
+	}
+	return sub.seq - c + 1
+}
+
+// at returns the ring entry for sequence number s.
+func (sub *brokerSub) at(s uint64) (ServiceEvent, bool) {
+	if len(sub.ring) == 0 || s < sub.firstAvail() || s > sub.seq {
+		return ServiceEvent{}, false
+	}
+	return sub.ring[s%uint64(len(sub.ring))], true
+}
+
 // NewEventBroker builds a broker; sched drives lease expiry.
 func NewEventBroker(sched clock.Scheduler, opts ...BrokerOption) *EventBroker {
 	b := &EventBroker{
-		sched: sched,
-		lease: DefaultEventLease,
-		subs:  make(map[brokerSubKey]*brokerSub),
+		sched:        sched,
+		lease:        DefaultEventLease,
+		replayWindow: DefaultReplayWindow,
+		subs:         make(map[brokerSubKey]*brokerSub),
 	}
 	for _, opt := range opts {
 		opt(b)
 	}
 	return b
+}
+
+// Stats returns a snapshot of the broker's delivery counters.
+func (b *EventBroker) Stats() EventBrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	for _, sub := range b.subs {
+		if sub.lagging {
+			st.Lagging++
+		}
+	}
+	return st
 }
 
 // SubscriberCount returns the live subscription count (tests, metrics).
@@ -222,9 +331,11 @@ func (b *EventBroker) SubscriberCount() int {
 }
 
 // Publish fans ev out to every live subscription whose filter matches.
-// A failed push drops the subscription (its connection is gone).
+// A failed push drops the subscription (its connection is gone); a
+// subscription out of credit is suspended, not pushed.
 func (b *EventBroker) Publish(ev ServiceEvent) {
 	b.mu.Lock()
+	b.stats.Published++
 	now := b.sched.Now()
 	type target struct {
 		key brokerSubKey
@@ -250,17 +361,26 @@ func (b *EventBroker) Publish(ev ServiceEvent) {
 // pushEvent assigns the subscription's next sequence number and writes
 // the Notify frame under the subscription's push lock: a concurrent
 // Publish (or an in-flight resync) cannot put a higher sequence number
-// on the wire before a lower one, which the subscriber's duplicate
-// suppression depends on. Returns false when the subscription is gone.
+// on the wire before a lower one, which the subscriber's in-order
+// delivery depends on. Returns false when the subscription is gone.
 func (b *EventBroker) pushEvent(key brokerSubKey, sub *brokerSub, ev ServiceEvent) bool {
 	sub.pushMu.Lock()
 	defer sub.pushMu.Unlock()
-	return b.pushEventLocked(key, sub, ev)
+	return b.pushEventLocked(key, sub, ev, false)
 }
 
 // pushEventLocked is pushEvent with sub.pushMu already held (the
-// Subscribe resync holds it across the whole snapshot).
-func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev ServiceEvent) bool {
+// Subscribe resync holds it across the whole snapshot). The event enters
+// the subscription's replay ring unconditionally; it reaches the wire
+// only while the subscription has credit — otherwise delivery suspends
+// and the ring carries the backlog until Renew frees credit.
+//
+// force bypasses the credit window: the Subscribe resync uses it, since
+// a snapshot larger than ring+window could otherwise never finish (the
+// suspended remainder rolls out of the ring before the subscriber's acks
+// reach it, forcing a resync that hits the same wall). The resync burst
+// is bounded by the state size; credit governs the live deltas after it.
+func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev ServiceEvent, force bool) bool {
 	b.mu.Lock()
 	if b.subs[key] != sub {
 		b.mu.Unlock()
@@ -268,6 +388,30 @@ func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev Servi
 	}
 	sub.seq++
 	ev.Seq = sub.seq
+	suspend := !force && sub.window > 0 && sub.seq-sub.acked > sub.window
+	if b.replayWindow > 0 {
+		if sub.ring == nil {
+			sub.ring = make([]ServiceEvent, b.replayWindow)
+		}
+		if evicted := int64(sub.seq) - int64(len(sub.ring)); evicted >= 1 && uint64(evicted) > sub.sent {
+			b.stats.Overflowed++ // a suspended delivery rolled out of reach
+		}
+		sub.ring[sub.seq%uint64(len(sub.ring))] = ev
+	} else if suspend {
+		b.stats.Overflowed++ // no ring: a suspended delivery is lost at once
+	}
+	if suspend {
+		if !sub.lagging {
+			sub.lagging = true
+			b.stats.Suspends++
+		}
+		b.mu.Unlock()
+		return true // suspended: the ring holds it until credit frees up
+	}
+	sub.sent = sub.seq
+	sub.retried = false // live traffic: gap detection is back in play
+	sub.pushedSince = true
+	b.stats.Pushed++
 	b.mu.Unlock()
 	frame, err := EncodeNotify(key.id, ev)
 	if err != nil {
@@ -278,6 +422,139 @@ func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev Servi
 		return false
 	}
 	return true
+}
+
+// advance records the subscriber's delivery acknowledgement and resumes
+// suspended delivery from the replay ring, one event at a time, until the
+// backlog drains or credit runs out again. If the ring rolled past the
+// resume point while suspended, delivery jumps to the oldest retained
+// event — the subscriber observes the gap and falls back to a resync.
+//
+// A stagnant ack behind the sent watermark with no traffic in between
+// means the tail was lost on a quiet link (the subscriber has no later
+// event from which to detect the gap): the sent watermark rewinds to the
+// ack once per quiet spell, so the unacknowledged tail retransmits from
+// the ring and the subscriber deduplicates any frames that did arrive.
+func (b *EventBroker) advance(key brokerSubKey, sub *brokerSub, ack uint64) {
+	sub.pushMu.Lock()
+	defer sub.pushMu.Unlock()
+	b.mu.Lock()
+	if b.subs[key] != sub {
+		b.mu.Unlock()
+		return
+	}
+	if ack > sub.acked {
+		sub.acked = ack
+		sub.retried = false
+		sub.pushedSince = false
+	} else if sub.window > 0 && ack == sub.acked && ack < sub.sent && !sub.retried {
+		// Flow-controlled subscriptions only: with no credit window a
+		// stalled consumer never suspends, so live traffic would keep
+		// re-arming the retransmission and every renew would re-push the
+		// whole tail — amplifying the very queue growth credit bounds.
+		// With a window the stall suspends delivery, the retried latch
+		// stays set, and the retransmission fires once per quiet spell.
+		if sub.pushedSince {
+			// Frames moved since that ack (e.g. a keepalive repeating an
+			// eager ack while a slow consumer chews): give them one more
+			// renew interval before declaring the tail lost.
+			sub.pushedSince = false
+		} else {
+			sub.retried = true
+			sub.sent = ack
+			b.stats.Retransmits++
+		}
+	}
+	b.mu.Unlock()
+	for {
+		b.mu.Lock()
+		if b.subs[key] != sub {
+			b.mu.Unlock()
+			return
+		}
+		if sub.sent >= sub.seq {
+			if sub.lagging {
+				sub.lagging = false
+				b.stats.Resumes++
+			}
+			b.mu.Unlock()
+			return
+		}
+		if sub.window > 0 && sub.sent-sub.acked >= sub.window {
+			b.mu.Unlock()
+			return // still out of credit
+		}
+		next := sub.sent + 1
+		if first := sub.firstAvail(); next < first {
+			if first > sub.seq { // replay disabled: the backlog is gone
+				sub.sent = sub.seq
+				b.mu.Unlock()
+				continue
+			}
+			next = first // rolled past: skip to what the ring still holds
+		}
+		ev, ok := sub.at(next)
+		sub.sent = next
+		if !ok { // unreachable once the ring exists; stay safe regardless
+			b.mu.Unlock()
+			continue
+		}
+		sub.pushedSince = true
+		b.stats.Pushed++
+		b.mu.Unlock()
+		frame, err := EncodeNotify(key.id, ev)
+		if err != nil {
+			continue
+		}
+		if err := key.push.Push(frame); err != nil {
+			b.drop(key)
+			return
+		}
+	}
+}
+
+// replay re-pushes the ring events [from, sent] ahead of the response,
+// healing a subscriber-observed gap without a resync. A fromSeq the ring
+// has rolled past answers an application error: only a full resync can
+// heal that gap.
+func (b *EventBroker) replay(key brokerSubKey, sub *brokerSub, from uint64, corr uint64) *Response {
+	sub.pushMu.Lock()
+	defer sub.pushMu.Unlock()
+	b.mu.Lock()
+	if b.subs[key] != sub {
+		b.mu.Unlock()
+		return &Response{Corr: corr, Status: StatusAppError, Err: fmt.Sprintf("unknown subscription %d", key.id)}
+	}
+	first := sub.firstAvail()
+	if from == 0 || from < first {
+		b.stats.ReplayMisses++
+		b.mu.Unlock()
+		return &Response{Corr: corr, Status: StatusAppError,
+			Err: fmt.Sprintf("replay window rolled past %d (oldest retained %d)", from, first)}
+	}
+	var evs []ServiceEvent
+	for s := from; s <= sub.sent; s++ {
+		if ev, ok := sub.at(s); ok {
+			evs = append(evs, ev)
+		}
+	}
+	b.stats.ReplayHits++
+	b.stats.Pushed += uint64(len(evs))
+	if len(evs) > 0 {
+		sub.pushedSince = true
+	}
+	b.mu.Unlock()
+	for _, ev := range evs {
+		frame, err := EncodeNotify(key.id, ev)
+		if err != nil {
+			continue
+		}
+		if err := key.push.Push(frame); err != nil {
+			b.drop(key)
+			break
+		}
+	}
+	return &Response{Corr: corr, Status: StatusOK, Results: []any{int64(len(evs))}}
 }
 
 func (b *EventBroker) drop(key brokerSubKey) {
@@ -312,7 +589,7 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 		}
 		id, ok := subID()
 		if !ok {
-			return appErr("usage: Subscribe(subID, filter)")
+			return appErr("usage: Subscribe(subID, filter[, window])")
 		}
 		filter := ""
 		if len(req.Args) > 1 {
@@ -320,8 +597,22 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 				filter = s
 			}
 		}
+		// The credit window: how many unacknowledged pushes this
+		// subscriber tolerates before the broker suspends delivery.
+		// Absent or 0 keeps the legacy unbounded behaviour. Clamped to
+		// the replay ring: credit beyond the ring would let a suspended
+		// backlog roll out of replay reach by construction.
+		var window uint64
+		if len(req.Args) > 2 {
+			if w, isInt := req.Args[2].(int64); isInt && w > 0 {
+				window = uint64(w)
+				if b.replayWindow > 0 && window > uint64(b.replayWindow) {
+					window = uint64(b.replayWindow)
+				}
+			}
+		}
 		key := brokerSubKey{push: push, id: id}
-		sub := &brokerSub{filter: filter, deadline: b.sched.Now() + b.lease}
+		sub := &brokerSub{filter: filter, window: window, deadline: b.sched.Now() + b.lease}
 		// Synthetic resync: the current exports replay as REGISTERED
 		// events ahead of the Subscribe response, so a (re)connecting
 		// subscriber converges to the live state before live deltas
@@ -343,7 +634,7 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 					continue
 				}
 				ev.Type = ServiceRegistered
-				if !b.pushEventLocked(key, sub, ev) {
+				if !b.pushEventLocked(key, sub, ev, true) {
 					sub.pushMu.Unlock()
 					return appErr("subscription lost during resync")
 				}
@@ -351,11 +642,23 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 		}
 		sub.pushMu.Unlock()
 		return &Response{Corr: req.Corr, Status: StatusOK,
-			Results: []any{int64(b.lease / time.Millisecond)}}
+			Results: []any{int64(b.lease / time.Millisecond), int64(b.replayWindow)}}
 	case MethodRenew:
 		id, ok := subID()
 		if !ok {
-			return appErr("usage: Renew(subID)")
+			return appErr("usage: Renew(subID[, ackSeq])")
+		}
+		// The optional second argument acknowledges delivery up to a
+		// sequence number, freeing credit for a suspended subscription.
+		// A renew without it (a legacy subscriber) neither frees credit
+		// nor triggers tail retransmission.
+		var ack uint64
+		hasAck := false
+		if len(req.Args) > 1 {
+			if a, isInt := req.Args[1].(int64); isInt && a >= 0 {
+				ack = uint64(a)
+				hasAck = true
+			}
 		}
 		key := brokerSubKey{push: push, id: id}
 		b.mu.Lock()
@@ -363,6 +666,9 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 		if live && sub.deadline > b.sched.Now() {
 			sub.deadline = b.sched.Now() + b.lease
 			b.mu.Unlock()
+			if hasAck {
+				b.advance(key, sub, ack)
+			}
 			return &Response{Corr: req.Corr, Status: StatusOK}
 		}
 		delete(b.subs, key)
@@ -371,6 +677,25 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 		// StatusUnavailable: the subscriber must resubscribe (and receive
 		// a resync), not retry the renew elsewhere.
 		return appErr("unknown subscription %d", id)
+	case MethodReplay:
+		id, ok := subID()
+		if !ok || len(req.Args) < 2 {
+			return appErr("usage: Replay(subID, fromSeq)")
+		}
+		from, isInt := req.Args[1].(int64)
+		if !isInt || from < 0 {
+			return appErr("usage: Replay(subID, fromSeq)")
+		}
+		key := brokerSubKey{push: push, id: id}
+		b.mu.Lock()
+		sub, live := b.subs[key]
+		if !live || sub.deadline <= b.sched.Now() {
+			delete(b.subs, key)
+			b.mu.Unlock()
+			return appErr("unknown subscription %d", id)
+		}
+		b.mu.Unlock()
+		return b.replay(key, sub, uint64(from), req.Corr)
 	case MethodUnsubscribe:
 		id, ok := subID()
 		if !ok {

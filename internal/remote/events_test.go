@@ -175,7 +175,7 @@ func (r *eventRig) snapshot() []ServiceEvent {
 	return out
 }
 
-func newEventRig(t *testing.T) *eventRig {
+func newEventRig(t *testing.T, brokerOpts ...BrokerOption) *eventRig {
 	t.Helper()
 	r := &eventRig{eng: sim.New(11), tab: make(map[string]ServiceEvent)}
 	r.net = netsim.NewNetwork(r.eng)
@@ -191,8 +191,10 @@ func newEventRig(t *testing.T) *eventRig {
 		}
 	}
 
-	r.brkA = NewEventBroker(r.eng, WithEventSnapshot(r.snapshot))
-	r.brkB = NewEventBroker(r.eng, WithEventSnapshot(r.snapshot))
+	optsA := append([]BrokerOption{WithEventSnapshot(r.snapshot)}, brokerOpts...)
+	optsB := append([]BrokerOption{WithEventSnapshot(r.snapshot)}, brokerOpts...)
+	r.brkA = NewEventBroker(r.eng, optsA...)
+	r.brkB = NewEventBroker(r.eng, optsB...)
 	addrA, _ := ParseAddr(eventAddrA)
 	addrB, _ := ParseAddr(eventAddrB)
 	r.srvA = NewNetsimServer(nicA, addrA, NewEventDispatcher(NewDispatcher(emptySource{}), r.brkA))
@@ -255,8 +257,8 @@ func TestSubscriberReceivesResyncAndLiveEvents(t *testing.T) {
 			t.Fatalf("event %d seq = %d", i, ev.Seq)
 		}
 	}
-	if gaps, dupes := sub.Stats(); gaps != 0 || dupes != 0 {
-		t.Fatalf("gaps=%d dupes=%d", gaps, dupes)
+	if st := sub.Stats(); st.Gaps != 0 || st.Dupes != 0 || st.Resyncs != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 
 	// Unregistration flows through and known-state shrinks.
@@ -311,8 +313,8 @@ func TestSubscriberFailsOverAndDeduplicatesResync(t *testing.T) {
 	if got[2].Type != ServiceUnregistering || got[2].Service != "svc.beta" {
 		t.Fatalf("missed withdrawal not synthesized: %+v", got[2])
 	}
-	if _, dupes := sub.Stats(); dupes == 0 {
-		t.Fatal("resync replay of svc.alpha was not counted as a duplicate")
+	if st := sub.Stats(); st.Dupes == 0 || st.Resyncs != 2 {
+		t.Fatalf("failover stats = %+v (want dupes > 0, resyncs == 2)", st)
 	}
 	if sub.Known() != 1 {
 		t.Fatalf("known = %d, want 1", sub.Known())

@@ -142,6 +142,10 @@ func (c *netsimConn) SetPushHandler(fn func(*Request)) {
 	c.pushMu.Unlock()
 }
 
+// PendingPushes implements PushConn: simulated pushes deliver on the
+// engine goroutine, so nothing ever queues connection-side.
+func (c *netsimConn) PendingPushes() int { return 0 }
+
 func (c *netsimConn) onMessage(msg netsim.Message) {
 	frame, ok := msg.Payload.([]byte)
 	if !ok {

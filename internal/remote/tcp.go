@@ -120,6 +120,11 @@ func (c *tcpConn) SetPushHandler(fn func(*Request)) {
 	c.pushMu.Unlock()
 }
 
+// PendingPushes implements PushConn: the depth of the serialized queue
+// feeding the push handler. With the dosgi.events credit window this is
+// bounded by the window even when the handler blocks.
+func (c *tcpConn) PendingPushes() int { return c.pushes.len() }
+
 func (c *tcpConn) Call(req *Request, cb func(*Response, error)) error {
 	return c.core.call(req, cb)
 }
@@ -198,6 +203,13 @@ type serialQueue struct {
 	mu      sync.Mutex
 	queue   []func()
 	running bool
+}
+
+// len returns the number of queued (not yet started) functions.
+func (q *serialQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
 }
 
 func (q *serialQueue) enqueue(fn func()) {

@@ -58,6 +58,11 @@ type PushConn interface {
 	// before the first call that can trigger pushes (Subscribe); a nil or
 	// absent handler drops pushed frames.
 	SetPushHandler(fn func(*Request))
+	// PendingPushes reports how many received push frames are queued
+	// ahead of the handler (TCP's serialized push queue; 0 on transports
+	// delivering pushes synchronously). Under the dosgi.events credit
+	// window this stays bounded even behind a slow consumer.
+	PendingPushes() int
 }
 
 // pendingCall tracks one outstanding request on a connection.
