@@ -23,6 +23,11 @@
 // spaces. Exports include services registered inside the daemon's
 // virtual instances (listed by `exports` as "name instance=<id>").
 //
+// repo lists the daemon's artifact repository; every row carries a
+// holders= column naming where the artifact can be fetched from: local
+// for the daemon's own store plus the addresses of -peers daemons that
+// advertise the same install location.
+//
 // subscribe streams remote service events (the dosgi.events verbs of
 // docs/PROTOCOL.md) as EVENT lines until the requested count arrives: a
 // synthetic resync of the current exports first, then live

@@ -42,8 +42,11 @@
 // the local repository or a peer, chunks fetched over the remote stack,
 // digest and signature verified against the deploy policy, Require-Bundle
 // dependencies resolved, and the bundle installed and started in the host
-// framework. REPO lists the local artifact repository; REPO SEED publishes
-// the built-in signed sample artifacts so a peer daemon can DEPLOY them.
+// framework. REPO lists the local artifact repository — each row ends
+// with a HOLDERS column naming every known holder of the location
+// ("local" plus the peer addresses advertising it, queried live from the
+// peers' repository services); REPO SEED publishes the built-in signed
+// sample artifacts so a peer daemon can DEPLOY them.
 package main
 
 import (
@@ -122,6 +125,7 @@ type daemon struct {
 	remoteSrv  *remote.TCPServer
 	remoteAddr string
 	transport  *remote.TCPTransport
+	pool       *remote.Pool
 	invoker    *remote.Invoker
 	broker     *remote.EventBroker
 	services   *remote.CompositeSource
@@ -292,6 +296,59 @@ func (ix daemonIndex) ask(method string, args ...any) (provision.Artifact, bool)
 	return provision.Artifact{}, false
 }
 
+// repoListLine formats one REPO LIST row. holders names every known
+// holder of the artifact's location — "local" for this daemon's own
+// store plus the remote-service addresses of peers advertising it.
+func repoListLine(art provision.Artifact, holders []string) string {
+	return fmt.Sprintf("%s %.12s %dB chunks=%d signer=%s holders=%s",
+		art.Location, art.Digest, art.Size, art.Chunks, art.Signer,
+		strings.Join(holders, ","))
+}
+
+// peerLocations asks each peer's repository service which install
+// locations it stores (one Locations call per peer, all peers queried
+// concurrently so a down peer costs one timeout, not one per peer) and
+// inverts the answers into location → holder addresses — the
+// daemon-side analog of the cluster's replicated directory, where the
+// HOLDERS column of REPO LIST comes from. Unreachable peers are simply
+// absent; holder order follows the -peers configuration.
+func (d *daemon) peerLocations() map[string][]string {
+	type answer struct {
+		addr string
+		locs []any
+	}
+	ch := make(chan answer, len(d.peers))
+	inflight := 0
+	for _, addr := range d.peers {
+		addr := addr
+		req := &remote.Request{Service: provision.ServiceName, Method: "Locations"}
+		if err := d.pool.Invoke(addr, req, func(resp *remote.Response, err error) {
+			a := answer{addr: addr}
+			if err == nil && resp.Status == remote.StatusOK && len(resp.Results) == 1 {
+				a.locs, _ = resp.Results[0].([]any)
+			}
+			ch <- a
+		}); err != nil {
+			continue
+		}
+		inflight++
+	}
+	byAddr := make(map[string][]any, inflight)
+	for ; inflight > 0; inflight-- {
+		a := <-ch
+		byAddr[a.addr] = a.locs
+	}
+	out := make(map[string][]string)
+	for _, addr := range d.peers {
+		for _, l := range byAddr[addr] {
+			if loc, ok := l.(string); ok {
+				out[loc] = append(out[loc], addr)
+			}
+		}
+	}
+	return out
+}
+
 func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	sched := clock.NewReal()
 
@@ -395,6 +452,7 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	transport := remote.NewTCPTransport(sched)
 	d.transport = transport
 	pool := remote.NewPool(transport)
+	d.pool = pool
 	// Ordered resolution: the resolver's local-first preference must hold
 	// on every call, not be rotated away.
 	invoker := remote.NewInvoker(pool, &daemonResolver{
@@ -675,9 +733,12 @@ func (d *daemon) serve(conn net.Conn) {
 			switch sub {
 			case "LIST":
 				arts := d.repo.List()
+				var peerLocs map[string][]string
+				if len(arts) > 0 { // nothing to annotate → skip the peer sweep
+					peerLocs = d.peerLocations()
+				}
 				for _, art := range arts {
-					reply("%s %.12s %dB chunks=%d signer=%s",
-						art.Location, art.Digest, art.Size, art.Chunks, art.Signer)
+					reply("%s", repoListLine(art, append([]string{"local"}, peerLocs[art.Location]...)))
 				}
 				reply("OK %d artifact(s)", len(arts))
 			case "SEED":

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dosgi/internal/module"
+	"dosgi/internal/provision"
 )
 
 // startDaemon runs an in-process dosgid on ephemeral ports.
@@ -327,8 +328,49 @@ func TestRepoSeedAndList(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "app:greeter ") || !strings.Contains(lines[0], "signer=dev") {
 		t.Fatalf("REPO LIST row = %q", lines[0])
 	}
+	// A peer-less daemon is its own only holder.
+	if !strings.HasSuffix(lines[0], "holders=local") {
+		t.Fatalf("REPO LIST holders column = %q", lines[0])
+	}
 	if lines := admin(t, d, "REPO NONSENSE"); !strings.HasPrefix(last(lines), "ERR usage: REPO") {
 		t.Fatalf("REPO NONSENSE = %q", lines)
+	}
+}
+
+// TestRepoListLine table-tests the REPO LIST row format, HOLDERS column
+// included — the contract dosgictl users (and the tests above) read.
+func TestRepoListLine(t *testing.T) {
+	art := provision.Artifact{
+		Location: "app:greeter",
+		Digest:   "abcdef0123456789abcdef0123456789abcdef0123456789abcdef0123456789",
+		Size:     420, Chunks: 7, Signer: "dev",
+	}
+	small := provision.Artifact{Location: "app:lib", Digest: "0011223344556677", Size: 1, Chunks: 1, Signer: "ops"}
+	cases := []struct {
+		name    string
+		art     provision.Artifact
+		holders []string
+		want    string
+	}{
+		{
+			name: "local only", art: art, holders: []string{"local"},
+			want: "app:greeter abcdef012345 420B chunks=7 signer=dev holders=local",
+		},
+		{
+			name: "local plus one peer", art: art, holders: []string{"local", "127.0.0.1:7790"},
+			want: "app:greeter abcdef012345 420B chunks=7 signer=dev holders=local,127.0.0.1:7790",
+		},
+		{
+			name: "several peers", art: small, holders: []string{"local", "10.0.0.2:7790", "10.0.0.3:7790"},
+			want: "app:lib 001122334455 1B chunks=1 signer=ops holders=local,10.0.0.2:7790,10.0.0.3:7790",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := repoListLine(tc.art, tc.holders); got != tc.want {
+				t.Fatalf("repoListLine = %q, want %q", got, tc.want)
+			}
+		})
 	}
 }
 
@@ -353,10 +395,17 @@ func TestDeployFetchesFromPeerDaemon(t *testing.T) {
 	if !strings.Contains(lines[0], "com.example.greeter/1.0.0 state=ACTIVE") {
 		t.Fatalf("DEPLOY detail = %q", lines[0])
 	}
-	// The dependency rode along and the fetched copies are now local.
+	// The dependency rode along and the fetched copies are now local;
+	// the HOLDERS column shows the seeding peer as a second replica.
 	lines = admin(t, front, "REPO LIST")
 	if last(lines) != "OK 2 artifact(s)" {
 		t.Fatalf("front REPO after deploy = %q", lines)
+	}
+	peerAddr := peer.remoteSrv.Addr().String()
+	for _, row := range lines[:2] {
+		if !strings.Contains(row, "holders=local,"+peerAddr) {
+			t.Fatalf("front REPO row lacks peer holder %s: %q", peerAddr, row)
+		}
 	}
 	// The provisioned bundle's exported service answers through CALL.
 	lines = admin(t, front, "CALL greet Hello dosgi")

@@ -3,12 +3,14 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"dosgi/internal/module"
+	"dosgi/internal/provision"
 	"dosgi/internal/remote"
 )
 
@@ -82,17 +84,26 @@ type chaosHarness struct {
 	parts   map[[2]int]bool // partitioned node-index pairs
 	downSrv map[int]bool    // nodes whose remote server is "killed"
 	nextID  int
+
+	// Provisioning churn state: artifacts published mid-run (digest →
+	// metadata) and the (node, digest) pairs whose on-demand fetch
+	// completed successfully during the faults — both checked against
+	// the directory after quiesce.
+	published map[string]provision.Artifact
+	fetched   [][2]string
+	nextArt   int
 }
 
 func newChaosHarness(t *testing.T, seed int64, nodeCount int) *chaosHarness {
 	t.Helper()
 	h := &chaosHarness{
-		t:       t,
-		c:       New(seed),
-		rng:     rand.New(rand.NewSource(seed)),
-		regs:    make(map[string]*module.ServiceRegistration),
-		parts:   make(map[[2]int]bool),
-		downSrv: make(map[int]bool),
+		t:         t,
+		c:         New(seed),
+		rng:       rand.New(rand.NewSource(seed)),
+		regs:      make(map[string]*module.ServiceRegistration),
+		parts:     make(map[[2]int]bool),
+		downSrv:   make(map[int]bool),
+		published: make(map[string]provision.Artifact),
 	}
 	for i := 0; i < nodeCount; i++ {
 		if _, err := h.c.AddNode(NodeConfig{ID: fmt.Sprintf("node%02d", i)}); err != nil {
@@ -146,6 +157,82 @@ func (h *chaosHarness) step() {
 		h.blip()
 	}
 	h.c.Settle(time.Duration(20+h.rng.Intn(180)) * time.Millisecond)
+}
+
+// stepProvision performs one random fault/churn operation from the base
+// schedule EXTENDED with provisioning ops — artifact publishes and
+// on-demand fetches land in the same fault windows the event stream is
+// churned through. Used by the provisioning-invariant matrix; step()
+// keeps the original schedule so the event-stream seeds replay
+// unchanged.
+func (h *chaosHarness) stepProvision() {
+	switch roll := h.rng.Intn(100); {
+	case roll < 14:
+		h.exportOne()
+	case roll < 24:
+		h.unexportOne()
+	case roll < 34:
+		h.publishOne()
+	case roll < 44:
+		h.fetchOne()
+	case roll < 58:
+		h.partitionPair()
+	case roll < 72:
+		h.healPair()
+	case roll < 80:
+		h.killServer()
+	case roll < 90:
+		h.restartServer()
+	default:
+		h.blip()
+	}
+	h.c.Settle(time.Duration(20+h.rng.Intn(180)) * time.Millisecond)
+}
+
+// publishOne publishes a unique signed artifact on a random node —
+// possibly one that is partitioned or whose remote server is down, so
+// the advertisement and the proactive replication must ride out the
+// faults (anti-entropy and the periodic replication recheck).
+func (h *chaosHarness) publishOne() {
+	h.nextArt++
+	location := fmt.Sprintf("app:chaos%03d", h.nextArt)
+	img := &provision.BundleImage{
+		ManifestText: fmt.Sprintf("Bundle-SymbolicName: com.chaos.art%03d\nBundle-Version: 1.0.0\n", h.nextArt),
+		Classes:      map[string]string{"com.chaos.Main": fmt.Sprintf("payload-%03d", h.nextArt)},
+	}
+	art, payload, err := provision.NewArtifact(location, img,
+		provision.SampleSigner, provision.SampleKeyring()[provision.SampleSigner], 64)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	node := h.nodes[h.rng.Intn(len(h.nodes))]
+	if err := node.Provision().Publish(art, payload); err != nil {
+		h.t.Fatalf("publish %s on %s: %v", location, node.ID(), err)
+	}
+	h.published[art.Digest] = art
+}
+
+// fetchOne starts an on-demand fetch of a random published artifact on a
+// random node. Mid-fault fetches may fail (no replica reachable) — that
+// is allowed; the invariant is that every fetch that SUCCEEDED is
+// re-advertised and converges into the directory after the heal.
+func (h *chaosHarness) fetchOne() {
+	if len(h.published) == 0 {
+		return
+	}
+	digests := make([]string, 0, len(h.published))
+	for d := range h.published {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests) // keep the pick a pure function of the seed
+	art := h.published[digests[h.rng.Intn(len(digests))]]
+	node := h.nodes[h.rng.Intn(len(h.nodes))]
+	node.Provision().EnsureDefinition(art.Location, func(err error) {
+		if err == nil {
+			// Runs on the engine goroutine, like the observers.
+			h.fetched = append(h.fetched, [2]string{node.ID(), art.Digest})
+		}
+	})
 }
 
 // blip cuts a random link just long enough to lose pushes published
@@ -340,6 +427,93 @@ func (h *chaosHarness) verify() {
 	}
 }
 
+// verifyProvisioning asserts the provisioning invariants after quiesce:
+//
+//   - artifact directories converged replica by replica across nodes;
+//   - every published digest reaches the replication factor on live
+//     holders, and no phantom holders: a node the directory advertises
+//     really has the bytes in its store, and (the inverse) every node
+//     actually holding a published digest is advertised;
+//   - every on-demand fetch that succeeded mid-fault converged into the
+//     directory (the fetching node is an advertised holder);
+//   - every published location resolves from every node's index.
+func (h *chaosHarness) verifyProvisioning() {
+	h.t.Helper()
+	ref := h.nodes[0].Migration().Directory().Artifacts()
+	for _, n := range h.nodes[1:] {
+		if got := n.Migration().Directory().Artifacts(); !reflect.DeepEqual(got, ref) {
+			h.t.Fatalf("artifact directories diverged:\n%s: %+v\n%s: %+v",
+				h.nodes[0].ID(), ref, n.ID(), got)
+		}
+	}
+	byNode := make(map[string]*Node, len(h.nodes))
+	live := make(map[string]bool)
+	for _, n := range h.nodes {
+		byNode[n.ID()] = n
+	}
+	for _, id := range h.nodes[0].Member().View().Members {
+		live[id] = true
+	}
+	holders := make(map[string][]provision.Artifact)
+	for _, rec := range ref {
+		holders[rec.Digest] = append(holders[rec.Digest], rec)
+	}
+	rf := 2 // cluster default replication factor
+	if len(h.nodes) < rf {
+		rf = len(h.nodes)
+	}
+	for digest, art := range h.published {
+		recs := holders[digest]
+		if len(recs) < rf {
+			h.t.Fatalf("%s (%s) advertised by %d holders after heal, want ≥ %d",
+				art.Location, digest[:8], len(recs), rf)
+		}
+		for _, rec := range recs {
+			if !live[rec.Node] {
+				h.t.Fatalf("phantom holder: %s advertised by departed node %s", art.Location, rec.Node)
+			}
+			if !byNode[rec.Node].Provision().Store().Has(digest) {
+				h.t.Fatalf("phantom holder: %s advertises %s without the bytes", rec.Node, art.Location)
+			}
+		}
+		// The inverse: actual holdings are all advertised (a fetch or
+		// repair whose announcement was partitioned away must have
+		// converged through anti-entropy).
+		for _, n := range h.nodes {
+			if !n.Provision().Store().Has(digest) {
+				continue
+			}
+			advertised := false
+			for _, rec := range recs {
+				if rec.Node == n.ID() {
+					advertised = true
+				}
+			}
+			if !advertised {
+				h.t.Fatalf("%s holds %s but the directory does not advertise it", n.ID(), art.Location)
+			}
+		}
+		// Resolvable everywhere.
+		for _, n := range h.nodes {
+			if rec, ok := n.Migration().Directory().ArtifactByLocation(art.Location); !ok || rec.Digest != digest {
+				h.t.Fatalf("%s cannot resolve %s (got %+v ok=%v)", n.ID(), art.Location, rec, ok)
+			}
+		}
+	}
+	for _, f := range h.fetched {
+		node, digest := f[0], f[1]
+		found := false
+		for _, rec := range holders[digest] {
+			if rec.Node == node {
+				found = true
+			}
+		}
+		if !found {
+			h.t.Fatalf("mid-fault fetch on %s of %s never converged into the directory", node, digest[:8])
+		}
+	}
+}
+
 func keysOf(m map[string]remote.ServiceEvent) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -370,6 +544,34 @@ func TestChaosEventStreamInvariants(t *testing.T) {
 			}
 			h.quiesce()
 			h.verify()
+		})
+	}
+}
+
+// TestChaosProvisioningInvariants extends the chaos schedule with
+// artifact publishes and on-demand fetches injected into the same fault
+// windows (kill/restart, partition/heal, blips): after quiesce every
+// published artifact must sit at the replication factor on live holders
+// with no phantom records, mid-fault fetches must have converged into
+// the directory, and the event-stream invariants must hold throughout —
+// the provisioning layer rides the same unified directory the events do.
+func TestChaosProvisioningInvariants(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newChaosHarness(t, seed, 3)
+			for i := 0; i < 2; i++ {
+				h.exportOne()
+				h.publishOne()
+			}
+			h.c.Settle(500 * time.Millisecond)
+			h.observe("obs-p", 1, 0, 1, 2)
+			h.c.Settle(300 * time.Millisecond)
+			for i := 0; i < 40; i++ {
+				h.stepProvision()
+			}
+			h.quiesce()
+			h.verify()
+			h.verifyProvisioning()
 		})
 	}
 }

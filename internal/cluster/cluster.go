@@ -72,6 +72,22 @@ func WithReplicationFactor(n int) Option {
 	}
 }
 
+// WithDirectoryResyncEvery sets the replicated directory's anti-entropy
+// period on every node added later: how often each node re-broadcasts
+// its authoritative endpoint and artifact-holding sets so records lost
+// to blips too short for a view change still converge (default:
+// migrate.DefaultResyncEvery). Negative disables periodic resync. The
+// provisioning layer's periodic replication recheck follows the same
+// period.
+func WithDirectoryResyncEvery(d time.Duration) Option {
+	return func(c *Cluster) {
+		c.dirResyncEvery = d
+		if d != 0 { // negative disables the recheck timer too
+			c.provRecheckEvery = d
+		}
+	}
+}
+
 // Cluster is a simulated datacenter running the distributed OSGi platform.
 type Cluster struct {
 	eng   *sim.Engine
@@ -89,6 +105,9 @@ type Cluster struct {
 	provPolicy   *security.Policy
 	provReplicas int
 
+	dirResyncEvery   time.Duration
+	provRecheckEvery time.Duration
+
 	mu         sync.Mutex
 	nodes      map[string]*Node
 	tracker    *sla.Tracker
@@ -99,16 +118,17 @@ type Cluster struct {
 // New builds an empty cluster with a deterministic seed.
 func New(seed int64, opts ...Option) *Cluster {
 	c := &Cluster{
-		netLatency:   500 * time.Microsecond,
-		sanLatency:   200 * time.Microsecond,
-		nodes:        make(map[string]*Node),
-		tracker:      sla.NewTracker(),
-		agreements:   make(map[core.InstanceID]sla.Agreement),
-		gdir:         gcs.NewDirectory(),
-		defs:         module.NewDefinitionRegistry(),
-		metrics:      services.NewMetricsService(),
-		provKeyring:  provision.SampleKeyring(),
-		provReplicas: 2,
+		netLatency:       500 * time.Microsecond,
+		sanLatency:       200 * time.Microsecond,
+		nodes:            make(map[string]*Node),
+		tracker:          sla.NewTracker(),
+		agreements:       make(map[core.InstanceID]sla.Agreement),
+		gdir:             gcs.NewDirectory(),
+		defs:             module.NewDefinitionRegistry(),
+		metrics:          services.NewMetricsService(),
+		provKeyring:      provision.SampleKeyring(),
+		provReplicas:     2,
+		provRecheckEvery: migrate.DefaultResyncEvery,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -221,6 +241,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		CPUCapacity: int64(cfg.CPUCapacity),
 		MemCapacity: cfg.MemoryBytes,
 		Mode:        cfg.PlacementMode,
+		ResyncEvery: c.dirResyncEvery,
 		// Failover to an artifact-less node transparently fetches first:
 		// restores wait until every bundle location the checkpoint needs
 		// is installable here.
@@ -264,6 +285,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.mon.Start()
 	c.metrics.RegisterProvider("node:"+cfg.ID, c.nodeProvider(n))
+	c.metrics.RegisterProvider("directory:"+cfg.ID, directoryProvider(mod))
 
 	c.mu.Lock()
 	c.nodes[cfg.ID] = n
@@ -277,6 +299,30 @@ func (c *Cluster) ensureBaseDefinitions() {
 	}
 	if _, ok := c.defs.Get(MetricsBundleLocation); !ok {
 		c.defs.MustAdd(MetricsBundleLocation, services.MetricsBundleDefinition(c.metrics))
+	}
+}
+
+// directoryProvider exposes the unified replicated directory's
+// per-family counters: wire messages applied, exact deltas emitted,
+// silent (converged) resyncs, dead-holder prunes and filtered mutations
+// — one attribute set per record family, prefixed.
+func directoryProvider(mod *migrate.Module) func() map[string]any {
+	return func() map[string]any {
+		out := make(map[string]any, 18)
+		add := func(prefix string, st migrate.FamilyStats) {
+			out[prefix+"Puts"] = st.Puts
+			out[prefix+"Removes"] = st.Removes
+			out[prefix+"Syncs"] = st.Syncs
+			out[prefix+"Added"] = st.Added
+			out[prefix+"Updated"] = st.Updated
+			out[prefix+"Removed"] = st.Removed
+			out[prefix+"SilentSyncs"] = st.SilentSyncs
+			out[prefix+"Pruned"] = st.Pruned
+			out[prefix+"Filtered"] = st.Filtered
+		}
+		add("endpoint", mod.EndpointStats())
+		add("artifact", mod.ArtifactStats())
+		return out
 	}
 }
 
@@ -383,12 +429,14 @@ func (c *Cluster) Crash(nodeID string) error {
 	n.mon.Stop()
 	n.member.Crash()
 	n.teardownRemote()
+	n.teardownProvision()
 	n.vm.Stop()
 	n.nic.SetUp(false)
 	c.net.DetachNode(nodeID)
 	c.metrics.UnregisterProvider("node:" + nodeID)
 	c.metrics.UnregisterProvider("provision:" + nodeID)
 	c.metrics.UnregisterProvider("events:" + nodeID)
+	c.metrics.UnregisterProvider("directory:" + nodeID)
 	return nil
 }
 
@@ -405,9 +453,11 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		n.mu.Unlock()
 		n.mon.Stop()
 		n.teardownRemote()
+		n.teardownProvision()
 		c.metrics.UnregisterProvider("node:" + nodeID)
 		c.metrics.UnregisterProvider("provision:" + nodeID)
 		c.metrics.UnregisterProvider("events:" + nodeID)
+		c.metrics.UnregisterProvider("directory:" + nodeID)
 		if onDone != nil {
 			onDone()
 		}

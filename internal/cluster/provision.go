@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dosgi/internal/clock"
 	"dosgi/internal/gcs"
 	"dosgi/internal/manifest"
 	"dosgi/internal/migrate"
@@ -28,6 +29,10 @@ type nodeProvision struct {
 	verifier *provision.Verifier
 	counters *services.ProvisionCounters
 	rf       int
+
+	// recheckTimer drives the periodic full replication recheck — the
+	// retry path for repair fetches that failed transiently.
+	recheckTimer clock.Timer
 
 	// fetching guards against duplicate concurrent replication fetches.
 	fetching map[string]bool
@@ -123,11 +128,19 @@ func (n *Node) setupProvision() {
 		panic(fmt.Sprintf("cluster: registering provisioning service: %v", err))
 	}
 
-	// Replication duty: re-evaluated whenever replicated artifact records
-	// change and after every view change (a departed holder may have
-	// dropped an artifact below the replication factor).
-	n.mod.OnArtifactChange(p.recheckReplication)
+	// Replication duty is delta-driven: the directory's artifact stream
+	// delivers exact changes, so only the affected digest is re-examined
+	// — no full-index rescan on every record change, and a converged
+	// anti-entropy resync (which emits nothing) costs nothing here. The
+	// full pass remains for view changes (a departed holder may have
+	// dropped many digests below the factor at once) and runs periodically
+	// as the retry path for repair fetches that failed while every replica
+	// was unreachable.
+	n.mod.OnArtifactChange(func(ch migrate.ArtifactChange) { p.recheckDigest(ch.Info.Digest) })
 	n.member.OnViewChange(func(gcs.View) { p.recheckReplication() })
+	if n.cluster.provRecheckEvery > 0 {
+		p.recheckTimer = n.cluster.eng.Every(n.cluster.provRecheckEvery, p.recheckReplication)
+	}
 
 	n.cluster.metrics.RegisterProvider("provision:"+n.cfg.ID, counters.Provider())
 }
@@ -208,12 +221,30 @@ func (n *Node) ensureBundleLocations(locations []string, done func(error)) {
 	step(0)
 }
 
-// recheckReplication enforces the replication factor: for every artifact
-// the directory advertises with fewer live holders than the factor, the
-// first missing candidates in node-id order fetch a copy. Every replica
+// recheckReplication runs the replication-factor check over every digest
+// the directory advertises — the view-change and periodic-retry path.
+// Incremental record changes go through recheckDigest instead.
+func (p *nodeProvision) recheckReplication() {
+	seen := make(map[string]bool)
+	var digests []string
+	for _, art := range p.node.mod.Directory().Artifacts() {
+		if !seen[art.Digest] {
+			seen[art.Digest] = true
+			digests = append(digests, art.Digest)
+		}
+	}
+	sort.Strings(digests)
+	for _, digest := range digests {
+		p.recheckDigest(digest)
+	}
+}
+
+// recheckDigest enforces the replication factor for one digest: when the
+// directory advertises fewer live holders than the factor, the first
+// missing candidates in node-id order fetch a copy. Every replica
 // computes the same assignment from the same directory and view, so the
 // duty is decentralized yet non-overlapping.
-func (p *nodeProvision) recheckReplication() {
+func (p *nodeProvision) recheckDigest(digest string) {
 	view := p.node.member.View()
 	liveSet := make(map[string]bool, len(view.Members))
 	for _, id := range view.Members {
@@ -222,50 +253,48 @@ func (p *nodeProvision) recheckReplication() {
 	if !liveSet[p.node.cfg.ID] {
 		return
 	}
-	dir := p.node.mod.Directory()
-
-	// Group holdings by digest.
-	byDigest := make(map[string][]provision.Artifact)
-	for _, art := range dir.Artifacts() {
-		byDigest[art.Digest] = append(byDigest[art.Digest], art)
+	holders := p.node.mod.Directory().ArtifactReplicas(digest)
+	if len(holders) == 0 {
+		return // fully withdrawn (or pruned with its last holder)
 	}
-	digests := make([]string, 0, len(byDigest))
-	for d := range byDigest {
-		digests = append(digests, d)
+	holderSet := make(map[string]bool, len(holders))
+	live := 0
+	for _, h := range holders {
+		holderSet[h.Node] = true
+		if liveSet[h.Node] {
+			live++
+		}
 	}
-	sort.Strings(digests)
+	if holderSet[p.node.cfg.ID] || p.store.Has(digest) || live >= p.rf {
+		return
+	}
+	// Candidates: live non-holders in node-id order; the first
+	// (rf - live) of them owe a copy.
+	var candidates []string
+	for _, id := range view.Members {
+		if !holderSet[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Strings(candidates)
+	need := p.rf - live
+	for i, id := range candidates {
+		if i >= need {
+			break
+		}
+		if id == p.node.cfg.ID {
+			p.replicate(holders[0])
+		}
+	}
+}
 
-	for _, digest := range digests {
-		holders := byDigest[digest]
-		holderSet := make(map[string]bool, len(holders))
-		live := 0
-		for _, h := range holders {
-			holderSet[h.Node] = true
-			if liveSet[h.Node] {
-				live++
-			}
-		}
-		if holderSet[p.node.cfg.ID] || p.store.Has(digest) || live >= p.rf {
-			continue
-		}
-		// Candidates: live non-holders in node-id order; the first
-		// (rf - live) of them owe a copy.
-		var candidates []string
-		for _, id := range view.Members {
-			if !holderSet[id] {
-				candidates = append(candidates, id)
-			}
-		}
-		sort.Strings(candidates)
-		need := p.rf - live
-		for i, id := range candidates {
-			if i >= need {
-				break
-			}
-			if id == p.node.cfg.ID {
-				p.replicate(holders[0])
-			}
-		}
+// teardownProvision stops the node's provisioning runtime (crash or
+// power-off): the periodic replication recheck must not keep firing for
+// a node that left the cluster.
+func (n *Node) teardownProvision() {
+	if n.prov != nil && n.prov.recheckTimer != nil {
+		n.prov.recheckTimer.Cancel()
+		n.prov.recheckTimer = nil
 	}
 }
 

@@ -161,6 +161,12 @@ func TestProvisionDeployOnDemandFetch(t *testing.T) {
 	if !ok || attrs["artifactsFetched"].(int64) != 2 {
 		t.Fatalf("metrics provider provision:3 = %v (ok=%v)", attrs, ok)
 	}
+	// The unified directory surfaces its per-family counters too: node 3
+	// applied artifact puts and emitted Added deltas along the way.
+	attrs, ok = c.Metrics().Read("directory:3")
+	if !ok || attrs["artifactPuts"].(int64) == 0 || attrs["artifactAdded"].(int64) == 0 {
+		t.Fatalf("metrics provider directory:3 = %v (ok=%v)", attrs, ok)
+	}
 }
 
 // TestProvisionFailoverToArtifactlessNode is the dependability loop of

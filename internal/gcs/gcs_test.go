@@ -487,6 +487,105 @@ func TestTotalOrderGapRetransmission(t *testing.T) {
 	}
 }
 
+// TestTotalOrderRetransmissionBeyondFixedCap is the regression for the
+// old fixed 1024-entry retransmission log: a member stalled further back
+// than the cap could only recover at the next view change. The log is
+// now pruned exactly to the minimum per-member ack watermark
+// (piggybacked on heartbeats), so a member that acked nothing holds the
+// whole epoch retransmittable — here 1500 messages, well past the old
+// cap — and the stall heals in place.
+func TestTotalOrderRetransmissionBeyondFixedCap(t *testing.T) {
+	h := newHarness(t, 3)
+	received := make(map[string][]int)
+	for _, id := range h.dirIDs() {
+		id := id
+		h.members[id].OnDeliver(func(m Message) {
+			if m.Ordering == Total {
+				received[id] = append(received[id], m.Body.(int))
+			}
+		})
+	}
+	h.startAll(t)
+	viewsBefore := h.members["node02"].ViewChanges()
+
+	// node02 loses the coordinator's fan-out for 1500 broadcasts — a
+	// blip kept inside the failure-detector window.
+	h.net.Partition("node00", "node02")
+	const stalled = 1500
+	for i := 0; i < stalled; i++ {
+		if err := h.members["node01"].Broadcast(i, Total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(100 * time.Millisecond)
+	// The whole backlog is still retransmittable: node02 never acked.
+	if got := h.members["node00"].totalLogSize(); got < stalled {
+		t.Fatalf("coordinator log holds %d of %d unacked messages", got, stalled)
+	}
+	h.net.Heal("node00", "node02")
+
+	// The next arrival exposes the gap; iterative retransmission rounds
+	// (64 messages each) drain the backlog without any view change.
+	if err := h.members["node01"].Broadcast(stalled, Total); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(2 * time.Second)
+
+	got := received["node02"]
+	if len(got) != stalled+1 {
+		t.Fatalf("node02 received %d of %d", len(got), stalled+1)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("node02 out of order at %d: %d", i, got[i])
+		}
+	}
+	if h.members["node02"].ViewChanges() != viewsBefore {
+		t.Fatal("stall healed through a view change instead of retransmission")
+	}
+	// Exact pruning: once every member's heartbeat acked the full
+	// stream, the coordinator's log drains completely — no fixed floor.
+	h.eng.RunFor(500 * time.Millisecond)
+	if got := h.members["node00"].totalLogSize(); got != 0 {
+		t.Fatalf("log holds %d entries after all members acked", got)
+	}
+}
+
+// TestTotalOrderLogPrunesToWatermark: in steady state (everyone live and
+// acking), the retransmission log shrinks to the un-acked in-flight tail
+// within a heartbeat round rather than accumulating an epoch of history.
+func TestTotalOrderLogPrunesToWatermark(t *testing.T) {
+	h := newHarness(t, 3)
+	h.startAll(t)
+	for i := 0; i < 200; i++ {
+		if err := h.members["node01"].Broadcast(i, Total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(time.Second)
+	if got := h.members["node00"].totalLogSize(); got != 0 {
+		t.Fatalf("log holds %d entries in steady state, want 0", got)
+	}
+}
+
+// TestTotalOrderLogBoundedInSingletonView: heartbeat acks never arrive
+// in a one-member view, so log pruning must also ride the coordinator's
+// own sequencing and delivery path — a lone survivor's log drains
+// instead of growing for the lifetime of the epoch.
+func TestTotalOrderLogBoundedInSingletonView(t *testing.T) {
+	h := newHarness(t, 1)
+	h.startAll(t)
+	for i := 0; i < 500; i++ {
+		if err := h.members["node00"].Broadcast(i, Total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.eng.RunFor(time.Second)
+	if got := h.members["node00"].totalLogSize(); got != 0 {
+		t.Fatalf("singleton log holds %d entries after deliveries, want 0", got)
+	}
+}
+
 // TestStaleViewHeartbeatRepair: a member that misses the viewMsg
 // installing the current view (partitioned from the coordinator at just
 // the wrong moment, but healed before the failure detector fires) keeps

@@ -143,6 +143,11 @@ func (d *Directory) All() []string {
 type hbMsg struct {
 	From   string
 	ViewID int64
+	// AckSeq is the sender's total-order delivery watermark in the epoch
+	// named by ViewID (highest contiguously delivered sequence number).
+	// The coordinator collects these to prune its retransmission log
+	// exactly: entries every current member has delivered are dropped.
+	AckSeq int64
 }
 
 type joinMsg struct {

@@ -94,10 +94,15 @@ type Member struct {
 	totalNext int64 // next global sequence to deliver
 	totalBuf  map[int64]totalMsg
 	seen      map[string]map[int64]bool
-	// totalLog retains the coordinator's recently sequenced messages of
-	// the current epoch (bounded by totalLogCap) to serve gap
-	// retransmission requests.
-	totalLog map[int64]totalMsg
+	// totalLog retains the coordinator's sequenced messages of the
+	// current epoch to serve gap retransmission requests. It is pruned
+	// exactly: ackSeqs collects each member's delivery watermark
+	// (piggybacked on heartbeats), and every entry at or below
+	// min(watermark) over the view is dropped. totalLogMin is the lowest
+	// sequence still retained.
+	totalLog    map[int64]totalMsg
+	totalLogMin int64
+	ackSeqs     map[string]int64
 	// gapReqSeq/gapReqAt throttle gap requests: one per stalled sequence
 	// number per heartbeat interval.
 	gapReqSeq int64
@@ -117,24 +122,21 @@ func NewMember(sched clock.Scheduler, cfg Config) (*Member, error) {
 		return nil, errors.New("gcs: nic and directory are required")
 	}
 	m := &Member{
-		sched:    sched,
-		cfg:      cfg,
-		state:    stateNew,
-		lastSeen: make(map[string]time.Duration),
-		fifoNext: make(map[string]int64),
-		fifoBuf:  make(map[string]map[int64]fifoMsg),
-		pending:  make(map[int64]any),
-		totalBuf: make(map[int64]totalMsg),
-		seen:     make(map[string]map[int64]bool),
-		totalLog: make(map[int64]totalMsg),
+		sched:       sched,
+		cfg:         cfg,
+		state:       stateNew,
+		lastSeen:    make(map[string]time.Duration),
+		fifoNext:    make(map[string]int64),
+		fifoBuf:     make(map[string]map[int64]fifoMsg),
+		pending:     make(map[int64]any),
+		totalBuf:    make(map[int64]totalMsg),
+		seen:        make(map[string]map[int64]bool),
+		totalLog:    make(map[int64]totalMsg),
+		totalLogMin: 1,
+		ackSeqs:     make(map[string]int64),
 	}
 	return m, nil
 }
-
-// totalLogCap bounds the coordinator's per-epoch retransmission log. A
-// gap older than this cannot be served; the stalled member recovers at
-// the next view change instead (the flush-with-holes path).
-const totalLogCap = 1024
 
 // ID returns the member's node id.
 func (m *Member) ID() string { return m.cfg.NodeID }
@@ -313,12 +315,16 @@ func (m *Member) heartbeat() {
 	st := m.state
 	viewID := m.view.ID
 	members := append([]string(nil), m.view.Members...)
+	ackSeq := m.totalNext - 1
+	if ackSeq < 0 {
+		ackSeq = 0
+	}
 	m.mu.Unlock()
 	switch st {
 	case stateJoining:
 		m.announceJoin()
 	case stateRunning:
-		hb := hbMsg{From: m.cfg.NodeID, ViewID: viewID}
+		hb := hbMsg{From: m.cfg.NodeID, ViewID: viewID, AckSeq: ackSeq}
 		for _, id := range members {
 			if id != m.cfg.NodeID {
 				m.sendTo(id, hb)
@@ -461,6 +467,8 @@ func (m *Member) installView(v View) {
 	m.totalNext = 1
 	m.globalSeq = 0
 	m.totalLog = make(map[int64]totalMsg)
+	m.totalLogMin = 1
+	m.ackSeqs = make(map[string]int64)
 	m.gapReqSeq = 0
 	m.gapReqAt = 0
 	// Re-submit unacknowledged total-order requests to the new
@@ -497,13 +505,25 @@ func (m *Member) handle(nm netsim.Message) {
 	case hbMsg:
 		m.mu.Lock()
 		m.lastSeen[p.From] = m.sched.Now()
+		isCoord := m.state == stateRunning && m.view.Coordinator() == m.cfg.NodeID &&
+			m.view.Contains(p.From)
+		// The heartbeat doubles as the member's total-order delivery
+		// acknowledgement: the coordinator prunes its retransmission log
+		// to min(watermark) over the view, so the log holds exactly the
+		// messages some member may still need — no fixed cap a stalled
+		// member can fall past.
+		if isCoord && p.ViewID == m.view.ID {
+			if p.AckSeq > m.ackSeqs[p.From] {
+				m.ackSeqs[p.From] = p.AckSeq
+			}
+			m.pruneTotalLogLocked()
+		}
 		// A member heartbeating with a stale view id lost the viewMsg
 		// that installed the current view (partitioned away mid-issue).
 		// Without repair it would stay divergent forever — heartbeats
 		// keep flowing, so no failure is ever suspected. The coordinator
 		// re-sends the current view and the straggler catches up.
-		resend := m.state == stateRunning && m.view.Coordinator() == m.cfg.NodeID &&
-			m.view.Contains(p.From) && p.ViewID < m.view.ID
+		resend := isCoord && p.ViewID < m.view.ID
 		var v View
 		if resend {
 			v = m.view.clone()
@@ -635,12 +655,52 @@ func (m *Member) handleOrderReq(p orderReq) {
 	m.globalSeq++
 	tm := totalMsg{Epoch: m.view.ID, Seq: m.globalSeq, From: p.From, LocalID: p.LocalID, Body: p.Body}
 	m.totalLog[tm.Seq] = tm
-	delete(m.totalLog, tm.Seq-totalLogCap)
+	// Prune on append too: heartbeat acks never arrive in a singleton
+	// view (heartbeats go only to peers), so without this the log of a
+	// lone survivor would grow for the lifetime of the epoch.
+	m.pruneTotalLogLocked()
 	members := append([]string(nil), m.view.Members...)
 	m.mu.Unlock()
 	for _, id := range members {
 		m.sendTo(id, tm)
 	}
+}
+
+// pruneTotalLogLocked drops every retransmission-log entry all current
+// members have delivered: the prune watermark is the minimum ack over
+// the view (the coordinator's own watermark is its delivery cursor). A
+// member that has not acked anything this epoch holds the watermark at
+// zero, so nothing it may still need is ever dropped — the log is exact,
+// bounded by the slowest member's lag instead of a fixed cap, and the
+// failure detector bounds that lag: a member too partitioned to ack is
+// eventually excluded, which resets the epoch and the log with it.
+// Callers hold m.mu and are the current coordinator.
+func (m *Member) pruneTotalLogLocked() {
+	if len(m.totalLog) == 0 {
+		return
+	}
+	min := m.totalNext - 1 // own delivery watermark
+	for _, id := range m.view.Members {
+		if id == m.cfg.NodeID {
+			continue
+		}
+		if ack := m.ackSeqs[id]; ack < min {
+			min = ack
+		}
+	}
+	for seq := m.totalLogMin; seq <= min; seq++ {
+		delete(m.totalLog, seq)
+	}
+	if min >= m.totalLogMin {
+		m.totalLogMin = min + 1
+	}
+}
+
+// totalLogSize reports the retransmission log's current size (tests).
+func (m *Member) totalLogSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.totalLog)
 }
 
 // handleGapReq retransmits logged messages a stalled member is missing.
@@ -710,6 +770,10 @@ func (m *Member) handleTotal(p totalMsg) {
 	if m.globalSeq < next-1 {
 		m.globalSeq = next - 1
 	}
+	// A coordinator's own delivery advance can move the prune watermark
+	// (it IS the minimum in a singleton view); non-coordinators hold an
+	// empty log and return immediately.
+	m.pruneTotalLogLocked()
 	// Still buffering means a hole: a totalMsg for a slot below the
 	// buffered ones was lost. Ask the coordinator to retransmit (at most
 	// once per stalled slot per heartbeat interval), or the stream stays

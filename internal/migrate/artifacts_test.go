@@ -54,21 +54,52 @@ func TestDirectoryArtifactRecords(t *testing.T) {
 
 func TestDirectoryReplaceArtifactsOf(t *testing.T) {
 	d := NewDirectory()
-	d.PutArtifact(art("aaa", "n1"))
+	if existed := d.PutArtifact(art("aaa", "n1")); existed {
+		t.Fatal("first put reported existing")
+	}
+	if existed := d.PutArtifact(art("aaa", "n1")); !existed {
+		t.Fatal("re-put did not report existing")
+	}
 	d.PutArtifact(art("bbb", "n1"))
 	d.PutArtifact(art("aaa", "n2"))
 
 	// The anti-entropy resync: n1 now holds only ccc; its stale aaa/bbb
-	// records vanish, other nodes' records survive.
-	d.ReplaceArtifactsOf("n1", []ArtifactInfo{art("ccc", "n1")})
+	// records vanish, other nodes' records survive. Deltas are exact.
+	added, updated, removed := d.ReplaceArtifactsOf("n1", []ArtifactInfo{art("ccc", "n1")})
+	if len(added) != 1 || added[0].Digest != "ccc" {
+		t.Fatalf("added = %+v", added)
+	}
+	if len(updated) != 0 {
+		t.Fatalf("updated = %+v", updated)
+	}
+	if len(removed) != 2 || removed[0].Digest != "aaa" || removed[1].Digest != "bbb" {
+		t.Fatalf("removed = %+v", removed)
+	}
 	all := d.Artifacts()
 	if len(all) != 2 || all[0].Digest != "aaa" || all[0].Node != "n2" || all[1].Digest != "ccc" {
 		t.Fatalf("after replace = %+v", all)
 	}
+	// Identical replay: no deltas at all — the property that makes
+	// periodic artifact anti-entropy silent when converged.
+	added, updated, removed = d.ReplaceArtifactsOf("n1", []ArtifactInfo{art("ccc", "n1")})
+	if len(added)+len(updated)+len(removed) != 0 {
+		t.Fatalf("replay deltas: +%v ~%v -%v", added, updated, removed)
+	}
+	// A content change surfaces as updated.
+	changed := art("ccc", "n1")
+	changed.Location = "app:moved"
+	_, updated, _ = d.ReplaceArtifactsOf("n1", []ArtifactInfo{changed})
+	if len(updated) != 1 || updated[0].Location != "app:moved" {
+		t.Fatalf("updated = %+v", updated)
+	}
 	// Records claiming another node are ignored (a node only speaks for
 	// itself in a sync).
-	d.ReplaceArtifactsOf("n2", []ArtifactInfo{art("ddd", "n3")})
+	added, updated, removed = d.ReplaceArtifactsOf("n2", []ArtifactInfo{art("ddd", "n3")})
 	if got := d.Artifacts(); len(got) != 1 || got[0].Digest != "ccc" {
 		t.Fatalf("forged sync applied: %+v", got)
+	}
+	// The forged record contributes no delta; n2's vanished aaa does.
+	if len(added) != 0 || len(updated) != 0 || len(removed) != 1 || removed[0].Digest != "aaa" {
+		t.Fatalf("forged sync deltas: +%v ~%v -%v", added, updated, removed)
 	}
 }

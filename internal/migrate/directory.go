@@ -87,13 +87,16 @@ type ArtifactInfo struct {
 
 // Directory is each node's replica of the cluster state. All mutations
 // arrive through totally-ordered broadcasts (or deterministic local
-// application on view changes), so replicas converge.
+// application on view changes), so replicas converge. The endpoint and
+// artifact record families are two instances of the same generic
+// replicated record table (records.go): identical storage, identical
+// exact-delta semantics.
 type Directory struct {
 	mu        sync.Mutex
 	instances map[core.InstanceID]InstanceInfo
 	nodes     map[string]NodeInfo
-	endpoints map[string]map[string]EndpointInfo // service → node → record
-	artifacts map[string]map[string]ArtifactInfo // digest → node → record
+	endpoints *recordTable[EndpointInfo] // key = service, holder = node
+	artifacts *recordTable[ArtifactInfo] // key = digest, holder = node
 }
 
 // NewDirectory returns an empty directory.
@@ -101,8 +104,12 @@ func NewDirectory() *Directory {
 	return &Directory{
 		instances: make(map[core.InstanceID]InstanceInfo),
 		nodes:     make(map[string]NodeInfo),
-		endpoints: make(map[string]map[string]EndpointInfo),
-		artifacts: make(map[string]map[string]ArtifactInfo),
+		endpoints: newRecordTable(
+			func(e EndpointInfo) string { return e.Service },
+			func(e EndpointInfo) string { return e.Node }),
+		artifacts: newRecordTable(
+			func(a ArtifactInfo) string { return a.Digest },
+			func(a ArtifactInfo) string { return a.Node }),
 	}
 }
 
@@ -184,18 +191,7 @@ func (d *Directory) Nodes() []NodeInfo {
 func (d *Directory) PutEndpoint(info EndpointInfo) (existed bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.putEndpointLocked(info)
-}
-
-func (d *Directory) putEndpointLocked(info EndpointInfo) (existed bool) {
-	byNode := d.endpoints[info.Service]
-	if byNode == nil {
-		byNode = make(map[string]EndpointInfo)
-		d.endpoints[info.Service] = byNode
-	}
-	_, existed = byNode[info.Node]
-	byNode[info.Node] = info
-	return existed
+	return d.endpoints.put(info)
 }
 
 // RemoveEndpoint deletes the record of service on node, returning the
@@ -203,13 +199,7 @@ func (d *Directory) putEndpointLocked(info EndpointInfo) (existed bool) {
 func (d *Directory) RemoveEndpoint(service, node string) (EndpointInfo, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	byNode := d.endpoints[service]
-	info, ok := byNode[node]
-	delete(byNode, node)
-	if len(byNode) == 0 {
-		delete(d.endpoints, service)
-	}
-	return info, ok
+	return d.endpoints.remove(service, node)
 }
 
 // RemoveEndpointsOf deletes every endpoint exported by node (crash or
@@ -218,22 +208,7 @@ func (d *Directory) RemoveEndpoint(service, node string) (EndpointInfo, bool) {
 func (d *Directory) RemoveEndpointsOf(node string) []EndpointInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.removeEndpointsOfLocked(node)
-}
-
-func (d *Directory) removeEndpointsOfLocked(node string) []EndpointInfo {
-	var removed []EndpointInfo
-	for service, byNode := range d.endpoints {
-		if info, ok := byNode[node]; ok {
-			removed = append(removed, info)
-			delete(byNode, node)
-		}
-		if len(byNode) == 0 {
-			delete(d.endpoints, service)
-		}
-	}
-	sort.Slice(removed, func(i, j int) bool { return removed[i].Service < removed[j].Service })
-	return removed
+	return d.endpoints.removeOf(node)
 }
 
 // ReplaceEndpointsOf makes infos the complete endpoint set of node,
@@ -245,44 +220,7 @@ func (d *Directory) removeEndpointsOfLocked(node string) []EndpointInfo {
 func (d *Directory) ReplaceEndpointsOf(node string, infos []EndpointInfo) (added, updated, removed []EndpointInfo) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	prev := make(map[string]EndpointInfo)
-	for service, byNode := range d.endpoints {
-		if info, ok := byNode[node]; ok {
-			prev[service] = info
-		}
-	}
-	next := make(map[string]bool, len(infos))
-	for _, info := range infos {
-		if info.Node != node {
-			continue
-		}
-		next[info.Service] = true
-		old, existed := prev[info.Service]
-		switch {
-		case !existed:
-			added = append(added, info)
-		case old != info:
-			updated = append(updated, info)
-		}
-		d.putEndpointLocked(info)
-	}
-	for service, old := range prev {
-		if !next[service] {
-			removed = append(removed, old)
-			byNode := d.endpoints[service]
-			delete(byNode, node)
-			if len(byNode) == 0 {
-				delete(d.endpoints, service)
-			}
-		}
-	}
-	byService := func(s []EndpointInfo) {
-		sort.Slice(s, func(i, j int) bool { return s[i].Service < s[j].Service })
-	}
-	byService(added)
-	byService(updated)
-	byService(removed)
-	return added, updated, removed
+	return d.endpoints.replaceOf(node, infos)
 }
 
 // EndpointsAt returns every endpoint record served at addr, sorted by
@@ -303,7 +241,7 @@ func (d *Directory) EndpointsAt(addr string) []EndpointInfo {
 func (d *Directory) AddrInUse(addr string) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, byNode := range d.endpoints {
+	for _, byNode := range d.endpoints.recs {
 		for _, info := range byNode {
 			if info.Addr == addr {
 				return true
@@ -317,101 +255,58 @@ func (d *Directory) AddrInUse(addr string) bool {
 func (d *Directory) EndpointsFor(service string) []EndpointInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]EndpointInfo, 0, len(d.endpoints[service]))
-	for _, info := range d.endpoints[service] {
-		out = append(out, info)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-	return out
+	return d.endpoints.forKey(service)
 }
 
 // Endpoints returns every endpoint record, sorted by service then node.
 func (d *Directory) Endpoints() []EndpointInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var out []EndpointInfo
-	for _, byNode := range d.endpoints {
-		for _, info := range byNode {
-			out = append(out, info)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Service != out[j].Service {
-			return out[i].Service < out[j].Service
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return d.endpoints.all()
 }
 
-// PutArtifact upserts an artifact-holding record.
-func (d *Directory) PutArtifact(info ArtifactInfo) {
+// PutArtifact upserts an artifact-holding record, reporting whether a
+// record for (digest, node) already existed — callers turn the result
+// into Added vs Updated artifact changes.
+func (d *Directory) PutArtifact(info ArtifactInfo) (existed bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.putArtifactLocked(info)
+	return d.artifacts.put(info)
 }
 
-func (d *Directory) putArtifactLocked(info ArtifactInfo) {
-	byNode := d.artifacts[info.Digest]
-	if byNode == nil {
-		byNode = make(map[string]ArtifactInfo)
-		d.artifacts[info.Digest] = byNode
-	}
-	byNode[info.Node] = info
-}
-
-// RemoveArtifact deletes node's holding record for digest.
-func (d *Directory) RemoveArtifact(digest, node string) {
+// RemoveArtifact deletes node's holding record for digest, returning the
+// removed record (ok=false when there was none).
+func (d *Directory) RemoveArtifact(digest, node string) (ArtifactInfo, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	byNode := d.artifacts[digest]
-	delete(byNode, node)
-	if len(byNode) == 0 {
-		delete(d.artifacts, digest)
-	}
+	return d.artifacts.remove(digest, node)
 }
 
 // RemoveArtifactsOf deletes every holding record of node (crash or
-// graceful leave, applied deterministically on view change).
-func (d *Directory) RemoveArtifactsOf(node string) {
+// graceful leave, applied deterministically on view change) and returns
+// the removed records sorted by digest.
+func (d *Directory) RemoveArtifactsOf(node string) []ArtifactInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.removeArtifactsOfLocked(node)
-}
-
-func (d *Directory) removeArtifactsOfLocked(node string) {
-	for digest, byNode := range d.artifacts {
-		delete(byNode, node)
-		if len(byNode) == 0 {
-			delete(d.artifacts, digest)
-		}
-	}
+	return d.artifacts.removeOf(node)
 }
 
 // ReplaceArtifactsOf makes infos the complete holding set of node — the
-// anti-entropy resync broadcast on view change, which re-converges
-// replicas that missed incremental announcements during a partition.
-func (d *Directory) ReplaceArtifactsOf(node string, infos []ArtifactInfo) {
+// anti-entropy resync broadcast on view changes and periodic resync
+// ticks. The returned deltas are exact, matching ReplaceEndpointsOf: a
+// replayed sync of a converged holding set produces no artifact changes,
+// which is what makes periodic artifact anti-entropy safe to run.
+func (d *Directory) ReplaceArtifactsOf(node string, infos []ArtifactInfo) (added, updated, removed []ArtifactInfo) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.removeArtifactsOfLocked(node)
-	for _, info := range infos {
-		if info.Node == node {
-			d.putArtifactLocked(info)
-		}
-	}
+	return d.artifacts.replaceOf(node, infos)
 }
 
 // ArtifactReplicas returns the holding records of digest, sorted by node.
 func (d *Directory) ArtifactReplicas(digest string) []ArtifactInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]ArtifactInfo, 0, len(d.artifacts[digest]))
-	for _, info := range d.artifacts[digest] {
-		out = append(out, info)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-	return out
+	return d.artifacts.forKey(digest)
 }
 
 // ArtifactByLocation returns one record of the artifact deploying at
@@ -443,19 +338,7 @@ func (d *Directory) ArtifactByLocation(location string) (ArtifactInfo, bool) {
 func (d *Directory) Artifacts() []ArtifactInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var out []ArtifactInfo
-	for _, byNode := range d.artifacts {
-		for _, info := range byNode {
-			out = append(out, info)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Digest != out[j].Digest {
-			return out[i].Digest < out[j].Digest
-		}
-		return out[i].Node < out[j].Node
-	})
-	return out
+	return d.artifacts.all()
 }
 
 // Loads computes per-node load from the directory, restricted to the given

@@ -64,41 +64,6 @@ type Event struct {
 	Err error
 }
 
-// EndpointChangeType enumerates replicated endpoint-record changes.
-type EndpointChangeType int
-
-// Endpoint-record changes, derived from totally-ordered directory
-// mutations (and from deterministic view-change pruning), so every node
-// observes the same sequence.
-const (
-	// EndpointAdded: a new (service, node) replica appeared.
-	EndpointAdded EndpointChangeType = iota + 1
-	// EndpointUpdated: an existing replica re-announced (record content
-	// or service properties changed).
-	EndpointUpdated
-	// EndpointRemoved: a replica withdrew or its node departed.
-	EndpointRemoved
-)
-
-func (t EndpointChangeType) String() string {
-	switch t {
-	case EndpointAdded:
-		return "ADDED"
-	case EndpointUpdated:
-		return "UPDATED"
-	case EndpointRemoved:
-		return "REMOVED"
-	}
-	return "UNKNOWN"
-}
-
-// EndpointChange reports one replicated endpoint-record change — the feed
-// the remote event brokers push to subscribed importers.
-type EndpointChange struct {
-	Type EndpointChangeType
-	Info EndpointInfo
-}
-
 // Wire messages (broadcast with Total ordering so every replica applies
 // the same directory mutations in the same order).
 
@@ -129,8 +94,10 @@ type artifactPut struct{ Info ArtifactInfo }
 type artifactRemove struct{ Digest, Node string }
 
 // artifactSync replaces a node's complete artifact-holding set: the
-// anti-entropy resync broadcast on every view change so repository
-// advertisements converge after partition healing.
+// anti-entropy resync broadcast on every view change and every resync
+// tick so repository advertisements converge after partition healing —
+// and, since the deltas are exact, after blips too short to change the
+// view.
 type artifactSync struct {
 	Node  string
 	Infos []ArtifactInfo
@@ -151,13 +118,13 @@ type Config struct {
 	// CheckpointEvery adds periodic checkpoints on top of the
 	// lifecycle-driven ones (0 disables).
 	CheckpointEvery time.Duration
-	// ResyncEvery is the endpoint anti-entropy period: the node
-	// re-broadcasts its authoritative endpoint set so records lost to a
-	// partition blip too short to change the membership view still
-	// converge (view changes remain the immediate resync trigger).
-	// Replaying an unchanged set fires no endpoint hooks, so a converged
-	// directory stays silent. 0 means DefaultResyncEvery; negative
-	// disables.
+	// ResyncEvery is the directory anti-entropy period: the node
+	// re-broadcasts its authoritative endpoint AND artifact-holding sets
+	// so records lost to a partition blip too short to change the
+	// membership view still converge (view changes remain the immediate
+	// resync trigger). Replaying an unchanged set fires no hooks in
+	// either family, so a converged directory stays silent. 0 means
+	// DefaultResyncEvery; negative disables.
 	ResyncEvery time.Duration
 	// OnRelocate runs after an instance lands on this node so the
 	// embedder can rebind its network endpoints (IP takeover / ipvs).
@@ -171,7 +138,7 @@ type Config struct {
 	EnsureBundles func(locations []string, done func(error))
 }
 
-// DefaultResyncEvery is the default endpoint anti-entropy period.
+// DefaultResyncEvery is the default directory anti-entropy period.
 const DefaultResyncEvery = 2 * time.Second
 
 // Errors returned by the module.
@@ -195,18 +162,13 @@ type Module struct {
 	listeners   []func(Event)
 	ckptTimer   clock.Timer
 	resyncTimer clock.Timer
-	// exported tracks the endpoints this node itself announced, keyed by
-	// service, so they can be re-broadcast on every view change.
-	exported map[string]EndpointInfo
-	// held tracks the artifacts this node itself announced, keyed by
-	// digest, re-broadcast on every view change (anti-entropy resync).
-	held map[string]ArtifactInfo
-	// artifactHooks fire after any replicated artifact-record change so
-	// the provisioning layer can re-evaluate its replication duties.
-	artifactHooks []func()
-	// endpointHooks fire on every replicated endpoint-record change
-	// (incremental put/remove, resync deltas, view-change pruning).
-	endpointHooks []func(EndpointChange)
+	// eps and arts are the two instances of the shared replicated-record
+	// engine (records.go): endpoints keyed by service, artifact holdings
+	// keyed by digest. Each tracks the records this node itself owns
+	// (re-broadcast on every view change and anti-entropy tick) and the
+	// exact-delta subscriber hooks.
+	eps  *recordFamily[EndpointInfo]
+	arts *recordFamily[ArtifactInfo]
 }
 
 // NewModule builds the module; call Start *before* starting the group
@@ -225,8 +187,20 @@ func NewModule(cfg Config) (*Module, error) {
 		cfg:       cfg,
 		dir:       NewDirectory(),
 		migrating: make(map[core.InstanceID]bool),
-		exported:  make(map[string]EndpointInfo),
-		held:      make(map[string]ArtifactInfo),
+		eps: &recordFamily[EndpointInfo]{
+			key:        func(e EndpointInfo) string { return e.Service },
+			owned:      make(map[string]EndpointInfo),
+			wirePut:    func(e EndpointInfo) any { return endpointPut{Info: e} },
+			wireRemove: func(service, node string) any { return endpointRemove{Service: service, Node: node} },
+			wireSync:   func(node string, infos []EndpointInfo) any { return endpointSync{Node: node, Infos: infos} },
+		},
+		arts: &recordFamily[ArtifactInfo]{
+			key:        func(a ArtifactInfo) string { return a.Digest },
+			owned:      make(map[string]ArtifactInfo),
+			wirePut:    func(a ArtifactInfo) any { return artifactPut{Info: a} },
+			wireRemove: func(digest, node string) any { return artifactRemove{Digest: digest, Node: node} },
+			wireSync:   func(node string, infos []ArtifactInfo) any { return artifactSync{Node: node, Infos: infos} },
+		},
 	}, nil
 }
 
@@ -289,26 +263,23 @@ func (m *Module) Stop() {
 	m.started = false
 }
 
-// antiEntropy re-broadcasts this node's authoritative endpoint set. A
-// total-order broadcast lost to a partition blip short enough to leave
-// the membership view intact has no view change to trigger the resync;
-// this periodic replay converges those records too. Exact deltas mean a
-// converged directory produces no endpoint events.
+// antiEntropy re-broadcasts this node's authoritative record sets —
+// endpoints AND artifact holdings. A total-order broadcast lost to a
+// partition blip short enough to leave the membership view intact has no
+// view change to trigger the resync; this periodic replay converges
+// those records too. Exact deltas mean a converged directory produces no
+// events in either family.
 func (m *Module) antiEntropy() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.started || !m.announced {
 		return
 	}
-	infos := make([]EndpointInfo, 0, len(m.exported))
-	for _, info := range m.exported {
-		infos = append(infos, info)
-	}
-	sort.Slice(infos, func(i, j int) bool { return infos[i].Service < infos[j].Service })
 	// Snapshot and broadcast atomically: a sync submitted after a
 	// concurrent announce/withdraw must reflect it, or total-order
 	// sequencing could apply the stale snapshot last.
-	m.broadcast(endpointSync{Node: m.cfg.NodeID, Infos: infos})
+	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
+	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
 }
 
 // CheckpointPath returns the SAN location of an instance's state.
@@ -349,16 +320,7 @@ func (m *Module) AnnounceEndpoint(service, addr string) {
 // exports). Re-announcing an existing (service, node) record surfaces as
 // an UPDATED endpoint change — a MODIFIED service event — on every node.
 func (m *Module) AnnounceEndpointFor(service, addr, instance string) {
-	info := EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance}
-	m.mu.Lock()
-	m.exported[service] = info
-	// Broadcast under the lock: endpoint broadcasts must submit in the
-	// same order the local state mutates, or a concurrent anti-entropy
-	// sync whose snapshot predates this change could be sequenced after
-	// it and briefly erase the endpoint cluster-wide (m.mu → member
-	// internals is a safe lock order; deliveries run with both released).
-	m.broadcast(endpointPut{Info: info})
-	m.mu.Unlock()
+	announceRecord(m, m.eps, EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance})
 }
 
 // WithdrawEndpoint broadcasts that this node's host framework stopped
@@ -375,14 +337,12 @@ func (m *Module) WithdrawEndpoint(service string) {
 // erasing the surviving owner's record cluster-wide.
 func (m *Module) WithdrawEndpointFor(service, instance string) {
 	m.mu.Lock()
-	info, owned := m.exported[service]
+	info, owned := m.eps.owned[service]
 	if !owned || info.Instance != instance {
 		m.mu.Unlock()
 		return
 	}
-	delete(m.exported, service)
-	// Under the lock for the same submission-order reason as announce.
-	m.broadcast(endpointRemove{Service: service, Node: m.cfg.NodeID})
+	withdrawRecordLocked(m, m.eps, service)
 	m.mu.Unlock()
 }
 
@@ -391,25 +351,50 @@ func (m *Module) WithdrawEndpointFor(service, instance string) {
 // verified fetch).
 func (m *Module) AnnounceArtifact(info ArtifactInfo) {
 	info.Node = m.cfg.NodeID
-	m.mu.Lock()
-	m.held[info.Digest] = info
-	m.mu.Unlock()
-	m.broadcast(artifactPut{Info: info})
+	announceRecord(m, m.arts, info)
 }
 
 // WithdrawArtifact broadcasts that this node no longer holds the artifact.
 func (m *Module) WithdrawArtifact(digest string) {
 	m.mu.Lock()
-	delete(m.held, digest)
+	if _, owned := m.arts.owned[digest]; owned {
+		withdrawRecordLocked(m, m.arts, digest)
+	}
 	m.mu.Unlock()
-	m.broadcast(artifactRemove{Digest: digest, Node: m.cfg.NodeID})
 }
 
-// OnArtifactChange subscribes to replicated artifact-record changes.
-func (m *Module) OnArtifactChange(fn func()) {
+// announceRecord records info as locally owned and broadcasts the put.
+// The broadcast submits under the module lock: record broadcasts must
+// sequence in the same order the local state mutates, or a concurrent
+// anti-entropy sync whose snapshot predates this change could be
+// sequenced after it and briefly erase the record cluster-wide (m.mu →
+// member internals is a safe lock order; deliveries run with both
+// released). This holds on a real clock, not just the single-threaded
+// simulator — both families now share it.
+func announceRecord[V comparable](m *Module, f *recordFamily[V], info V) {
+	m.mu.Lock()
+	f.owned[f.key(info)] = info
+	m.broadcast(f.wirePut(info))
+	m.mu.Unlock()
+}
+
+// withdrawRecordLocked drops local ownership of key and broadcasts the
+// removal, under the module lock for the same submission-order reason as
+// announceRecord. Callers hold m.mu.
+func withdrawRecordLocked[V comparable](m *Module, f *recordFamily[V], key string) {
+	delete(f.owned, key)
+	m.broadcast(f.wireRemove(key, m.cfg.NodeID))
+}
+
+// OnArtifactChange subscribes to replicated artifact-record changes. The
+// deltas are exact — a converged anti-entropy resync fires nothing — so
+// subscribers (replication duty, provisioning caches) can trust every
+// delivered change to be a real one instead of re-scanning the whole
+// index on every hook.
+func (m *Module) OnArtifactChange(fn func(ArtifactChange)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.artifactHooks = append(m.artifactHooks, fn)
+	m.arts.hooks = append(m.arts.hooks, fn)
 }
 
 // OnEndpointChange subscribes to replicated endpoint-record changes. The
@@ -419,38 +404,139 @@ func (m *Module) OnArtifactChange(fn func()) {
 func (m *Module) OnEndpointChange(fn func(EndpointChange)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.endpointHooks = append(m.endpointHooks, fn)
+	m.eps.hooks = append(m.eps.hooks, fn)
 }
 
-func (m *Module) notifyEndpoints(changes ...EndpointChange) {
-	if len(changes) == 0 {
+// EndpointStats returns the endpoint family's directory counters.
+func (m *Module) EndpointStats() FamilyStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eps.stats
+}
+
+// ArtifactStats returns the artifact family's directory counters.
+func (m *Module) ArtifactStats() FamilyStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arts.stats
+}
+
+// notifyRecords fans exact deltas out to the family's subscribers,
+// counting them. Hooks run with no locks held.
+func notifyRecords[V comparable](m *Module, f *recordFamily[V], chs ...Change[V]) {
+	if len(chs) == 0 {
 		return
 	}
 	m.mu.Lock()
-	hooks := append(make([]func(EndpointChange), 0, len(m.endpointHooks)), m.endpointHooks...)
+	for _, ch := range chs {
+		switch ch.Type {
+		case Added:
+			f.stats.Added++
+		case Updated:
+			f.stats.Updated++
+		case Removed:
+			f.stats.Removed++
+		}
+	}
+	hooks := append(make([]func(Change[V]), 0, len(f.hooks)), f.hooks...)
 	m.mu.Unlock()
 	for _, fn := range hooks {
-		for _, ch := range changes {
+		for _, ch := range chs {
 			fn(ch)
 		}
 	}
 }
 
-// endpointChanges maps directory deltas of one kind onto changes.
-func endpointChanges(kind EndpointChangeType, infos []EndpointInfo) []EndpointChange {
-	out := make([]EndpointChange, len(infos))
-	for i, info := range infos {
-		out[i] = EndpointChange{Type: kind, Info: info}
+// recordHolderLive reports whether a replicated mutation's holder is
+// still a member of the current view. Mutations from departed holders
+// are dropped: a message sequenced before the holder's departure but
+// applied after it — the view-install flush path — would otherwise
+// resurrect dead records on exactly the replicas that buffered it,
+// making dead-holder pruning nondeterministic under concurrent view
+// changes. By apply time every member has the new view installed, so
+// every member drops (or keeps) the same mutations.
+func recordHolderLive[V comparable](m *Module, f *recordFamily[V], holder string) bool {
+	if m.cfg.Member.View().Contains(holder) {
+		return true
 	}
-	return out
+	m.mu.Lock()
+	f.stats.Filtered++
+	m.mu.Unlock()
+	return false
 }
 
-func (m *Module) notifyArtifacts() {
+// applyRecordPut applies a replicated incremental put. A re-announcement
+// of an existing record (even with identical content) is deliberately an
+// Updated change: it is how a holder signals a MODIFIED service to
+// remote listeners.
+func applyRecordPut[V comparable](m *Module, f *recordFamily[V], holder string, info V, put func(V) bool) {
+	if !recordHolderLive(m, f, holder) {
+		return
+	}
 	m.mu.Lock()
-	hooks := append(make([]func(), 0, len(m.artifactHooks)), m.artifactHooks...)
+	f.stats.Puts++
 	m.mu.Unlock()
-	for _, fn := range hooks {
-		fn()
+	kind := Added
+	if put(info) {
+		kind = Updated
+	}
+	notifyRecords(m, f, Change[V]{Type: kind, Info: info})
+}
+
+// applyRecordRemove applies a replicated incremental removal.
+func applyRecordRemove[V comparable](m *Module, f *recordFamily[V], holder, key string, remove func(key, holder string) (V, bool)) {
+	if !recordHolderLive(m, f, holder) {
+		return
+	}
+	m.mu.Lock()
+	f.stats.Removes++
+	m.mu.Unlock()
+	if info, ok := remove(key, holder); ok {
+		notifyRecords(m, f, Change[V]{Type: Removed, Info: info})
+	}
+}
+
+// applyRecordSync applies a replicated authoritative per-holder sync,
+// emitting only the exact deltas. A converged replay is silent.
+func applyRecordSync[V comparable](m *Module, f *recordFamily[V], holder string, infos []V, replace func(string, []V) (added, updated, removed []V)) {
+	if !recordHolderLive(m, f, holder) {
+		return
+	}
+	added, updated, removed := replace(holder, infos)
+	m.mu.Lock()
+	f.stats.Syncs++
+	if len(added)+len(updated)+len(removed) == 0 {
+		f.stats.SilentSyncs++
+	}
+	m.mu.Unlock()
+	notifyRecords(m, f, changes(Added, added)...)
+	notifyRecords(m, f, changes(Updated, updated)...)
+	notifyRecords(m, f, changes(Removed, removed)...)
+}
+
+// pruneDeadHolders removes every record of this family whose holder left
+// the view, notifying exact Removed deltas. Every replica prunes the
+// same records from the same view in the same (sorted) holder order, so
+// directories converge without a broadcast.
+func pruneDeadHolders[V comparable](m *Module, f *recordFamily[V], holderOf func(V) string,
+	all func() []V, removeOf func(string) []V, memberSet map[string]bool) {
+	dead := make(map[string]bool)
+	for _, v := range all() {
+		if !memberSet[holderOf(v)] {
+			dead[holderOf(v)] = true
+		}
+	}
+	holders := make([]string, 0, len(dead))
+	for node := range dead {
+		holders = append(holders, node)
+	}
+	sort.Strings(holders)
+	for _, node := range holders {
+		removed := removeOf(node)
+		m.mu.Lock()
+		f.stats.Pruned += int64(len(removed))
+		m.mu.Unlock()
+		notifyRecords(m, f, changes(Removed, removed)...)
 	}
 }
 
@@ -461,22 +547,6 @@ func (m *Module) notifyArtifacts() {
 func (m *Module) onView(v gcs.View) {
 	m.mu.Lock()
 	m.announced = true
-	localEndpoints := make([]EndpointInfo, 0, len(m.exported))
-	for _, info := range m.exported {
-		localEndpoints = append(localEndpoints, info)
-	}
-	localArtifacts := make([]ArtifactInfo, 0, len(m.held))
-	for _, info := range m.held {
-		localArtifacts = append(localArtifacts, info)
-	}
-	m.mu.Unlock()
-	sort.Slice(localEndpoints, func(i, j int) bool {
-		return localEndpoints[i].Service < localEndpoints[j].Service
-	})
-	sort.Slice(localArtifacts, func(i, j int) bool {
-		return localArtifacts[i].Digest < localArtifacts[j].Digest
-	})
-
 	m.broadcast(nodeAnnounce{Info: NodeInfo{
 		Node:        m.cfg.NodeID,
 		CPUCapacity: m.cfg.CPUCapacity,
@@ -484,8 +554,13 @@ func (m *Module) onView(v gcs.View) {
 	}})
 	// Authoritative resync, not incremental puts: an empty set clears
 	// records peers kept while a withdrawal was partitioned away.
-	m.broadcast(endpointSync{Node: m.cfg.NodeID, Infos: localEndpoints})
-	m.broadcast(artifactSync{Node: m.cfg.NodeID, Infos: localArtifacts})
+	// Snapshot and broadcast under the lock, like every other record
+	// broadcast — on a real clock a concurrent announce could otherwise
+	// sequence between an unlocked snapshot and its submission, and the
+	// stale snapshot would erase it.
+	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
+	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
+	m.mu.Unlock()
 	for _, inst := range m.cfg.Manager.List() {
 		m.mu.Lock()
 		moving := m.migrating[inst.ID()]
@@ -502,38 +577,13 @@ func (m *Module) onView(v gcs.View) {
 	for _, id := range v.Members {
 		memberSet[id] = true
 	}
-	// Service endpoints of departed nodes vanish with them; every replica
-	// prunes the same records from the same view, so directories converge
-	// without a broadcast.
-	deadExporters := make(map[string]bool)
-	for _, ep := range m.dir.Endpoints() {
-		if !memberSet[ep.Node] {
-			deadExporters[ep.Node] = true
-		}
-	}
-	var deadExporterIDs []string
-	for node := range deadExporters {
-		deadExporterIDs = append(deadExporterIDs, node)
-	}
-	sort.Strings(deadExporterIDs)
-	for _, node := range deadExporterIDs {
-		removed := m.dir.RemoveEndpointsOf(node)
-		m.notifyEndpoints(endpointChanges(EndpointRemoved, removed)...)
-	}
-	// Artifact holdings of departed nodes vanish the same way; the
-	// provisioning layer re-evaluates replication afterwards.
-	deadHolders := make(map[string]bool)
-	for _, art := range m.dir.Artifacts() {
-		if !memberSet[art.Node] {
-			deadHolders[art.Node] = true
-		}
-	}
-	for node := range deadHolders {
-		m.dir.RemoveArtifactsOf(node)
-	}
-	if len(deadHolders) > 0 {
-		m.notifyArtifacts()
-	}
+	// Records of departed holders vanish with them — endpoints and
+	// artifact holdings through the identical engine path, with exact
+	// Removed deltas for both families' subscribers.
+	pruneDeadHolders(m, m.eps, func(e EndpointInfo) string { return e.Node },
+		m.dir.Endpoints, m.dir.RemoveEndpointsOf, memberSet)
+	pruneDeadHolders(m, m.arts, func(a ArtifactInfo) string { return a.Node },
+		m.dir.Artifacts, m.dir.RemoveArtifactsOf, memberSet)
 	lostNodes := make(map[string]bool)
 	var failed []InstanceInfo
 	for _, info := range m.dir.Instances() {
@@ -652,32 +702,17 @@ func (m *Module) onDeliver(msg gcs.Message) {
 	case instanceRemove:
 		m.dir.RemoveInstance(body.ID)
 	case endpointPut:
-		// A re-announcement of an existing record (even with identical
-		// content) is deliberately an UPDATED change: it is how a node
-		// signals a MODIFIED service to remote listeners.
-		if m.dir.PutEndpoint(body.Info) {
-			m.notifyEndpoints(EndpointChange{Type: EndpointUpdated, Info: body.Info})
-		} else {
-			m.notifyEndpoints(EndpointChange{Type: EndpointAdded, Info: body.Info})
-		}
+		applyRecordPut(m, m.eps, body.Info.Node, body.Info, m.dir.PutEndpoint)
 	case endpointRemove:
-		if info, ok := m.dir.RemoveEndpoint(body.Service, body.Node); ok {
-			m.notifyEndpoints(EndpointChange{Type: EndpointRemoved, Info: info})
-		}
+		applyRecordRemove(m, m.eps, body.Node, body.Service, m.dir.RemoveEndpoint)
 	case endpointSync:
-		added, updated, removed := m.dir.ReplaceEndpointsOf(body.Node, body.Infos)
-		m.notifyEndpoints(endpointChanges(EndpointAdded, added)...)
-		m.notifyEndpoints(endpointChanges(EndpointUpdated, updated)...)
-		m.notifyEndpoints(endpointChanges(EndpointRemoved, removed)...)
+		applyRecordSync(m, m.eps, body.Node, body.Infos, m.dir.ReplaceEndpointsOf)
 	case artifactPut:
-		m.dir.PutArtifact(body.Info)
-		m.notifyArtifacts()
+		applyRecordPut(m, m.arts, body.Info.Node, body.Info, m.dir.PutArtifact)
 	case artifactRemove:
-		m.dir.RemoveArtifact(body.Digest, body.Node)
-		m.notifyArtifacts()
+		applyRecordRemove(m, m.arts, body.Node, body.Digest, m.dir.RemoveArtifact)
 	case artifactSync:
-		m.dir.ReplaceArtifactsOf(body.Node, body.Infos)
-		m.notifyArtifacts()
+		applyRecordSync(m, m.arts, body.Node, body.Infos, m.dir.ReplaceArtifactsOf)
 	case migrationAnnounce:
 		m.dir.PutInstance(body.Info)
 		if body.From == m.cfg.NodeID {

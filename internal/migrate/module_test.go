@@ -34,8 +34,12 @@ type testCluster struct {
 }
 
 func newTestCluster(t *testing.T, n int) *testCluster {
+	return newTestClusterSeed(t, n, 1)
+}
+
+func newTestClusterSeed(t *testing.T, n int, seed int64) *testCluster {
 	t.Helper()
-	eng := sim.New(1)
+	eng := sim.New(seed)
 	tc := &testCluster{
 		t:     t,
 		eng:   eng,

@@ -1,0 +1,266 @@
+// The unified replicated-directory record layer: one generic engine
+// under BOTH record families the directory replicates per holder node —
+// service endpoints (key = service name) and artifact holdings (key =
+// content digest). Everything a family needs to stay convergent and
+// observable is defined once here:
+//
+//   - storage keyed (record key → holder node → record) with total-order
+//     put/remove and authoritative per-holder sync;
+//   - exact delta computation — an unchanged record replayed by a resync
+//     appears in no delta list, so a converged anti-entropy replay is
+//     silent and subscribers never see spurious events;
+//   - deterministic dead-holder pruning on view changes, plus a
+//     deliver-side membership filter so a mutation sequenced before a
+//     holder's departure but applied after it (the view-install flush
+//     path) cannot resurrect a dead holder's records on some replicas;
+//   - per-family counters for the cluster metrics plane.
+//
+// The migration module instantiates the engine twice; the family structs
+// below carry the per-family wiring (key extraction, wire-message
+// constructors, owned-set) while module.go owns the lock, the broadcast
+// submission order and the gcs plumbing.
+
+package migrate
+
+import "sort"
+
+// ChangeType enumerates replicated record-change kinds, shared by every
+// record family of the directory.
+type ChangeType int
+
+// Record changes, derived from totally-ordered directory mutations (and
+// from deterministic view-change pruning), so every node observes the
+// same sequence.
+const (
+	// Added: a new (key, holder) record appeared.
+	Added ChangeType = iota + 1
+	// Updated: an existing record re-announced (content changed, or an
+	// identical incremental re-put — how a holder signals MODIFIED).
+	Updated
+	// Removed: a record withdrew or its holder node departed.
+	Removed
+)
+
+func (t ChangeType) String() string {
+	switch t {
+	case Added:
+		return "ADDED"
+	case Updated:
+		return "UPDATED"
+	case Removed:
+		return "REMOVED"
+	}
+	return "UNKNOWN"
+}
+
+// Change reports one replicated record change of family V — the exact
+// deltas subscribers consume.
+type Change[V any] struct {
+	Type ChangeType
+	Info V
+}
+
+// Endpoint-record changes keep their established names; they are the
+// same types the artifact family now shares.
+type (
+	// EndpointChangeType aliases the shared change kind.
+	EndpointChangeType = ChangeType
+	// EndpointChange reports one replicated endpoint-record change — the
+	// feed the remote event brokers push to subscribed importers.
+	EndpointChange = Change[EndpointInfo]
+	// ArtifactChange reports one replicated artifact-record change — the
+	// feed replication duty and provisioning hooks consume. Exact deltas:
+	// a converged resync produces none.
+	ArtifactChange = Change[ArtifactInfo]
+)
+
+// Endpoint-change kinds (aliases of the shared kinds).
+const (
+	EndpointAdded   = Added
+	EndpointUpdated = Updated
+	EndpointRemoved = Removed
+)
+
+// recordTable is the storage half of the engine: one family's records
+// keyed (key → holder → record). It is not self-locking — the Directory
+// guards both tables with its single mutex so cross-family reads stay
+// consistent.
+type recordTable[V comparable] struct {
+	key    func(V) string
+	holder func(V) string
+	recs   map[string]map[string]V
+}
+
+func newRecordTable[V comparable](key, holder func(V) string) *recordTable[V] {
+	return &recordTable[V]{key: key, holder: holder, recs: make(map[string]map[string]V)}
+}
+
+// put upserts a record, reporting whether a record for (key, holder)
+// already existed — callers turn the result into Added vs Updated.
+func (t *recordTable[V]) put(v V) (existed bool) {
+	byHolder := t.recs[t.key(v)]
+	if byHolder == nil {
+		byHolder = make(map[string]V)
+		t.recs[t.key(v)] = byHolder
+	}
+	_, existed = byHolder[t.holder(v)]
+	byHolder[t.holder(v)] = v
+	return existed
+}
+
+// remove deletes holder's record for key, returning the removed record
+// (ok=false when there was none).
+func (t *recordTable[V]) remove(key, holder string) (V, bool) {
+	byHolder := t.recs[key]
+	v, ok := byHolder[holder]
+	delete(byHolder, holder)
+	if len(byHolder) == 0 {
+		delete(t.recs, key)
+	}
+	return v, ok
+}
+
+// removeOf deletes every record of holder (crash or graceful leave,
+// applied deterministically on view change) and returns the removed
+// records sorted by key.
+func (t *recordTable[V]) removeOf(holder string) []V {
+	var removed []V
+	for key, byHolder := range t.recs {
+		if v, ok := byHolder[holder]; ok {
+			removed = append(removed, v)
+			delete(byHolder, holder)
+		}
+		if len(byHolder) == 0 {
+			delete(t.recs, key)
+		}
+	}
+	t.sortByKey(removed)
+	return removed
+}
+
+// replaceOf makes vs the complete record set of holder, dropping any
+// stale records — the authoritative resync each node broadcasts on view
+// change and anti-entropy ticks. The returned deltas are exact (an
+// unchanged record appears in neither list), so a replayed sync of a
+// converged directory produces no events. Records claiming another
+// holder are ignored: a node only speaks for itself in a sync.
+func (t *recordTable[V]) replaceOf(holder string, vs []V) (added, updated, removed []V) {
+	prev := make(map[string]V)
+	for key, byHolder := range t.recs {
+		if v, ok := byHolder[holder]; ok {
+			prev[key] = v
+		}
+	}
+	next := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		if t.holder(v) != holder {
+			continue
+		}
+		key := t.key(v)
+		next[key] = true
+		old, existed := prev[key]
+		switch {
+		case !existed:
+			added = append(added, v)
+		case old != v:
+			updated = append(updated, v)
+		}
+		t.put(v)
+	}
+	for key, old := range prev {
+		if !next[key] {
+			removed = append(removed, old)
+			t.remove(key, holder)
+		}
+	}
+	t.sortByKey(added)
+	t.sortByKey(updated)
+	t.sortByKey(removed)
+	return added, updated, removed
+}
+
+// forKey returns the records of key, sorted by holder.
+func (t *recordTable[V]) forKey(key string) []V {
+	out := make([]V, 0, len(t.recs[key]))
+	for _, v := range t.recs[key] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return t.holder(out[i]) < t.holder(out[j]) })
+	return out
+}
+
+// all returns every record, sorted by key then holder.
+func (t *recordTable[V]) all() []V {
+	var out []V
+	for _, byHolder := range t.recs {
+		for _, v := range byHolder {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if t.key(out[i]) != t.key(out[j]) {
+			return t.key(out[i]) < t.key(out[j])
+		}
+		return t.holder(out[i]) < t.holder(out[j])
+	})
+	return out
+}
+
+func (t *recordTable[V]) sortByKey(vs []V) {
+	sort.Slice(vs, func(i, j int) bool { return t.key(vs[i]) < t.key(vs[j]) })
+}
+
+// FamilyStats counts one record family's replicated-directory activity
+// on one node: wire messages applied, exact deltas emitted, silent
+// (already-converged) resyncs, records pruned with a departed holder and
+// mutations filtered because their holder had already left the view.
+type FamilyStats struct {
+	Puts, Removes, Syncs    int64
+	Added, Updated, Removed int64
+	// SilentSyncs counts applied syncs that changed nothing — the
+	// signature of converged anti-entropy.
+	SilentSyncs int64
+	// Pruned counts records dropped deterministically with a dead holder
+	// on view changes.
+	Pruned int64
+	// Filtered counts put/remove/sync messages dropped because the
+	// holder was no longer a view member at apply time.
+	Filtered int64
+}
+
+// recordFamily is the module-side half of the engine for one family:
+// the records this node itself owns (re-broadcast on every view change
+// and anti-entropy tick), the exact-delta subscriber hooks, wire-message
+// constructors and the family's counters. Guarded by the module's lock.
+type recordFamily[V comparable] struct {
+	key   func(V) string
+	owned map[string]V
+	hooks []func(Change[V])
+	stats FamilyStats
+
+	// Wire-message constructors: put/remove are the incremental
+	// mutations, sync the authoritative per-holder replacement.
+	wirePut    func(V) any
+	wireRemove func(key, node string) any
+	wireSync   func(node string, infos []V) any
+}
+
+// localSet snapshots the owned records sorted by key. Callers hold the
+// module lock.
+func (f *recordFamily[V]) localSet() []V {
+	infos := make([]V, 0, len(f.owned))
+	for _, v := range f.owned {
+		infos = append(infos, v)
+	}
+	sort.Slice(infos, func(i, j int) bool { return f.key(infos[i]) < f.key(infos[j]) })
+	return infos
+}
+
+// changes maps one delta list of one kind onto change events.
+func changes[V comparable](kind ChangeType, infos []V) []Change[V] {
+	out := make([]Change[V], len(infos))
+	for i, v := range infos {
+		out[i] = Change[V]{Type: kind, Info: v}
+	}
+	return out
+}

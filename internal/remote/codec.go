@@ -34,6 +34,14 @@
 // suspended delivery) heals cheaper, by replaying the missing range from
 // the broker's window. Either way "every delivered event is a real
 // change" holds across reconnects, replays and resyncs.
+//
+// Endpoint resolution and the event feed are both supplied by the
+// embedder (EndpointResolver / Publish), which the cluster backs with
+// the unified replicated directory of internal/migrate: one exact-delta
+// record engine under both service endpoints and provisioning artifacts,
+// so the deltas brokers push — and the replicas fetchers resolve — share
+// the same convergence guarantees (total-order mutation, per-holder
+// resync, periodic anti-entropy, deterministic dead-holder pruning).
 package remote
 
 import (
