@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: all fmt vet staticcheck lint build test test-race test-chaos bench check
+.PHONY: all fmt vet staticcheck lint build test test-race test-chaos bench bench-json check
 
 all: check
 
@@ -48,6 +48,13 @@ test-chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+
+# Machine-readable benchmark trajectory: E10–E12 written to
+# BENCH_remote.json / BENCH_provision.json / BENCH_events.json at the
+# repo root. Commit the refreshed files after performance work — their
+# git history is the trajectory.
+bench-json:
+	$(GO) run ./cmd/benchjson -out .
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt vet build test

@@ -1,0 +1,93 @@
+// Command benchjson runs the scale experiments — E10 remote invocation,
+// E11 chunked artifact transfer, E12 event backpressure — and writes one
+// JSON file per experiment into the output directory:
+//
+//	BENCH_remote.json     E10: pipelined pool vs conn-per-call
+//	BENCH_provision.json  E11: transfer throughput across chunk sizes
+//	BENCH_events.json     E12: fast/slow subscribers, flow control off/on
+//
+// `make bench-json` runs it at the repository root. Committing the
+// refreshed files after performance work builds a benchmark trajectory
+// in git history — `git log -p BENCH_remote.json` is the performance
+// story of the remote stack, point by point. E10 and E11 run on the
+// deterministic simulator (identical numbers on every machine); E12
+// runs on real TCP with a wall clock, so its latencies vary with the
+// host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dosgi/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for the BENCH_*.json files")
+	calls := flag.Int("calls", 5000, "E10: invocations per mode")
+	window := flag.Int("window", 32, "E10: outstanding invocations")
+	bytes := flag.Int64("bytes", 4<<20, "E11: artifact size")
+	fetchWindow := flag.Int("fetch-window", 8, "E11: chunk requests in flight")
+	events := flag.Int("events", 2000, "E12: events published per mode")
+	creditWindow := flag.Int64("credit-window", 64, "E12: broker credit window")
+	slowDelay := flag.Duration("slow-delay", time.Millisecond, "E12: slow subscriber per-event delay")
+	flag.Parse()
+
+	chunkSizes := []int64{4 << 10, 64 << 10, 1 << 20}
+
+	e10, err := experiments.E10RemoteInvocation(*calls, *window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeReport(*out, "BENCH_remote.json", "E10RemoteInvocation", map[string]any{
+		"calls": *calls, "window": *window,
+	}, e10)
+
+	e11, err := experiments.E11ArtifactTransfer(*bytes, chunkSizes, *fetchWindow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeReport(*out, "BENCH_provision.json", "E11ArtifactTransfer", map[string]any{
+		"bytes": *bytes, "chunkSizes": chunkSizes, "window": *fetchWindow,
+	}, e11)
+
+	e12, err := experiments.E12EventBackpressure(*events, *creditWindow, *slowDelay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeReport(*out, "BENCH_events.json", "E12EventBackpressure", map[string]any{
+		"events": *events, "creditWindow": *creditWindow, "slowDelayNs": slowDelay.Nanoseconds(),
+	}, e12)
+}
+
+// report is one experiment's trajectory point. Durations inside rows
+// marshal as integer nanoseconds (time.Duration's JSON form).
+type report struct {
+	Experiment string         `json:"experiment"`
+	Generated  string         `json:"generated"`
+	Params     map[string]any `json:"params"`
+	Rows       any            `json:"rows"`
+}
+
+func writeReport(dir, file, experiment string, params map[string]any, rows any) {
+	rep := report{
+		Experiment: experiment,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Params:     params,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%s)\n", path, experiment)
+}

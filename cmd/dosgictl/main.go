@@ -15,6 +15,10 @@
 //	dosgictl repo seed
 //	dosgictl repo
 //	dosgictl deploy app:greeter
+//	dosgictl metrics
+//	dosgictl metrics obs:self
+//	dosgictl trace
+//	dosgictl trace 8c736ec100000001
 //
 // call invokes a remotely exported service through the daemon's remote
 // invocation stack (see internal/remote); arguments are parsed by the
@@ -36,6 +40,18 @@
 // many pushes the broker may send unacknowledged before it suspends
 // delivery; 0 disables flow control). Raise -timeout when waiting for
 // live events; the daemon gives up after its own 30s window.
+//
+// metrics is the one-stop metrics pull: one command prints every
+// metrics provider — the hot-path latency histograms (invoker call,
+// pool wait, frame round-trip, event ack lag, chunk fetch; each with
+// count/p50/p99/p999/max under obs:self), framework counts and
+// provisioning counters — of the addressed daemon AND of every peer it
+// was started with, each line prefixed by its origin. An optional
+// provider name narrows the sweep. trace with no argument lists the
+// daemon's recent traces (id, service.method, duration); trace <id>
+// prints that trace's spans assembled across the daemon and its peers:
+// each client attempt with its failover cause, paired with the
+// server-side execution (queue/handler split) it reached.
 package main
 
 import (

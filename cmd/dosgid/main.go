@@ -18,6 +18,8 @@
 //	SUBSCRIBE <count> [filter] [addr] [window]
 //	DEPLOY <location>
 //	REPO [LIST|SEED]
+//	METRICS [provider]
+//	TRACE [id]
 //	LOG [n]
 //	QUIT
 //
@@ -47,6 +49,17 @@
 // ("local" plus the peer addresses advertising it, queried live from the
 // peers' repository services); REPO SEED publishes the built-in signed
 // sample artifacts so a peer daemon can DEPLOY them.
+//
+// METRICS is the one-stop metrics pull: it prints every metrics
+// provider of this daemon (histogram percentiles of the hot paths under
+// obs:self, framework counts, provisioning counters) AND of every -peer
+// daemon — each line prefixed with its origin — by reading the peers'
+// exported dosgi.metrics service over the remote stack. An optional
+// provider name narrows the sweep. TRACE with no argument lists recent
+// locally initiated traces (id, service.method, duration); TRACE <id>
+// assembles that trace's spans from this daemon and every peer, merged
+// in start order — client attempts, their failover causes, and the
+// server-side executions (with queue/handler split) they reached.
 package main
 
 import (
@@ -66,6 +79,7 @@ import (
 	"dosgi/internal/core"
 	"dosgi/internal/manifest"
 	"dosgi/internal/module"
+	"dosgi/internal/obs"
 	"dosgi/internal/provision"
 	"dosgi/internal/remote"
 	"dosgi/internal/security"
@@ -133,6 +147,13 @@ type daemon struct {
 	peers      []string
 	repo       *provision.Store
 	deployer   *provision.Deployer
+
+	// plane is this daemon's observability plane (tracer + hot-path
+	// histograms); metricsRd reads it — locally for the admin verbs and
+	// over the wire as the exported dosgi.metrics service.
+	plane     *obs.Plane
+	metrics   *services.MetricsService
+	metricsRd *services.MetricsRemote
 
 	// instExp exports services registered inside started virtual
 	// instances (one exporter per instance).
@@ -432,9 +453,18 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		return nil, err
 	}
 	d.remoteAddr = remoteLn.Addr().String()
+	// The observability plane: the daemon's node name is its remote
+	// listener address (unique per process), its time base the real
+	// scheduler's monotonic clock. Every hot path below feeds it.
+	d.plane = obs.NewPlane(d.remoteAddr, sched.Now)
+	d.metrics = services.NewMetricsService()
+	d.metrics.RegisterProvider("obs:self", d.plane.Provider())
+	d.metrics.RegisterProvider("framework:dosgid", services.FrameworkProvider(host))
 	// The event broker serves dosgi.events on the same listener as
 	// invocations, replaying the current exports to new subscribers.
-	d.broker = remote.NewEventBroker(sched, remote.WithEventSnapshot(d.exportSnapshot))
+	d.broker = remote.NewEventBroker(sched,
+		remote.WithEventSnapshot(d.exportSnapshot),
+		remote.WithBrokerAckHistogram(d.plane.EventAckLag))
 	d.services = remote.NewCompositeSource(d.serviceSources)
 	exporter.OnChange(func(ev remote.ExportEvent) { d.publishExportEvent(ev, "") })
 	mgr.OnEvent(func(ev core.Event) {
@@ -446,12 +476,15 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		}
 	})
 	remoteSrv := remote.ServeTCP(remoteLn,
-		remote.NewEventDispatcher(remote.NewDispatcher(d.services), d.broker))
+		remote.NewEventDispatcher(
+			remote.NewDispatcher(d.services, remote.WithDispatcherTracer(d.plane.Tracer)),
+			d.broker),
+		remote.WithTCPServerClock(sched.Now))
 	d.remoteSrv = remoteSrv
 
-	transport := remote.NewTCPTransport(sched)
+	transport := remote.NewTCPTransport(sched, remote.WithTCPFrameHistogram(d.plane.FrameRTT))
 	d.transport = transport
-	pool := remote.NewPool(transport)
+	pool := remote.NewPool(transport, remote.WithPoolObserver(sched.Now, d.plane.PoolWait))
 	d.pool = pool
 	// Ordered resolution: the resolver's local-first preference must hold
 	// on every call, not be rotated away.
@@ -459,8 +492,22 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 		lookup: d.services,
 		self:   remoteLn.Addr().String(),
 		peers:  peers,
-	}, remote.WithOrderedResolution())
+	}, remote.WithOrderedResolution(),
+		remote.WithInvokerObservability(d.plane.Tracer, d.plane.InvokerCall))
 	d.invoker = invoker
+
+	// The metrics read service: this daemon's providers and span store,
+	// exported like any other remote service so peers (and dosgictl via
+	// any daemon) can pull them — the one-stop metrics plane.
+	d.metricsRd = services.NewMetricsRemote(d.metrics, d.plane.Tracer.Store())
+	if _, err := host.SystemContext().RegisterSingle("dosgi.Metrics", d.metricsRd, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: services.MetricsRemoteName,
+	}); err != nil {
+		remoteSrv.Close()
+		sched.Stop()
+		return nil, err
+	}
 
 	// Provisioning stack: the local artifact repository is served to peers
 	// through the remote listener; DEPLOY fetches missing artifacts from
@@ -477,9 +524,13 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	}
 	policy := security.NewPolicy(false)
 	policy.Grant(provision.SampleSigner, provision.DeployPermission("*"))
+	provCounters := &services.ProvisionCounters{}
+	d.metrics.RegisterProvider("provision:self", provCounters.Provider())
 	deployer, err := provision.NewDeployer(provision.DeployerConfig{
-		Store:       repo,
-		Fetcher:     provision.NewFetcher(pool, provision.StaticReplicas{Eps: peerEndpoints(peers)}),
+		Store: repo,
+		Fetcher: provision.NewFetcher(pool, provision.StaticReplicas{Eps: peerEndpoints(peers)},
+			provision.WithCounters(provCounters),
+			provision.WithFetchObserver(sched.Now, d.plane.ChunkFetch)),
 		Verifier:    provision.NewVerifier(provision.SampleKeyring(), policy),
 		Index:       daemonIndex{store: repo, pool: pool, peers: peers},
 		Definitions: defs,
@@ -775,6 +826,40 @@ func (d *daemon) serve(conn net.Conn) {
 				reply("[%d] %s %s %s", b.ID(), b.SymbolicName(), b.Version(), b.State())
 			}
 			reply("OK")
+		case "METRICS":
+			if len(fields) > 2 {
+				reply("ERR usage: METRICS [provider]")
+				continue
+			}
+			provider := ""
+			if len(fields) == 2 {
+				provider = fields[1]
+			}
+			n := d.emitMetrics(provider, reply)
+			reply("OK %d line(s)", n)
+		case "TRACE":
+			if len(fields) > 2 {
+				reply("ERR usage: TRACE [id]")
+				continue
+			}
+			if len(fields) == 1 {
+				lines := d.metricsRd.Recent(16)
+				for _, l := range lines {
+					reply("%v", l)
+				}
+				reply("OK %d trace(s)", len(lines))
+				continue
+			}
+			tid, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+			if err != nil || tid == 0 {
+				reply("ERR trace id must be hex (run TRACE with no argument for recent ids)")
+				continue
+			}
+			spans := d.assembleTrace(tid, reply)
+			for _, sp := range spans {
+				reply("= %s", sp.String())
+			}
+			reply("OK %d span(s)", len(spans))
 		case "LOG":
 			n := 10
 			if len(fields) == 2 {
@@ -843,6 +928,98 @@ func (d *daemon) streamEvents(addr, filter string, count int, window int64, repl
 	return received, nil
 }
 
+// emitMetrics prints this daemon's metrics and every peer's, one line
+// per attribute prefixed with the serving origin ("local" or the peer's
+// remote address) — the one-stop pull: any daemon answers for the whole
+// fleet it knows. provider narrows the sweep to one provider name.
+// Unreachable peers become a single annotated line instead of an error,
+// so a partitioned fleet still reports what it can see.
+func (d *daemon) emitMetrics(provider string, reply func(string, ...any)) int {
+	n := 0
+	emit := func(origin string, lines []any) {
+		for _, l := range lines {
+			if s, ok := l.(string); ok {
+				reply("%s %s", origin, s)
+				n++
+			}
+		}
+	}
+	method, args := "Snapshot", []any(nil)
+	if provider == "" {
+		emit("local", d.metricsRd.Snapshot())
+	} else {
+		emit("local", d.metricsRd.Read(provider))
+		method, args = "Read", []any{provider}
+	}
+	for _, addr := range d.peers {
+		lines, err := d.askMetrics(addr, method, args...)
+		if err != nil {
+			reply("%s unreachable: %v", addr, err)
+			n++
+			continue
+		}
+		emit(addr, lines)
+	}
+	return n
+}
+
+// askMetrics invokes one method of a specific peer's dosgi.metrics
+// service — no failover, the answer must come from that peer — and
+// returns its line list.
+func (d *daemon) askMetrics(addr, method string, args ...any) ([]any, error) {
+	type outcome struct {
+		resp *remote.Response
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	req := &remote.Request{Service: services.MetricsRemoteName, Method: method, Args: args}
+	if err := d.pool.Invoke(addr, req, func(resp *remote.Response, err error) {
+		ch <- outcome{resp, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	if o.err != nil {
+		return nil, o.err
+	}
+	if o.resp.Status != remote.StatusOK {
+		return nil, fmt.Errorf("%s", o.resp.Err)
+	}
+	if len(o.resp.Results) == 0 {
+		return nil, nil
+	}
+	lines, _ := o.resp.Results[0].([]any)
+	return lines, nil
+}
+
+// assembleTrace merges one trace's spans from the local store and every
+// peer's (shipped as wire tuples over dosgi.metrics) into one
+// deterministic start-time order — the cross-node view of a call:
+// failover attempts and the server executions they reached side by
+// side. Start offsets are each process's own monotonic clock, so
+// cross-process ordering is approximate; within a process it is exact.
+func (d *daemon) assembleTrace(tid uint64, reply func(string, ...any)) []obs.Span {
+	spans := append([]obs.Span(nil), d.plane.Tracer.Trace(tid)...)
+	for _, addr := range d.peers {
+		tuples, err := d.askMetrics(addr, "Trace", int64(tid))
+		if err != nil {
+			reply("%s unreachable: %v", addr, err)
+			continue
+		}
+		for _, t := range tuples {
+			tup, ok := t.([]any)
+			if !ok {
+				continue
+			}
+			if sp, ok := obs.SpanFromTuple(tup); ok {
+				spans = append(spans, sp)
+			}
+		}
+	}
+	obs.SortSpans(spans)
+	return spans
+}
+
 // supportedVerbs lists every admin verb, printed when a command is not
 // recognized so operators discover the protocol from any typo.
-const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL SUBSCRIBE DEPLOY REPO LOG QUIT"
+const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL SUBSCRIBE DEPLOY REPO METRICS TRACE LOG QUIT"

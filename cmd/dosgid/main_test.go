@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dosgi/internal/module"
+	"dosgi/internal/obs"
 	"dosgi/internal/provision"
 )
 
@@ -82,14 +83,14 @@ func TestAdminCallInvokesOverTCP(t *testing.T) {
 
 func TestAdminExportsAndStatus(t *testing.T) {
 	d := startDaemon(t)
-	// The built-in echo service plus the provisioning repository.
+	// The built-in echo service plus the metrics and provisioning services.
 	lines := admin(t, d, "EXPORTS")
-	if len(lines) != 3 || lines[0] != "dosgi.provision" || lines[1] != "echo" ||
-		last(lines) != "OK 2 export(s)" {
+	if len(lines) != 4 || lines[0] != "dosgi.metrics" || lines[1] != "dosgi.provision" ||
+		lines[2] != "echo" || last(lines) != "OK 3 export(s)" {
 		t.Fatalf("EXPORTS = %q", lines)
 	}
 	lines = admin(t, d, "STATUS")
-	if !strings.Contains(lines[0], "exports=2") {
+	if !strings.Contains(lines[0], "exports=3") {
 		t.Fatalf("STATUS = %q", lines)
 	}
 
@@ -136,13 +137,14 @@ func TestCallFailsOverToPeerDaemon(t *testing.T) {
 // REGISTERED events over the dosgi.events wire protocol.
 func TestSubscribeStreamsResyncEvents(t *testing.T) {
 	d := startDaemon(t)
-	lines := admin(t, d, "SUBSCRIBE 2")
-	if last(lines) != "OK 2 event(s)" {
+	lines := admin(t, d, "SUBSCRIBE 3")
+	if last(lines) != "OK 3 event(s)" {
 		t.Fatalf("SUBSCRIBE = %q", lines)
 	}
-	if len(lines) != 3 ||
-		!strings.HasPrefix(lines[0], "EVENT REGISTERED dosgi.provision") ||
-		!strings.HasPrefix(lines[1], "EVENT REGISTERED echo") {
+	if len(lines) != 4 ||
+		!strings.HasPrefix(lines[0], "EVENT REGISTERED dosgi.metrics") ||
+		!strings.HasPrefix(lines[1], "EVENT REGISTERED dosgi.provision") ||
+		!strings.HasPrefix(lines[2], "EVENT REGISTERED echo") {
 		t.Fatalf("SUBSCRIBE events = %q", lines)
 	}
 	// Filters narrow the stream.
@@ -182,7 +184,7 @@ func TestInstanceExportsInvocableAndObservable(t *testing.T) {
 			found = true
 		}
 	}
-	if !found || last(lines) != "OK 3 export(s)" {
+	if !found || last(lines) != "OK 4 export(s)" {
 		t.Fatalf("EXPORTS after START = %q", lines)
 	}
 	// The instance's service answers through the standard remote stack.
@@ -200,7 +202,7 @@ func TestInstanceExportsInvocableAndObservable(t *testing.T) {
 		t.Fatalf("STOP = %q", lines)
 	}
 	lines = admin(t, d, "EXPORTS")
-	if last(lines) != "OK 2 export(s)" {
+	if last(lines) != "OK 3 export(s)" {
 		t.Fatalf("EXPORTS after STOP = %q", lines)
 	}
 	if lines := admin(t, d, "CALL app.t1 Upper x"); !strings.HasPrefix(last(lines), "ERR") {
@@ -468,5 +470,100 @@ func TestCallQuotesNewlineResults(t *testing.T) {
 	}
 	if lines[0] != `= "a\nOK 0 result(s)\nb"` {
 		t.Fatalf("newline result = %q", lines[0])
+	}
+}
+
+// TestMetricsOneStopPull: METRICS against one daemon of a three-daemon
+// cluster returns the histogram percentiles of EVERY provider on EVERY
+// node — the local lines plus one origin-prefixed block per peer, read
+// over the peers' exported dosgi.metrics service.
+func TestMetricsOneStopPull(t *testing.T) {
+	a := startDaemon(t)
+	b := startDaemon(t)
+	front := startDaemon(t, a.remoteSrv.Addr().String(), b.remoteSrv.Addr().String())
+
+	// One call through each daemon's own stack gives every invoker/frame
+	// histogram at least one sample.
+	for _, d := range []*daemon{a, b, front} {
+		if lines := admin(t, d, "CALL echo Upper ping"); !strings.HasPrefix(last(lines), "OK") {
+			t.Fatalf("warmup CALL = %q", lines)
+		}
+	}
+
+	lines := admin(t, front, "METRICS")
+	if !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("METRICS = %q", last(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	origins := []string{"local", a.remoteSrv.Addr().String(), b.remoteSrv.Addr().String()}
+	providers := []string{"obs:self", "framework:dosgid", "provision:self"}
+	for _, origin := range origins {
+		for _, prov := range providers {
+			if !strings.Contains(joined, origin+" "+prov+" ") {
+				t.Fatalf("METRICS missing provider %s of origin %s:\n%s", prov, origin, joined)
+			}
+		}
+		for _, hist := range obs.HistogramNames() {
+			for _, q := range []string{".count=", ".p50ns=", ".p99ns=", ".p999ns=", ".maxns="} {
+				if !strings.Contains(joined, origin+" obs:self "+hist+q) {
+					t.Fatalf("METRICS missing %s%s of origin %s:\n%s", hist, q, origin, joined)
+				}
+			}
+		}
+	}
+	// The warmed-up invoker histograms actually counted the calls.
+	for _, origin := range origins {
+		if strings.Contains(joined, origin+" obs:self invoker.count=0") {
+			t.Fatalf("origin %s invoker histogram empty after warmup:\n%s", origin, joined)
+		}
+	}
+
+	// Narrowing to one provider keeps the origin sweep.
+	lines = admin(t, front, "METRICS obs:self")
+	joined = strings.Join(lines, "\n")
+	for _, origin := range origins {
+		if !strings.Contains(joined, origin+" invoker.p99ns=") {
+			t.Fatalf("METRICS obs:self missing origin %s:\n%s", origin, joined)
+		}
+	}
+}
+
+// TestTraceAssemblesAcrossDaemons: a call served by a peer leaves its
+// client spans on the caller and its server span on the peer; TRACE
+// lists the trace id and assembles both halves into one response.
+func TestTraceAssemblesAcrossDaemons(t *testing.T) {
+	peer := startDaemon(t)
+	if _, err := peer.host.SystemContext().RegisterSingle("dosgi.Math", echoService{}, module.Properties{
+		module.PropServiceExported:     true,
+		module.PropServiceExportedName: "math",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	front := startDaemon(t, peer.remoteSrv.Addr().String())
+
+	if lines := admin(t, front, "CALL math Add 40 2"); lines[0] != "= 42" {
+		t.Fatalf("CALL math = %q", lines)
+	}
+
+	// TRACE with no argument lists the call, newest first.
+	lines := admin(t, front, "TRACE")
+	if last(lines) != "OK 1 trace(s)" || !strings.Contains(lines[0], "math.Add") {
+		t.Fatalf("TRACE listing = %q", lines)
+	}
+	tid := strings.Fields(lines[0])[0]
+
+	// TRACE <id> merges the caller's client spans with the peer's server
+	// span, each tagged with its owning node (the remote listener addr).
+	lines = admin(t, front, "TRACE "+tid)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "client math.Add") {
+		t.Fatalf("assembled trace lacks client span:\n%s", joined)
+	}
+	if !strings.Contains(joined, peer.remoteAddr+" server math.Add") {
+		t.Fatalf("assembled trace lacks the peer's server span:\n%s", joined)
+	}
+	want := 3 // root + attempt on front, server on peer
+	if last(lines) != fmt.Sprintf("OK %d span(s)", want) {
+		t.Fatalf("TRACE %s = %q", tid, lines)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dosgi/internal/module"
+	"dosgi/internal/obs"
 	"dosgi/internal/provision"
 	"dosgi/internal/remote"
 )
@@ -92,6 +93,14 @@ type chaosHarness struct {
 	published map[string]provision.Artifact
 	fetched   [][2]string
 	nextArt   int
+
+	// Remote-call churn state for the trace-completeness invariant:
+	// calls issued vs. callbacks fired (callbacks run on the engine
+	// goroutine, like the observers), and the name of the replicated
+	// service whose failover chain the calls walk.
+	traced    string
+	calls     int
+	callsDone int
 }
 
 func newChaosHarness(t *testing.T, seed int64, nodeCount int) *chaosHarness {
@@ -187,6 +196,67 @@ func (h *chaosHarness) stepProvision() {
 		h.blip()
 	}
 	h.c.Settle(time.Duration(20+h.rng.Intn(180)) * time.Millisecond)
+}
+
+// stepTrace performs one random fault/churn operation from the base
+// schedule EXTENDED with remote calls against the churned exports —
+// invocations land mid-partition and against killed servers, so the
+// invoker's failover path runs while the wire is unreliable. Used by
+// the trace-completeness matrix; step() keeps the original schedule so
+// the event-stream seeds replay unchanged.
+func (h *chaosHarness) stepTrace() {
+	switch roll := h.rng.Intn(100); {
+	case roll < 12:
+		h.exportOne()
+	case roll < 20:
+		h.unexportOne()
+	case roll < 46:
+		h.callOne()
+	case roll < 58:
+		h.partitionPair()
+	case roll < 70:
+		h.healPair()
+	case roll < 79:
+		h.killServer()
+	case roll < 90:
+		h.restartServer()
+	default:
+		h.blip()
+	}
+	h.c.Settle(time.Duration(20+h.rng.Intn(180)) * time.Millisecond)
+}
+
+// exportReplicated exports one service under the same name on every
+// node — the failover chain the traced calls walk when the replica the
+// round-robin lands on is partitioned away or its server is down.
+func (h *chaosHarness) exportReplicated(name string) {
+	h.traced = name
+	for _, n := range h.nodes {
+		if _, err := n.ExportService(name, "app.Chaos", greeter{node: n.ID()}); err != nil {
+			h.t.Fatalf("export %s on %s: %v", name, n.ID(), err)
+		}
+	}
+}
+
+// callOne invokes the replicated traced service (mostly) or a random
+// single-replica chaos export from a random node. Mid-fault calls may
+// fail over across replicas, time out, or fail outright — all allowed;
+// the invariant is that every attempt whose request demonstrably
+// executed (a response came back) pairs with a server span after the
+// heal.
+func (h *chaosHarness) callOne() {
+	name := h.traced
+	if len(h.exports) > 0 && h.rng.Intn(4) == 0 {
+		name = h.exports[h.rng.Intn(len(h.exports))] // exports is kept sorted
+	}
+	if name == "" {
+		return
+	}
+	node := h.nodes[h.rng.Intn(len(h.nodes))]
+	h.calls++
+	node.InvokeRemote(name, "Greet", []any{node.ID()}, func([]any, error) {
+		h.callsDone++
+	})
 }
 
 // publishOne publishes a unique signed artifact on a random node —
@@ -514,6 +584,72 @@ func (h *chaosHarness) verifyProvisioning() {
 	}
 }
 
+// verifyTraces asserts the trace-completeness invariant after quiesce:
+// assembling every node's span store (the rings survive server kills, so
+// both halves of a hop cut by a fault are still there), every client
+// attempt span that carried a response back — Err == "", meaning the
+// request executed on some replica, successfully or with an application
+// error — must pair with a server span whose Parent is the attempt's
+// span id. Attempts that died in transport or hit an unavailable replica
+// record the failure cause instead and feed the NEXT attempt's Cause, so
+// mid-partition failovers show up as chains: failed attempts annotated
+// with why, then a clean attempt paired with its server-side twin.
+func (h *chaosHarness) verifyTraces() {
+	h.t.Helper()
+	if h.calls == 0 {
+		h.t.Fatal("trace chaos run issued no calls")
+	}
+	if h.callsDone != h.calls {
+		h.t.Fatalf("chaos calls: %d issued, only %d completed after quiesce", h.calls, h.callsDone)
+	}
+	var all []obs.Span
+	for _, n := range h.nodes {
+		all = append(all, n.Obs().Tracer.Store().All()...)
+	}
+	type hop struct{ trace, parent uint64 }
+	server := make(map[hop]int)
+	for _, sp := range all {
+		if sp.Kind == obs.SpanServer {
+			server[hop{sp.TraceID, sp.Parent}]++
+		}
+	}
+	var roots, attempts, clean, failovers, causes int
+	for _, sp := range all {
+		if sp.Kind != obs.SpanClient {
+			continue
+		}
+		if sp.Parent == 0 {
+			roots++
+			continue
+		}
+		attempts++
+		if sp.Attempt > 0 {
+			failovers++
+			if sp.Cause == "" {
+				h.t.Fatalf("failover attempt without a retry cause: %s", sp)
+			}
+			causes++
+		}
+		if sp.Err != "" {
+			continue // never reached the service: no server twin owed
+		}
+		clean++
+		if server[hop{sp.TraceID, sp.SpanID}] == 0 {
+			h.t.Fatalf("attempt span has no paired server span: %s", sp)
+		}
+	}
+	if roots == 0 || clean == 0 {
+		h.t.Fatalf("trace run too quiet: %d root spans, %d clean attempts", roots, clean)
+	}
+	// The schedule must actually have exercised the failover path —
+	// otherwise the invariant is vacuous for the interesting case.
+	if failovers == 0 {
+		h.t.Fatalf("no failover attempts recorded across %d calls (%d attempts)", h.calls, attempts)
+	}
+	h.t.Logf("traces: %d calls, %d roots, %d attempts (%d clean, %d failovers)",
+		h.calls, roots, attempts, clean, failovers)
+}
+
 func keysOf(m map[string]remote.ServiceEvent) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -572,6 +708,29 @@ func TestChaosProvisioningInvariants(t *testing.T) {
 			h.quiesce()
 			h.verify()
 			h.verifyProvisioning()
+		})
+	}
+}
+
+// TestChaosTraceCompleteness runs the call-extended chaos schedule and
+// asserts the observability plane's trace invariant: after the heal,
+// every completed call's client attempt spans pair with server spans —
+// including attempts that failed over mid-partition — assembled across
+// every node's span store via the per-node tracers.
+func TestChaosTraceCompleteness(t *testing.T) {
+	for _, seed := range []int64{21, 22, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newChaosHarness(t, seed, 3)
+			h.exportReplicated("svc.traced")
+			for i := 0; i < 3; i++ {
+				h.exportOne()
+			}
+			h.c.Settle(500 * time.Millisecond)
+			for i := 0; i < 60; i++ {
+				h.stepTrace()
+			}
+			h.quiesce()
+			h.verifyTraces()
 		})
 	}
 }

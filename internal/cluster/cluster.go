@@ -12,6 +12,7 @@ import (
 	"dosgi/internal/module"
 	"dosgi/internal/monitor"
 	"dosgi/internal/netsim"
+	"dosgi/internal/obs"
 	"dosgi/internal/provision"
 	"dosgi/internal/remote"
 	"dosgi/internal/san"
@@ -286,6 +287,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	n.mon.Start()
 	c.metrics.RegisterProvider("node:"+cfg.ID, c.nodeProvider(n))
 	c.metrics.RegisterProvider("directory:"+cfg.ID, directoryProvider(mod))
+	c.metrics.RegisterProvider("monitor:"+cfg.ID, n.mon.Provider())
 
 	c.mu.Lock()
 	c.nodes[cfg.ID] = n
@@ -437,6 +439,8 @@ func (c *Cluster) Crash(nodeID string) error {
 	c.metrics.UnregisterProvider("provision:" + nodeID)
 	c.metrics.UnregisterProvider("events:" + nodeID)
 	c.metrics.UnregisterProvider("directory:" + nodeID)
+	c.metrics.UnregisterProvider("obs:" + nodeID)
+	c.metrics.UnregisterProvider("monitor:" + nodeID)
 	return nil
 }
 
@@ -458,10 +462,28 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		c.metrics.UnregisterProvider("provision:" + nodeID)
 		c.metrics.UnregisterProvider("events:" + nodeID)
 		c.metrics.UnregisterProvider("directory:" + nodeID)
+		c.metrics.UnregisterProvider("obs:" + nodeID)
+		c.metrics.UnregisterProvider("monitor:" + nodeID)
 		if onDone != nil {
 			onDone()
 		}
 	})
+}
+
+// TraceSpans assembles the cross-node view of one distributed trace:
+// every span any node's ring still retains for traceID, merged into one
+// deterministic timeline. Crashed nodes contribute too — the span store
+// outlives the runtime it instrumented, which is what makes post-mortem
+// "where did this call actually run" questions answerable.
+func (c *Cluster) TraceSpans(traceID uint64) []obs.Span {
+	var out []obs.Span
+	for _, n := range c.Nodes() {
+		if n.obsPlane != nil {
+			out = append(out, n.obsPlane.Tracer.Trace(traceID)...)
+		}
+	}
+	obs.SortSpans(out)
+	return out
 }
 
 // TotalMemoryUsed sums the host-JVM memory footprint of the powered nodes

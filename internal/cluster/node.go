@@ -18,6 +18,7 @@ import (
 	"dosgi/internal/module"
 	"dosgi/internal/monitor"
 	"dosgi/internal/netsim"
+	"dosgi/internal/obs"
 	"dosgi/internal/remote"
 	"dosgi/internal/services"
 	"dosgi/internal/vjvm"
@@ -80,6 +81,7 @@ type Node struct {
 	importer   *remote.Importer
 	broker     *remote.EventBroker
 	prov       *nodeProvision
+	obsPlane   *obs.Plane
 
 	// instExp exports services registered inside started virtual
 	// frameworks (one exporter per instance).
@@ -117,6 +119,11 @@ func (n *Node) Migration() *migrate.Module { return n.mod }
 
 // Monitor returns the node's monitoring module.
 func (n *Node) Monitor() *monitor.Monitor { return n.mon }
+
+// Obs returns the node's observability plane (tracer, span store and the
+// hot-path latency histograms). The plane survives a crash — the span
+// store remains queryable for post-mortem trace assembly.
+func (n *Node) Obs() *obs.Plane { return n.obsPlane }
 
 // Log returns the node's shared log service.
 func (n *Node) Log() *services.LogService { return n.logSvc }

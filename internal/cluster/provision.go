@@ -87,7 +87,8 @@ func (n *Node) setupProvision() {
 	store := provision.NewStore()
 	fetcher := provision.NewFetcher(n.invoker.Pool(),
 		directoryReplicas{mod: n.mod, self: n.cfg.ID},
-		provision.WithCounters(counters))
+		provision.WithCounters(counters),
+		provision.WithFetchObserver(n.cluster.eng.Now, n.obsPlane.ChunkFetch))
 	verifier := provision.NewVerifier(n.cluster.provKeyring, n.cluster.provPolicy)
 	p := &nodeProvision{
 		node:     n,

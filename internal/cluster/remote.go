@@ -22,6 +22,7 @@ import (
 	"dosgi/internal/migrate"
 	"dosgi/internal/module"
 	"dosgi/internal/netsim"
+	"dosgi/internal/obs"
 	"dosgi/internal/remote"
 )
 
@@ -76,6 +77,11 @@ func remoteAddr(ip netsim.IP) string {
 // framework and migration module exist but BEFORE the group member starts,
 // so the view hook never misses a change.
 func (n *Node) setupRemote() error {
+	// The observability plane comes first: every layer below hangs its
+	// histograms and spans off it. The sim engine's virtual clock is the
+	// shared time base, so spans recorded on different nodes align.
+	n.obsPlane = obs.NewPlane(n.cfg.ID, n.cluster.eng.Now)
+
 	exporter, err := remote.NewExporter(n.host.SystemContext())
 	if err != nil {
 		return err
@@ -86,6 +92,7 @@ func (n *Node) setupRemote() error {
 	// subscribers (the synthetic resync) and lives behind the same
 	// listener as invocations.
 	n.broker = remote.NewEventBroker(n.cluster.eng,
+		remote.WithBrokerAckHistogram(n.obsPlane.EventAckLag),
 		remote.WithEventSnapshot(func() []remote.ServiceEvent {
 			var evs []remote.ServiceEvent
 			for _, info := range n.mod.Directory().Endpoints() {
@@ -100,7 +107,9 @@ func (n *Node) setupRemote() error {
 	server := remote.NewNetsimServer(n.nic,
 		netsim.Addr{IP: n.cfg.IP, Port: RemotePort},
 		remote.NewEventDispatcher(
-			remote.NewDispatcher(remote.NewCompositeSource(n.serviceSources)), n.broker))
+			remote.NewDispatcher(remote.NewCompositeSource(n.serviceSources),
+				remote.WithDispatcherTracer(n.obsPlane.Tracer)), n.broker),
+		remote.WithNetsimServerClock(n.cluster.eng.Now))
 	if err := server.Start(); err != nil {
 		exporter.Close()
 		return err
@@ -125,11 +134,18 @@ func (n *Node) setupRemote() error {
 	})
 
 	transport := remote.NewNetsimTransport(n.cluster.eng, n.nic, n.cfg.IP,
-		remote.WithNetsimCallTimeout(RemoteCallTimeout))
+		remote.WithNetsimCallTimeout(RemoteCallTimeout),
+		remote.WithNetsimFrameHistogram(n.obsPlane.FrameRTT))
 	n.rtransport = transport
-	pool := remote.NewPool(transport)
-	n.invoker = remote.NewInvoker(pool, directoryResolver{mod: n.mod})
+	pool := remote.NewPool(transport,
+		remote.WithPoolObserver(n.cluster.eng.Now, n.obsPlane.PoolWait))
+	n.invoker = remote.NewInvoker(pool, directoryResolver{mod: n.mod},
+		remote.WithInvokerObservability(n.obsPlane.Tracer, n.obsPlane.InvokerCall))
 	n.importer = remote.NewImporter(n.host.SystemContext(), n.invoker)
+
+	// The plane's histograms and span-store depth surface per node, next
+	// to the domain providers.
+	n.cluster.metrics.RegisterProvider("obs:"+n.cfg.ID, n.obsPlane.Provider())
 
 	// Host-framework exports flow into the replicated directory;
 	// withdrawals flow out; property changes re-announce (MODIFIED).

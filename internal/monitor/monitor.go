@@ -306,3 +306,61 @@ func (m *Monitor) Summarize(domain string, metric Metric) Aggregate {
 func (m *Monitor) NodeUsage() (cpuUsed, cpuTotal vjvm.Millicores, memUsed, memTotal int64) {
 	return m.vm.UsedCapacity(), m.vm.Capacity(), m.vm.MemoryUsed(), m.vm.MemoryCapacity()
 }
+
+// Breach is one active threshold breach: rule r has been over its limit on
+// domain since Since.
+type Breach struct {
+	Rule   string
+	Domain string
+	Since  time.Duration
+}
+
+// Breaches lists the currently active threshold breaches, sorted by rule
+// then domain.
+func (m *Monitor) Breaches() []Breach {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Breach
+	for key, active := range m.inBreach {
+		if !active {
+			continue
+		}
+		i := strIndexAfterSlash(key)
+		b := Breach{Rule: key[:max(i-1, 0)], Domain: key[i:], Since: m.breachAt[key]}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// Provider exposes the monitor as a metrics attribute source: each
+// domain's latest sample (CPU rate/time, memory, disk, tasks) plus the
+// active threshold breaches — the "monitor:<node>" MBean.
+func (m *Monitor) Provider() func() map[string]any {
+	return func() map[string]any {
+		out := make(map[string]any)
+		for _, domain := range m.Domains() {
+			s, ok := m.Last(domain)
+			if !ok {
+				continue
+			}
+			out[domain+".cpuRate"] = int64(s.Usage.CPURate)
+			out[domain+".cpuTimeNs"] = int64(s.Usage.CPUTime)
+			out[domain+".memory"] = s.Usage.Memory
+			out[domain+".disk"] = s.Usage.Disk
+			out[domain+".tasks"] = int64(s.Usage.Tasks)
+			out[domain+".sampledAtNs"] = int64(s.At)
+		}
+		breaches := m.Breaches()
+		out["breaches"] = int64(len(breaches))
+		for _, b := range breaches {
+			out["breach."+b.Rule+"/"+b.Domain] = int64(b.Since)
+		}
+		return out
+	}
+}

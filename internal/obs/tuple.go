@@ -1,0 +1,57 @@
+package obs
+
+import "time"
+
+// spanTupleLen is the field count of a span wire tuple.
+const spanTupleLen = 15
+
+// Tuple flattens the span into the dosgi.remote value model — a []any
+// of int64s and strings — so the dosgi.metrics read service can ship
+// spans between processes without shared types. Unsigned ids travel as
+// int64 bit patterns; SpanFromTuple restores them.
+func (s Span) Tuple() []any {
+	return []any{
+		int64(s.TraceID), int64(s.SpanID), int64(s.Parent),
+		s.Node, int64(s.Kind), s.Service, s.Method, s.Addr,
+		int64(s.Attempt), int64(s.Hop), s.Cause, s.Err,
+		int64(s.Start), int64(s.End), int64(s.Queue),
+	}
+}
+
+// SpanFromTuple inverts Tuple. ok is false for a malformed value — a
+// peer speaking a different protocol revision degrades to a dropped
+// span, never a panic in the aggregator.
+func SpanFromTuple(v []any) (Span, bool) {
+	if len(v) != spanTupleLen {
+		return Span{}, false
+	}
+	good := true
+	num := func(i int) int64 {
+		x, ok := v[i].(int64)
+		good = good && ok
+		return x
+	}
+	str := func(i int) string {
+		x, ok := v[i].(string)
+		good = good && ok
+		return x
+	}
+	sp := Span{
+		TraceID: uint64(num(0)),
+		SpanID:  uint64(num(1)),
+		Parent:  uint64(num(2)),
+		Node:    str(3),
+		Kind:    SpanKind(num(4)),
+		Service: str(5),
+		Method:  str(6),
+		Addr:    str(7),
+		Attempt: int(num(8)),
+		Hop:     uint32(num(9)),
+		Cause:   str(10),
+		Err:     str(11),
+		Start:   time.Duration(num(12)),
+		End:     time.Duration(num(13)),
+		Queue:   time.Duration(num(14)),
+	}
+	return sp, good
+}

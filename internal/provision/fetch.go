@@ -3,7 +3,9 @@ package provision
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"dosgi/internal/obs"
 	"dosgi/internal/remote"
 	"dosgi/internal/services"
 )
@@ -46,6 +48,16 @@ func WithCounters(c *services.ProvisionCounters) FetcherOption {
 	return func(f *Fetcher) { f.counters = c }
 }
 
+// WithFetchObserver records each successful chunk fetch's issue→response
+// round trip into h; now supplies timestamps.
+func WithFetchObserver(now func() time.Duration, h *obs.Histogram) FetcherOption {
+	return func(f *Fetcher) {
+		if now != nil && h != nil {
+			f.now, f.chunkHist = now, h
+		}
+	}
+}
+
 // Fetcher streams artifact payloads chunk-by-chunk from repository
 // replicas over the shared remote connection pool. Like the Invoker it
 // fails over on any per-replica error — but mid-transfer: chunks already
@@ -54,10 +66,12 @@ func WithCounters(c *services.ProvisionCounters) FetcherOption {
 // the metadata (a corrupted replica) is discarded wholesale and refetched
 // from the next replica.
 type Fetcher struct {
-	pool     *remote.Pool
-	resolver ReplicaResolver
-	counters *services.ProvisionCounters
-	window   int
+	pool      *remote.Pool
+	resolver  ReplicaResolver
+	counters  *services.ProvisionCounters
+	window    int
+	now       func() time.Duration
+	chunkHist *obs.Histogram
 }
 
 // NewFetcher builds a fetcher calling through pool.
@@ -142,12 +156,16 @@ func (st *fetchState) launchLocked() {
 	st.mu.Unlock()
 	for _, l := range launches {
 		l := l
+		var issuedAt time.Duration
+		if st.f.chunkHist != nil {
+			issuedAt = st.f.now()
+		}
 		req := &remote.Request{Service: ServiceName, Method: "Chunk", Args: []any{st.art.Digest, l.idx}}
 		err := st.f.pool.Invoke(addr, req, func(resp *remote.Response, err error) {
-			st.onChunk(l.gen, l.idx, resp, err)
+			st.onChunk(l.gen, l.idx, issuedAt, resp, err)
 		})
 		if err != nil {
-			st.onChunk(l.gen, l.idx, nil, err)
+			st.onChunk(l.gen, l.idx, issuedAt, nil, err)
 		}
 	}
 }
@@ -163,7 +181,10 @@ func (st *fetchState) nextMissingLocked() (int64, bool) {
 	return 0, false
 }
 
-func (st *fetchState) onChunk(gen int, idx int64, resp *remote.Response, err error) {
+func (st *fetchState) onChunk(gen int, idx int64, issuedAt time.Duration, resp *remote.Response, err error) {
+	if st.f.chunkHist != nil && err == nil && resp != nil && resp.Status == remote.StatusOK {
+		st.f.chunkHist.Record(st.f.now() - issuedAt)
+	}
 	st.mu.Lock()
 	if st.done || gen != st.gen {
 		st.mu.Unlock()

@@ -49,6 +49,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"dosgi/internal/obs"
 )
 
 // Frame kinds on the wire.
@@ -86,11 +89,37 @@ const MaxFrameSize = 16 << 20
 
 // Request is one remote invocation on the wire. Corr correlates the
 // response on a pipelined connection; it is assigned by the Conn.
+//
+// Trace is the OPTIONAL distributed-trace context (docs/PROTOCOL.md §3.3):
+// when valid it is appended after the argument list as three unsigned
+// varints (trace id, parent span id, hop count). Decoders that predate the
+// field ignore trailing request bytes, and an absent field decodes to the
+// zero (untraced) context — the extension is backward compatible in both
+// directions.
 type Request struct {
 	Corr    uint64
 	Service string
 	Method  string
 	Args    []any
+	Trace   obs.TraceContext
+
+	// recvAt is the server-side receive timestamp (the instrumented
+	// servers stamp it before dispatch so the Dispatcher can split queue
+	// wait from handler time). Not part of the wire format.
+	recvAt  time.Duration
+	hasRecv bool
+}
+
+// MarkReceived stamps the server-side receive time of a request; the
+// tracing Dispatcher reports now-minus-stamp as the request's queue wait.
+func (r *Request) MarkReceived(at time.Duration) {
+	r.recvAt = at
+	r.hasRecv = true
+}
+
+// ReceivedAt returns the receive stamp, if the serving transport set one.
+func (r *Request) ReceivedAt() (time.Duration, bool) {
+	return r.recvAt, r.hasRecv
 }
 
 // Response answers one Request.
@@ -128,6 +157,14 @@ func EncodeRequest(r *Request) ([]byte, error) {
 		if buf, err = appendValue(buf, v, 0); err != nil {
 			return nil, err
 		}
+	}
+	// Optional trailing trace context: three uvarints after the last
+	// argument. Pre-trace decoders stop reading at the argument list, so
+	// traced frames stay parseable by old peers.
+	if r.Trace.Valid() {
+		buf = binary.AppendUvarint(buf, r.Trace.TraceID)
+		buf = binary.AppendUvarint(buf, r.Trace.SpanID)
+		buf = binary.AppendUvarint(buf, uint64(r.Trace.Hop))
 	}
 	return buf, nil
 }
@@ -208,6 +245,19 @@ func decodeRequest(b []byte) (*Request, error) {
 	}
 	if d.err != nil {
 		return nil, d.err
+	}
+	// Optional trailing trace context. A malformed trailer is a malformed
+	// frame; bytes after the three varints are ignored (future fields).
+	if len(d.buf) > 0 {
+		tid := d.uvarint()
+		sid := d.uvarint()
+		hop := d.uvarint()
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: truncated trace context", ErrBadFrame)
+		}
+		if tid != 0 {
+			r.Trace = obs.TraceContext{TraceID: tid, SpanID: sid, Hop: uint32(hop)}
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"dosgi/internal/obs"
+)
+
+// TestCodecTraceRoundTrip: a valid trace context rides the request frame
+// as the trailing field and decodes back bit for bit.
+func TestCodecTraceRoundTrip(t *testing.T) {
+	req := &Request{
+		Corr:    7,
+		Service: "svc.greeter",
+		Method:  "Greet",
+		Args:    []any{"world", int64(3)},
+		Trace:   obs.TraceContext{TraceID: 0x8c736ec100000001, SpanID: 0x8c736ec100000002, Hop: 2},
+	}
+	buf, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, kind, err := DecodeFrame(buf)
+	if err != nil || kind != frameRequest {
+		t.Fatalf("decode: kind=%#x err=%v", kind, err)
+	}
+	if got.Trace != req.Trace {
+		t.Fatalf("trace context mangled: got %+v want %+v", got.Trace, req.Trace)
+	}
+	if got.Service != "svc.greeter" || got.Method != "Greet" || len(got.Args) != 2 {
+		t.Fatalf("payload mangled by trailer: %+v", got)
+	}
+}
+
+// TestCodecTraceAbsentIsUntraced: frames without the trailing field — the
+// only kind pre-trace encoders emit — decode to the zero context.
+func TestCodecTraceAbsentIsUntraced(t *testing.T) {
+	buf, err := EncodeRequest(&Request{Corr: 1, Service: "s", Method: "M", Args: []any{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Valid() || got.Trace != (obs.TraceContext{}) {
+		t.Fatalf("untraced frame grew a context: %+v", got.Trace)
+	}
+}
+
+// TestCodecTraceZeroIDStaysUntraced: a trailer whose trace id is zero is
+// an explicit "untraced" marker, not a trace with id 0.
+func TestCodecTraceZeroIDStaysUntraced(t *testing.T) {
+	buf, err := EncodeRequest(&Request{Corr: 2, Service: "s", Method: "M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-append a tid=0 trailer (EncodeRequest would skip an invalid
+	// context entirely; an explicit zero must decode the same way).
+	buf = binary.AppendUvarint(buf, 0) // trace id
+	buf = binary.AppendUvarint(buf, 9) // span id
+	buf = binary.AppendUvarint(buf, 1) // hop
+	got, _, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Valid() {
+		t.Fatalf("tid=0 trailer decoded as traced: %+v", got.Trace)
+	}
+}
+
+// TestCodecTraceTruncatedTrailerIsBadFrame: a trailer cut mid-varint is a
+// malformed frame, not a silently untraced request.
+func TestCodecTraceTruncatedTrailerIsBadFrame(t *testing.T) {
+	req := &Request{
+		Corr: 3, Service: "s", Method: "M",
+		Trace: obs.TraceContext{TraceID: 0x1234, SpanID: 0x5678, Hop: 1},
+	}
+	full, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := EncodeRequest(&Request{Corr: 3, Service: "s", Method: "M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix of the trailer (at least one byte in) must fail
+	// loudly: a partial trace context means the frame was cut.
+	for cut := len(bare) + 1; cut < len(full); cut++ {
+		_, _, _, err := DecodeFrame(full[:cut])
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut=%d: got err=%v, want ErrBadFrame", cut, err)
+		}
+		if !strings.Contains(err.Error(), "truncated trace context") {
+			t.Fatalf("cut=%d: error lacks cause: %v", cut, err)
+		}
+	}
+}
+
+// TestCodecTraceFutureFieldsIgnored: bytes after the three varints are
+// reserved for future extension and must not break today's decoder.
+func TestCodecTraceFutureFieldsIgnored(t *testing.T) {
+	req := &Request{
+		Corr: 4, Service: "s", Method: "M",
+		Trace: obs.TraceContext{TraceID: 0xabc, SpanID: 0xdef, Hop: 0},
+	}
+	buf, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0xAA, 0xBB, 0xCC) // hypothetical future field
+	got, _, _, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != req.Trace {
+		t.Fatalf("future bytes corrupted the context: %+v", got.Trace)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"dosgi/internal/clock"
 	"dosgi/internal/manifest"
+	"dosgi/internal/obs"
 )
 
 // The dosgi.events verb set: remote service events pushed server→client
@@ -194,6 +195,17 @@ func WithReplayWindow(n int) BrokerOption {
 	}
 }
 
+// brokerAckTrackMax bounds per-subscription push-timestamp tracking: a
+// subscriber that never acks (no credit window, no ack rides its renews)
+// must not grow the lag map without bound.
+const brokerAckTrackMax = 4096
+
+// WithBrokerAckHistogram records each event's push-to-ack lag — the Notify
+// frame's wire write to the Renew acknowledging its sequence — into h.
+func WithBrokerAckHistogram(h *obs.Histogram) BrokerOption {
+	return func(b *EventBroker) { b.ackHist = h }
+}
+
 // EventBrokerStats are the broker's delivery counters.
 type EventBrokerStats struct {
 	// Published counts events offered to Publish.
@@ -237,6 +249,7 @@ type EventBroker struct {
 	lease        time.Duration
 	snapshot     func() []ServiceEvent
 	replayWindow int
+	ackHist      *obs.Histogram
 
 	mu    sync.Mutex
 	subs  map[brokerSubKey]*brokerSub
@@ -267,9 +280,44 @@ type brokerSub struct {
 	// indexed by seq % cap — the replay window.
 	ring []ServiceEvent
 
+	// sentAt stamps each unacknowledged push's wire-write time for the
+	// push-to-ack lag histogram (nil unless the broker has one). A re-push
+	// (resume, replay, retransmit) restamps: lag measures the latest
+	// transmission that the ack finally answered.
+	sentAt map[uint64]time.Duration
+
 	// pushMu serializes sequence assignment with the frame write, so
 	// wire order always matches sequence order for one subscription.
 	pushMu sync.Mutex
+}
+
+// stampSent records a push's wire-write time for the push-to-ack lag
+// histogram. Callers hold b.mu.
+func (b *EventBroker) stampSent(sub *brokerSub, seq uint64) {
+	if b.ackHist == nil {
+		return
+	}
+	if sub.sentAt == nil {
+		sub.sentAt = make(map[uint64]time.Duration)
+	}
+	if _, have := sub.sentAt[seq]; have || len(sub.sentAt) < brokerAckTrackMax {
+		sub.sentAt[seq] = b.sched.Now()
+	}
+}
+
+// drainAcked records the push-to-ack lag of every stamped sequence the ack
+// covers. Callers hold b.mu.
+func (b *EventBroker) drainAcked(sub *brokerSub, ack uint64) {
+	if b.ackHist == nil || len(sub.sentAt) == 0 {
+		return
+	}
+	now := b.sched.Now()
+	for s, at := range sub.sentAt {
+		if s <= ack {
+			b.ackHist.Record(now - at)
+			delete(sub.sentAt, s)
+		}
+	}
 }
 
 // firstAvail returns the oldest sequence number still in the ring.
@@ -412,6 +460,7 @@ func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev Servi
 	sub.retried = false // live traffic: gap detection is back in play
 	sub.pushedSince = true
 	b.stats.Pushed++
+	b.stampSent(sub, sub.seq)
 	b.mu.Unlock()
 	frame, err := EncodeNotify(key.id, ev)
 	if err != nil {
@@ -447,6 +496,7 @@ func (b *EventBroker) advance(key brokerSubKey, sub *brokerSub, ack uint64) {
 		sub.acked = ack
 		sub.retried = false
 		sub.pushedSince = false
+		b.drainAcked(sub, ack)
 	} else if sub.window > 0 && ack == sub.acked && ack < sub.sent && !sub.retried {
 		// Flow-controlled subscriptions only: with no credit window a
 		// stalled consumer never suspends, so live traffic would keep
@@ -501,6 +551,7 @@ func (b *EventBroker) advance(key brokerSubKey, sub *brokerSub, ack uint64) {
 		}
 		sub.pushedSince = true
 		b.stats.Pushed++
+		b.stampSent(sub, next)
 		b.mu.Unlock()
 		frame, err := EncodeNotify(key.id, ev)
 		if err != nil {
@@ -536,6 +587,7 @@ func (b *EventBroker) replay(key brokerSubKey, sub *brokerSub, from uint64, corr
 	for s := from; s <= sub.sent; s++ {
 		if ev, ok := sub.at(s); ok {
 			evs = append(evs, ev)
+			b.stampSent(sub, s)
 		}
 	}
 	b.stats.ReplayHits++

@@ -6,8 +6,10 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"time"
 
 	"dosgi/internal/module"
+	"dosgi/internal/obs"
 )
 
 // Invocable is the explicit dispatch interface. Services that implement it
@@ -322,18 +324,65 @@ func (c *CompositeSource) Lookup(name string) (any, bool) {
 // Dispatcher is the standard Handler: it resolves the service in a
 // ServiceSource and invokes the method via Invocable or reflection.
 type Dispatcher struct {
-	src ServiceSource
+	src    ServiceSource
+	tracer *obs.Tracer
+}
+
+// DispatcherOption configures a Dispatcher.
+type DispatcherOption func(*Dispatcher)
+
+// WithDispatcherTracer records a server span for every traced request:
+// Start is the transport's receive stamp (when the server stamped one),
+// Queue the receive→dispatch wait, and the span parents to the client
+// attempt span carried in the wire trace context.
+func WithDispatcherTracer(t *obs.Tracer) DispatcherOption {
+	return func(d *Dispatcher) { d.tracer = t }
 }
 
 // NewDispatcher builds a dispatcher over src (typically an Exporter).
-func NewDispatcher(src ServiceSource) *Dispatcher {
-	return &Dispatcher{src: src}
+func NewDispatcher(src ServiceSource, opts ...DispatcherOption) *Dispatcher {
+	d := &Dispatcher{src: src}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
 }
 
 // Serve implements Handler. A panicking service method is contained to a
 // StatusAppError response: one buggy export must not take down the node's
 // whole dispatch plane.
 func (d *Dispatcher) Serve(req *Request) (resp *Response) {
+	if d.tracer != nil && req.Trace.Valid() {
+		dispatchAt := d.tracer.Now()
+		start := dispatchAt
+		var queue time.Duration
+		if at, ok := req.ReceivedAt(); ok && dispatchAt > at {
+			start, queue = at, dispatchAt-at
+		}
+		defer func() {
+			sp := obs.Span{
+				TraceID: req.Trace.TraceID,
+				SpanID:  d.tracer.NewID(),
+				Parent:  req.Trace.SpanID,
+				Kind:    obs.SpanServer,
+				Service: req.Service,
+				Method:  req.Method,
+				Hop:     req.Trace.Hop,
+				Start:   start,
+				End:     d.tracer.Now(),
+				Queue:   queue,
+			}
+			if resp != nil && resp.Status != StatusOK {
+				sp.Err = resp.Err
+			}
+			d.tracer.Record(sp)
+		}()
+	}
+	return d.serve(req)
+}
+
+// serve is the untraced dispatch body.
+func (d *Dispatcher) serve(req *Request) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{

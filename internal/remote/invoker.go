@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"dosgi/internal/obs"
 )
 
 // ErrNoEndpoints means the directory knows no replica for the service.
@@ -82,6 +85,18 @@ func WithOrderedResolution() InvokerOption {
 	return func(inv *Invoker) { inv.ordered = true }
 }
 
+// WithInvokerObservability wires the client side of the observability
+// plane: every Go() mints a trace, each failover attempt becomes a child
+// span carried on the wire (the retry cause and replica address
+// annotated), and callHist — optional — records the full call path,
+// retries included. The tracer's clock is the time base for every span.
+func WithInvokerObservability(tracer *obs.Tracer, callHist *obs.Histogram) InvokerOption {
+	return func(inv *Invoker) {
+		inv.tracer = tracer
+		inv.callHist = callHist
+	}
+}
+
 // Invoker is the import-side entry point: it resolves a service to its
 // replicas, spreads calls across them round-robin (the ipvs discipline at
 // the client), and on a retryable failure — connection loss, call timeout,
@@ -97,6 +112,8 @@ type Invoker struct {
 	resolver    EndpointResolver
 	maxAttempts int
 	ordered     bool
+	tracer      *obs.Tracer
+	callHist    *obs.Histogram
 
 	mu sync.Mutex
 	rr map[string]int
@@ -160,14 +177,92 @@ func (inv *Invoker) Go(service, method string, args []any, cb func([]any, error)
 	if inv.maxAttempts > 0 && inv.maxAttempts < attempts {
 		attempts = inv.maxAttempts
 	}
-	inv.attempt(service, method, args, ordered, 0, attempts, cb)
+	var ct *callTrace
+	if inv.tracer != nil {
+		ct = &callTrace{
+			tid:   inv.tracer.NewID(),
+			root:  inv.tracer.NewID(),
+			start: inv.tracer.Now(),
+		}
+		done := cb
+		cb = func(results []any, err error) {
+			end := inv.tracer.Now()
+			if inv.callHist != nil {
+				inv.callHist.Record(end - ct.start)
+			}
+			sp := obs.Span{
+				TraceID: ct.tid,
+				SpanID:  ct.root,
+				Kind:    obs.SpanClient,
+				Service: service,
+				Method:  method,
+				Start:   ct.start,
+				End:     end,
+			}
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			inv.tracer.Record(sp)
+			done(results, err)
+		}
+	}
+	inv.attempt(service, method, args, ordered, 0, attempts, ct, cb)
 }
 
-func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, i, max int, cb func([]any, error)) {
+// callTrace carries one traced call's identity across failover attempts:
+// tid tags every attempt's wire trace context, root parents the attempt
+// spans, and cause remembers why the previous replica was abandoned so
+// the next attempt's span records it.
+type callTrace struct {
+	tid   uint64
+	root  uint64
+	start time.Duration
+	cause string
+}
+
+func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, i, max int, ct *callTrace, cb func([]any, error)) {
 	req := &Request{Service: service, Method: method, Args: args}
+	var spanID uint64
+	var spanStart time.Duration
+	var cause string
+	if ct != nil {
+		spanID = inv.tracer.NewID()
+		spanStart = inv.tracer.Now()
+		cause = ct.cause
+		req.Trace = obs.TraceContext{TraceID: ct.tid, SpanID: spanID, Hop: 1}
+	}
+	// finish records this attempt's client span. An attempt whose request
+	// reached the service and came back — success or application error —
+	// finishes with errStr ""; only transport failures and unavailable
+	// replicas (the failover causes) mark the span failed, so the chaos
+	// trace-completeness invariant can demand a paired server span exactly
+	// for the clean attempts.
+	finish := func(errStr string) {
+		if ct == nil {
+			return
+		}
+		inv.tracer.Record(obs.Span{
+			TraceID: ct.tid,
+			SpanID:  spanID,
+			Parent:  ct.root,
+			Kind:    obs.SpanClient,
+			Service: service,
+			Method:  method,
+			Addr:    eps[i].Addr,
+			Attempt: i,
+			Hop:     1,
+			Cause:   cause,
+			Err:     errStr,
+			Start:   spanStart,
+			End:     inv.tracer.Now(),
+		})
+	}
 	next := func(cause error) {
+		if ct != nil {
+			ct.cause = cause.Error()
+		}
 		if i+1 < max {
-			inv.attempt(service, method, args, eps, i+1, max, cb)
+			inv.attempt(service, method, args, eps, i+1, max, ct, cb)
 		} else {
 			cb(nil, cause)
 		}
@@ -175,18 +270,24 @@ func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, 
 	err := inv.pool.Invoke(eps[i].Addr, req, func(resp *Response, err error) {
 		switch {
 		case err != nil && Retryable(err):
+			finish(err.Error())
 			next(err)
 		case err != nil:
+			finish(err.Error())
 			cb(nil, err)
 		case resp.Status == StatusUnavailable:
+			finish("unavailable: " + resp.Err)
 			next(fmt.Errorf("%w: %s", ErrUnavailable, resp.Err))
 		case resp.Status == StatusAppError:
+			finish("")
 			cb(nil, &AppError{Service: service, Method: method, Msg: resp.Err})
 		default:
+			finish("")
 			cb(resp.Results, nil)
 		}
 	})
 	if err != nil {
+		finish(err.Error())
 		if Retryable(err) {
 			next(err)
 		} else {

@@ -9,6 +9,7 @@ import (
 
 	"dosgi/internal/clock"
 	"dosgi/internal/netsim"
+	"dosgi/internal/obs"
 )
 
 // ephemeralBase is the first client port a NetsimTransport binds.
@@ -24,6 +25,12 @@ func WithNetsimCallTimeout(d time.Duration) NetsimOption {
 	return func(t *NetsimTransport) { t.callTimeout = d }
 }
 
+// WithNetsimFrameHistogram records request→response round trips of every
+// connection this transport dials into h (simulated time).
+func WithNetsimFrameHistogram(h *obs.Histogram) NetsimOption {
+	return func(t *NetsimTransport) { t.frameHist = h }
+}
+
 // NetsimTransport dials remote endpoints over the simulated fabric. A
 // "connection" is a bound ephemeral client port plus a hello/ack handshake
 // with the server, so connection setup costs one round trip exactly like
@@ -34,6 +41,7 @@ type NetsimTransport struct {
 	nic         *netsim.NIC
 	localIP     netsim.IP
 	callTimeout time.Duration
+	frameHist   *obs.Histogram
 
 	mu       sync.Mutex
 	nextPort uint16
@@ -75,6 +83,7 @@ func (t *NetsimTransport) Dial(addr string) (Conn, error) {
 	c := &netsimConn{transport: t, addr: addr, remote: remoteAddr}
 	c.core = newConnCore(t.sched, t.callTimeout, false)
 	c.core.sendFrame = c.send
+	c.core.rtt = t.frameHist
 
 	// Bind the next free ephemeral port for responses.
 	t.mu.Lock()
@@ -177,14 +186,30 @@ type NetsimServer struct {
 	nic     *netsim.NIC
 	addr    netsim.Addr
 	handler Handler
+	now     func() time.Duration
 
 	mu      sync.Mutex
 	running bool
 }
 
+// NetsimServerOption configures a NetsimServer.
+type NetsimServerOption func(*NetsimServer)
+
+// WithNetsimServerClock stamps each request's arrival time so a traced
+// Dispatcher can split queue wait from handler time. Dispatch is
+// synchronous on the engine goroutine here, so queue time is ~0 — the
+// stamp matters for span start alignment across nodes.
+func WithNetsimServerClock(now func() time.Duration) NetsimServerOption {
+	return func(s *NetsimServer) { s.now = now }
+}
+
 // NewNetsimServer builds a server bound later by Start.
-func NewNetsimServer(nic *netsim.NIC, addr netsim.Addr, handler Handler) *NetsimServer {
-	return &NetsimServer{nic: nic, addr: addr, handler: handler}
+func NewNetsimServer(nic *netsim.NIC, addr netsim.Addr, handler Handler, opts ...NetsimServerOption) *NetsimServer {
+	s := &NetsimServer{nic: nic, addr: addr, handler: handler}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // netsimPusher pushes frames back to one client address. It is a value
@@ -247,6 +272,9 @@ func (s *NetsimServer) onMessage(msg netsim.Message) {
 		ack := encodeHello(true)
 		_ = s.nic.Send(s.addr, msg.From, ack, len(ack))
 	case frameRequest:
+		if s.now != nil {
+			req.MarkReceived(s.now())
+		}
 		var resp *Response
 		if ph, ok := s.handler.(PushHandler); ok {
 			resp = ph.ServePush(req, s.pusherFor(msg.From))

@@ -2,6 +2,9 @@ package remote
 
 import (
 	"sync"
+	"time"
+
+	"dosgi/internal/obs"
 )
 
 // Pool defaults.
@@ -39,6 +42,18 @@ func WithPerCallConns() PoolOption {
 	return func(p *Pool) { p.perCall = true }
 }
 
+// WithPoolObserver records how long each call waited to acquire a
+// connection slot into wait (zero for calls routed immediately); now
+// supplies timestamps and must share a base with the other instruments on
+// the node. Per-call pools (no queue) record nothing.
+func WithPoolObserver(now func() time.Duration, wait *obs.Histogram) PoolOption {
+	return func(p *Pool) {
+		if now != nil && wait != nil {
+			p.now, p.waitHist = now, wait
+		}
+	}
+}
+
 // Pool multiplexes invocations over per-endpoint pipelined connections:
 // each call picks the least-loaded open connection with a free in-flight
 // slot, dials a new one while under the per-endpoint cap, and otherwise
@@ -48,6 +63,8 @@ type Pool struct {
 	maxConns    int
 	maxInFlight int
 	perCall     bool
+	now         func() time.Duration
+	waitHist    *obs.Histogram
 
 	mu      sync.Mutex
 	conns   map[string][]Conn
@@ -63,6 +80,16 @@ type Pool struct {
 type poolWaiter struct {
 	req *Request
 	cb  func(*Response, error)
+	enq time.Duration // enqueue time, meaningful only with waitHist
+}
+
+// enqueue builds a waiter, stamping its queue-entry time when observed.
+func (p *Pool) enqueue(req *Request, cb func(*Response, error)) poolWaiter {
+	w := poolWaiter{req: req, cb: cb}
+	if p.waitHist != nil {
+		w.enq = p.now()
+	}
+	return w
 }
 
 // NewPool builds a pool over transport.
@@ -108,7 +135,7 @@ func (p *Pool) Invoke(addr string, req *Request, cb func(*Response, error)) erro
 	// FIFO fairness: while earlier calls are queued, new calls join the
 	// back of the queue rather than stealing a freshly freed slot.
 	if len(p.waiting[addr]) > 0 {
-		p.waiting[addr] = append(p.waiting[addr], poolWaiter{req: req, cb: cb})
+		p.waiting[addr] = append(p.waiting[addr], p.enqueue(req, cb))
 		p.mu.Unlock()
 		p.drain(addr)
 		return nil
@@ -124,11 +151,14 @@ func (p *Pool) Invoke(addr string, req *Request, cb func(*Response, error)) erro
 			p.mu.Unlock()
 			return ErrConnClosed
 		}
-		p.waiting[addr] = append(p.waiting[addr], poolWaiter{req: req, cb: cb})
+		p.waiting[addr] = append(p.waiting[addr], p.enqueue(req, cb))
 		p.mu.Unlock()
 		// Capacity may have freed between route and the enqueue.
 		p.drain(addr)
 		return nil
+	}
+	if p.waitHist != nil {
+		p.waitHist.Record(0) // acquired without queueing
 	}
 	return p.callOn(conn, addr, req, cb)
 }
@@ -277,6 +307,9 @@ func (p *Pool) drain(addr string) {
 			p.waiting[addr] = queue[1:]
 		}
 		p.mu.Unlock()
+		if p.waitHist != nil {
+			p.waitHist.Record(p.now() - w.enq)
+		}
 		if err := p.callOn(conn, addr, w.req, w.cb); err != nil {
 			w.cb(nil, err)
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dosgi/internal/clock"
+	"dosgi/internal/obs"
 )
 
 // writeFrame writes a length-prefixed frame to w. Callers serialize.
@@ -55,12 +56,19 @@ func WithTCPDialTimeout(d time.Duration) TCPOption {
 	return func(t *TCPTransport) { t.dialTimeout = d }
 }
 
+// WithTCPFrameHistogram records request→response round trips of every
+// connection this transport dials into h.
+func WithTCPFrameHistogram(h *obs.Histogram) TCPOption {
+	return func(t *TCPTransport) { t.frameHist = h }
+}
+
 // TCPTransport dials real TCP endpoints with the same framing and
 // pipelining semantics as the netsim transport; dosgid uses it.
 type TCPTransport struct {
 	sched       clock.Scheduler
 	callTimeout time.Duration
 	dialTimeout time.Duration
+	frameHist   *obs.Histogram
 }
 
 // NewTCPTransport builds a transport; sched drives call timeouts (pass
@@ -95,6 +103,7 @@ func (t *TCPTransport) Dial(addr string) (Conn, error) {
 	// TCP's own handshake already happened; the conn starts established.
 	c.core = newConnCore(detachedScheduler{t.sched}, t.callTimeout, true)
 	c.core.sendFrame = c.send
+	c.core.rtt = t.frameHist
 	go c.readLoop()
 	return c, nil
 }
@@ -245,6 +254,7 @@ func (q *serialQueue) run() {
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
+	now     func() time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -252,9 +262,23 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 }
 
+// TCPServerOption configures a TCPServer.
+type TCPServerOption func(*TCPServer)
+
+// WithTCPServerClock stamps each request's arrival time (at frame decode,
+// before the dispatch goroutine is scheduled) so a traced Dispatcher can
+// split queue wait from handler time. Use the same clock base as the
+// node's tracer.
+func WithTCPServerClock(now func() time.Duration) TCPServerOption {
+	return func(s *TCPServer) { s.now = now }
+}
+
 // ServeTCP starts accepting on ln; it returns immediately.
-func ServeTCP(ln net.Listener, handler Handler) *TCPServer {
+func ServeTCP(ln net.Listener, handler Handler, opts ...TCPServerOption) *TCPServer {
 	s := &TCPServer{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -349,6 +373,9 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			_ = writeFrame(nc, encodeHello(true))
 			writeMu.Unlock()
 		case frameRequest:
+			if s.now != nil {
+				req.MarkReceived(s.now())
+			}
 			dispatch.Add(1)
 			go func(req *Request) {
 				defer dispatch.Done()

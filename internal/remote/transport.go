@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dosgi/internal/clock"
+	"dosgi/internal/obs"
 )
 
 // Transport-level errors. Everything wrapping ErrUnavailable is retryable
@@ -67,8 +68,9 @@ type PushConn interface {
 
 // pendingCall tracks one outstanding request on a connection.
 type pendingCall struct {
-	cb    func(*Response, error)
-	timer clock.Timer
+	cb     func(*Response, error)
+	timer  clock.Timer
+	sentAt time.Duration // stamped when the frame-RTT histogram is wired
 }
 
 // connCore implements correlation-id bookkeeping shared by the netsim and
@@ -77,6 +79,9 @@ type connCore struct {
 	sched       clock.Scheduler
 	callTimeout time.Duration
 	sendFrame   func(frame []byte) error
+	// rtt, when set, records call-issue→response round trips (responses
+	// only — timeouts and connection failures are not round trips).
+	rtt *obs.Histogram
 
 	mu          sync.Mutex
 	nextCorr    uint64
@@ -120,6 +125,9 @@ func (c *connCore) call(req *Request, cb func(*Response, error)) error {
 		return ErrFrameTooLarge
 	}
 	pc := &pendingCall{cb: cb}
+	if c.rtt != nil {
+		pc.sentAt = c.sched.Now()
+	}
 	c.pending[corr] = pc
 	pc.timer = c.sched.After(c.callTimeout, func() { c.complete(corr, nil, ErrTimeout) })
 	ready := c.established
@@ -169,6 +177,9 @@ func (c *connCore) complete(corr uint64, resp *Response, err error) {
 	}
 	if pc.timer != nil {
 		pc.timer.Cancel()
+	}
+	if c.rtt != nil && resp != nil {
+		c.rtt.Record(c.sched.Now() - pc.sentAt)
 	}
 	pc.cb(resp, err)
 }

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,14 +48,23 @@ func (m *MetricsService) Names() []string {
 	return out
 }
 
-// Read returns the attributes of one provider.
-func (m *MetricsService) Read(name string) (map[string]any, bool) {
+// Read returns the attributes of one provider. A panicking provider —
+// one buggy MBean — must not take down the reader (the admin plane polls
+// every provider in one sweep): the panic is contained to an "error"
+// attribute in that provider's map.
+func (m *MetricsService) Read(name string) (attrs map[string]any, ok bool) {
 	m.mu.Lock()
 	provider, ok := m.providers[name]
 	m.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			attrs = map[string]any{"error": fmt.Sprintf("provider panic: %v", r)}
+			ok = true
+		}
+	}()
 	return provider(), true
 }
 

@@ -1,0 +1,149 @@
+package services
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dosgi/internal/obs"
+)
+
+// TestMetricsReadRecoversPanickingProvider: one buggy MBean must not
+// take down the reader — the panic is contained to that provider's own
+// map as an "error" attribute, and every other provider still reads.
+func TestMetricsReadRecoversPanickingProvider(t *testing.T) {
+	m := NewMetricsService()
+	m.RegisterProvider("good", func() map[string]any {
+		return map[string]any{"x": 1}
+	})
+	m.RegisterProvider("buggy", func() map[string]any {
+		panic("nil map write")
+	})
+
+	attrs, ok := m.Read("buggy")
+	if !ok {
+		t.Fatal("panicking provider reported as missing")
+	}
+	errText, _ := attrs["error"].(string)
+	if !strings.Contains(errText, "provider panic") || !strings.Contains(errText, "nil map write") {
+		t.Fatalf("panic not surfaced as error attribute: %v", attrs)
+	}
+
+	// The sweep survives too: Snapshot reads both providers, the buggy
+	// one degraded to its error attribute.
+	snap := m.Snapshot()
+	if snap["good"]["x"] != 1 {
+		t.Fatalf("good provider lost in snapshot: %v", snap)
+	}
+	if _, hasErr := snap["buggy"]["error"]; !hasErr {
+		t.Fatalf("buggy provider not contained in snapshot: %v", snap)
+	}
+}
+
+// TestMetricsServiceConcurrentAccess hammers Register/Unregister/Read/
+// Snapshot from many goroutines — the admin plane polls while modules
+// come and go. Run under -race this is the locking proof.
+func TestMetricsServiceConcurrentAccess(t *testing.T) {
+	m := NewMetricsService()
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("p%d", w)
+			for i := 0; i < rounds; i++ {
+				m.RegisterProvider(name, func() map[string]any {
+					return map[string]any{"i": i}
+				})
+				m.Read(name)
+				if i%10 == 0 {
+					m.Snapshot()
+					m.Names()
+				}
+				m.UnregisterProvider(name)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(m.Names()); n != 0 {
+		t.Fatalf("%d providers left after churn", n)
+	}
+}
+
+// TestMetricsRemoteLines: the wire-facing read service flattens
+// providers to sorted "key=value" lines and provider-prefixed snapshot
+// lines — the exact strings dosgictl metrics prints.
+func TestMetricsRemoteLines(t *testing.T) {
+	m := NewMetricsService()
+	m.RegisterProvider("node", func() map[string]any {
+		return map[string]any{"cpu": int64(42), "name": "n1"}
+	})
+	r := NewMetricsRemote(m, nil)
+
+	if got := r.Providers(); len(got) != 1 || got[0] != "node" {
+		t.Fatalf("Providers = %v", got)
+	}
+	if got := r.Read("node"); len(got) != 2 || got[0] != "cpu=42" || got[1] != "name=n1" {
+		t.Fatalf("Read = %v", got)
+	}
+	if got := r.Read("missing"); len(got) != 0 {
+		t.Fatalf("Read missing = %v", got)
+	}
+	if got := r.Snapshot(); len(got) != 2 || got[0] != "node cpu=42" || got[1] != "node name=n1" {
+		t.Fatalf("Snapshot = %v", got)
+	}
+	// No span store: the trace surface degrades to empty, not a panic.
+	if got := r.Trace(1); len(got) != 0 {
+		t.Fatalf("Trace without store = %v", got)
+	}
+	if got := r.Recent(5); len(got) != 0 {
+		t.Fatalf("Recent without store = %v", got)
+	}
+}
+
+// TestMetricsRemoteTraceAndRecent: spans round-trip the wire tuple form
+// and Recent lists root client spans newest first.
+func TestMetricsRemoteTraceAndRecent(t *testing.T) {
+	store := obs.NewSpanStore(16)
+	mkRoot := func(tid uint64, start time.Duration) obs.Span {
+		return obs.Span{
+			TraceID: tid, SpanID: tid + 1, Kind: obs.SpanClient,
+			Node: "n1", Service: "svc", Method: "M",
+			Start: start, End: start + time.Millisecond,
+		}
+	}
+	store.Add(mkRoot(0x10, 1*time.Millisecond))
+	store.Add(obs.Span{ // an attempt span: must not show up in Recent
+		TraceID: 0x10, SpanID: 0x12, Parent: 0x11, Kind: obs.SpanClient,
+		Node: "n1", Service: "svc", Method: "M",
+		Start: 1 * time.Millisecond, End: 2 * time.Millisecond,
+	})
+	store.Add(mkRoot(0x20, 5*time.Millisecond))
+
+	r := NewMetricsRemote(NewMetricsService(), store)
+
+	tuples := r.Trace(0x10)
+	if len(tuples) != 2 {
+		t.Fatalf("Trace = %v", tuples)
+	}
+	sp, ok := obs.SpanFromTuple(tuples[0].([]any))
+	if !ok || sp.TraceID != 0x10 || sp.SpanID != 0x11 || sp.Node != "n1" {
+		t.Fatalf("tuple round trip = %+v ok=%v", sp, ok)
+	}
+
+	recent := r.Recent(10)
+	if len(recent) != 2 {
+		t.Fatalf("Recent = %v", recent)
+	}
+	if first, _ := recent[0].(string); !strings.HasPrefix(first, "0000000000000020 svc.M") {
+		t.Fatalf("Recent not newest-first: %v", recent)
+	}
+	if limited := r.Recent(1); len(limited) != 1 {
+		t.Fatalf("Recent(1) = %v", limited)
+	}
+}

@@ -1,0 +1,123 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+
+	"dosgi/internal/obs"
+)
+
+// MetricsRemoteName is the reserved exported-service name every daemon
+// publishes its metrics read service under — the wire half of the
+// one-stop metrics pull: `dosgictl metrics` / `dosgictl trace` ask one
+// daemon, which reads its own providers and fans out to its peers
+// through this service.
+const MetricsRemoteName = "dosgi.metrics"
+
+// MetricsRemote serves a process's MetricsService and span store over
+// the remote invocation protocol. Every method returns only
+// wire-encodable values ([]any of strings or int64 tuples), so peers —
+// and dosgictl through a daemon — read metrics and assemble cross-node
+// traces without shared types or a second protocol.
+type MetricsRemote struct {
+	metrics *MetricsService
+	store   *obs.SpanStore
+}
+
+// NewMetricsRemote wraps metrics and the local span store (nil allowed:
+// a process without a tracer still serves its providers).
+func NewMetricsRemote(metrics *MetricsService, store *obs.SpanStore) *MetricsRemote {
+	return &MetricsRemote{metrics: metrics, store: store}
+}
+
+// Providers lists the registered provider names, sorted.
+func (m *MetricsRemote) Providers() []any {
+	names := m.metrics.Names()
+	out := make([]any, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// Read returns one provider's attributes as sorted "key=value" lines;
+// empty for an unknown provider.
+func (m *MetricsRemote) Read(name string) []any {
+	attrs, ok := m.metrics.Read(name)
+	if !ok {
+		return nil
+	}
+	return attrLines("", attrs)
+}
+
+// Snapshot returns every provider's attributes as sorted
+// "provider key=value" lines.
+func (m *MetricsRemote) Snapshot() []any {
+	var out []any
+	for _, name := range m.metrics.Names() {
+		if attrs, ok := m.metrics.Read(name); ok {
+			out = append(out, attrLines(name+" ", attrs)...)
+		}
+	}
+	return out
+}
+
+// Trace returns the locally retained spans of one trace — the id is the
+// uint64 bit pattern as int64 — flattened to wire tuples
+// (obs.Span.Tuple).
+func (m *MetricsRemote) Trace(id int64) []any {
+	if m.store == nil {
+		return nil
+	}
+	spans := m.store.ByTrace(uint64(id))
+	out := make([]any, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Tuple()
+	}
+	return out
+}
+
+// Recent returns up to n of the newest locally recorded root client
+// spans as "traceID service.method duration err" lines, newest first —
+// how an operator discovers a trace id to pass to `dosgictl trace`.
+func (m *MetricsRemote) Recent(n int64) []any {
+	if m.store == nil || n <= 0 {
+		return nil
+	}
+	all := m.store.All()
+	var roots []obs.Span
+	for _, sp := range all {
+		if sp.Kind == obs.SpanClient && sp.Parent == 0 {
+			roots = append(roots, sp)
+		}
+	}
+	// All() is oldest-first; take the tail and reverse it.
+	if int64(len(roots)) > n {
+		roots = roots[int64(len(roots))-n:]
+	}
+	out := make([]any, 0, len(roots))
+	for i := len(roots) - 1; i >= 0; i-- {
+		sp := roots[i]
+		line := fmt.Sprintf("%016x %s.%s %s", sp.TraceID, sp.Service, sp.Method, sp.Duration())
+		if sp.Err != "" {
+			line += " err=" + sp.Err
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// attrLines flattens an attribute map to sorted "key=value" lines, each
+// prefixed (the provider name for Snapshot, empty for Read).
+func attrLines(prefix string, attrs map[string]any) []any {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]any, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s%s=%v", prefix, k, attrs[k])
+	}
+	return out
+}
