@@ -1,7 +1,8 @@
 GO ?= go
 STATICCHECK ?= staticcheck
+GOVULNCHECK ?= govulncheck
 
-.PHONY: all fmt vet staticcheck lint build test test-race test-chaos bench bench-json check
+.PHONY: all fmt vet staticcheck vuln lint build test test-race test-chaos bench bench-json check
 
 all: check
 
@@ -22,6 +23,16 @@ staticcheck:
 		$(STATICCHECK) ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# govulncheck follows the same availability gate as staticcheck (CI
+# installs it; locally: go install golang.org/x/vuln/cmd/govulncheck@latest)
+# so the target works offline.
+vuln:
+	@if command -v $(GOVULNCHECK) >/dev/null 2>&1; then \
+		$(GOVULNCHECK) ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Static checks only: formatting + vet + staticcheck (what CI's lint step
@@ -49,10 +60,10 @@ test-chaos:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
-# Machine-readable benchmark trajectory: E10–E12 written to
-# BENCH_remote.json / BENCH_provision.json / BENCH_events.json at the
-# repo root. Commit the refreshed files after performance work — their
-# git history is the trajectory.
+# Machine-readable benchmark trajectory: E10–E12 appended as timestamped
+# run points to BENCH_remote.json / BENCH_provision.json /
+# BENCH_events.json at the repo root. Commit the refreshed files after
+# performance work — each file carries its own run history.
 bench-json:
 	$(GO) run ./cmd/benchjson -out .
 

@@ -6,13 +6,15 @@
 //	BENCH_provision.json  E11: transfer throughput across chunk sizes
 //	BENCH_events.json     E12: fast/slow subscribers, flow control off/on
 //
-// `make bench-json` runs it at the repository root. Committing the
-// refreshed files after performance work builds a benchmark trajectory
-// in git history — `git log -p BENCH_remote.json` is the performance
-// story of the remote stack, point by point. E10 and E11 run on the
-// deterministic simulator (identical numbers on every machine); E12
-// runs on real TCP with a wall clock, so its latencies vary with the
-// host.
+// Each file holds the experiment's full trajectory: a run APPENDS a
+// timestamped point to the existing file instead of overwriting it, so
+// the committed file itself is the performance story — no need to walk
+// `git log -p` to compare two eras. (A pre-trajectory single-point file
+// is migrated in place as the first run.) `make bench-json` runs it at
+// the repository root; commit the refreshed files after performance
+// work. E10 and E11 run on the deterministic simulator (identical
+// numbers on every machine); E12 runs on real TCP with a wall clock, so
+// its latencies vary with the host.
 package main
 
 import (
@@ -65,29 +67,56 @@ func main() {
 	}, e12)
 }
 
-// report is one experiment's trajectory point. Durations inside rows
-// marshal as integer nanoseconds (time.Duration's JSON form).
-type report struct {
-	Experiment string         `json:"experiment"`
-	Generated  string         `json:"generated"`
-	Params     map[string]any `json:"params"`
-	Rows       any            `json:"rows"`
+// trajectory is one experiment's full benchmark history: every run
+// appends a point, never overwrites one.
+type trajectory struct {
+	Experiment string     `json:"experiment"`
+	Runs       []runPoint `json:"runs"`
+}
+
+// runPoint is one timestamped run. Durations inside rows marshal as
+// integer nanoseconds (time.Duration's JSON form).
+type runPoint struct {
+	Generated string         `json:"generated"`
+	Params    map[string]any `json:"params"`
+	Rows      any            `json:"rows"`
 }
 
 func writeReport(dir, file, experiment string, params map[string]any, rows any) {
-	rep := report{
-		Experiment: experiment,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Params:     params,
-		Rows:       rows,
+	path := filepath.Join(dir, file)
+	traj := trajectory{Experiment: experiment}
+	if data, err := os.ReadFile(path); err == nil {
+		// Either the trajectory format, or a pre-trajectory file that was
+		// one bare point with the experiment name alongside: migrate that
+		// in place as the first run.
+		var existing struct {
+			Experiment string         `json:"experiment"`
+			Runs       []runPoint     `json:"runs"`
+			Generated  string         `json:"generated"`
+			Params     map[string]any `json:"params"`
+			Rows       any            `json:"rows"`
+		}
+		if err := json.Unmarshal(data, &existing); err != nil {
+			log.Fatalf("%s: existing file is not valid JSON (%v); move it aside to start a fresh trajectory", path, err)
+		}
+		switch {
+		case len(existing.Runs) > 0:
+			traj.Runs = existing.Runs
+		case existing.Generated != "":
+			traj.Runs = []runPoint{{Generated: existing.Generated, Params: existing.Params, Rows: existing.Rows}}
+		}
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	traj.Runs = append(traj.Runs, runPoint{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Params:    params,
+		Rows:      rows,
+	})
+	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	path := filepath.Join(dir, file)
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%s)\n", path, experiment)
+	fmt.Printf("wrote %s (%s, %d run(s))\n", path, experiment, len(traj.Runs))
 }

@@ -19,6 +19,10 @@
 //	dosgictl metrics obs:self
 //	dosgictl trace
 //	dosgictl trace 8c736ec100000001
+//	dosgictl health
+//	dosgictl health 127.0.0.1:7791
+//	dosgictl alerts
+//	dosgictl -timeout 60s alerts follow 8
 //
 // call invokes a remotely exported service through the daemon's remote
 // invocation stack (see internal/remote); arguments are parsed by the
@@ -52,6 +56,14 @@
 // prints that trace's spans assembled across the daemon and its peers:
 // each client attempt with its failover cause, paired with the
 // server-side execution (queue/handler split) it reached.
+//
+// health prints the daemon's replicated health view — one line per
+// component per node (its own records plus every peer's, mirrored over
+// dosgi.health pushes, never polled), optionally narrowed to one node's
+// remote address. alerts prints the recent health transitions; alerts
+// follow streams them live as ALERT lines (resync snapshot first) until
+// the count (default 16) arrives — raise -timeout when waiting for a
+// fault to happen.
 package main
 
 import (

@@ -20,6 +20,8 @@
 //	REPO [LIST|SEED]
 //	METRICS [provider]
 //	TRACE [id]
+//	HEALTH [node]
+//	ALERTS [FOLLOW [count]]
 //	LOG [n]
 //	QUIT
 //
@@ -60,6 +62,28 @@
 // assembles that trace's spans from this daemon and every peer, merged
 // in start order — client attempts, their failover causes, and the
 // server-side executions (with queue/handler split) they reached.
+//
+// HEALTH prints the daemon's replicated health view: its own evaluator's
+// per-component records (remote-call p99, pool wait, broker delivery)
+// plus every -peers daemon's records, mirrored over per-peer
+// dosgi.health subscriptions (see docs/PROTOCOL.md §6.4) — pushed on
+// transition, not polled, so HEALTH answers for the whole peer set from
+// local state. An optional node argument (a daemon's remote address)
+// narrows the view.
+// ALERTS prints the recent health transitions; ALERTS FOLLOW streams
+// them live as "ALERT ..." lines (the resync snapshot first, then
+// transitions) until count alerts (default 16) arrived or the
+// subscription times out. A CRITICAL remote record of a peer also closes
+// the autonomic loop: that peer's endpoint is demoted to last choice in
+// this daemon's CALL failover ordering until the record heals.
+//
+// The echo service's Sleep method (CALL echo Sleep <ms>) blocks the
+// handler for ms milliseconds — the latency-fault injector that drives
+// the health plane by hand.
+//
+// -debug <addr> serves Go's net/http/pprof handlers on addr (e.g.
+// 127.0.0.1:6060 → http://127.0.0.1:6060/debug/pprof/) for live CPU,
+// heap and goroutine profiles of a running daemon; empty disables it.
 package main
 
 import (
@@ -68,18 +92,25 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -debug serves the standard profiling handlers
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"dosgi/internal/autonomic"
 	"dosgi/internal/clock"
 	"dosgi/internal/core"
+	"dosgi/internal/health"
 	"dosgi/internal/manifest"
 	"dosgi/internal/module"
 	"dosgi/internal/obs"
+	"dosgi/internal/policy"
 	"dosgi/internal/provision"
 	"dosgi/internal/remote"
 	"dosgi/internal/security"
@@ -90,6 +121,11 @@ func main() {
 	listenAddr := flag.String("listen", "127.0.0.1:7700", "admin listen address")
 	remoteAddr := flag.String("remote", "127.0.0.1:7790", "remote-services listen address")
 	peers := flag.String("peers", "", "comma-separated remote-services addresses of peer daemons (failover targets)")
+	debugAddr := flag.String("debug", "", "net/http/pprof listen address, e.g. 127.0.0.1:6060 (empty = disabled)")
+	hc := defaultHealthConfig()
+	flag.DurationVar(&hc.interval, "health-interval", hc.interval, "health evaluator tick interval")
+	flag.DurationVar(&hc.p99Degraded, "health-degraded", hc.p99Degraded, "per-interval call p99 above which the remote component is DEGRADED")
+	flag.DurationVar(&hc.p99Critical, "health-critical", hc.p99Critical, "per-interval call p99 above which the remote component is CRITICAL")
 	flag.Parse()
 
 	var peerList []string
@@ -98,7 +134,13 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
-	d, err := newDaemon(*listenAddr, *remoteAddr, peerList)
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("dosgid: debug server exited: %v", http.ListenAndServe(*debugAddr, nil))
+		}()
+		log.Printf("dosgid: pprof on http://%s/debug/pprof/", *debugAddr)
+	}
+	d, err := newDaemon(*listenAddr, *remoteAddr, peerList, hc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +171,15 @@ func (echoService) Reverse(s string) string {
 
 func (echoService) Add(a, b int64) int64 { return a + b }
 
+// Sleep blocks the handler for ms milliseconds and returns ms — the
+// latency-fault injector: CALL echo Sleep 120 against a daemon records a
+// breaching sample in the caller's invoker-call window, flipping its
+// remote-path health record.
+func (echoService) Sleep(ms int64) int64 {
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	return ms
+}
+
 // daemon bundles one dosgid node's moving parts so tests can run it
 // in-process on ephemeral ports.
 type daemon struct {
@@ -158,7 +209,49 @@ type daemon struct {
 	// instExp exports services registered inside started virtual
 	// instances (one exporter per instance).
 	instExp *remote.ExporterSet
+
+	// The health plane: the local evaluator ticks rules over the obs
+	// plane's interval windows; healthView is the fleet-wide record view
+	// (own records plus every peer's, mirrored over per-peer dosgi.health
+	// subscriptions); healthBroker pushes transitions to subscribers; the
+	// autonomic controller demotes CRITICAL peers in the invoker.
+	healthEval   *health.Evaluator
+	healthBroker *remote.EventBroker
+	healthTicker clock.Timer
+	healthCtl    *autonomic.Controller
+	healthSubs   []*remote.Subscriber
+	healthMu     sync.Mutex
+	healthView   map[string]remote.ServiceEvent // "component@node" → record
+	healthLog    []string                       // recent transitions, newest last
 }
+
+// healthConfig carries the flag-tunable health thresholds.
+type healthConfig struct {
+	interval    time.Duration
+	p99Degraded time.Duration
+	p99Critical time.Duration
+}
+
+func defaultHealthConfig() healthConfig {
+	return healthConfig{
+		interval:    500 * time.Millisecond,
+		p99Degraded: 50 * time.Millisecond,
+		p99Critical: 95 * time.Millisecond,
+	}
+}
+
+// healthLogCap bounds the ALERTS ring buffer.
+const healthLogCap = 64
+
+// daemonHealthPolicy is the autonomic closed loop over the mirrored
+// health view — the same policy the cluster nodes load: a CRITICAL
+// remote-path record of a peer demotes that peer's endpoint to
+// last-resort in this daemon's CALL failover ordering; anything better
+// restores it.
+const daemonHealthPolicy = `
+when health.component == "remote" && health.level >= 2 { demote() }
+when health.component == "remote" && health.level < 2 { restore() }
+`
 
 // serviceSources is the dispatch-side lookup order: host-framework
 // exports first, then every started instance's exports (host wins name
@@ -370,7 +463,7 @@ func (d *daemon) peerLocations() map[string][]string {
 	return out
 }
 
-func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
+func newDaemon(adminAddr, remoteAddr string, peers []string, hc healthConfig) (*daemon, error) {
 	sched := clock.NewReal()
 
 	defs := module.NewDefinitionRegistry()
@@ -461,10 +554,16 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	d.metrics.RegisterProvider("obs:self", d.plane.Provider())
 	d.metrics.RegisterProvider("framework:dosgid", services.FrameworkProvider(host))
 	// The event broker serves dosgi.events on the same listener as
-	// invocations, replaying the current exports to new subscribers.
+	// invocations, replaying the current exports to new subscribers. The
+	// health broker serves dosgi.health beside it, replaying the fleet
+	// health view (PROTOCOL.md §6.4).
 	d.broker = remote.NewEventBroker(sched,
 		remote.WithEventSnapshot(d.exportSnapshot),
 		remote.WithBrokerAckHistogram(d.plane.EventAckLag))
+	d.healthView = make(map[string]remote.ServiceEvent)
+	d.healthBroker = remote.NewEventBroker(sched,
+		remote.WithBrokerService(remote.HealthServiceName),
+		remote.WithEventSnapshot(d.healthSnapshot))
 	d.services = remote.NewCompositeSource(d.serviceSources)
 	exporter.OnChange(func(ev remote.ExportEvent) { d.publishExportEvent(ev, "") })
 	mgr.OnEvent(func(ev core.Event) {
@@ -478,7 +577,7 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	remoteSrv := remote.ServeTCP(remoteLn,
 		remote.NewEventDispatcher(
 			remote.NewDispatcher(d.services, remote.WithDispatcherTracer(d.plane.Tracer)),
-			d.broker),
+			d.broker, d.healthBroker),
 		remote.WithTCPServerClock(sched.Now))
 	d.remoteSrv = remoteSrv
 
@@ -555,7 +654,192 @@ func newDaemon(adminAddr, remoteAddr string, peers []string) (*daemon, error) {
 	d.adminLn = adminLn
 	d.repo = repo
 	d.deployer = deployer
+	d.setupHealth(hc)
 	return d, nil
+}
+
+// setupHealth starts the local evaluator tick, the per-peer dosgi.health
+// mirrors and the autonomic demotion loop. The evaluator's node name is
+// the daemon's remote address — the same identity peers dial, so a
+// CRITICAL record's Node field IS the endpoint the autonomic rule
+// demotes.
+func (d *daemon) setupHealth(hc healthConfig) {
+	ev := health.New(d.remoteAddr)
+	callWin := d.plane.InvokerCall.NewWindow()
+	ev.AddRule(health.Rule{
+		Name: "call-p99", Component: "remote",
+		Signal: func() (float64, bool) {
+			s := callWin.Advance()
+			if s.Count == 0 {
+				return 0, false
+			}
+			return float64(s.P99), true
+		},
+		Degraded: float64(hc.p99Degraded),
+		Critical: float64(hc.p99Critical),
+		Raise:    1, Clear: 2,
+	})
+	poolWin := d.plane.PoolWait.NewWindow()
+	ev.AddRule(health.Rule{
+		Name: "pool-wait-p99", Component: "remote",
+		Signal: func() (float64, bool) {
+			s := poolWin.Advance()
+			if s.Count == 0 {
+				return 0, false
+			}
+			return float64(s.P99), true
+		},
+		Degraded: float64(hc.p99Degraded / 2),
+		Critical: float64(hc.p99Critical * 4 / 5),
+		Raise:    1, Clear: 2,
+	})
+	ev.AddRule(health.Rule{
+		Name: "broker-lagging", Component: "events",
+		Signal: func() (float64, bool) {
+			return float64(d.broker.Stats().Lagging + d.healthBroker.Stats().Lagging), true
+		},
+		Degraded: 1, Critical: 4,
+		Raise: 1, Clear: 2,
+	})
+	d.healthEval = ev
+
+	// The evaluator tick: applyHealth dedups, so steady state publishes
+	// nothing.
+	d.healthTicker = d.sched.Every(hc.interval, func() {
+		ev.Tick()
+		for _, rec := range ev.Records() {
+			d.applyHealth(remote.ServiceEvent{
+				Service: rec.Component, Node: rec.Node,
+				Addr: rec.Status.String(), Instance: rec.Cause,
+			})
+		}
+	})
+
+	// Mirror every peer's health records: pushed transitions land in OUR
+	// view (and re-publish on OUR broker), so HEALTH and ALERTS against
+	// any daemon answer for every daemon it peers with. Only FIRST-HAND
+	// records are accepted — the peer's own, whose Node is the address we
+	// dialed — so each record has exactly one authoritative source here:
+	// no echo loops between mutual mirrors, no duplicate or out-of-order
+	// alerts when several peers relay the same transition.
+	for _, addr := range d.peers {
+		addr := addr
+		sub, err := remote.NewSubscriber(remote.SubscriberConfig{
+			Transport: d.transport,
+			Sched:     d.sched,
+			Service:   remote.HealthServiceName,
+			Addrs:     []string{addr},
+			OnEvent: func(ev remote.ServiceEvent) {
+				if ev.Node != addr {
+					return
+				}
+				d.applyHealth(ev)
+			},
+		})
+		if err == nil {
+			d.healthSubs = append(d.healthSubs, sub)
+		}
+	}
+
+	// The autonomic closed loop over the mirrored view.
+	eng := autonomic.New(d.sched, autonomic.WithInterval(hc.interval))
+	if err := eng.LoadPolicies(daemonHealthPolicy); err != nil {
+		panic("dosgid: health policy: " + err.Error())
+	}
+	eng.SetSubjects(d.healthSubjects)
+	d.healthCtl = autonomic.NewController("health:"+d.remoteAddr, eng)
+	d.healthCtl.Start()
+}
+
+// applyHealth folds one health record event into the fleet view,
+// deduplicating by record identity: an event that changes nothing is
+// dropped, a change is stored, logged and re-published on this daemon's
+// dosgi.health broker (typed REGISTERED for a first sighting, MODIFIED
+// for a transition, UNREGISTERING for a withdrawal).
+func (d *daemon) applyHealth(ev remote.ServiceEvent) {
+	key := ev.Service + "@" + ev.Node
+	d.healthMu.Lock()
+	last, known := d.healthView[key]
+	if ev.Type == remote.ServiceUnregistering {
+		if !known {
+			d.healthMu.Unlock()
+			return
+		}
+		delete(d.healthView, key)
+	} else {
+		if known && last.Addr == ev.Addr && last.Instance == ev.Instance {
+			d.healthMu.Unlock()
+			return
+		}
+		if known {
+			ev.Type = remote.ServiceModified
+		} else {
+			ev.Type = remote.ServiceRegistered
+		}
+		d.healthView[key] = ev
+	}
+	d.healthLog = append(d.healthLog, fmt.Sprintf("%s %s node=%s status=%s cause=%s",
+		ev.Type, ev.Service, ev.Node, ev.Addr, ev.Instance))
+	if len(d.healthLog) > healthLogCap {
+		d.healthLog = d.healthLog[len(d.healthLog)-healthLogCap:]
+	}
+	d.healthMu.Unlock()
+	d.healthBroker.Publish(ev)
+}
+
+// healthSnapshot feeds the health broker's resync: a fresh subscriber
+// receives the full fleet view before live alerts flow.
+func (d *daemon) healthSnapshot() []remote.ServiceEvent {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	evs := make([]remote.ServiceEvent, 0, len(d.healthView))
+	for _, ev := range d.healthView {
+		ev.Type = ""
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Node != evs[j].Node {
+			return evs[i].Node < evs[j].Node
+		}
+		return evs[i].Service < evs[j].Service
+	})
+	return evs
+}
+
+// healthSubjects exposes every PEER record of the mirrored view as an
+// autonomic subject — health.component/node/status/level/cause plus the
+// demote()/restore() verbs over this daemon's invoker.
+func (d *daemon) healthSubjects() []autonomic.Subject {
+	d.healthMu.Lock()
+	evs := make([]remote.ServiceEvent, 0, len(d.healthView))
+	for _, ev := range d.healthView {
+		if ev.Node != d.remoteAddr {
+			evs = append(evs, ev)
+		}
+	}
+	d.healthMu.Unlock()
+	var out []autonomic.Subject
+	for _, ev := range evs {
+		ev := ev
+		status, _ := health.ParseStatus(ev.Addr)
+		out = append(out, autonomic.Subject{
+			ID: ev.Service + "@" + ev.Node,
+			Env: &policy.MapEnv{
+				Vars: map[string]any{
+					"health.component": ev.Service,
+					"health.node":      ev.Node,
+					"health.status":    ev.Addr,
+					"health.level":     int64(status),
+					"health.cause":     ev.Instance,
+				},
+				Funcs: map[string]func([]any) (any, error){
+					"demote":  func([]any) (any, error) { d.invoker.Demote(ev.Node); return nil, nil },
+					"restore": func([]any) (any, error) { d.invoker.Restore(ev.Node); return nil, nil },
+				},
+			},
+		})
+	}
+	return out
 }
 
 // serveAdmin accepts admin connections until the listener closes.
@@ -572,6 +856,15 @@ func (d *daemon) serveAdmin() {
 
 func (d *daemon) close() {
 	_ = d.adminLn.Close()
+	for _, sub := range d.healthSubs {
+		sub.Close()
+	}
+	if d.healthTicker != nil {
+		d.healthTicker.Cancel()
+	}
+	if d.healthCtl != nil {
+		d.healthCtl.Stop()
+	}
 	d.invoker.Pool().Close()
 	d.remoteSrv.Close()
 	d.sched.Stop()
@@ -717,12 +1010,70 @@ func (d *daemon) serve(conn net.Conn) {
 					window = w
 				}
 			}
-			n, err := d.streamEvents(addr, filter, count, window, reply)
+			n, err := d.streamEvents("", "EVENT", addr, filter, count, window, reply)
 			if err != nil {
 				reply("ERR %v", err)
 				continue
 			}
 			reply("OK %d event(s)", n)
+		case "HEALTH":
+			if len(fields) > 2 {
+				reply("ERR usage: HEALTH [node]")
+				continue
+			}
+			nodeFilter := ""
+			if len(fields) == 2 {
+				nodeFilter = fields[1]
+			}
+			d.healthMu.Lock()
+			keys := make([]string, 0, len(d.healthView))
+			for key, ev := range d.healthView {
+				if nodeFilter == "" || ev.Node == nodeFilter {
+					keys = append(keys, key)
+				}
+			}
+			sort.Strings(keys)
+			rows := make([]string, len(keys))
+			for i, key := range keys {
+				ev := d.healthView[key]
+				rows[i] = fmt.Sprintf("%s node=%s status=%s cause=%s",
+					ev.Service, ev.Node, ev.Addr, ev.Instance)
+			}
+			d.healthMu.Unlock()
+			for _, row := range rows {
+				reply("%s", row)
+			}
+			reply("OK %d record(s)", len(rows))
+		case "ALERTS":
+			if len(fields) >= 2 && strings.ToUpper(fields[1]) == "FOLLOW" {
+				count := 16
+				if len(fields) == 3 {
+					v, err := strconv.Atoi(fields[2])
+					if err != nil || v <= 0 {
+						reply("ERR count must be a positive integer")
+						continue
+					}
+					count = v
+				}
+				n, err := d.streamEvents(remote.HealthServiceName, "ALERT", d.remoteAddr, "", count, 0, reply)
+				if err != nil {
+					reply("ERR %v", err)
+					continue
+				}
+				reply("OK %d alert(s)", n)
+				continue
+			}
+			if len(fields) != 1 {
+				reply("ERR usage: ALERTS [FOLLOW [count]]")
+				continue
+			}
+			d.healthMu.Lock()
+			recent := append([]string(nil), d.healthLog...)
+			d.healthMu.Unlock()
+			for _, row := range recent {
+				reply("%s", row)
+			}
+			reply("OK %d alert(s)", len(recent))
 		case "CREATE":
 			if len(fields) < 2 {
 				reply("ERR usage: CREATE <id> [sharedService ...]")
@@ -889,15 +1240,17 @@ func (d *daemon) serve(conn net.Conn) {
 // event count before answering with what arrived.
 const subscribeTimeout = 30 * time.Second
 
-// streamEvents subscribes to addr's event stream and emits up to count
-// events as "EVENT ..." lines, returning how many arrived before the
-// timeout. window is the advertised credit window (0 = subscriber
-// default, negative = flow control off).
-func (d *daemon) streamEvents(addr, filter string, count int, window int64, reply func(string, ...any)) (int, error) {
+// streamEvents subscribes to addr's event stream — service "" for
+// dosgi.events, remote.HealthServiceName for the alert stream — and
+// emits up to count events as "<label> ..." lines, returning how many
+// arrived before the timeout. window is the advertised credit window
+// (0 = subscriber default, negative = flow control off).
+func (d *daemon) streamEvents(service, label, addr, filter string, count int, window int64, reply func(string, ...any)) (int, error) {
 	events := make(chan remote.ServiceEvent, 64)
 	sub, err := remote.NewSubscriber(remote.SubscriberConfig{
 		Transport: d.transport,
 		Sched:     d.sched,
+		Service:   service,
 		Addrs:     []string{addr},
 		Filter:    filter,
 		Window:    window,
@@ -918,8 +1271,8 @@ func (d *daemon) streamEvents(addr, filter string, count int, window int64, repl
 	for received < count {
 		select {
 		case ev := <-events:
-			reply("EVENT %s %s node=%s addr=%s instance=%s seq=%d",
-				ev.Type, ev.Service, ev.Node, ev.Addr, ev.Instance, ev.Seq)
+			reply("%s %s %s node=%s addr=%s instance=%s seq=%d",
+				label, ev.Type, ev.Service, ev.Node, ev.Addr, ev.Instance, ev.Seq)
 			received++
 		case <-deadline.C:
 			return received, nil
@@ -1022,4 +1375,4 @@ func (d *daemon) assembleTrace(tid uint64, reply func(string, ...any)) []obs.Spa
 
 // supportedVerbs lists every admin verb, printed when a command is not
 // recognized so operators discover the protocol from any typo.
-const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL SUBSCRIBE DEPLOY REPO METRICS TRACE LOG QUIT"
+const supportedVerbs = "STATUS LIST CREATE START STOP DESTROY BUNDLES EXPORTS CALL SUBSCRIBE DEPLOY REPO METRICS TRACE HEALTH ALERTS LOG QUIT"

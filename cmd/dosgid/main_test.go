@@ -16,7 +16,7 @@ import (
 // startDaemon runs an in-process dosgid on ephemeral ports.
 func startDaemon(t *testing.T, peers ...string) *daemon {
 	t.Helper()
-	d, err := newDaemon("127.0.0.1:0", "127.0.0.1:0", peers)
+	d, err := newDaemon("127.0.0.1:0", "127.0.0.1:0", peers, defaultHealthConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,5 +565,160 @@ func TestTraceAssemblesAcrossDaemons(t *testing.T) {
 	want := 3 // root + attempt on front, server on peer
 	if last(lines) != fmt.Sprintf("OK %d span(s)", want) {
 		t.Fatalf("TRACE %s = %q", tid, lines)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes — the health
+// plane runs on real 500ms ticks, so assertions converge, not insta-hold.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthPlaneAcrossDaemons is the ISSUE's three-daemon acceptance
+// run over real TCP: an induced latency breach (CALL echo Sleep) flips
+// the sick daemon's remote record CRITICAL; HEALTH on another daemon
+// shows it from the MIRRORED view (pushed over dosgi.health, not
+// polled); the transition lands in the observer's alert log exactly
+// once; the autonomic rule demotes the sick daemon's endpoint in the
+// observer's invoker; and after quiet windows everything heals — record,
+// alert stream, demotion.
+func TestHealthPlaneAcrossDaemons(t *testing.T) {
+	sick := startDaemon(t)
+	b := startDaemon(t, sick.remoteAddr)
+	observer := startDaemon(t, sick.remoteAddr, b.remoteAddr)
+
+	// Baseline: the observer's mirrored view converges to OK records for
+	// the sick daemon without ever polling it.
+	waitFor(t, 5*time.Second, "baseline mirror of the sick daemon", func() bool {
+		lines := admin(t, observer, "HEALTH "+sick.remoteAddr)
+		return len(lines) == 3 && // remote + events + OK terminator
+			strings.Contains(lines[0], "status=OK") && strings.Contains(lines[1], "status=OK")
+	})
+
+	// The breach: a 120ms handler sleep lands a sample over the 95ms
+	// critical threshold in the sick daemon's own invoker-call window.
+	if lines := admin(t, sick, "CALL echo Sleep 120"); last(lines) != "OK 1 result(s)" {
+		t.Fatalf("CALL Sleep = %q", lines)
+	}
+
+	// The record flips on the sick daemon's next tick and is PUSHED into
+	// the observer's view, where the autonomic rule demotes the endpoint.
+	waitFor(t, 5*time.Second, "mirrored CRITICAL record", func() bool {
+		lines := admin(t, observer, "HEALTH "+sick.remoteAddr)
+		for _, l := range lines {
+			if strings.HasPrefix(l, "remote ") && strings.Contains(l, "status=CRITICAL") &&
+				strings.Contains(l, "cause=call-p99") {
+				return true
+			}
+		}
+		return false
+	})
+	waitFor(t, 3*time.Second, "autonomic demotion", func() bool {
+		return observer.invoker.IsDemoted(sick.remoteAddr)
+	})
+
+	// Heal: two clean windows clear the record; the mirror and the
+	// demotion follow.
+	waitFor(t, 5*time.Second, "mirrored heal", func() bool {
+		lines := admin(t, observer, "HEALTH "+sick.remoteAddr)
+		for _, l := range lines {
+			if strings.HasPrefix(l, "remote ") {
+				return strings.Contains(l, "status=OK")
+			}
+		}
+		return false
+	})
+	waitFor(t, 3*time.Second, "demotion lifted", func() bool {
+		return !observer.invoker.IsDemoted(sick.remoteAddr)
+	})
+
+	// Exactly once: the observer's alert log holds ONE CRITICAL MODIFIED
+	// and ONE healing MODIFIED for the sick daemon's remote record, even
+	// though daemon b relays the same transitions on its own broker.
+	lines := admin(t, observer, "ALERTS")
+	criticals, heals := 0, 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "MODIFIED remote node="+sick.remoteAddr+" ") {
+			continue
+		}
+		switch {
+		case strings.Contains(l, "status=CRITICAL"):
+			criticals++
+		case strings.Contains(l, "status=OK"):
+			heals++
+		}
+	}
+	if criticals != 1 || heals != 1 {
+		t.Fatalf("alert log transitions: %d CRITICAL, %d heal, want 1/1:\n%s",
+			criticals, heals, strings.Join(lines, "\n"))
+	}
+
+	// ALERTS FOLLOW streams the resync snapshot over the live wire.
+	lines = admin(t, observer, "ALERTS FOLLOW 2")
+	if last(lines) != "OK 2 alert(s)" || !strings.HasPrefix(lines[0], "ALERT REGISTERED ") {
+		t.Fatalf("ALERTS FOLLOW = %q", lines)
+	}
+}
+
+// TestMetricsAndTraceAnnotateUnreachablePeer: a daemon whose peer is
+// gone (partitioned, crashed, never started) still answers METRICS and
+// TRACE — the dead peer becomes one annotated "unreachable" line, and
+// the local (and any live peer's) data is complete.
+func TestMetricsAndTraceAnnotateUnreachablePeer(t *testing.T) {
+	// A dead address that is guaranteed unreachable: bind, note, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	live := startDaemon(t)
+	front := startDaemon(t, deadAddr, live.remoteSrv.Addr().String())
+
+	// Local warmup so the front daemon has a trace to assemble.
+	if lines := admin(t, front, "CALL echo Upper ping"); !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("warmup CALL = %q", lines)
+	}
+
+	lines := admin(t, front, "METRICS obs:self")
+	if !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("METRICS with dead peer = %q", last(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, deadAddr+" unreachable: ") {
+		t.Fatalf("METRICS does not annotate the dead peer:\n%s", joined)
+	}
+	// The live origins still answered in full.
+	for _, origin := range []string{"local", live.remoteSrv.Addr().String()} {
+		if !strings.Contains(joined, origin+" invoker.p99ns=") {
+			t.Fatalf("METRICS missing live origin %s:\n%s", origin, joined)
+		}
+	}
+
+	// TRACE <id> sweeps the peers for spans; the dead one annotates.
+	lines = admin(t, front, "TRACE")
+	if !strings.HasPrefix(last(lines), "OK 1") {
+		t.Fatalf("TRACE listing = %q", lines)
+	}
+	tid := strings.Fields(lines[0])[0]
+	lines = admin(t, front, "TRACE "+tid)
+	joined = strings.Join(lines, "\n")
+	if !strings.HasPrefix(last(lines), "OK") {
+		t.Fatalf("TRACE with dead peer = %q", last(lines))
+	}
+	if !strings.Contains(joined, deadAddr+" unreachable: ") {
+		t.Fatalf("TRACE does not annotate the dead peer:\n%s", joined)
+	}
+	if !strings.Contains(joined, "client echo.Upper") {
+		t.Fatalf("TRACE lost the local spans:\n%s", joined)
 	}
 }

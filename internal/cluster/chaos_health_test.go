@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dosgi/internal/health"
+	"dosgi/internal/remote"
+)
+
+// Chaos seeds for the health plane: the churn schedule (kill/restart,
+// partition/heal, blips) runs with remote calls injected mid-fault, so
+// call-latency windows breach and heal while the wire is unreliable. The
+// invariants:
+//
+//   - alert stream exactly-once: a subscriber never sees a MODIFIED
+//     alert that changes nothing (same status and cause), a MODIFIED or
+//     UNREGISTERING for a record it does not know, or a duplicate
+//     REGISTERED;
+//   - every CRITICAL a subscriber observed pairs with a real heal: the
+//     key later transitions back (heal alert, or withdrawal + re-announce
+//     around a membership change) and the final view holds only OK
+//     records that match the replicated directory;
+//   - the replicated records converge to the live-member set — after a
+//     node crash, no survivor's directory and no subscriber's view holds
+//     phantom health for the dead node.
+
+// healthComponents is the per-node record set every node publishes.
+var healthComponents = []string{
+	HealthComponentEvents, HealthComponentRemote,
+	HealthComponentResources, HealthComponentSLA,
+}
+
+// healthObserver tracks one dosgi.health subscriber's delivered view.
+// Callbacks run on the engine goroutine, so no locking is needed.
+type healthObserver struct {
+	name       string
+	sub        *remote.Subscriber
+	state      map[string]remote.ServiceEvent // "component@node" → last
+	pending    map[string]bool                // keys seen CRITICAL, not yet resolved
+	events     int
+	criticals  int
+	violations []string
+}
+
+func (o *healthObserver) onEvent(ev remote.ServiceEvent) {
+	o.events++
+	key := ev.Service + "@" + ev.Node
+	last, known := o.state[key]
+	switch ev.Type {
+	case remote.ServiceRegistered:
+		if known && last.Addr == ev.Addr && last.Instance == ev.Instance {
+			o.violations = append(o.violations,
+				fmt.Sprintf("duplicate REGISTERED for %s: %+v", key, ev))
+		}
+		o.state[key] = ev
+	case remote.ServiceModified:
+		switch {
+		case !known:
+			o.violations = append(o.violations,
+				fmt.Sprintf("MODIFIED for unknown %s: %+v", key, ev))
+		case last.Addr == ev.Addr && last.Instance == ev.Instance:
+			o.violations = append(o.violations,
+				fmt.Sprintf("no-op MODIFIED for %s (exactly-once broken): %+v", key, ev))
+		}
+		o.state[key] = ev
+	case remote.ServiceUnregistering:
+		if !known {
+			o.violations = append(o.violations,
+				fmt.Sprintf("UNREGISTERING for unknown %s: %+v", key, ev))
+		}
+		delete(o.state, key)
+		delete(o.pending, key) // withdrawal resolves an open CRITICAL
+		return
+	}
+	if ev.Addr == health.StatusCritical.String() {
+		if ev.Type == remote.ServiceModified {
+			o.criticals++
+		}
+		o.pending[key] = true
+	} else {
+		delete(o.pending, key) // transition away from CRITICAL = the heal
+	}
+}
+
+// observeHealth opens a dosgi.health subscriber on the nodeIdx'th node,
+// failing over across the given server nodes.
+func (h *chaosHarness) observeHealth(name string, nodeIdx int, serverIdxs ...int) *healthObserver {
+	h.t.Helper()
+	addrs := make([]string, len(serverIdxs))
+	for i, idx := range serverIdxs {
+		addrs[i] = h.nodes[idx].RemoteAddr()
+	}
+	o := &healthObserver{
+		name:    name,
+		state:   make(map[string]remote.ServiceEvent),
+		pending: make(map[string]bool),
+	}
+	sub, err := h.nodes[nodeIdx].SubscribeHealth("", o.onEvent, addrs...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	o.sub = sub
+	h.t.Cleanup(sub.Close)
+	return o
+}
+
+// verifyHealth asserts post-quiesce convergence: every live node's
+// directory replica holds exactly the live-member set's records (all
+// components, no phantoms, all healed to OK), every observer's view
+// matches it with no CRITICAL left unresolved, and no observer recorded
+// a stream violation.
+func (h *chaosHarness) verifyHealth(observers []*healthObserver, live []*Node) {
+	h.t.Helper()
+	liveSet := make(map[string]bool, len(live))
+	for _, n := range live {
+		liveSet[n.ID()] = true
+	}
+	want := make(map[string]bool)
+	for _, n := range live {
+		for _, comp := range healthComponents {
+			want[comp+"@"+n.ID()] = true
+		}
+	}
+	for _, n := range live {
+		recs := n.Migration().Directory().HealthRecords()
+		if len(recs) != len(want) {
+			h.t.Fatalf("%s holds %d health records, want %d: %+v",
+				n.ID(), len(recs), len(want), recs)
+		}
+		for _, rec := range recs {
+			if !liveSet[rec.Node] {
+				h.t.Fatalf("%s holds phantom health for dead node: %+v", n.ID(), rec)
+			}
+			if !want[rec.Component+"@"+rec.Node] || rec.Status != health.StatusOK {
+				h.t.Fatalf("%s record %+v did not heal to OK", n.ID(), rec)
+			}
+		}
+	}
+	for _, o := range observers {
+		if len(o.violations) > 0 {
+			h.t.Fatalf("health observer %s: %d violations, first: %s",
+				o.name, len(o.violations), o.violations[0])
+		}
+		if o.events == 0 {
+			h.t.Fatalf("health observer %s saw no events at all", o.name)
+		}
+		if len(o.pending) > 0 {
+			h.t.Fatalf("health observer %s: CRITICAL records never resolved: %v",
+				o.name, o.pending)
+		}
+		if len(o.state) != len(want) {
+			h.t.Fatalf("health observer %s: view has %d records, directory %d\nview: %v",
+				o.name, len(o.state), len(want), o.state)
+		}
+		for key := range want {
+			got, ok := o.state[key]
+			if !ok || got.Addr != health.StatusOK.String() {
+				h.t.Fatalf("health observer %s: record %s = %+v, want OK", o.name, key, got)
+			}
+		}
+	}
+}
+
+// breachRemotePath deterministically degrades node 1's remote path, so
+// the heal-pairing invariant is never vacuous no matter what the random
+// schedule produced: nodes 1 and 2 are split for LESS than the failure
+// detector's window (no membership change, pure latency) while node 1
+// fires calls — the round robin guarantees one attempt starts at the
+// unreachable replica and burns the full attempt timeout, and a single
+// timed-out call is enough to breach the interval window's p99.
+func (h *chaosHarness) breachRemotePath() {
+	h.t.Helper()
+	h.c.Network().Partition(h.nodes[1].ID(), h.nodes[2].ID())
+	for i := 0; i < 3; i++ {
+		h.nodes[1].InvokeRemote(h.traced, "Greet", []any{"x"}, func([]any, error) {})
+		h.c.Settle(30 * time.Millisecond)
+	}
+	h.c.Settle(90 * time.Millisecond) // let the last attempt time out
+	h.c.Network().Heal(h.nodes[1].ID(), h.nodes[2].ID())
+}
+
+// TestChaosHealthInvariants churns a 3-node cluster with the
+// call-extended schedule — mid-partition calls burn attempt timeouts, so
+// remote-path records breach and heal while partitions, server kills and
+// blips land around them. After quiesce the replicated records and every
+// subscriber's view must have converged to all-OK with exactly-once
+// alert delivery. A deterministic breach then proves the alert path end
+// to end regardless of seed, and finally one node crashes: the records
+// must converge to the surviving member set with no phantom health
+// anywhere — not in the directories, not in the subscribers' views.
+func TestChaosHealthInvariants(t *testing.T) {
+	for _, seed := range []int64{31, 32} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h := newChaosHarness(t, seed, 3)
+			h.exportReplicated("svc.traced")
+			for i := 0; i < 2; i++ {
+				h.exportOne()
+			}
+			h.c.Settle(500 * time.Millisecond)
+			observers := []*healthObserver{
+				h.observeHealth("health-a", 1, 0, 1),
+				h.observeHealth("health-b", 0, 0, 1),
+			}
+			h.c.Settle(300 * time.Millisecond)
+			for i := 0; i < 40; i++ {
+				h.stepTrace()
+			}
+			h.quiesce()
+			h.verifyHealth(observers, h.nodes)
+
+			// Deterministic breach → CRITICAL alert observed → heal.
+			h.breachRemotePath()
+			h.c.Settle(700 * time.Millisecond) // next evaluator tick + delivery
+			sawCritical := false
+			for _, o := range observers {
+				if o.criticals > 0 || len(o.pending) > 0 {
+					sawCritical = true
+				}
+			}
+			if !sawCritical {
+				t.Fatal("induced breach produced no CRITICAL alert")
+			}
+			h.c.Settle(2 * time.Second)
+			h.verifyHealth(observers, h.nodes)
+
+			// Crash the last node: view-change pruning must remove its
+			// records from every survivor AND from the alert subscribers
+			// (withdrawal alerts), leaving no phantom health.
+			victim := h.nodes[2]
+			if err := h.c.Crash(victim.ID()); err != nil {
+				t.Fatal(err)
+			}
+			h.c.Settle(3 * time.Second)
+			h.verifyHealth(observers, h.nodes[:2])
+			for _, o := range observers {
+				for key, ev := range o.state {
+					if ev.Node == victim.ID() {
+						t.Fatalf("observer %s kept phantom health %s after crash", o.name, key)
+					}
+				}
+			}
+		})
+	}
+}

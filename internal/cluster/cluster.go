@@ -288,6 +288,7 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	c.metrics.RegisterProvider("node:"+cfg.ID, c.nodeProvider(n))
 	c.metrics.RegisterProvider("directory:"+cfg.ID, directoryProvider(mod))
 	c.metrics.RegisterProvider("monitor:"+cfg.ID, n.mon.Provider())
+	c.metrics.RegisterProvider("health:"+cfg.ID, n.healthEval.Provider())
 
 	c.mu.Lock()
 	c.nodes[cfg.ID] = n
@@ -310,7 +311,7 @@ func (c *Cluster) ensureBaseDefinitions() {
 // — one attribute set per record family, prefixed.
 func directoryProvider(mod *migrate.Module) func() map[string]any {
 	return func() map[string]any {
-		out := make(map[string]any, 18)
+		out := make(map[string]any, 27)
 		add := func(prefix string, st migrate.FamilyStats) {
 			out[prefix+"Puts"] = st.Puts
 			out[prefix+"Removes"] = st.Removes
@@ -324,6 +325,7 @@ func directoryProvider(mod *migrate.Module) func() map[string]any {
 		}
 		add("endpoint", mod.EndpointStats())
 		add("artifact", mod.ArtifactStats())
+		add("health", mod.HealthStats())
 		return out
 	}
 }
@@ -441,6 +443,7 @@ func (c *Cluster) Crash(nodeID string) error {
 	c.metrics.UnregisterProvider("directory:" + nodeID)
 	c.metrics.UnregisterProvider("obs:" + nodeID)
 	c.metrics.UnregisterProvider("monitor:" + nodeID)
+	c.metrics.UnregisterProvider("health:" + nodeID)
 	return nil
 }
 
@@ -464,6 +467,7 @@ func (c *Cluster) PowerOff(nodeID string, onDone func()) error {
 		c.metrics.UnregisterProvider("directory:" + nodeID)
 		c.metrics.UnregisterProvider("obs:" + nodeID)
 		c.metrics.UnregisterProvider("monitor:" + nodeID)
+		c.metrics.UnregisterProvider("health:" + nodeID)
 		if onDone != nil {
 			onDone()
 		}

@@ -12,8 +12,11 @@ import (
 	"sort"
 	"sync"
 
+	"dosgi/internal/autonomic"
+	"dosgi/internal/clock"
 	"dosgi/internal/core"
 	"dosgi/internal/gcs"
+	"dosgi/internal/health"
 	"dosgi/internal/migrate"
 	"dosgi/internal/module"
 	"dosgi/internal/monitor"
@@ -82,6 +85,14 @@ type Node struct {
 	broker     *remote.EventBroker
 	prov       *nodeProvision
 	obsPlane   *obs.Plane
+
+	// Health plane: the evaluator ticking rules over the obs plane, its
+	// announcement timer, the dosgi.health alert broker and the autonomic
+	// loop demoting CRITICAL remote paths.
+	healthEval   *health.Evaluator
+	healthBroker *remote.EventBroker
+	healthTimer  clock.Timer
+	healthCtl    *autonomic.Controller
 
 	// instExp exports services registered inside started virtual
 	// frameworks (one exporter per instance).

@@ -108,7 +108,7 @@ func (n *Node) setupRemote() error {
 		netsim.Addr{IP: n.cfg.IP, Port: RemotePort},
 		remote.NewEventDispatcher(
 			remote.NewDispatcher(remote.NewCompositeSource(n.serviceSources),
-				remote.WithDispatcherTracer(n.obsPlane.Tracer)), n.broker),
+				remote.WithDispatcherTracer(n.obsPlane.Tracer)), n.broker, n.newHealthBroker()),
 		remote.WithNetsimServerClock(n.cluster.eng.Now))
 	if err := server.Start(); err != nil {
 		exporter.Close()
@@ -210,6 +210,11 @@ func (n *Node) setupRemote() error {
 		}
 		n.invoker.PruneNodes(v.Members, all)
 	})
+
+	// The health plane rides on everything assembled above: the evaluator
+	// over the obs plane, records into the migrate directory, alerts out
+	// of the dosgi.health broker, demotion into the invoker.
+	n.setupHealth()
 	return nil
 }
 
@@ -253,6 +258,7 @@ func (n *Node) reannounceSurvivor(name string) {
 
 // teardownRemote stops the node's remote runtime (crash or power-off).
 func (n *Node) teardownRemote() {
+	n.teardownHealth()
 	if n.remoteSrv != nil {
 		n.remoteSrv.Stop()
 	}

@@ -1,0 +1,274 @@
+// Package health is the per-node health evaluator of the cluster health
+// plane: threshold rules run over signals sampled from the other planes
+// (observability histograms, monitor resource breaches, SLA violation
+// counts) and fold into one Record per component — OK, DEGRADED or
+// CRITICAL plus the rule that put it there. The package itself is
+// dependency-free: signals are closures supplied by whoever wires the
+// evaluator (the cluster, the daemon), so the record type can be
+// replicated through the migrate directory without import cycles, and
+// transitions can ride the dosgi.events broker as alerts.
+package health
+
+import (
+	"sort"
+	"sync"
+)
+
+// Status is a component's health level. The order is severity order:
+// worst rule wins when several rules watch the same component.
+type Status int
+
+const (
+	StatusOK Status = iota
+	StatusDegraded
+	StatusCritical
+)
+
+// String renders the wire/admin form: OK, DEGRADED, CRITICAL.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusDegraded:
+		return "DEGRADED"
+	case StatusCritical:
+		return "CRITICAL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseStatus decodes the wire form back into a Status.
+func ParseStatus(s string) (Status, bool) {
+	switch s {
+	case "OK":
+		return StatusOK, true
+	case "DEGRADED":
+		return StatusDegraded, true
+	case "CRITICAL":
+		return StatusCritical, true
+	default:
+		return StatusOK, false
+	}
+}
+
+// Record is one component's health on one node. It is a flat comparable
+// struct — the migrate record engine requires comparability for exact
+// deltas — and Cause is a STABLE description of the firing rule (its
+// name and threshold, never a live sample value or timestamp), so a
+// converged anti-entropy resync compares equal and stays silent.
+type Record struct {
+	Component string // e.g. "remote", "resources", "sla"
+	Node      string
+	Status    Status
+	Cause     string // firing rule description; "" when OK
+}
+
+// Transition is one status change produced by a Tick: the new record
+// plus the status it replaced. Transitions — not steady states — are
+// what the alert stream pushes.
+type Transition struct {
+	Record Record
+	From   Status
+}
+
+// Rule watches one scalar signal for one component. Signal returns the
+// current sample and whether a sample was available this tick (no data —
+// e.g. an empty histogram window — counts as healthy). Thresholds are
+// inclusive lower bounds: value ≥ Critical is CRITICAL, else ≥ Degraded
+// is DEGRADED. Raise and Clear are consecutive-tick hysteresis counts
+// (default 1): Raise ticks at a worse level before the rule escalates,
+// Clear ticks at a better level before it comes back down — one noisy
+// sample neither raises an alert nor heals a real breach.
+type Rule struct {
+	Name      string
+	Component string
+	Signal    func() (float64, bool)
+	Degraded  float64
+	Critical  float64
+	Raise     int
+	Clear     int
+}
+
+// level maps a sample to the rule's instantaneous severity.
+func (r Rule) level(v float64) Status {
+	switch {
+	case v >= r.Critical:
+		return StatusCritical
+	case v >= r.Degraded:
+		return StatusDegraded
+	default:
+		return StatusOK
+	}
+}
+
+// ruleState carries a rule's hysteresis: the level it currently asserts,
+// and the streak of ticks at a different candidate level.
+type ruleState struct {
+	rule      Rule
+	active    Status
+	candidate Status
+	streak    int
+}
+
+func (rs *ruleState) tick() {
+	lvl := StatusOK
+	if v, ok := rs.rule.Signal(); ok {
+		lvl = rs.rule.level(v)
+	}
+	if lvl == rs.active {
+		rs.streak = 0
+		return
+	}
+	if lvl != rs.candidate || rs.streak == 0 {
+		rs.candidate = lvl
+		rs.streak = 0
+	}
+	rs.streak++
+	need := rs.rule.Raise
+	if lvl < rs.active {
+		need = rs.rule.Clear
+	}
+	if need < 1 {
+		need = 1
+	}
+	if rs.streak >= need {
+		rs.active = lvl
+		rs.streak = 0
+	}
+}
+
+// Evaluator runs the rule set on every Tick and tracks the resulting
+// per-component records. It is the per-node half of the health plane;
+// replication and alerting are layered on top of the Transition slice
+// Tick returns.
+type Evaluator struct {
+	node string
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	current map[string]Record // component → last published record
+}
+
+// New builds an evaluator for this node's components.
+func New(node string) *Evaluator {
+	return &Evaluator{node: node, current: make(map[string]Record)}
+}
+
+// Node returns the node id the evaluator stamps into records.
+func (e *Evaluator) Node() string { return e.node }
+
+// AddRule registers a rule. Rules added after ticks began join cleanly:
+// their component starts at OK like everything else.
+func (e *Evaluator) AddRule(r Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, &ruleState{rule: r})
+}
+
+// RuleCount returns the number of registered rules.
+func (e *Evaluator) RuleCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.rules)
+}
+
+// Tick samples every rule once, folds rule levels into per-component
+// records (worst firing rule wins; its name becomes the Cause) and
+// returns the transitions — components whose status changed since the
+// previous Tick, including the first Tick's departures from implicit OK.
+// Steady states return an empty slice.
+func (e *Evaluator) Tick() []Transition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	components := make(map[string]Record)
+	for _, rs := range e.rules {
+		rs.tick()
+		rec, ok := components[rs.rule.Component]
+		if !ok {
+			rec = Record{Component: rs.rule.Component, Node: e.node, Status: StatusOK}
+		}
+		if rs.active > rec.Status {
+			rec.Status = rs.active
+			rec.Cause = rs.rule.Name
+		}
+		components[rs.rule.Component] = rec
+	}
+
+	var out []Transition
+	for comp, rec := range components {
+		prev, known := e.current[comp]
+		e.current[comp] = rec
+		// A component's implicit initial state is OK: a first Tick that
+		// lands on OK is not a transition, and a cause change at the same
+		// status updates the record without alerting.
+		from := StatusOK
+		if known {
+			from = prev.Status
+		}
+		if rec.Status != from {
+			out = append(out, Transition{Record: rec, From: from})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Record.Component < out[j].Record.Component })
+	return out
+}
+
+// Records returns the current per-component records, sorted by component.
+func (e *Evaluator) Records() []Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Record, 0, len(e.current))
+	for _, rec := range e.current {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out
+}
+
+// RecordFor returns the current record for one component.
+func (e *Evaluator) RecordFor(component string) (Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.current[component]
+	return rec, ok
+}
+
+// Worst returns the worst current status across all components — the
+// node-level health roll-up the admin plane prints.
+func (e *Evaluator) Worst() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worst := StatusOK
+	for _, rec := range e.current {
+		if rec.Status > worst {
+			worst = rec.Status
+		}
+	}
+	return worst
+}
+
+// Provider exposes the evaluator as a MetricsService attribute source:
+// per-component status levels plus the node roll-up, under health:<node>.
+func (e *Evaluator) Provider() func() map[string]any {
+	return func() map[string]any {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		out := make(map[string]any, len(e.current)+2)
+		worst := StatusOK
+		for comp, rec := range e.current {
+			out[comp+".status"] = rec.Status.String()
+			out[comp+".level"] = int64(rec.Status)
+			if rec.Cause != "" {
+				out[comp+".cause"] = rec.Cause
+			}
+			if rec.Status > worst {
+				worst = rec.Status
+			}
+		}
+		out["worst"] = worst.String()
+		out["rules"] = int64(len(e.rules))
+		return out
+	}
+}

@@ -1,0 +1,160 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatusStringRoundTrip(t *testing.T) {
+	for _, s := range []Status{StatusOK, StatusDegraded, StatusCritical} {
+		got, ok := ParseStatus(s.String())
+		if !ok || got != s {
+			t.Fatalf("ParseStatus(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ParseStatus("bogus"); ok {
+		t.Fatal("ParseStatus accepted garbage")
+	}
+	if Status(99).String() != "UNKNOWN" {
+		t.Fatalf("out-of-range status renders %q", Status(99).String())
+	}
+}
+
+// signal is a settable test signal.
+type signal struct {
+	v  float64
+	ok bool
+}
+
+func (s *signal) read() (float64, bool) { return s.v, s.ok }
+
+func TestEvaluatorTransitions(t *testing.T) {
+	e := New("node01")
+	sig := &signal{ok: true}
+	e.AddRule(Rule{
+		Name: "p99>5ms", Component: "remote", Signal: sig.read,
+		Degraded: 5, Critical: 50,
+	})
+
+	// First tick at OK: complete records, no transition.
+	if tr := e.Tick(); len(tr) != 0 {
+		t.Fatalf("OK start produced transitions: %+v", tr)
+	}
+	recs := e.Records()
+	want := []Record{{Component: "remote", Node: "node01", Status: StatusOK}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("records = %+v, want %+v", recs, want)
+	}
+
+	// Breach: one transition OK→DEGRADED with the rule as cause.
+	sig.v = 10
+	tr := e.Tick()
+	if len(tr) != 1 || tr[0].From != StatusOK || tr[0].Record.Status != StatusDegraded ||
+		tr[0].Record.Cause != "p99>5ms" {
+		t.Fatalf("breach transition = %+v", tr)
+	}
+	// Steady breach: silent.
+	if tr := e.Tick(); len(tr) != 0 {
+		t.Fatalf("steady breach produced transitions: %+v", tr)
+	}
+
+	// Escalation to CRITICAL, then heal back to OK.
+	sig.v = 100
+	tr = e.Tick()
+	if len(tr) != 1 || tr[0].From != StatusDegraded || tr[0].Record.Status != StatusCritical {
+		t.Fatalf("escalation transition = %+v", tr)
+	}
+	sig.v = 0
+	tr = e.Tick()
+	if len(tr) != 1 || tr[0].From != StatusCritical || tr[0].Record.Status != StatusOK ||
+		tr[0].Record.Cause != "" {
+		t.Fatalf("heal transition = %+v", tr)
+	}
+}
+
+func TestEvaluatorHysteresis(t *testing.T) {
+	e := New("n")
+	sig := &signal{ok: true}
+	e.AddRule(Rule{
+		Name: "r", Component: "c", Signal: sig.read,
+		Degraded: 5, Critical: 50, Raise: 2, Clear: 3,
+	})
+	e.Tick()
+
+	// One hot tick is not enough to raise…
+	sig.v = 10
+	if tr := e.Tick(); len(tr) != 0 {
+		t.Fatalf("raised after 1 tick with Raise=2: %+v", tr)
+	}
+	// …the second is.
+	if tr := e.Tick(); len(tr) != 1 || tr[0].Record.Status != StatusDegraded {
+		t.Fatalf("no raise after 2 ticks: %+v", tr)
+	}
+	// An interrupted clear streak starts over: 2 cool ticks, a hot blip,
+	// then the full Clear=3 run before the heal lands.
+	sig.v = 0
+	e.Tick()
+	e.Tick()
+	sig.v = 10
+	e.Tick()
+	sig.v = 0
+	e.Tick()
+	e.Tick()
+	if tr := e.Tick(); len(tr) != 1 || tr[0].Record.Status != StatusOK {
+		t.Fatalf("no heal after full clear streak: %+v", tr)
+	}
+}
+
+func TestWorstRuleWinsPerComponent(t *testing.T) {
+	e := New("n")
+	a, b := &signal{ok: true}, &signal{ok: true}
+	e.AddRule(Rule{Name: "mild", Component: "c", Signal: a.read, Degraded: 5, Critical: 50})
+	e.AddRule(Rule{Name: "hard", Component: "c", Signal: b.read, Degraded: 5, Critical: 50})
+	a.v, b.v = 10, 100
+	tr := e.Tick()
+	if len(tr) != 1 || tr[0].Record.Status != StatusCritical || tr[0].Record.Cause != "hard" {
+		t.Fatalf("worst rule did not win: %+v", tr)
+	}
+	if e.Worst() != StatusCritical {
+		t.Fatalf("Worst() = %v", e.Worst())
+	}
+	// The critical rule heals; the mild one still holds DEGRADED and the
+	// cause hands over without a phantom trip through OK.
+	b.v = 0
+	tr = e.Tick()
+	if len(tr) != 1 || tr[0].From != StatusCritical || tr[0].Record.Status != StatusDegraded ||
+		tr[0].Record.Cause != "mild" {
+		t.Fatalf("cause handover transition = %+v", tr)
+	}
+}
+
+func TestNoDataReadsHealthy(t *testing.T) {
+	e := New("n")
+	sig := &signal{v: 100, ok: false} // value present but flagged absent
+	e.AddRule(Rule{Name: "r", Component: "c", Signal: sig.read, Degraded: 5, Critical: 50})
+	e.Tick()
+	if tr := e.Tick(); len(tr) != 0 {
+		t.Fatalf("absent sample raised: %+v", tr)
+	}
+	sig.ok = true
+	if tr := e.Tick(); len(tr) != 1 || tr[0].Record.Status != StatusCritical {
+		t.Fatalf("present sample did not raise: %+v", tr)
+	}
+	// Data dries up again: the rule clears.
+	sig.ok = false
+	if tr := e.Tick(); len(tr) != 1 || tr[0].Record.Status != StatusOK {
+		t.Fatalf("dried-up sample did not heal: %+v", tr)
+	}
+}
+
+func TestProviderAttrs(t *testing.T) {
+	e := New("n")
+	sig := &signal{v: 10, ok: true}
+	e.AddRule(Rule{Name: "r", Component: "c", Signal: sig.read, Degraded: 5, Critical: 50})
+	e.Tick()
+	attrs := e.Provider()()
+	if attrs["c.status"] != "DEGRADED" || attrs["c.level"] != int64(StatusDegraded) ||
+		attrs["c.cause"] != "r" || attrs["worst"] != "DEGRADED" || attrs["rules"] != int64(1) {
+		t.Fatalf("provider attrs = %+v", attrs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"dosgi/internal/core"
+	"dosgi/internal/health"
 	"dosgi/internal/manifest"
 )
 
@@ -87,16 +88,17 @@ type ArtifactInfo struct {
 
 // Directory is each node's replica of the cluster state. All mutations
 // arrive through totally-ordered broadcasts (or deterministic local
-// application on view changes), so replicas converge. The endpoint and
-// artifact record families are two instances of the same generic
-// replicated record table (records.go): identical storage, identical
-// exact-delta semantics.
+// application on view changes), so replicas converge. The endpoint,
+// artifact and health record families are three instances of the same
+// generic replicated record table (records.go): identical storage,
+// identical exact-delta semantics.
 type Directory struct {
 	mu        sync.Mutex
 	instances map[core.InstanceID]InstanceInfo
 	nodes     map[string]NodeInfo
-	endpoints *recordTable[EndpointInfo] // key = service, holder = node
-	artifacts *recordTable[ArtifactInfo] // key = digest, holder = node
+	endpoints *recordTable[EndpointInfo]  // key = service, holder = node
+	artifacts *recordTable[ArtifactInfo]  // key = digest, holder = node
+	healths   *recordTable[health.Record] // key = component, holder = node
 }
 
 // NewDirectory returns an empty directory.
@@ -110,6 +112,9 @@ func NewDirectory() *Directory {
 		artifacts: newRecordTable(
 			func(a ArtifactInfo) string { return a.Digest },
 			func(a ArtifactInfo) string { return a.Node }),
+		healths: newRecordTable(
+			func(h health.Record) string { return h.Component },
+			func(h health.Record) string { return h.Node }),
 	}
 }
 
@@ -339,6 +344,68 @@ func (d *Directory) Artifacts() []ArtifactInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.artifacts.all()
+}
+
+// PutHealth upserts a component health record, reporting whether a
+// record for (component, node) already existed — callers turn the result
+// into Added vs Updated health changes.
+func (d *Directory) PutHealth(rec health.Record) (existed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.put(rec)
+}
+
+// RemoveHealth deletes node's health record for component, returning the
+// removed record (ok=false when there was none).
+func (d *Directory) RemoveHealth(component, node string) (health.Record, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.remove(component, node)
+}
+
+// RemoveHealthOf deletes every health record of node (crash or graceful
+// leave, applied deterministically on view change) and returns the
+// removed records sorted by component — a dead node reports no health.
+func (d *Directory) RemoveHealthOf(node string) []health.Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.removeOf(node)
+}
+
+// ReplaceHealthOf makes recs the complete health-record set of node —
+// the anti-entropy resync broadcast on view changes and resync ticks.
+// Exact deltas, like the other two families: a replayed sync of a
+// converged (and stable-caused) health set produces no changes.
+func (d *Directory) ReplaceHealthOf(node string, recs []health.Record) (added, updated, removed []health.Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.replaceOf(node, recs)
+}
+
+// HealthFor returns every node's record of component, sorted by node.
+func (d *Directory) HealthFor(component string) []health.Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.forKey(component)
+}
+
+// HealthOn returns node's health records, sorted by component.
+func (d *Directory) HealthOn(node string) []health.Record {
+	var out []health.Record
+	for _, rec := range d.HealthRecords() {
+		if rec.Node == node {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// HealthRecords returns every health record, sorted by component then
+// node — the replicated cluster-health view the admin plane aggregates.
+func (d *Directory) HealthRecords() []health.Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.all()
 }
 
 // Loads computes per-node load from the directory, restricted to the given

@@ -10,6 +10,7 @@ import (
 	"dosgi/internal/clock"
 	"dosgi/internal/core"
 	"dosgi/internal/gcs"
+	"dosgi/internal/health"
 	"dosgi/internal/san"
 )
 
@@ -103,6 +104,18 @@ type artifactSync struct {
 	Infos []ArtifactInfo
 }
 
+type healthPut struct{ Info health.Record }
+
+type healthRemove struct{ Component, Node string }
+
+// healthSync replaces a node's complete health-record set: the same
+// anti-entropy resync the other two families run. Causes are stable
+// rule descriptions, so a converged sync compares equal and is silent.
+type healthSync struct {
+	Node  string
+	Infos []health.Record
+}
+
 // Config wires a migration module into its node.
 type Config struct {
 	NodeID  string
@@ -162,13 +175,15 @@ type Module struct {
 	listeners   []func(Event)
 	ckptTimer   clock.Timer
 	resyncTimer clock.Timer
-	// eps and arts are the two instances of the shared replicated-record
-	// engine (records.go): endpoints keyed by service, artifact holdings
-	// keyed by digest. Each tracks the records this node itself owns
+	// eps, arts and hlth are the three instances of the shared
+	// replicated-record engine (records.go): endpoints keyed by service,
+	// artifact holdings keyed by digest, health records keyed by
+	// component. Each tracks the records this node itself owns
 	// (re-broadcast on every view change and anti-entropy tick) and the
 	// exact-delta subscriber hooks.
 	eps  *recordFamily[EndpointInfo]
 	arts *recordFamily[ArtifactInfo]
+	hlth *recordFamily[health.Record]
 }
 
 // NewModule builds the module; call Start *before* starting the group
@@ -200,6 +215,13 @@ func NewModule(cfg Config) (*Module, error) {
 			wirePut:    func(a ArtifactInfo) any { return artifactPut{Info: a} },
 			wireRemove: func(digest, node string) any { return artifactRemove{Digest: digest, Node: node} },
 			wireSync:   func(node string, infos []ArtifactInfo) any { return artifactSync{Node: node, Infos: infos} },
+		},
+		hlth: &recordFamily[health.Record]{
+			key:        func(h health.Record) string { return h.Component },
+			owned:      make(map[string]health.Record),
+			wirePut:    func(h health.Record) any { return healthPut{Info: h} },
+			wireRemove: func(component, node string) any { return healthRemove{Component: component, Node: node} },
+			wireSync:   func(node string, infos []health.Record) any { return healthSync{Node: node, Infos: infos} },
 		},
 	}, nil
 }
@@ -280,6 +302,7 @@ func (m *Module) antiEntropy() {
 	// sequencing could apply the stale snapshot last.
 	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
 	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
+	m.broadcast(m.hlth.wireSync(m.cfg.NodeID, m.hlth.localSet()))
 }
 
 // CheckpointPath returns the SAN location of an instance's state.
@@ -363,6 +386,24 @@ func (m *Module) WithdrawArtifact(digest string) {
 	m.mu.Unlock()
 }
 
+// AnnounceHealth records and broadcasts this node's health for one
+// component (the health evaluator's transition bridge calls it). The
+// node field is stamped here: a node only ever speaks for itself.
+func (m *Module) AnnounceHealth(rec health.Record) {
+	rec.Node = m.cfg.NodeID
+	announceRecord(m, m.hlth, rec)
+}
+
+// WithdrawHealth broadcasts that this node no longer reports health for
+// component (e.g. the watched subsystem was torn down).
+func (m *Module) WithdrawHealth(component string) {
+	m.mu.Lock()
+	if _, owned := m.hlth.owned[component]; owned {
+		withdrawRecordLocked(m, m.hlth, component)
+	}
+	m.mu.Unlock()
+}
+
 // announceRecord records info as locally owned and broadcasts the put.
 // The broadcast submits under the module lock: record broadcasts must
 // sequence in the same order the local state mutates, or a concurrent
@@ -407,6 +448,16 @@ func (m *Module) OnEndpointChange(fn func(EndpointChange)) {
 	m.eps.hooks = append(m.eps.hooks, fn)
 }
 
+// OnHealthChange subscribes to replicated health-record changes. The
+// deltas are exact — steady-state health and converged resyncs fire
+// nothing — so subscribers (alert bridges, autonomic rules) can treat
+// every delivered change as a real state transition or arrival.
+func (m *Module) OnHealthChange(fn func(HealthChange)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hlth.hooks = append(m.hlth.hooks, fn)
+}
+
 // EndpointStats returns the endpoint family's directory counters.
 func (m *Module) EndpointStats() FamilyStats {
 	m.mu.Lock()
@@ -419,6 +470,13 @@ func (m *Module) ArtifactStats() FamilyStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.arts.stats
+}
+
+// HealthStats returns the health family's directory counters.
+func (m *Module) HealthStats() FamilyStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hlth.stats
 }
 
 // notifyRecords fans exact deltas out to the family's subscribers,
@@ -560,6 +618,7 @@ func (m *Module) onView(v gcs.View) {
 	// stale snapshot would erase it.
 	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
 	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
+	m.broadcast(m.hlth.wireSync(m.cfg.NodeID, m.hlth.localSet()))
 	m.mu.Unlock()
 	for _, inst := range m.cfg.Manager.List() {
 		m.mu.Lock()
@@ -577,13 +636,16 @@ func (m *Module) onView(v gcs.View) {
 	for _, id := range v.Members {
 		memberSet[id] = true
 	}
-	// Records of departed holders vanish with them — endpoints and
-	// artifact holdings through the identical engine path, with exact
-	// Removed deltas for both families' subscribers.
+	// Records of departed holders vanish with them — endpoints, artifact
+	// holdings and health records through the identical engine path, with
+	// exact Removed deltas for every family's subscribers. A dead node's
+	// health record is pruned deterministically: no phantom health.
 	pruneDeadHolders(m, m.eps, func(e EndpointInfo) string { return e.Node },
 		m.dir.Endpoints, m.dir.RemoveEndpointsOf, memberSet)
 	pruneDeadHolders(m, m.arts, func(a ArtifactInfo) string { return a.Node },
 		m.dir.Artifacts, m.dir.RemoveArtifactsOf, memberSet)
+	pruneDeadHolders(m, m.hlth, func(h health.Record) string { return h.Node },
+		m.dir.HealthRecords, m.dir.RemoveHealthOf, memberSet)
 	lostNodes := make(map[string]bool)
 	var failed []InstanceInfo
 	for _, info := range m.dir.Instances() {
@@ -713,6 +775,12 @@ func (m *Module) onDeliver(msg gcs.Message) {
 		applyRecordRemove(m, m.arts, body.Node, body.Digest, m.dir.RemoveArtifact)
 	case artifactSync:
 		applyRecordSync(m, m.arts, body.Node, body.Infos, m.dir.ReplaceArtifactsOf)
+	case healthPut:
+		applyRecordPut(m, m.hlth, body.Info.Node, body.Info, m.dir.PutHealth)
+	case healthRemove:
+		applyRecordRemove(m, m.hlth, body.Node, body.Component, m.dir.RemoveHealth)
+	case healthSync:
+		applyRecordSync(m, m.hlth, body.Node, body.Infos, m.dir.ReplaceHealthOf)
 	case migrationAnnounce:
 		m.dir.PutInstance(body.Info)
 		if body.From == m.cfg.NodeID {

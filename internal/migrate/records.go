@@ -1,8 +1,9 @@
 // The unified replicated-directory record layer: one generic engine
-// under BOTH record families the directory replicates per holder node —
-// service endpoints (key = service name) and artifact holdings (key =
-// content digest). Everything a family needs to stay convergent and
-// observable is defined once here:
+// under ALL record families the directory replicates per holder node —
+// service endpoints (key = service name), artifact holdings (key =
+// content digest) and component health records (key = component name).
+// Everything a family needs to stay convergent and observable is
+// defined once here:
 //
 //   - storage keyed (record key → holder node → record) with total-order
 //     put/remove and authoritative per-holder sync;
@@ -15,14 +16,18 @@
 //     path) cannot resurrect a dead holder's records on some replicas;
 //   - per-family counters for the cluster metrics plane.
 //
-// The migration module instantiates the engine twice; the family structs
+// The migration module instantiates the engine three times; the family structs
 // below carry the per-family wiring (key extraction, wire-message
 // constructors, owned-set) while module.go owns the lock, the broadcast
 // submission order and the gcs plumbing.
 
 package migrate
 
-import "sort"
+import (
+	"sort"
+
+	"dosgi/internal/health"
+)
 
 // ChangeType enumerates replicated record-change kinds, shared by every
 // record family of the directory.
@@ -72,6 +77,10 @@ type (
 	// feed replication duty and provisioning hooks consume. Exact deltas:
 	// a converged resync produces none.
 	ArtifactChange = Change[ArtifactInfo]
+	// HealthChange reports one replicated health-record change — the feed
+	// the health alert bridges and autonomic rules consume. Exact deltas:
+	// a converged resync produces none, so steady-state health is silent.
+	HealthChange = Change[health.Record]
 )
 
 // Endpoint-change kinds (aliases of the shared kinds).

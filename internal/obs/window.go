@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"time"
+)
+
+// Window reads a Histogram over successive intervals. The underlying
+// histogram is cumulative — its p99 never comes back down once a latency
+// spike has been recorded — which is the right shape for trend metrics
+// but useless for health evaluation, where a breach must be able to
+// *heal*. A Window remembers the bucket counts at the previous Advance
+// and returns percentiles computed over only the observations recorded
+// since, so an interval with no slow calls reads as healthy again.
+//
+// A Window belongs to exactly one caller (the evaluator tick); Advance
+// is not safe for concurrent use. The histogram itself keeps taking
+// concurrent records while the window reads it.
+type Window struct {
+	h    *Histogram
+	prev [histBuckets]uint64
+}
+
+// NewWindow opens an interval window over h starting now: the first
+// Advance covers everything recorded after this call.
+func (h *Histogram) NewWindow() *Window {
+	w := &Window{h: h}
+	for i := range h.counts {
+		w.prev[i] = h.counts[i].Load()
+	}
+	return w
+}
+
+// Advance closes the current interval and returns its snapshot: count,
+// sum of bucket-bounded values, and percentiles over only the
+// observations recorded since the previous Advance. Max is the bucketed
+// upper bound of the slowest interval observation, clamped by the
+// histogram's exact lifetime max (a valid bound for any interval).
+func (w *Window) Advance() HistogramSnapshot {
+	var snap HistogramSnapshot
+	var counts [histBuckets]uint64
+	var total uint64
+	var sum int64
+	top := -1
+	for i := range w.h.counts {
+		cur := w.h.counts[i].Load()
+		d := cur - w.prev[i]
+		w.prev[i] = cur
+		counts[i] = d
+		if d > 0 {
+			total += d
+			sum += int64(d) * bucketUpper(i)
+			top = i
+		}
+	}
+	snap.Count = total
+	if total == 0 {
+		return snap
+	}
+	max := bucketUpper(top)
+	if lifetime := w.h.max.Load(); max > lifetime {
+		max = lifetime
+	}
+	snap.Sum = time.Duration(sum)
+	snap.Max = time.Duration(max)
+	// Nearest-rank with ceil: in a 2-observation interval p99 is the
+	// SLOWER one. Intervals are short, so counts are small and the
+	// cumulative histogram's floor convention would hide a single slow
+	// call among a handful of fast ones — the exact signal health rules
+	// exist to catch.
+	pct := func(q float64) time.Duration {
+		rank := uint64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= rank {
+				v := bucketUpper(i)
+				if v > max {
+					v = max
+				}
+				return time.Duration(v)
+			}
+		}
+		return time.Duration(max)
+	}
+	snap.P50 = pct(0.50)
+	snap.P99 = pct(0.99)
+	snap.P999 = pct(0.999)
+	return snap
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowIntervalPercentilesHeal(t *testing.T) {
+	h := NewHistogram()
+	w := h.NewWindow()
+
+	// Interval 1: a latency spike in the slowest decile.
+	for i := 0; i < 90; i++ {
+		h.Record(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(500 * time.Millisecond)
+	}
+	s1 := w.Advance()
+	if s1.Count != 100 {
+		t.Fatalf("interval 1 count = %d", s1.Count)
+	}
+	if s1.P99 < 400*time.Millisecond {
+		t.Fatalf("interval 1 p99 = %v, spike not visible", s1.P99)
+	}
+	if s1.Max > 500*time.Millisecond || s1.Max < 450*time.Millisecond {
+		t.Fatalf("interval 1 max = %v", s1.Max)
+	}
+
+	// Interval 2: all fast — the window heals even though the cumulative
+	// histogram's p99 still carries the spike.
+	for i := 0; i < 100; i++ {
+		h.Record(1 * time.Millisecond)
+	}
+	s2 := w.Advance()
+	if s2.Count != 100 {
+		t.Fatalf("interval 2 count = %d", s2.Count)
+	}
+	if s2.P99 > 2*time.Millisecond {
+		t.Fatalf("interval 2 p99 = %v, window did not heal", s2.P99)
+	}
+	if cum := h.Snapshot().P99; cum < 400*time.Millisecond {
+		t.Fatalf("cumulative p99 = %v, expected the spike to persist", cum)
+	}
+
+	// Interval 3: nothing recorded.
+	s3 := w.Advance()
+	if s3.Count != 0 || s3.P99 != 0 || s3.Max != 0 {
+		t.Fatalf("empty interval snapshot = %+v", s3)
+	}
+}
+
+func TestWindowSumBounded(t *testing.T) {
+	h := NewHistogram()
+	w := h.NewWindow()
+	h.Record(100 * time.Nanosecond)
+	h.Record(100 * time.Nanosecond)
+	s := w.Advance()
+	// Sum uses bucket upper bounds: ≥ true sum, within the 6.25% error.
+	if s.Sum < 200*time.Nanosecond || s.Sum > 214*time.Nanosecond {
+		t.Fatalf("window sum = %v", s.Sum)
+	}
+}

@@ -1,0 +1,74 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDemotedReplicaIsLastChoice proves the health plane's closed-loop
+// lever: a demoted replica keeps its endpoints but sorts to the tail of
+// every failover chain, so calls land on healthy replicas first — and
+// Restore puts it back into normal rotation.
+func TestDemotedReplicaIsLastChoice(t *testing.T) {
+	r := newRig(t, 50*time.Millisecond)
+	addReplica(t, r)
+	r.resolver.Set("calc",
+		Endpoint{Node: "nodeA", Addr: rigServerAddr},
+		Endpoint{Node: "nodeC", Addr: rigServerAddr2},
+	)
+
+	if r.invoker.IsDemoted(rigServerAddr) {
+		t.Fatal("fresh invoker reports demoted")
+	}
+	r.invoker.Demote(rigServerAddr)
+	if !r.invoker.IsDemoted(rigServerAddr) {
+		t.Fatal("Demote not visible via IsDemoted")
+	}
+
+	// Pin rotation so replica A would be first choice — demotion must
+	// override it and route the call to C without ever dialing A.
+	ok := 0
+	for i := 0; i < 4; i++ {
+		r.invoker.mu.Lock()
+		r.invoker.rr["calc"] = 0
+		r.invoker.mu.Unlock()
+		r.invoker.Go("calc", "Add", []any{int64(20), int64(22)}, func(res []any, err error) {
+			if err == nil && res[0] == int64(42) {
+				ok++
+			}
+		})
+	}
+	r.eng.RunFor(failoverWindow)
+	if ok != 4 {
+		t.Fatalf("calls against demoted-first ordering ok = %d/4", ok)
+	}
+	if n := r.pool.ConnCount(rigServerAddr); n != 0 {
+		t.Fatalf("demoted replica was dialed: %d conns", n)
+	}
+	if n := r.pool.ConnCount(rigServerAddr2); n == 0 {
+		t.Fatal("healthy replica has no pooled connection")
+	}
+
+	// Last-resort, not removed: with the healthy replica partitioned away,
+	// the call still fails over onto the demoted one.
+	r.net.Partition("nodeC", "nodeB")
+	served := false
+	r.invoker.Go("calc", "Add", []any{int64(1), int64(2)}, func(res []any, err error) {
+		served = err == nil && res[0] == int64(3)
+	})
+	r.eng.RunFor(2 * failoverWindow)
+	if !served {
+		t.Fatal("demoted replica did not serve as last resort")
+	}
+	if n := r.pool.ConnCount(rigServerAddr); n == 0 {
+		t.Fatal("last-resort call left no connection to the demoted replica")
+	}
+	r.net.Heal("nodeC", "nodeB")
+
+	// Restore returns A to normal rotation: a pinned slot-0 call dials it
+	// first again.
+	r.invoker.Restore(rigServerAddr)
+	if r.invoker.IsDemoted(rigServerAddr) {
+		t.Fatal("Restore did not clear demotion")
+	}
+}

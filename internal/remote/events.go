@@ -41,6 +41,16 @@ const (
 	// EventsServiceName is the reserved service name of the event verbs.
 	EventsServiceName = "dosgi.events"
 
+	// HealthServiceName is the reserved service name of the health alert
+	// stream (PROTOCOL.md §6.4): the same verb set and frame shapes as
+	// dosgi.events — Subscribe/Renew/Replay/Unsubscribe plus pushed
+	// Notify frames — served by a second EventBroker whose events carry
+	// health transitions instead of endpoint churn (Service = component,
+	// Addr = status, Instance = cause). Everything durable about the
+	// event machinery (replay window, credit backpressure, tail
+	// retransmission, resync snapshots) applies unchanged.
+	HealthServiceName = "dosgi.health"
+
 	// MethodSubscribe opens a subscription chosen by the client.
 	MethodSubscribe = "Subscribe"
 	// MethodRenew extends a subscription's lease (the keepalive) and
@@ -100,20 +110,33 @@ func (ev ServiceEvent) MatchesFilter(filter string) bool {
 	return manifest.MatchesPattern(filter, ev.Service)
 }
 
-// EncodeNotify builds the push frame of ev for subscription subID. The
-// event's Seq travels as the frame's correlation id.
+// EncodeNotify builds the dosgi.events push frame of ev for subscription
+// subID. The event's Seq travels as the frame's correlation id.
 func EncodeNotify(subID int64, ev ServiceEvent) ([]byte, error) {
+	return EncodeNotifyAs(EventsServiceName, subID, ev)
+}
+
+// EncodeNotifyAs builds the push frame of ev on any event-stream service
+// name (dosgi.events, dosgi.health) — the frame shape is identical, the
+// service name routes it to the right broker/subscriber.
+func EncodeNotifyAs(service string, subID int64, ev ServiceEvent) ([]byte, error) {
 	return EncodeRequest(&Request{
 		Corr:    ev.Seq,
-		Service: EventsServiceName,
+		Service: service,
 		Method:  MethodNotify,
 		Args:    []any{subID, string(ev.Type), ev.Service, ev.Node, ev.Addr, ev.Instance},
 	})
 }
 
-// DecodeNotify parses a pushed Notify request.
+// DecodeNotify parses a pushed dosgi.events Notify request.
 func DecodeNotify(req *Request) (subID int64, ev ServiceEvent, err error) {
-	if req.Service != EventsServiceName || req.Method != MethodNotify {
+	return DecodeNotifyAs(EventsServiceName, req)
+}
+
+// DecodeNotifyAs parses a pushed Notify request of the named event-stream
+// service.
+func DecodeNotifyAs(service string, req *Request) (subID int64, ev ServiceEvent, err error) {
+	if req.Service != service || req.Method != MethodNotify {
 		return 0, ServiceEvent{}, fmt.Errorf("remote: not a Notify request: %s.%s", req.Service, req.Method)
 	}
 	if len(req.Args) < 6 {
@@ -206,6 +229,19 @@ func WithBrokerAckHistogram(h *obs.Histogram) BrokerOption {
 	return func(b *EventBroker) { b.ackHist = h }
 }
 
+// WithBrokerService sets the reserved service name the broker speaks
+// (default EventsServiceName). A node can run several brokers — service
+// events on dosgi.events, health alerts on dosgi.health — each stamping
+// its own service name into pushed Notify frames, with the
+// EventDispatcher routing requests by that name.
+func WithBrokerService(name string) BrokerOption {
+	return func(b *EventBroker) {
+		if name != "" {
+			b.service = name
+		}
+	}
+}
+
 // EventBrokerStats are the broker's delivery counters.
 type EventBrokerStats struct {
 	// Published counts events offered to Publish.
@@ -250,6 +286,7 @@ type EventBroker struct {
 	snapshot     func() []ServiceEvent
 	replayWindow int
 	ackHist      *obs.Histogram
+	service      string
 
 	mu    sync.Mutex
 	subs  map[brokerSubKey]*brokerSub
@@ -343,6 +380,7 @@ func NewEventBroker(sched clock.Scheduler, opts ...BrokerOption) *EventBroker {
 		sched:        sched,
 		lease:        DefaultEventLease,
 		replayWindow: DefaultReplayWindow,
+		service:      EventsServiceName,
 		subs:         make(map[brokerSubKey]*brokerSub),
 	}
 	for _, opt := range opts {
@@ -350,6 +388,9 @@ func NewEventBroker(sched clock.Scheduler, opts ...BrokerOption) *EventBroker {
 	}
 	return b
 }
+
+// Service returns the reserved service name this broker answers on.
+func (b *EventBroker) Service() string { return b.service }
 
 // Stats returns a snapshot of the broker's delivery counters.
 func (b *EventBroker) Stats() EventBrokerStats {
@@ -462,7 +503,7 @@ func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev Servi
 	b.stats.Pushed++
 	b.stampSent(sub, sub.seq)
 	b.mu.Unlock()
-	frame, err := EncodeNotify(key.id, ev)
+	frame, err := EncodeNotifyAs(b.service, key.id, ev)
 	if err != nil {
 		return true // unencodable event: nothing a subscriber could do
 	}
@@ -553,7 +594,7 @@ func (b *EventBroker) advance(key brokerSubKey, sub *brokerSub, ack uint64) {
 		b.stats.Pushed++
 		b.stampSent(sub, next)
 		b.mu.Unlock()
-		frame, err := EncodeNotify(key.id, ev)
+		frame, err := EncodeNotifyAs(b.service, key.id, ev)
 		if err != nil {
 			continue
 		}
@@ -597,7 +638,7 @@ func (b *EventBroker) replay(key brokerSubKey, sub *brokerSub, from uint64, corr
 	}
 	b.mu.Unlock()
 	for _, ev := range evs {
-		frame, err := EncodeNotify(key.id, ev)
+		frame, err := EncodeNotifyAs(b.service, key.id, ev)
 		if err != nil {
 			continue
 		}
@@ -756,21 +797,28 @@ func (b *EventBroker) ServePush(req *Request, push Pusher) *Response {
 		b.drop(brokerSubKey{push: push, id: id})
 		return &Response{Corr: req.Corr, Status: StatusOK}
 	default:
-		return appErr("unknown %s method %q", EventsServiceName, req.Method)
+		return appErr("unknown %s method %q", b.service, req.Method)
 	}
 }
 
-// EventDispatcher routes dosgi.events requests to a broker and everything
-// else to the inner handler — the standard server handler of a node that
-// serves both invocations and event subscriptions on one listener.
+// EventDispatcher routes event-stream requests to their brokers — each
+// broker claims the reserved service name it was built with — and
+// everything else to the inner handler: the standard server handler of a
+// node that serves invocations, service-event subscriptions and health
+// alerts on one listener.
 type EventDispatcher struct {
-	inner  Handler
-	broker *EventBroker
+	inner   Handler
+	brokers map[string]*EventBroker
 }
 
-// NewEventDispatcher wraps inner with broker.
-func NewEventDispatcher(inner Handler, broker *EventBroker) *EventDispatcher {
-	return &EventDispatcher{inner: inner, broker: broker}
+// NewEventDispatcher wraps inner with one or more brokers, routed by
+// each broker's service name (dosgi.events, dosgi.health, …).
+func NewEventDispatcher(inner Handler, brokers ...*EventBroker) *EventDispatcher {
+	byService := make(map[string]*EventBroker, len(brokers))
+	for _, b := range brokers {
+		byService[b.Service()] = b
+	}
+	return &EventDispatcher{inner: inner, brokers: byService}
 }
 
 var _ PushHandler = (*EventDispatcher)(nil)
@@ -782,8 +830,8 @@ func (d *EventDispatcher) Serve(req *Request) *Response {
 
 // ServePush implements PushHandler.
 func (d *EventDispatcher) ServePush(req *Request, push Pusher) *Response {
-	if req.Service == EventsServiceName {
-		return d.broker.ServePush(req, push)
+	if b, ok := d.brokers[req.Service]; ok {
+		return b.ServePush(req, push)
 	}
 	if ph, ok := d.inner.(PushHandler); ok {
 		return ph.ServePush(req, push)

@@ -115,13 +115,14 @@ type Invoker struct {
 	tracer      *obs.Tracer
 	callHist    *obs.Histogram
 
-	mu sync.Mutex
-	rr map[string]int
+	mu      sync.Mutex
+	rr      map[string]int
+	demoted map[string]bool
 }
 
 // NewInvoker builds an invoker calling through pool.
 func NewInvoker(pool *Pool, resolver EndpointResolver, opts ...InvokerOption) *Invoker {
-	inv := &Invoker{pool: pool, resolver: resolver, rr: make(map[string]int)}
+	inv := &Invoker{pool: pool, resolver: resolver, rr: make(map[string]int), demoted: make(map[string]bool)}
 	for _, opt := range opts {
 		opt(inv)
 	}
@@ -134,6 +135,30 @@ func (inv *Invoker) Pool() *Pool { return inv.pool }
 // DropEndpoint severs pooled connections to addr (gcs view-change hook or
 // an external health signal).
 func (inv *Invoker) DropEndpoint(addr string) { inv.pool.DropEndpoint(addr) }
+
+// Demote marks addr last-choice: its endpoints sort to the end of every
+// failover chain until Restore. The replica is NOT removed — when every
+// healthier replica fails the call still reaches it. The health plane's
+// autonomic rule drives this on CRITICAL remote-path records.
+func (inv *Invoker) Demote(addr string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.demoted[addr] = true
+}
+
+// Restore lifts a Demote — addr competes in normal rotation again.
+func (inv *Invoker) Restore(addr string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	delete(inv.demoted, addr)
+}
+
+// IsDemoted reports whether addr is currently marked last-choice.
+func (inv *Invoker) IsDemoted(addr string) bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.demoted[addr]
+}
 
 // PruneNodes drops pooled connections to every endpoint whose node is not
 // in alive — wired to gcs.Member.OnViewChange by the cluster layer.
@@ -173,6 +198,22 @@ func (inv *Invoker) Go(service, method string, args []any, cb func([]any, error)
 	for i := 0; i < len(eps); i++ {
 		ordered = append(ordered, eps[(start+i)%len(eps)])
 	}
+	// Stable-partition demoted replicas to the tail: healthy endpoints keep
+	// their rotation order, CRITICAL ones become last-resort fallbacks.
+	inv.mu.Lock()
+	if len(inv.demoted) > 0 {
+		healthy := make([]Endpoint, 0, len(ordered))
+		var last []Endpoint
+		for _, ep := range ordered {
+			if inv.demoted[ep.Addr] {
+				last = append(last, ep)
+			} else {
+				healthy = append(healthy, ep)
+			}
+		}
+		ordered = append(healthy, last...)
+	}
+	inv.mu.Unlock()
 	attempts := len(ordered)
 	if inv.maxAttempts > 0 && inv.maxAttempts < attempts {
 		attempts = inv.maxAttempts

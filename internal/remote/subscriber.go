@@ -59,6 +59,10 @@ type SubscriberConfig struct {
 	// slow consumer. 0 means DefaultEventWindow; negative disables flow
 	// control (legacy unbounded delivery).
 	Window int64
+	// Service is the reserved event-stream service name to subscribe on
+	// (default EventsServiceName). HealthServiceName consumes a node's
+	// health alert stream over the identical verb set.
+	Service string
 }
 
 // SubscriberStats counts the stream's anomalies and how they healed.
@@ -124,6 +128,9 @@ func NewSubscriber(cfg SubscriberConfig) (*Subscriber, error) {
 		cfg.Window = DefaultEventWindow
 	} else if cfg.Window < 0 {
 		cfg.Window = 0 // flow control off: legacy unbounded delivery
+	}
+	if cfg.Service == "" {
+		cfg.Service = EventsServiceName
 	}
 	s := &Subscriber{cfg: cfg, known: make(map[string]ServiceEvent)}
 	s.connect(0)
@@ -234,7 +241,7 @@ func (s *Subscriber) connect(attempt int) {
 
 	pc.SetPushHandler(func(req *Request) { s.onPush(pc, req) })
 	err = pc.Call(&Request{
-		Service: EventsServiceName,
+		Service: s.cfg.Service,
 		Method:  MethodSubscribe,
 		Args:    []any{subID, s.cfg.Filter, s.cfg.Window},
 	}, func(resp *Response, err error) {
@@ -301,7 +308,7 @@ func (s *Subscriber) sendRenew(pc PushConn) {
 	}
 	s.mu.Unlock()
 	err := pc.Call(&Request{
-		Service: EventsServiceName,
+		Service: s.cfg.Service,
 		Method:  MethodRenew,
 		Args:    []any{subID, ack},
 	}, func(resp *Response, err error) {
@@ -345,7 +352,7 @@ func (s *Subscriber) teardown(pc PushConn, nextAttempt int) {
 // (window rolled, broker error) does the subscriber fall back to a full
 // resubscribe-and-resync.
 func (s *Subscriber) onPush(pc PushConn, req *Request) {
-	subID, ev, err := DecodeNotify(req)
+	subID, ev, err := DecodeNotifyAs(s.cfg.Service, req)
 	if err != nil {
 		return
 	}
@@ -433,7 +440,7 @@ func (s *Subscriber) maybeAck(pc PushConn) {
 	s.ackedSeq = ack
 	s.mu.Unlock()
 	err := pc.Call(&Request{
-		Service: EventsServiceName,
+		Service: s.cfg.Service,
 		Method:  MethodRenew,
 		Args:    []any{subID, int64(ack)},
 	}, func(resp *Response, err error) {
@@ -502,7 +509,7 @@ func (s *Subscriber) requestReplay(pc PushConn, from uint64) {
 	subID := s.subID
 	s.mu.Unlock()
 	err := pc.Call(&Request{
-		Service: EventsServiceName,
+		Service: s.cfg.Service,
 		Method:  MethodReplay,
 		Args:    []any{subID, int64(from)},
 	}, func(resp *Response, err error) {
