@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 GOVULNCHECK ?= govulncheck
 
-.PHONY: all fmt vet staticcheck vuln lint build test test-race test-chaos bench bench-json check
+.PHONY: all fmt vet staticcheck vuln lint build test test-race test-chaos test-conformance bench bench-json check
 
 all: check
 
@@ -56,6 +56,13 @@ test-race:
 # bit for bit.
 test-chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/cluster -v
+
+# The PROTOCOL.md §1–§7 conformance suite (internal/conformance), run
+# against BOTH backends that claim the wire protocol: the real daemon
+# (cmd/dosgid) and the cluster simulator (internal/protosim). One body of
+# checks pins both, under the race detector.
+test-conformance:
+	$(GO) test -race -count=1 -run 'TestConformance' ./cmd/dosgid ./internal/protosim -v
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

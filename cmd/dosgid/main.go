@@ -180,6 +180,36 @@ func (echoService) Sleep(ms int64) int64 {
 	return ms
 }
 
+// Echo returns its arguments unchanged — the conformance suite's codec
+// round-trip probe (PROTOCOL.md §5): every wire value shape must survive
+// request decode and response encode.
+func (echoService) Echo(vs ...any) []any { return vs }
+
+// Boom panics — the §7 containment probe: the dispatcher must degrade
+// the panic to an application error on this correlation id, not kill the
+// connection.
+func (echoService) Boom() string { panic("echo: boom") }
+
+// Weird returns a value the wire codec cannot encode — the §7
+// degradation probe: the reply must be an application error, never a
+// silently dropped response.
+func (echoService) Weird() map[string]string { return map[string]string{"un": "encodable"} }
+
+// Blob returns n bytes — past the frame limit, the §7 response-size
+// probe: an executed call whose result cannot travel must still answer
+// its correlation id with an application error.
+func (echoService) Blob(n int64) ([]byte, error) {
+	const maxBlob = 24 << 20
+	if n < 0 || n > maxBlob {
+		return nil, fmt.Errorf("blob size %d out of range [0, %d]", n, maxBlob)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b, nil
+}
+
 // daemon bundles one dosgid node's moving parts so tests can run it
 // in-process on ephemeral ports.
 type daemon struct {

@@ -1,0 +1,193 @@
+package conformance
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"dosgi/internal/obs"
+	"dosgi/internal/remote"
+)
+
+// Wire byte values pinned by docs/PROTOCOL.md §1 — spelled literally,
+// not via library constants, so a constant drifting from the documented
+// protocol fails here.
+const (
+	wireHello    = 0x03
+	wireHelloAck = 0x04
+)
+
+// runFraming covers §1: the length-prefixed framing, the Hello/HelloAck
+// handshake, and the rule that an unparseable frame condemns exactly the
+// connection that carried it.
+func (h *harness) runFraming(t *testing.T) {
+	t.Run("hello_handshake", func(t *testing.T) {
+		// §1.2: a Hello frame is answered with HelloAck on the same
+		// connection, before any request traffic.
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, []byte{wireHello})
+		frame, err := readRawFrame(nc, awaitTimeout)
+		if err != nil {
+			t.Fatalf("no HelloAck: %v", err)
+		}
+		if len(frame) != 1 || frame[0] != wireHelloAck {
+			t.Fatalf("Hello answered with % x, want [%02x]", frame, wireHelloAck)
+		}
+	})
+
+	t.Run("request_without_hello", func(t *testing.T) {
+		// §1.2: the handshake is optional — a bare request frame is
+		// served. (TCP clients start established; Hello exists for
+		// transports that need liveness probing.)
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, rawRequest(t, 11, h.tgt.Echo, "Upper", obs.TraceContext{}, "raw"))
+		resp := readRawResponse(t, nc)
+		if resp.Corr != 11 || resp.Status != remote.StatusOK || resp.Results[0] != "RAW" {
+			t.Fatalf("bare request answered corr=%d status=%d results=%v", resp.Corr, resp.Status, resp.Results)
+		}
+	})
+
+	t.Run("empty_frame_drops_connection", func(t *testing.T) {
+		// §1.3: a zero-length frame body is malformed.
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, nil)
+		expectClosed(t, nc)
+		h.assertAlive(t)
+	})
+
+	t.Run("unknown_kind_drops_connection", func(t *testing.T) {
+		// §1.3: an unknown frame kind byte is malformed — the server
+		// cannot resynchronize a stream it cannot parse.
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, []byte{0x7f, 0x00, 0x01})
+		expectClosed(t, nc)
+		h.assertAlive(t)
+	})
+
+	t.Run("decode_frame_rejects_garbage", func(t *testing.T) {
+		// The shared codec itself: empty and unknown-kind frames are
+		// ErrBadFrame, not panics or silent zero values.
+		if _, _, _, err := remote.DecodeFrame(nil); !errors.Is(err, remote.ErrBadFrame) {
+			t.Fatalf("DecodeFrame(nil) = %v, want ErrBadFrame", err)
+		}
+		if _, _, _, err := remote.DecodeFrame([]byte{0x7f}); !errors.Is(err, remote.ErrBadFrame) {
+			t.Fatalf("DecodeFrame(unknown kind) = %v, want ErrBadFrame", err)
+		}
+	})
+}
+
+// runLimits covers §7's table of hard limits: every malformed or
+// over-limit frame is rejected without harming the server, and every
+// executed call completes its correlation id even when the result
+// cannot travel.
+func (h *harness) runLimits(t *testing.T) {
+	// Byte-level rejections: each row writes a frame no correct client
+	// produces and asserts the clean connection drop plus server health.
+	rows := []struct {
+		name  string
+		frame func(t *testing.T) []byte
+	}{
+		{
+			// §7: a declared frame length above MaxFrameSize is rejected
+			// from the length prefix alone — the server must not commit
+			// 16 MiB+ of memory to an unread body.
+			name: "oversized_length_prefix",
+			frame: func(t *testing.T) []byte {
+				return nil // handled specially below: prefix only, no body
+			},
+		},
+		{
+			// §7: a list nested deeper than the documented depth limit
+			// (16) must be rejected by the decoder, not recursed into.
+			name: "over_depth_list",
+			frame: func(t *testing.T) []byte {
+				return overDepthRequest(t, h.tgt.Echo, 18)
+			},
+		},
+		{
+			// §3.3/§7: a trace trailer that stops mid-varint is a
+			// malformed frame ("truncated trace context"), not a zero
+			// trace.
+			name: "truncated_trace_field",
+			frame: func(t *testing.T) []byte {
+				frame := rawRequest(t, 21, h.tgt.Echo, "Upper", obs.TraceContext{}, "x")
+				return append(frame, 0x80) // an unterminated uvarint
+			},
+		},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			nc := h.rawDial(t)
+			if row.name == "oversized_length_prefix" {
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(remote.MaxFrameSize+1))
+				if _, err := nc.Write(hdr[:]); err != nil {
+					t.Fatalf("write oversized prefix: %v", err)
+				}
+			} else {
+				writeRawFrame(t, nc, row.frame(t))
+			}
+			expectClosed(t, nc)
+			h.assertAlive(t)
+		})
+	}
+
+	t.Run("client_oversized_request", func(t *testing.T) {
+		// §7: an oversized REQUEST surfaces synchronously as
+		// ErrFrameTooLarge — NOT wrapped in ErrUnavailable (it must never
+		// be replayed against another replica) — and the connection
+		// survives for smaller calls.
+		conn := h.dial(t)
+		big := make([]byte, remote.MaxFrameSize+1)
+		_, err := h.invokeErr(t, conn, h.tgt.Echo, "Echo", big)
+		if !errors.Is(err, remote.ErrFrameTooLarge) {
+			t.Fatalf("oversized request: err=%v, want ErrFrameTooLarge", err)
+		}
+		if remote.Retryable(err) {
+			t.Fatalf("oversized request error is retryable; replaying a caller bug is forbidden")
+		}
+		resp := h.invokeOK(t, conn, h.tgt.Echo, "Upper", "still here")
+		if resp.Results[0] != "STILL HERE" {
+			t.Fatalf("connection unusable after oversized request: %v", resp.Results)
+		}
+	})
+
+	t.Run("oversized_result_degrades_to_app_error", func(t *testing.T) {
+		// §7: an executed call whose encoded RESPONSE exceeds the frame
+		// limit must still answer its correlation id — as an application
+		// error (the call ran; retrying elsewhere would double-execute),
+		// never a silent drop that times out as Unavailable.
+		conn := h.dial(t)
+		resp := h.invoke(t, conn, h.tgt.Echo, "Blob", int64(remote.MaxFrameSize+64))
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("oversized result: status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+		if resp.Err == "" {
+			t.Fatalf("oversized result degraded without an error message")
+		}
+		resp = h.invokeOK(t, conn, h.tgt.Echo, "Upper", "after blob")
+		if resp.Results[0] != "AFTER BLOB" {
+			t.Fatalf("connection unusable after oversized result: %v", resp.Results)
+		}
+	})
+}
+
+// overDepthRequest hand-assembles a request frame whose single argument
+// is a list nested depth levels deep — deeper than the codec's encoder
+// allows, so it must be built byte by byte (§1.4 wire layout: kind,
+// corr, service, method, argc, args).
+func overDepthRequest(t *testing.T, service string, depth int) []byte {
+	t.Helper()
+	buf := []byte{0x01} // frameRequest
+	buf = binary.BigEndian.AppendUint64(buf, 23)
+	buf = binary.AppendUvarint(buf, uint64(len(service)))
+	buf = append(buf, service...)
+	buf = binary.AppendUvarint(buf, uint64(len("Echo")))
+	buf = append(buf, "Echo"...)
+	buf = binary.AppendUvarint(buf, 1) // one argument
+	for i := 0; i < depth; i++ {
+		buf = append(buf, 0x07, 0x01) // tagList, one element
+	}
+	buf = append(buf, 0x07, 0x00) // innermost: tagList, empty
+	return buf
+}

@@ -1,0 +1,359 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/obs"
+	"dosgi/internal/provision"
+	"dosgi/internal/remote"
+	"dosgi/internal/services"
+)
+
+// runProvision covers §6.1: the dosgi.provision verb set over a
+// content-addressed artifact — describe by location and by digest,
+// dependency resolution by coordinates, chunked payload transfer that
+// reassembles to the advertised digest, and application errors for
+// everything a replica cannot serve.
+func (h *harness) runProvision(t *testing.T) {
+	art := h.tgt.Artifact
+	if art == nil {
+		t.Skip("target serves no artifact; §6.1 not applicable")
+	}
+	conn := h.dial(t)
+
+	describe := func(t *testing.T, method string, args ...any) provision.Artifact {
+		t.Helper()
+		resp := h.invokeOK(t, conn, provision.ServiceName, method, args...)
+		raw, ok := resp.Results[0].([]byte)
+		if !ok {
+			t.Fatalf("%s returned %T, want JSON bytes", method, resp.Results[0])
+		}
+		got, err := provision.UnmarshalArtifact(raw)
+		if err != nil {
+			t.Fatalf("%s returned undecodable metadata: %v", method, err)
+		}
+		return got
+	}
+
+	t.Run("describe_by_location", func(t *testing.T) {
+		if got := describe(t, "Describe", art.Location); got.Digest != art.Digest {
+			t.Fatalf("Describe(%q) digest %.12s, want %.12s", art.Location, got.Digest, art.Digest)
+		}
+	})
+
+	t.Run("describe_by_digest", func(t *testing.T) {
+		got := describe(t, "DescribeDigest", art.Digest)
+		if got.SymbolicName != art.SymbolicName || got.Chunks != art.Chunks {
+			t.Fatalf("DescribeDigest returned %s chunks=%d, want %s chunks=%d",
+				got.SymbolicName, got.Chunks, art.SymbolicName, art.Chunks)
+		}
+	})
+
+	t.Run("find_by_coordinates", func(t *testing.T) {
+		if got := describe(t, "Find", art.SymbolicName, art.Version); got.SymbolicName != art.SymbolicName {
+			t.Fatalf("Find(%s, %s) resolved %s", art.SymbolicName, art.Version, got.SymbolicName)
+		}
+	})
+
+	t.Run("chunks_reassemble_to_digest", func(t *testing.T) {
+		payload := make([]byte, 0, art.Size)
+		for i := int64(0); i < art.Chunks; i++ {
+			resp := h.invokeOK(t, conn, provision.ServiceName, "Chunk", art.Digest, i)
+			chunk, ok := resp.Results[0].([]byte)
+			if !ok || len(chunk) == 0 {
+				t.Fatalf("Chunk(%d) returned %T len %d", i, resp.Results[0], len(chunk))
+			}
+			payload = append(payload, chunk...)
+		}
+		if int64(len(payload)) != art.Size {
+			t.Fatalf("reassembled %d bytes, metadata says %d", len(payload), art.Size)
+		}
+		// §6.1's integrity promise: the digest names the payload, so a
+		// fetcher can verify a transfer without trusting any replica.
+		if got := provision.PayloadDigest(payload); got != art.Digest {
+			t.Fatalf("reassembled payload digest %.12s, want %.12s", got, art.Digest)
+		}
+	})
+
+	t.Run("out_of_range_chunk_is_app_error", func(t *testing.T) {
+		resp := h.invoke(t, conn, provision.ServiceName, "Chunk", art.Digest, art.Chunks)
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("Chunk(past end): status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("unknown_digest_is_app_error", func(t *testing.T) {
+		resp := h.invoke(t, conn, provision.ServiceName, "DescribeDigest", "deadbeef")
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("DescribeDigest(unknown): status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("locations_lists_install_location", func(t *testing.T) {
+		resp := h.invokeOK(t, conn, provision.ServiceName, "Locations")
+		locs, _ := resp.Results[0].([]any)
+		for _, l := range locs {
+			if l == art.Location {
+				return
+			}
+		}
+		t.Fatalf("Locations %v does not list %q", locs, art.Location)
+	})
+}
+
+// runEvents covers §6.2: the dosgi.events verb set — resync-before-ack
+// on subscribe, per-subscription sequence numbers, replay from the
+// retained window, the rolled-window error, lease renewal, and the
+// stagnant-ack tail retransmission that heals a lost final push.
+func (h *harness) runEvents(t *testing.T) {
+	svc := remote.EventsServiceName
+
+	t.Run("subscribe_resyncs_before_response", func(t *testing.T) {
+		conn, sink, lease, ring := h.subscribe(t, svc, 77, h.tgt.Echo, 0)
+		if lease <= 0 || ring <= 0 {
+			t.Fatalf("Subscribe answered lease=%d window=%d, want both positive", lease, ring)
+		}
+		ev := sink.await(t)
+		if ev.Service != h.tgt.Echo || ev.Type != remote.ServiceRegistered || ev.Seq != 1 {
+			t.Fatalf("resync pushed %v, want REGISTERED %s seq=1", ev, h.tgt.Echo)
+		}
+		// §6.2: the snapshot is pushed on the subscriber's connection
+		// BEFORE the Subscribe response — a subscriber that acts on the
+		// OK already holds the full current state.
+		order, _ := sink.snapshot()
+		if len(order) < 2 || order[0] != "push" {
+			t.Fatalf("wire order %v, want the resync push before the Subscribe response", order)
+		}
+
+		t.Run("replay_within_window", func(t *testing.T) {
+			resp := h.invokeOK(t, conn, svc, remote.MethodReplay, int64(77), int64(1))
+			if n, _ := resp.Results[0].(int64); n < 1 {
+				t.Fatalf("Replay(1) replayed %v deltas, want >= 1", resp.Results[0])
+			}
+			if dup := sink.await(t); dup.Seq != 1 || dup.Service != h.tgt.Echo {
+				t.Fatalf("Replay re-pushed %v, want the seq=1 delta again", dup)
+			}
+		})
+
+		t.Run("rolled_window_is_app_error", func(t *testing.T) {
+			// from=0 predates any retained delta: the subscriber must be
+			// told to resync rather than silently miss history.
+			resp := h.invoke(t, conn, svc, remote.MethodReplay, int64(77), int64(0))
+			if resp.Status != remote.StatusAppError || !strings.Contains(resp.Err, "rolled") {
+				t.Fatalf("Replay(0): status=%d err=%q, want AppError about a rolled window", resp.Status, resp.Err)
+			}
+		})
+
+		t.Run("renew_extends_lease", func(t *testing.T) {
+			h.invokeOK(t, conn, svc, remote.MethodRenew, int64(77), int64(1))
+		})
+
+		t.Run("unsubscribe_forgets_the_id", func(t *testing.T) {
+			h.invokeOK(t, conn, svc, remote.MethodUnsubscribe, int64(77))
+			resp := h.invoke(t, conn, svc, remote.MethodRenew, int64(77))
+			if resp.Status != remote.StatusAppError {
+				t.Fatalf("Renew after Unsubscribe: status %d (%s), want AppError", resp.Status, resp.Err)
+			}
+		})
+	})
+
+	t.Run("unknown_subscription_renew_is_app_error", func(t *testing.T) {
+		conn := h.dial(t)
+		resp := h.invoke(t, conn, svc, remote.MethodRenew, int64(999))
+		if resp.Status != remote.StatusAppError || !strings.Contains(resp.Err, "unknown subscription") {
+			t.Fatalf("Renew(unknown): status=%d err=%q", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("unknown_verb_is_app_error", func(t *testing.T) {
+		conn := h.dial(t)
+		resp := h.invoke(t, conn, svc, "Bogus")
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("unknown events verb: status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("stagnant_ack_triggers_tail_retransmit", func(t *testing.T) {
+		// A flow-controlled subscription (window > 0) whose Renew acks
+		// stagnate below the sent watermark gets the unacknowledged tail
+		// re-pushed — the heal for a Notify lost after the broker counted
+		// it delivered.
+		conn, sink, _, _ := h.subscribe(t, svc, 78, h.tgt.Echo, 64)
+		if ev := sink.await(t); ev.Seq != 1 {
+			t.Fatalf("resync pushed seq %d, want 1", ev.Seq)
+		}
+		h.invokeOK(t, conn, svc, remote.MethodRenew, int64(78), int64(0))
+		h.invokeOK(t, conn, svc, remote.MethodRenew, int64(78), int64(0))
+		if dup := sink.await(t); dup.Seq != 1 {
+			t.Fatalf("tail retransmit pushed seq %d, want the unacked seq=1 delta", dup.Seq)
+		}
+	})
+}
+
+// runMetrics covers §6.3: the dosgi.metrics read service — provider
+// listing, attribute lines, and span tuples that reassemble into the
+// trace a raw wire call just created.
+func (h *harness) runMetrics(t *testing.T) {
+	svc := services.MetricsRemoteName
+	conn := h.dial(t)
+
+	list := func(t *testing.T, method string, args ...any) []any {
+		t.Helper()
+		resp := h.invokeOK(t, conn, svc, method, args...)
+		if len(resp.Results) != 1 {
+			t.Fatalf("%s returned %d results, want one list", method, len(resp.Results))
+		}
+		if resp.Results[0] == nil {
+			return nil
+		}
+		out, ok := resp.Results[0].([]any)
+		if !ok {
+			t.Fatalf("%s returned %T, want a list", method, resp.Results[0])
+		}
+		return out
+	}
+
+	t.Run("providers_listed_sorted", func(t *testing.T) {
+		names := list(t, "Providers")
+		if len(names) == 0 {
+			t.Fatal("Providers returned no providers")
+		}
+		prev := ""
+		for _, v := range names {
+			name, ok := v.(string)
+			if !ok {
+				t.Fatalf("provider entry %T, want string", v)
+			}
+			if name < prev {
+				t.Fatalf("providers not sorted: %q after %q", name, prev)
+			}
+			prev = name
+		}
+	})
+
+	t.Run("read_unknown_provider_is_empty_not_error", func(t *testing.T) {
+		if out := list(t, "Read", "no.such.provider"); len(out) != 0 {
+			t.Fatalf("Read(unknown) returned %v, want empty", out)
+		}
+	})
+
+	t.Run("snapshot_lines_are_key_value", func(t *testing.T) {
+		lines := list(t, "Snapshot")
+		if len(lines) == 0 {
+			t.Fatal("Snapshot returned no lines")
+		}
+		for _, v := range lines {
+			line, ok := v.(string)
+			if !ok || !strings.Contains(line, " ") || !strings.Contains(line, "=") {
+				t.Fatalf("snapshot line %v, want \"provider key=value\"", v)
+			}
+		}
+	})
+
+	t.Run("trace_returns_span_tuples", func(t *testing.T) {
+		// Create the trace ourselves: one traced wire call, then read it
+		// back through the metrics plane and reassemble the span.
+		const tid = uint64(0x5EEDFACE)
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, rawRequest(t, 41, h.tgt.Echo, "Upper",
+			obs.TraceContext{TraceID: tid, SpanID: 9}, "traceme"))
+		if resp := readRawResponse(t, nc); resp.Status != remote.StatusOK {
+			t.Fatalf("traced probe call failed: %s", resp.Err)
+		}
+		deadline := time.Now().Add(awaitTimeout)
+		for {
+			tuples := list(t, "Trace", int64(tid))
+			if len(tuples) > 0 {
+				tuple, ok := tuples[0].([]any)
+				if !ok {
+					t.Fatalf("Trace entry %T, want a tuple list", tuples[0])
+				}
+				sp, ok := obs.SpanFromTuple(tuple)
+				if !ok {
+					t.Fatalf("span tuple %v does not reassemble", tuple)
+				}
+				if sp.TraceID != tid || sp.Method != "Upper" {
+					t.Fatalf("reassembled span %+v, want trace %x method Upper", sp, tid)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("Trace(%x) never returned the probe span", tid)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+
+	t.Run("trace_unknown_id_is_empty", func(t *testing.T) {
+		if out := list(t, "Trace", int64(0x00D15EA5E)); len(out) != 0 {
+			t.Fatalf("Trace(unknown) returned %d spans, want none", len(out))
+		}
+	})
+
+	t.Run("recent_answers_ok", func(t *testing.T) {
+		list(t, "Recent", int64(4))
+	})
+}
+
+// runHealth covers §6.4: the dosgi.health stream — the dosgi.events verb
+// set and frame shapes on a second broker whose events carry health
+// transitions (Service = component, Node = subject, Addr = status,
+// Instance = cause), folded exactly-once: a repeated identical
+// observation never becomes a second alert.
+func (h *harness) runHealth(t *testing.T) {
+	svc := remote.HealthServiceName
+
+	t.Run("subscribe_same_verb_set", func(t *testing.T) {
+		conn, _, lease, ring := h.subscribe(t, svc, 91, "", 0)
+		if lease <= 0 || ring <= 0 {
+			t.Fatalf("health Subscribe answered lease=%d window=%d, want both positive", lease, ring)
+		}
+		resp := h.invoke(t, conn, svc, remote.MethodRenew, int64(9999))
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("health Renew(unknown): status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+		h.invokeOK(t, conn, svc, remote.MethodUnsubscribe, int64(91))
+	})
+
+	t.Run("unknown_verb_is_app_error", func(t *testing.T) {
+		conn := h.dial(t)
+		resp := h.invoke(t, conn, svc, "Bogus")
+		if resp.Status != remote.StatusAppError {
+			t.Fatalf("unknown health verb: status %d (%s), want AppError", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("exactly_once_alert_fold", func(t *testing.T) {
+		if h.tgt.InjectHealth == nil {
+			t.Skip("target cannot inject health observations; fold checks not applicable")
+		}
+		node := h.tgt.HealthNode
+		_, sink, _, _ := h.subscribe(t, svc, 92, "conf.probe", 0)
+
+		h.tgt.InjectHealth("conf.probe", node, "DEGRADED", "checker")
+		ev := sink.await(t)
+		if ev.Type != remote.ServiceRegistered || ev.Service != "conf.probe" ||
+			ev.Node != node || ev.Addr != "DEGRADED" || ev.Instance != "checker" {
+			t.Fatalf("first observation pushed %v, want REGISTERED conf.probe node=%s DEGRADED checker", ev, node)
+		}
+
+		// The identical observation again: already folded, no new alert.
+		h.tgt.InjectHealth("conf.probe", node, "DEGRADED", "checker")
+		sink.awaitNone(t, 300*time.Millisecond)
+
+		// A changed status on a known record is MODIFIED, not a fresh
+		// registration.
+		h.tgt.InjectHealth("conf.probe", node, "CRITICAL", "checker")
+		if ev := sink.await(t); ev.Type != remote.ServiceModified || ev.Addr != "CRITICAL" {
+			t.Fatalf("status change pushed %v, want MODIFIED CRITICAL", ev)
+		}
+
+		// Withdrawal ends the record's life cycle.
+		h.tgt.InjectHealth("conf.probe", node, "", "")
+		if ev := sink.await(t); ev.Type != remote.ServiceUnregistering {
+			t.Fatalf("withdrawal pushed %v, want UNREGISTERING", ev)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package conformance
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dosgi/internal/obs"
+	"dosgi/internal/remote"
+)
+
+// runCorrelation covers §2: one connection carries many in-flight
+// requests, responses are matched by correlation id, and a slow call
+// must not head-of-line-block a fast one behind it.
+func (h *harness) runCorrelation(t *testing.T) {
+	t.Run("pipelined_calls_complete_out_of_order", func(t *testing.T) {
+		conn := h.dial(t)
+		order := make(chan string, 2)
+		err := conn.Call(&remote.Request{Service: h.tgt.Echo, Method: "Sleep", Args: []any{int64(400)}},
+			func(resp *remote.Response, err error) {
+				if err == nil && resp.Status == remote.StatusOK {
+					order <- "sleep"
+				} else {
+					order <- "sleep-failed"
+				}
+			})
+		if err != nil {
+			t.Fatalf("send Sleep: %v", err)
+		}
+		err = conn.Call(&remote.Request{Service: h.tgt.Echo, Method: "Upper", Args: []any{"fast"}},
+			func(resp *remote.Response, err error) {
+				if err == nil && resp.Status == remote.StatusOK {
+					order <- "upper"
+				} else {
+					order <- "upper-failed"
+				}
+			})
+		if err != nil {
+			t.Fatalf("send Upper: %v", err)
+		}
+		var got []string
+		for i := 0; i < 2; i++ {
+			select {
+			case s := <-order:
+				got = append(got, s)
+			case <-time.After(awaitTimeout):
+				t.Fatalf("pipelined calls stalled; completed so far: %v", got)
+			}
+		}
+		// §2: the fast call overtakes the sleeping one. If the server
+		// serialized the connection, "sleep" would land first.
+		if got[0] != "upper" || got[1] != "sleep" {
+			t.Fatalf("completion order %v, want [upper sleep]", got)
+		}
+	})
+
+	t.Run("responses_carry_request_correlation_id", func(t *testing.T) {
+		// Raw wire: two requests with caller-chosen correlation ids; each
+		// response must echo the id of the request it answers, whatever
+		// order they return in.
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, rawRequest(t, 7, h.tgt.Echo, "Sleep", obs.TraceContext{}, int64(300)))
+		writeRawFrame(t, nc, rawRequest(t, 9, h.tgt.Echo, "Upper", obs.TraceContext{}, "id"))
+		first := readRawResponse(t, nc)
+		second := readRawResponse(t, nc)
+		if first.Corr != 9 || second.Corr != 7 {
+			t.Fatalf("response corr order (%d, %d), want (9, 7): the fast call's id returns first",
+				first.Corr, second.Corr)
+		}
+		if first.Results[0] != "ID" || second.Status != remote.StatusOK {
+			t.Fatalf("correlation ids attached to the wrong payloads: %v / %v",
+				first.Results, second.Results)
+		}
+	})
+}
+
+// runTrace covers §3: the optional trace trailer — three uvarints
+// (traceID, spanID, hop) after the arguments — is honored when present,
+// harmless when absent, and forward-compatible about trailing bytes.
+func (h *harness) runTrace(t *testing.T) {
+	t.Run("traced_request_served", func(t *testing.T) {
+		nc := h.rawDial(t)
+		tr := obs.TraceContext{TraceID: 0x5EED0001, SpanID: 1, Hop: 2}
+		writeRawFrame(t, nc, rawRequest(t, 31, h.tgt.Echo, "Upper", tr, "traced"))
+		resp := readRawResponse(t, nc)
+		if resp.Status != remote.StatusOK || resp.Results[0] != "TRACED" {
+			t.Fatalf("traced request answered status=%d results=%v", resp.Status, resp.Results)
+		}
+	})
+
+	t.Run("untraced_request_served", func(t *testing.T) {
+		// §3.1: the trailer is optional; a frame ending at the last
+		// argument is a complete, untraced request.
+		nc := h.rawDial(t)
+		writeRawFrame(t, nc, rawRequest(t, 32, h.tgt.Echo, "Upper", obs.TraceContext{}, "plain"))
+		if resp := readRawResponse(t, nc); resp.Results[0] != "PLAIN" {
+			t.Fatalf("untraced request answered %v", resp.Results)
+		}
+	})
+
+	t.Run("bytes_after_trailer_ignored", func(t *testing.T) {
+		// §3.3: a complete trailer followed by unknown extra bytes is a
+		// future protocol revision, not a malformed frame — older servers
+		// must serve it.
+		nc := h.rawDial(t)
+		tr := obs.TraceContext{TraceID: 0x5EED0002, SpanID: 4, Hop: 0}
+		frame := rawRequest(t, 33, h.tgt.Echo, "Upper", tr, "future")
+		frame = append(frame, 0xde, 0xad, 0xbe, 0xef)
+		writeRawFrame(t, nc, frame)
+		if resp := readRawResponse(t, nc); resp.Status != remote.StatusOK || resp.Results[0] != "FUTURE" {
+			t.Fatalf("frame with post-trailer bytes answered status=%d results=%v", resp.Status, resp.Results)
+		}
+	})
+
+	t.Run("trace_context_echoed_to_decoder", func(t *testing.T) {
+		// Codec symmetry: what EncodeRequest writes, DecodeFrame restores
+		// field-for-field.
+		tr := obs.TraceContext{TraceID: 0xABCDEF, SpanID: 77, Hop: 3}
+		frame := rawRequest(t, 34, h.tgt.Echo, "Upper", tr, "x")
+		req, _, _, err := remote.DecodeFrame(frame)
+		if err != nil || req == nil {
+			t.Fatalf("decode own traced frame: req=%v err=%v", req, err)
+		}
+		if req.Trace != tr {
+			t.Fatalf("trace round-trip %+v, want %+v", req.Trace, tr)
+		}
+	})
+}
+
+// runStatus covers §4: the three-value status byte and what each value
+// promises the caller — OK (executed, results attached), AppError
+// (executed or definitively rejected; never retried elsewhere),
+// Unavailable (not executed; safe to replay against another replica).
+func (h *harness) runStatus(t *testing.T) {
+	conn := h.dial(t)
+
+	t.Run("ok", func(t *testing.T) {
+		resp := h.invokeOK(t, conn, h.tgt.Echo, "Upper", "ok")
+		if resp.Err != "" {
+			t.Fatalf("StatusOK carried an error string %q", resp.Err)
+		}
+	})
+
+	t.Run("unknown_method_is_app_error", func(t *testing.T) {
+		resp := h.invoke(t, conn, h.tgt.Echo, "NoSuchMethod")
+		if resp.Status != remote.StatusAppError || resp.Err == "" {
+			t.Fatalf("unknown method: status=%d err=%q, want AppError with message", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("unknown_service_is_unavailable", func(t *testing.T) {
+		// §4: the service might be exported elsewhere — this replica
+		// says "not here", and the invoker may fail over.
+		resp := h.invoke(t, conn, "no.such.service", "Upper", "x")
+		if resp.Status != remote.StatusUnavailable {
+			t.Fatalf("unknown service: status=%d (%s), want Unavailable", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("handler_panic_contained_to_app_error", func(t *testing.T) {
+		// §7: a panicking handler answers ITS OWN correlation id with an
+		// application error; the connection and server survive.
+		resp := h.invoke(t, conn, h.tgt.Echo, "Boom")
+		if resp.Status != remote.StatusAppError || !strings.Contains(resp.Err, "panic") {
+			t.Fatalf("panicking handler: status=%d err=%q, want AppError mentioning panic", resp.Status, resp.Err)
+		}
+		if again := h.invokeOK(t, conn, h.tgt.Echo, "Upper", "alive"); again.Results[0] != "ALIVE" {
+			t.Fatalf("connection dead after contained panic: %v", again.Results)
+		}
+	})
+
+	t.Run("unencodable_result_is_app_error", func(t *testing.T) {
+		// §7: a result outside the wire value model degrades to an
+		// application error — the call executed, so Unavailable (which
+		// invites a retry) would be a lie.
+		resp := h.invoke(t, conn, h.tgt.Echo, "Weird")
+		if resp.Status != remote.StatusAppError || !strings.Contains(resp.Err, "unencodable") {
+			t.Fatalf("unencodable result: status=%d err=%q, want AppError mentioning unencodable", resp.Status, resp.Err)
+		}
+	})
+
+	t.Run("app_error_is_not_retryable", func(t *testing.T) {
+		if remote.Retryable(remote.ErrFrameTooLarge) {
+			t.Fatal("ErrFrameTooLarge classified retryable")
+		}
+		if !remote.Retryable(remote.ErrUnavailable) {
+			t.Fatal("ErrUnavailable not classified retryable")
+		}
+	})
+}
+
+// runValues covers §5: every wire value shape round-trips bit-exact
+// through a live server (Echo returns its arguments; the response's
+// first result is the argument list).
+func (h *harness) runValues(t *testing.T) {
+	conn := h.dial(t)
+	bigStr := strings.Repeat("αβγ-", 1024)
+	bigBytes := make([]byte, 1024)
+	for i := range bigBytes {
+		bigBytes[i] = byte(i * 7)
+	}
+
+	rows := []struct {
+		name string
+		val  any
+	}{
+		{"nil", nil},
+		{"bool_true", true},
+		{"bool_false", false},
+		{"int64_zero", int64(0)},
+		{"int64_neg", int64(-1)},
+		{"int64_max", int64(math.MaxInt64)},
+		{"int64_min", int64(math.MinInt64)},
+		{"float64", 3.5},
+		{"float64_neg_zero", math.Copysign(0, -1)},
+		{"float64_inf", math.Inf(1)},
+		{"string_empty", ""},
+		{"string_utf8_nul", "héllo\x00wörld"},
+		{"string_4k", bigStr},
+		{"bytes", bigBytes},
+		{"bytes_empty", []byte{}},
+		{"list_mixed", []any{int64(1), "two", 3.0, nil, true, []byte{9}}},
+		{"list_nested_to_depth_limit", nestedList(16)},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			resp := h.invokeOK(t, conn, h.tgt.Echo, "Echo", row.val)
+			if len(resp.Results) != 1 {
+				t.Fatalf("Echo returned %d results, want 1", len(resp.Results))
+			}
+			list, ok := resp.Results[0].([]any)
+			if !ok || len(list) != 1 {
+				t.Fatalf("Echo result %T %v, want a 1-element list", resp.Results[0], resp.Results[0])
+			}
+			if !wireEqual(list[0], row.val) {
+				t.Fatalf("round trip changed the value:\n got %#v\nwant %#v", list[0], row.val)
+			}
+		})
+	}
+
+	t.Run("multiple_args_keep_order", func(t *testing.T) {
+		resp := h.invokeOK(t, conn, h.tgt.Echo, "Echo", int64(1), "two", 3.5)
+		list, _ := resp.Results[0].([]any)
+		if !wireEqual(list, []any{int64(1), "two", 3.5}) {
+			t.Fatalf("argument order not preserved: %#v", resp.Results[0])
+		}
+	})
+}
+
+// nestedList builds depth nested lists: nestedList(1) is an empty list,
+// each further level wraps the previous in one more list.
+func nestedList(depth int) []any {
+	v := []any{}
+	for i := 1; i < depth; i++ {
+		v = []any{v}
+	}
+	return v
+}
+
+// wireEqual compares decoded wire values, treating empty and nil byte
+// slices / lists as equal (the wire does not distinguish them).
+func wireEqual(got, want any) bool {
+	switch w := want.(type) {
+	case []byte:
+		g, ok := got.([]byte)
+		return ok && bytes.Equal(g, w)
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(g) != len(w) {
+			return false
+		}
+		for i := range w {
+			if !wireEqual(g[i], w[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(got, want)
+	}
+}

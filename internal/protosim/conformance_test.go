@@ -1,0 +1,38 @@
+package protosim
+
+import (
+	"testing"
+
+	"dosgi/internal/conformance"
+)
+
+// TestConformanceSim runs the backend-agnostic PROTOCOL.md suite against
+// the simulator's primary listener — the same suite cmd/dosgid runs
+// against the real daemon. Passing both is the simulator's fidelity
+// contract: a client cannot tell the fake cluster from a real one at the
+// wire level.
+func TestConformanceSim(t *testing.T) {
+	sim, err := New(Config{
+		Seed:          7,
+		Nodes:         16,
+		Artifacts:     2,
+		ArtifactChunk: 64, // several chunks per artifact for the §6.1 walk
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sim.Close)
+
+	arts := sim.Artifacts()
+	conformance.Run(t, conformance.Target{
+		Name:     "dosgi-sim",
+		Addr:     sim.RemoteAddr(),
+		Sched:    sim.Sched(),
+		Echo:     "echo",
+		Artifact: &arts[0],
+		InjectHealth: func(component, node, status, cause string) {
+			sim.SetHealth(node, component, status, cause)
+		},
+		HealthNode: "node-000",
+	})
+}

@@ -1,0 +1,104 @@
+package protosim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dosgi/internal/provision"
+	"dosgi/internal/remote"
+)
+
+// TestFetcherResumesAcrossScriptedReplicaFailure transfers a synthetic
+// artifact from per-node sim replicas with a scripted mid-transfer fault:
+// the first replica dies (via the chunk gate) at an exact chunk index.
+// The fetcher must fail over and resume — requesting only the chunks it
+// does not already hold — and the reassembled payload must still verify
+// against the content digest.
+func TestFetcherResumesAcrossScriptedReplicaFailure(t *testing.T) {
+	sim, err := New(Config{
+		Seed:            5,
+		Nodes:           6,
+		NodeListeners:   3, // node-000..002 get real listeners; they also hold artifact 0
+		Artifacts:       1,
+		ArtifactHolders: 3,
+		ArtifactChunk:   512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	art := sim.Artifacts()[0]
+	if art.Chunks < 4 {
+		t.Fatalf("artifact has %d chunks; the scripted fault needs at least 4", art.Chunks)
+	}
+	const failAt = 3
+
+	addr0, ok0 := sim.NodeAddr("node-000")
+	addr1, ok1 := sim.NodeAddr("node-001")
+	if !ok0 || !ok1 {
+		t.Fatal("holder nodes missing")
+	}
+
+	// The gate scripts the fault and records every chunk each replica
+	// actually served.
+	var mu sync.Mutex
+	served := map[string][]int64{}
+	sim.SetChunkGate(func(node, digest string, index int64) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if node == "node-000" && index >= failAt {
+			return false // replica "fails" mid-transfer from chunk 3 on
+		}
+		served[node] = append(served[node], index)
+		return true
+	})
+
+	tr := remote.NewTCPTransport(sim.Sched())
+	pool := remote.NewPool(tr)
+	defer pool.Close()
+	fetcher := provision.NewFetcher(pool, provision.StaticReplicas{Eps: []remote.Endpoint{
+		{Node: "node-000", Addr: addr0},
+		{Node: "node-001", Addr: addr1},
+	}}, provision.WithFetchWindow(1)) // sequential chunks: the fault index is exact
+
+	type result struct {
+		payload []byte
+		err     error
+	}
+	done := make(chan result, 1)
+	fetcher.Fetch(art, func(payload []byte, err error) { done <- result{payload, err} })
+
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("fetch never completed")
+	}
+	if res.err != nil {
+		t.Fatalf("fetch failed despite a live second replica: %v", res.err)
+	}
+	if got := provision.PayloadDigest(res.payload); got != art.Digest {
+		t.Fatalf("reassembled payload digest %.12s, want %.12s", got, art.Digest)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// The failed replica served exactly the prefix before the fault…
+	if got := served["node-000"]; int64(len(got)) != failAt {
+		t.Fatalf("node-000 served chunks %v, want exactly %d before the fault", got, failAt)
+	}
+	// …and the takeover replica served only the remainder: a resumed
+	// transfer, not a refetch of chunks already held.
+	for _, idx := range served["node-001"] {
+		if idx < failAt {
+			t.Fatalf("node-001 re-served chunk %d; chunks fetched before the failover must survive it (served %v)",
+				idx, served["node-001"])
+		}
+	}
+	if int64(len(served["node-001"])) != art.Chunks-failAt {
+		t.Fatalf("node-001 served %d chunks, want the %d missing ones",
+			len(served["node-001"]), art.Chunks-failAt)
+	}
+}

@@ -1,0 +1,167 @@
+package protosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"dosgi/internal/manifest"
+)
+
+// simEcho is the invocation target behind "echo" and every synthetic
+// service — the simulator fakes a service's existence, not its business
+// logic, so one reflective implementation answers them all. The method
+// set mirrors dosgid's echo service (Upper/Reverse/Add/Sleep) plus the
+// probe methods the conformance suite drives: Echo (variadic value
+// round-trip), Boom (handler panic containment), Weird (unencodable
+// result degradation) and Blob (response size-limit degradation).
+type simEcho struct{}
+
+// Upper returns s upper-cased.
+func (simEcho) Upper(s string) string { return strings.ToUpper(s) }
+
+// Reverse returns s reversed rune-by-rune.
+func (simEcho) Reverse(s string) string {
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}
+
+// Add sums two integers.
+func (simEcho) Add(a, b int64) int64 { return a + b }
+
+// Sleep blocks for ms milliseconds then reports it — the pipelining
+// probe: a Sleep issued before a fast call completes after it on one
+// connection.
+func (simEcho) Sleep(ms int64) string {
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	return fmt.Sprintf("slept %dms", ms)
+}
+
+// Echo returns its arguments unchanged — the codec round-trip probe for
+// every wire value shape (§5).
+func (simEcho) Echo(vs ...any) []any { return vs }
+
+// Boom panics — the §7 containment probe: the dispatcher must convert
+// the panic into an application error on this call's correlation id,
+// not kill the connection.
+func (simEcho) Boom() string { panic("echo: boom") }
+
+// Weird returns a value the wire codec cannot encode — the §7
+// degradation probe: the reply must be an application error, not a
+// dropped response.
+func (simEcho) Weird() map[string]string { return map[string]string{"un": "encodable"} }
+
+// Blob returns n bytes — with n past the frame limit, the §7 response
+// size probe: an executed call whose result cannot travel must degrade
+// to an application error on the same correlation id.
+func (simEcho) Blob(n int64) ([]byte, error) {
+	const maxBlob = 24 << 20
+	if n < 0 || n > maxBlob {
+		return nil, fmt.Errorf("blob size %d out of range [0, %d]", n, maxBlob)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b, nil
+}
+
+// repoView serves dosgi.provision over the simulator's synthetic
+// artifact store. node "" is the primary listener's cluster-wide union;
+// a named node answers only for its own holdings — so a fetcher talking
+// to per-node listeners sees genuinely partial replicas it must fail
+// over between.
+type repoView struct {
+	s    *Sim
+	node string
+}
+
+// holds reports whether this view serves digest.
+func (r *repoView) holds(digest string) bool {
+	if r.node == "" {
+		return r.s.store.Has(digest)
+	}
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	n, ok := r.s.byName[r.node]
+	if !ok || n.state == nodeDead {
+		return false
+	}
+	for _, d := range n.digests {
+		if d == digest {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe returns the JSON artifact record at location.
+func (r *repoView) Describe(location string) ([]byte, error) {
+	art, ok := r.s.store.ArtifactAt(location)
+	if !ok || !r.holds(art.Digest) {
+		return nil, fmt.Errorf("unknown artifact at %q", location)
+	}
+	return json.Marshal(art)
+}
+
+// DescribeDigest returns the JSON artifact record for digest.
+func (r *repoView) DescribeDigest(digest string) ([]byte, error) {
+	art, ok := r.s.store.Describe(digest)
+	if !ok || !r.holds(digest) {
+		return nil, fmt.Errorf("unknown artifact %q", digest)
+	}
+	return json.Marshal(art)
+}
+
+// Find resolves a bundle symbolic name and version range to an artifact
+// record, as the real repository service does.
+func (r *repoView) Find(symbolicName, versionRange string) ([]byte, error) {
+	rng, err := manifest.ParseVersionRange(versionRange)
+	if err != nil {
+		return nil, err
+	}
+	art, ok := r.s.store.FindBundle(symbolicName, rng)
+	if !ok || !r.holds(art.Digest) {
+		return nil, fmt.Errorf("no artifact provides %s %s", symbolicName, versionRange)
+	}
+	return json.Marshal(art)
+}
+
+// Chunk returns one payload chunk. The chunk gate (SetChunkGate) is
+// consulted first: a denial makes this replica answer an application
+// error mid-transfer — the scripted fault a fetcher fails over from.
+func (r *repoView) Chunk(digest string, index int64) ([]byte, error) {
+	node := r.node
+	if node == "" {
+		node = "sim"
+	}
+	r.s.mu.Lock()
+	gate := r.s.chunkGate
+	r.s.mu.Unlock()
+	if gate != nil && !gate(node, digest, index) {
+		return nil, fmt.Errorf("chunk %d of %s: replica %s failed", index, digest, node)
+	}
+	if !r.holds(digest) {
+		return nil, fmt.Errorf("no artifact with digest %q", digest)
+	}
+	chunk, ok := r.s.store.Chunk(digest, index)
+	if !ok {
+		return nil, fmt.Errorf("chunk %d of %s out of range", index, digest)
+	}
+	return chunk, nil
+}
+
+// Locations lists the artifact locations this view serves, sorted.
+func (r *repoView) Locations() []string {
+	out := []string{}
+	for _, art := range r.s.store.List() {
+		if r.holds(art.Digest) {
+			out = append(out, art.Location)
+		}
+	}
+	return out
+}

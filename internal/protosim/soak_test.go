@@ -1,0 +1,119 @@
+package protosim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dosgi/internal/remote"
+)
+
+// waitUntil polls cond until it holds or the deadline expires.
+func waitUntil(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubscriberSoakUnderEventStorm runs a real remote.Subscriber against
+// a 1000-endpoint simulator pushing a 500 ev/s storm, injects push drops
+// and a forced replay-window roll, and asserts every gap healed — through
+// in-place Replay while the window still covered it, through a full
+// resync once it had rolled — leaving the subscriber's directory view
+// converged with the simulator's.
+func TestSubscriberSoakUnderEventStorm(t *testing.T) {
+	sim, err := New(Config{
+		Seed:            3,
+		Nodes:           125,
+		ServicesPerNode: 8,
+		Replication:     1, // 125 × 8 / 1 = 1000 synthetic endpoints
+		Artifacts:       -1,
+		ReplayWindow:    64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if got := len(sim.ServiceNames()); got != 1000 {
+		t.Fatalf("population built %d services, want 1000", got)
+	}
+
+	tr := remote.NewTCPTransport(sim.Sched())
+	var delivered atomic.Uint64
+	sub, err := remote.NewSubscriber(remote.SubscriberConfig{
+		Transport:  tr,
+		Sched:      sim.Sched(),
+		Addrs:      []string{sim.RemoteAddr()},
+		OnEvent:    func(remote.ServiceEvent) { delivered.Add(1) },
+		RenewEvery: 150 * time.Millisecond,
+		Window:     512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Converge the initial resync: the subscriber must absorb the full
+	// 1000-endpoint snapshot (plus the sim's own exports) through the
+	// credit window before the storm starts.
+	want := sim.EndpointCount()
+	waitUntil(t, "initial resync", 15*time.Second, func() bool { return sub.Known() == want })
+	if st := sub.Stats(); st.Resyncs != 1 || st.Gaps != 0 {
+		t.Fatalf("after initial resync: %+v, want exactly one resync and no gaps", st)
+	}
+
+	// Storm: ~500 MODIFIED re-announcements per second across the live
+	// population. The directory content never changes — only the delivery
+	// machinery is under load.
+	sim.SetStormRate(500)
+	before := delivered.Load()
+	waitUntil(t, "storm delivery", 10*time.Second, func() bool { return delivered.Load() > before+100 })
+
+	// Fault 1: silently drop 25 pushes the broker believes delivered. The
+	// subscriber must notice the sequence gap on the next push and heal it
+	// in place via Replay — the window (64) still covers a 25-event hole.
+	sim.DropPushes(25)
+	waitUntil(t, "replay heal after dropped pushes", 15*time.Second, func() bool {
+		st := sub.Stats()
+		return st.Gaps >= 1 && st.Replayed >= 1
+	})
+	if got := sim.DroppedPushes(); got < 25 {
+		t.Fatalf("fault injector dropped %d pushes, want 25", got)
+	}
+
+	// Fault 2: roll the replay window — a burst of window+2 events all
+	// silently dropped. The next storm push exposes a gap the window no
+	// longer covers; Replay must be refused and the subscriber must fall
+	// back to a full resubscribe-and-resync.
+	resyncsBefore := sub.Stats().Resyncs
+	if n := sim.RollWindows(); n < 66 {
+		t.Fatalf("RollWindows suppressed %d events, want >= window+2", n)
+	}
+	waitUntil(t, "resync heal after window roll", 20*time.Second, func() bool {
+		return sub.Stats().Resyncs > resyncsBefore
+	})
+
+	// Quiesce and check convergence: the storm only re-announced live
+	// replicas, so the healed view must equal the simulator's directory.
+	sim.SetStormRate(0)
+	waitUntil(t, "post-storm convergence", 15*time.Second, func() bool {
+		return sub.Known() == sim.EndpointCount()
+	})
+
+	st := sub.Stats()
+	if st.Gaps < 1 || st.Replays < 1 || st.Replayed < 1 {
+		t.Fatalf("soak never exercised the replay path: %+v", st)
+	}
+	if st.Resyncs < 2 {
+		t.Fatalf("soak never exercised the resync path: %+v", st)
+	}
+	bs := sim.BrokerStats()
+	if bs.ReplayHits < 1 || bs.ReplayMisses < 1 {
+		t.Fatalf("broker counters disagree with the healed faults: %+v", bs)
+	}
+}

@@ -187,10 +187,17 @@ func EncodeResponse(r *Response) ([]byte, error) {
 }
 
 // encodeResponseOrFallback serializes resp, degrading to a StatusAppError
-// envelope when the results cannot cross the wire — both transports' reply
-// paths share it.
+// envelope when the results cannot cross the wire — unencodable values and
+// frames over MaxFrameSize alike. Both transports' reply paths share it:
+// without the size degrade an executed call with an oversized result would
+// be dropped silently, time out at the caller as Unavailable and be
+// retried against another replica — an at-least-once surprise for a call
+// that already ran (PROTOCOL.md §7).
 func encodeResponseOrFallback(resp *Response) []byte {
 	out, err := EncodeResponse(resp)
+	if err == nil && len(out) > MaxFrameSize {
+		err = ErrFrameTooLarge
+	}
 	if err != nil {
 		out, _ = EncodeResponse(&Response{
 			Corr: resp.Corr, Status: StatusAppError,
