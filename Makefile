@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 GOVULNCHECK ?= govulncheck
 
-.PHONY: all fmt vet staticcheck vuln lint build test test-race test-chaos test-conformance bench bench-json check
+.PHONY: all fmt vet staticcheck vuln lint build test test-race test-chaos test-conformance bench bench-json bench-load check
 
 all: check
 
@@ -73,6 +73,13 @@ bench:
 # performance work — each file carries its own run history.
 bench-json:
 	$(GO) run ./cmd/benchjson -out .
+
+# Fixed-offered-rate load smoke (docs/LOADGEN.md): dosgi-load drives an
+# in-process dosgi-sim over real TCP for a few seconds and appends an
+# honest open-loop percentile point (latency from the intended start, so
+# no coordinated omission) to BENCH_remote.json.
+bench-load:
+	$(GO) run ./cmd/dosgi-load -sim -rate 20000 -duration 3s -mode batched -out .
 
 # The tier-1 gate: formatting, static checks, build, tests.
 check: fmt vet build test

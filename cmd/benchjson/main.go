@@ -2,30 +2,29 @@
 // E11 chunked artifact transfer, E12 event backpressure — and writes one
 // JSON file per experiment into the output directory:
 //
-//	BENCH_remote.json     E10: pipelined pool vs conn-per-call
+//	BENCH_remote.json     E10: pipelined pool vs conn-per-call vs batched
 //	BENCH_provision.json  E11: transfer throughput across chunk sizes
 //	BENCH_events.json     E12: fast/slow subscribers, flow control off/on
 //
-// Each file holds the experiment's full trajectory: a run APPENDS a
-// timestamped point to the existing file instead of overwriting it, so
-// the committed file itself is the performance story — no need to walk
-// `git log -p` to compare two eras. (A pre-trajectory single-point file
-// is migrated in place as the first run.) `make bench-json` runs it at
-// the repository root; commit the refreshed files after performance
-// work. E10 and E11 run on the deterministic simulator (identical
-// numbers on every machine); E12 runs on real TCP with a wall clock, so
-// its latencies vary with the host.
+// Each file holds the experiment's full trajectory (see internal/benchio):
+// a run APPENDS a timestamped point to the existing file instead of
+// overwriting it, so the committed file itself is the performance story.
+// `make bench-json` runs it at the repository root; commit the refreshed
+// files after performance work. E11 runs on the deterministic simulator
+// (identical numbers on every machine); E10 and E12 measure wall-clock
+// latency — E10 the cost of the middleware stack itself, E12 real TCP —
+// so their numbers vary with the host. cmd/dosgi-load appends its
+// fixed-rate load runs to BENCH_remote.json through the same machinery.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"path/filepath"
 	"time"
 
+	"dosgi/internal/benchio"
 	"dosgi/internal/experiments"
 )
 
@@ -67,56 +66,11 @@ func main() {
 	}, e12)
 }
 
-// trajectory is one experiment's full benchmark history: every run
-// appends a point, never overwrites one.
-type trajectory struct {
-	Experiment string     `json:"experiment"`
-	Runs       []runPoint `json:"runs"`
-}
-
-// runPoint is one timestamped run. Durations inside rows marshal as
-// integer nanoseconds (time.Duration's JSON form).
-type runPoint struct {
-	Generated string         `json:"generated"`
-	Params    map[string]any `json:"params"`
-	Rows      any            `json:"rows"`
-}
-
 func writeReport(dir, file, experiment string, params map[string]any, rows any) {
 	path := filepath.Join(dir, file)
-	traj := trajectory{Experiment: experiment}
-	if data, err := os.ReadFile(path); err == nil {
-		// Either the trajectory format, or a pre-trajectory file that was
-		// one bare point with the experiment name alongside: migrate that
-		// in place as the first run.
-		var existing struct {
-			Experiment string         `json:"experiment"`
-			Runs       []runPoint     `json:"runs"`
-			Generated  string         `json:"generated"`
-			Params     map[string]any `json:"params"`
-			Rows       any            `json:"rows"`
-		}
-		if err := json.Unmarshal(data, &existing); err != nil {
-			log.Fatalf("%s: existing file is not valid JSON (%v); move it aside to start a fresh trajectory", path, err)
-		}
-		switch {
-		case len(existing.Runs) > 0:
-			traj.Runs = existing.Runs
-		case existing.Generated != "":
-			traj.Runs = []runPoint{{Generated: existing.Generated, Params: existing.Params, Rows: existing.Rows}}
-		}
-	}
-	traj.Runs = append(traj.Runs, runPoint{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Params:    params,
-		Rows:      rows,
-	})
-	data, err := json.MarshalIndent(traj, "", "  ")
+	n, err := benchio.Append(path, experiment, params, rows)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s (%s, %d run(s))\n", path, experiment, len(traj.Runs))
+	fmt.Printf("wrote %s (%s, %d run(s))\n", path, experiment, n)
 }

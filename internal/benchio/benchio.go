@@ -1,0 +1,104 @@
+// Package benchio persists benchmark trajectories: JSON files in which
+// every run APPENDS a timestamped point instead of overwriting the last
+// one, so the committed file itself is the performance story — no need
+// to walk `git log -p` to compare two eras.
+//
+// The file format is one Trajectory object. Files written before the
+// trajectory format existed (a single bare point with the experiment
+// name alongside) are migrated in place as the first run. Several tools
+// may share one file — cmd/benchjson appends E10 sweeps and
+// cmd/dosgi-load appends fixed-rate load runs to BENCH_remote.json —
+// so a run whose experiment name differs from the file-level one
+// records its own name on the run point.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Trajectory is one benchmark file: the experiment it tracks and every
+// recorded run, oldest first.
+type Trajectory struct {
+	Experiment string     `json:"experiment"`
+	Runs       []RunPoint `json:"runs"`
+}
+
+// RunPoint is one timestamped run. Durations inside Rows marshal as
+// integer nanoseconds (time.Duration's JSON form). Experiment is set
+// only when the run came from a different experiment than the
+// file-level one.
+type RunPoint struct {
+	Generated  string         `json:"generated"`
+	Experiment string         `json:"experiment,omitempty"`
+	Params     map[string]any `json:"params"`
+	Rows       any            `json:"rows"`
+}
+
+// Load reads a trajectory file, migrating the pre-trajectory
+// single-point format in place. A missing file yields an empty
+// trajectory and no error; a present-but-invalid file is an error (the
+// caller should move it aside rather than silently losing history).
+func Load(path string) (Trajectory, error) {
+	var traj Trajectory
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return traj, nil
+	}
+	if err != nil {
+		return traj, err
+	}
+	// Either the trajectory format, or a pre-trajectory file that was one
+	// bare point with the experiment name alongside.
+	var existing struct {
+		Experiment string         `json:"experiment"`
+		Runs       []RunPoint     `json:"runs"`
+		Generated  string         `json:"generated"`
+		Params     map[string]any `json:"params"`
+		Rows       any            `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &existing); err != nil {
+		return traj, fmt.Errorf("%s: existing file is not valid JSON (%w); move it aside to start a fresh trajectory", path, err)
+	}
+	traj.Experiment = existing.Experiment
+	switch {
+	case len(existing.Runs) > 0:
+		traj.Runs = existing.Runs
+	case existing.Generated != "":
+		traj.Runs = []RunPoint{{Generated: existing.Generated, Params: existing.Params, Rows: existing.Rows}}
+	}
+	return traj, nil
+}
+
+// Append loads the trajectory at path, appends one run stamped with the
+// current UTC time, and writes the file back. The file-level experiment
+// name is preserved once set; a run from a different experiment carries
+// its own name instead of rewriting history. Returns the total run
+// count after the append.
+func Append(path, experiment string, params map[string]any, rows any) (int, error) {
+	traj, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	point := RunPoint{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Params:    params,
+		Rows:      rows,
+	}
+	if traj.Experiment == "" {
+		traj.Experiment = experiment
+	} else if experiment != traj.Experiment {
+		point.Experiment = experiment
+	}
+	traj.Runs = append(traj.Runs, point)
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(traj.Runs), nil
+}

@@ -1,0 +1,81 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendCreatesAndGrows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	n, err := Append(path, "E10", map[string]any{"calls": 5}, []int{1, 2})
+	if err != nil || n != 1 {
+		t.Fatalf("first append: n=%d err=%v", n, err)
+	}
+	n, err = Append(path, "E10", map[string]any{"calls": 7}, []int{3})
+	if err != nil || n != 2 {
+		t.Fatalf("second append: n=%d err=%v", n, err)
+	}
+	traj, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Experiment != "E10" || len(traj.Runs) != 2 {
+		t.Fatalf("trajectory = %+v", traj)
+	}
+	if traj.Runs[0].Generated == "" || traj.Runs[1].Params["calls"].(float64) != 7 {
+		t.Fatalf("runs = %+v", traj.Runs)
+	}
+}
+
+func TestAppendMigratesLegacySinglePoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	legacy := map[string]any{
+		"experiment": "E10",
+		"generated":  "2025-01-01T00:00:00Z",
+		"params":     map[string]any{"calls": 1},
+		"rows":       []int{9},
+	}
+	data, _ := json.Marshal(legacy)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Append(path, "E10", nil, []int{10})
+	if err != nil || n != 2 {
+		t.Fatalf("append over legacy: n=%d err=%v", n, err)
+	}
+	traj, _ := Load(path)
+	if traj.Runs[0].Generated != "2025-01-01T00:00:00Z" {
+		t.Fatalf("legacy point lost: %+v", traj.Runs)
+	}
+}
+
+// A second tool appending to the same file keeps the file-level
+// experiment and records its own name on the run.
+func TestAppendForeignExperimentTagsRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if _, err := Append(path, "E10", nil, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(path, "LoadFixedRate", nil, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	traj, _ := Load(path)
+	if traj.Experiment != "E10" {
+		t.Fatalf("file-level experiment rewritten to %q", traj.Experiment)
+	}
+	if traj.Runs[0].Experiment != "" || traj.Runs[1].Experiment != "LoadFixedRate" {
+		t.Fatalf("run tags = %q, %q", traj.Runs[0].Experiment, traj.Runs[1].Experiment)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+}

@@ -68,6 +68,7 @@ func Run(t *testing.T, tgt Target) {
 	h := &harness{tgt: tgt, tr: remote.NewTCPTransport(tgt.Sched)}
 	t.Run("S1_framing", h.runFraming)
 	t.Run("S2_correlation", h.runCorrelation)
+	t.Run("S2_1_batching", h.runBatching)
 	t.Run("S3_trace", h.runTrace)
 	t.Run("S4_status", h.runStatus)
 	t.Run("S5_values", h.runValues)

@@ -23,15 +23,17 @@ const (
 func (h *harness) runFraming(t *testing.T) {
 	t.Run("hello_handshake", func(t *testing.T) {
 		// §1.2: a Hello frame is answered with HelloAck on the same
-		// connection, before any request traffic.
+		// connection, before any request traffic. The ack may carry an
+		// optional feature byte (§2.1) — clients that predate it ignore
+		// everything after the kind byte.
 		nc := h.rawDial(t)
 		writeRawFrame(t, nc, []byte{wireHello})
 		frame, err := readRawFrame(nc, awaitTimeout)
 		if err != nil {
 			t.Fatalf("no HelloAck: %v", err)
 		}
-		if len(frame) != 1 || frame[0] != wireHelloAck {
-			t.Fatalf("Hello answered with % x, want [%02x]", frame, wireHelloAck)
+		if len(frame) < 1 || frame[0] != wireHelloAck {
+			t.Fatalf("Hello answered with % x, want kind byte %02x", frame, wireHelloAck)
 		}
 	})
 

@@ -102,13 +102,15 @@ func (h *harness) runTrace(t *testing.T) {
 	})
 
 	t.Run("bytes_after_trailer_ignored", func(t *testing.T) {
-		// §3.3: a complete trailer followed by unknown extra bytes is a
+		// §3.3/§3.4: a complete trailer — trace varints plus the
+		// idempotency-token varint — followed by unknown extra bytes is a
 		// future protocol revision, not a malformed frame — older servers
 		// must serve it.
 		nc := h.rawDial(t)
 		tr := obs.TraceContext{TraceID: 0x5EED0002, SpanID: 4, Hop: 0}
 		frame := rawRequest(t, 33, h.tgt.Echo, "Upper", tr, "future")
-		frame = append(frame, 0xde, 0xad, 0xbe, 0xef)
+		frame = append(frame, 0x2a)                   // token varint (§3.4)
+		frame = append(frame, 0xde, 0xad, 0xbe, 0xef) // future fields
 		writeRawFrame(t, nc, frame)
 		if resp := readRawResponse(t, nc); resp.Status != remote.StatusOK || resp.Results[0] != "FUTURE" {
 			t.Fatalf("frame with post-trailer bytes answered status=%d results=%v", resp.Status, resp.Results)

@@ -4,33 +4,43 @@ import (
 	"fmt"
 	"time"
 
-	"dosgi/internal/bench"
 	"dosgi/internal/module"
 	"dosgi/internal/netsim"
+	"dosgi/internal/obs"
 	"dosgi/internal/remote"
 	"dosgi/internal/sim"
 )
 
 // ---------------------------------------------------------------------------
 // E10 — remote service invocation: pipelined pooled connections vs one
-// connection per call.
+// connection per call vs pipelined with §2.1 request batching.
 //
 // A provider framework exports a service over the netsim transport; a
 // client drives a closed loop of `window` outstanding invocations. The
 // pipelined mode multiplexes them over a single pooled connection
 // (correlation ids); the per-call mode dials a fresh connection — one
 // hello/ack handshake round trip — for every invocation, the pre-R-OSGi
-// baseline. Throughput is in calls per simulated second, latencies in
-// simulated time.
+// baseline; the batched mode adds request coalescing and zero-copy
+// response decode on top of pipelining.
+//
+// Measurement is WALL-CLOCK, not simulated time: the deterministic
+// simulator delivers every message after an identical virtual latency, so
+// simulated per-call times quantize to one value (the bug this replaces —
+// every historical BENCH_remote.json point reports P50 == P99 ==
+// exactly 1ms). What E10 actually characterizes is the cost of the
+// middleware stack itself — codec, connection bookkeeping, dispatch —
+// and that cost is real time, recorded per call with time.Since at
+// nanosecond resolution into a log-bucketed obs.Histogram.
 
 // E10Row reports one invocation mode.
 type E10Row struct {
 	Mode       string
 	Calls      int
-	Elapsed    time.Duration
-	Throughput float64 // calls per simulated second
+	Elapsed    time.Duration // wall-clock, first issue to last completion
+	Throughput float64       // calls per wall-clock second
 	P50        time.Duration
 	P99        time.Duration
+	P999       time.Duration
 }
 
 // e10Service is the exported benchmark service.
@@ -39,24 +49,35 @@ type e10Service struct{}
 func (e10Service) Work(x int64) int64 { return x * 2 }
 
 // E10RemoteInvocation runs `calls` invocations with `window` outstanding
-// in both modes.
+// in every mode: pipelined, conn-per-call, pipelined-batched (the order
+// is part of the row contract — consumers index it).
 func E10RemoteInvocation(calls, window int) ([]E10Row, error) {
 	if calls <= 0 || window <= 0 {
 		return nil, fmt.Errorf("experiments: e10 needs positive calls and window")
 	}
+	batch := window
+	if batch > 16 {
+		batch = 16
+	}
 	modes := []struct {
-		name string
-		opts []remote.PoolOption
+		name          string
+		opts          []remote.PoolOption
+		transportOpts []remote.NetsimOption
 	}{
 		{"pipelined", []remote.PoolOption{
 			remote.WithMaxConnsPerEndpoint(1),
 			remote.WithMaxInFlight(window),
-		}},
-		{"conn-per-call", []remote.PoolOption{remote.WithPerCallConns()}},
+		}, nil},
+		{"conn-per-call", []remote.PoolOption{remote.WithPerCallConns()}, nil},
+		{"pipelined-batched", []remote.PoolOption{
+			remote.WithMaxConnsPerEndpoint(1),
+			remote.WithMaxInFlight(window),
+			remote.WithBatching(batch, 0),
+		}, []remote.NetsimOption{remote.WithNetsimZeroCopy()}},
 	}
 	var rows []E10Row
 	for _, mode := range modes {
-		row, err := e10Run(mode.name, calls, window, mode.opts)
+		row, err := e10Run(mode.name, calls, window, mode.opts, mode.transportOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +86,7 @@ func E10RemoteInvocation(calls, window int) ([]E10Row, error) {
 	return rows, nil
 }
 
-func e10Run(name string, calls, window int, poolOpts []remote.PoolOption) (E10Row, error) {
+func e10Run(name string, calls, window int, poolOpts []remote.PoolOption, transportOpts []remote.NetsimOption) (E10Row, error) {
 	eng := sim.New(10)
 	net := netsim.NewNetwork(eng)
 	serverNIC := net.AttachNode("server")
@@ -97,41 +118,42 @@ func e10Run(name string, calls, window int, poolOpts []remote.PoolOption) (E10Ro
 		return E10Row{}, err
 	}
 
-	transport := remote.NewNetsimTransport(eng, clientNIC, "10.0.0.2")
+	transport := remote.NewNetsimTransport(eng, clientNIC, "10.0.0.2", transportOpts...)
 	pool := remote.NewPool(transport, poolOpts...)
 	resolver := remote.NewStaticResolver()
 	resolver.Set("bench", remote.Endpoint{Node: "server", Addr: "10.0.0.1:7100"})
 	invoker := remote.NewInvoker(pool, resolver)
 
-	lat := &bench.Histogram{}
+	lat := obs.NewHistogram()
 	issued, completed := 0, 0
 	var firstErr error
-	var lastDone time.Duration
+	var lastDone time.Time
 	var launch func()
 	launch = func() {
 		if issued >= calls {
 			return
 		}
 		issued++
-		start := eng.Now()
+		start := time.Now()
 		invoker.Go("bench", "Work", []any{int64(issued)}, func(res []any, err error) {
 			completed++
-			lastDone = eng.Now()
+			lastDone = time.Now()
 			if err != nil && firstErr == nil {
 				firstErr = err
 			} else if err == nil {
-				lat.Add(eng.Now() - start)
+				lat.Record(time.Since(start))
 			}
 			launch() // closed loop: a completion funds the next call
 		})
 	}
-	begin := eng.Now()
+	begin := time.Now()
 	for i := 0; i < window; i++ {
 		launch()
 	}
-	// Drive the simulation until the workload drains. Elapsed is measured
-	// at the last completion, not the RunFor deadline, so the quantum does
-	// not quantize throughput.
+	// Drive the simulation until the workload drains; the engine executes
+	// events as fast as the host allows, so wall time measures the stack,
+	// not the virtual network. Elapsed is measured at the last completion,
+	// not the RunFor deadline, so the quantum does not quantize throughput.
 	for deadline := 0; completed < calls && deadline < 10_000; deadline++ {
 		eng.RunFor(100 * time.Millisecond)
 	}
@@ -141,13 +163,15 @@ func e10Run(name string, calls, window int, poolOpts []remote.PoolOption) (E10Ro
 	if completed < calls {
 		return E10Row{}, fmt.Errorf("experiments: e10 %s stalled at %d/%d", name, completed, calls)
 	}
-	elapsed := lastDone - begin
+	elapsed := lastDone.Sub(begin)
+	snap := lat.Snapshot()
 	row := E10Row{
 		Mode:    name,
 		Calls:   calls,
 		Elapsed: elapsed,
-		P50:     lat.Percentile(0.50),
-		P99:     lat.Percentile(0.99),
+		P50:     snap.P50,
+		P99:     snap.P99,
+		P999:    snap.P999,
 	}
 	if elapsed > 0 {
 		row.Throughput = float64(calls) / elapsed.Seconds()

@@ -15,13 +15,18 @@ type harness struct {
 	net     *netsim.Network
 	dir     *Directory
 	members map[string]*Member
+	tweak   func(*Config) // applied to every member's config
 }
 
 func newHarness(t *testing.T, n int) *harness {
+	return newHarnessCfg(t, n, nil)
+}
+
+func newHarnessCfg(t *testing.T, n int, tweak func(*Config)) *harness {
 	t.Helper()
 	eng := sim.New(1)
 	net := netsim.NewNetwork(eng, netsim.WithLatency(time.Millisecond))
-	h := &harness{eng: eng, net: net, dir: NewDirectory(), members: make(map[string]*Member)}
+	h := &harness{eng: eng, net: net, dir: NewDirectory(), members: make(map[string]*Member), tweak: tweak}
 	for i := 0; i < n; i++ {
 		h.addMember(t, fmt.Sprintf("node%02d", i))
 	}
@@ -35,12 +40,16 @@ func (h *harness) addMember(t *testing.T, id string) *Member {
 	if err := h.net.AssignIP(ip, id); err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMember(h.eng, Config{
+	cfg := Config{
 		NodeID:    id,
 		Addr:      netsim.Addr{IP: ip, Port: 7000},
 		NIC:       nic,
 		Directory: h.dir,
-	})
+	}
+	if h.tweak != nil {
+		h.tweak(&cfg)
+	}
+	m, err := NewMember(h.eng, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -609,4 +618,114 @@ func TestStaleViewHeartbeatRepair(t *testing.T) {
 	h.eng.RunFor(time.Second)
 	sameView(t, []*Member{h.members["node00"], h.members["node01"],
 		h.members["node02"]}, 3)
+}
+
+// oneWayTotalLoss cuts coordinator→victim total-order traffic only:
+// every other message — heartbeats, views, joins, the victim's own
+// sends — still flows, so the failure detector never fires. This is the
+// asymmetric fault Partition cannot model.
+func oneWayTotalLoss(h *harness, coord, victim string) {
+	h.net.SetFilter(func(from, to string, msg netsim.Message) bool {
+		if from == coord && to == victim {
+			if _, isTotal := msg.Payload.(totalMsg); isTotal {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestOneWayLossGrowsLogUnbounded pins the failure mode: with the cap
+// disabled, a victim whose inbound total-order traffic is lost (but
+// whose heartbeats still arrive, acking nothing) holds the prune
+// watermark at zero forever, and the coordinator's retransmission log
+// grows one entry per broadcast with no alarm raised.
+func TestOneWayLossGrowsLogUnbounded(t *testing.T) {
+	h := newHarnessCfg(t, 3, func(c *Config) { c.MaxTotalLog = -1 })
+	h.startAll(t)
+	coord := h.members["node00"]
+	if !coord.IsCoordinator() {
+		t.Fatal("node00 is not the coordinator")
+	}
+	oneWayTotalLoss(h, "node00", "node02")
+	for i := 0; i < 120; i++ {
+		if err := h.members["node01"].Broadcast(i, Total); err != nil {
+			t.Fatal(err)
+		}
+		h.eng.RunFor(5 * time.Millisecond)
+	}
+	h.eng.RunFor(time.Second)
+	st := coord.Stats()
+	if st.TotalLogSize < 120 {
+		t.Fatalf("log holds %d entries, want >= 120 (the unbounded-growth baseline)", st.TotalLogSize)
+	}
+	if st.LogOverflows != 0 {
+		t.Fatalf("alarm fired %d times with the cap disabled", st.LogOverflows)
+	}
+	if v := coord.View(); len(v.Members) != 3 {
+		t.Fatalf("membership changed to %v; one-way loss must be invisible to the failure detector", v.Members)
+	}
+}
+
+// TestOneWayLossLogOverflowForcesViewChange is the fix: past MaxTotalLog
+// the coordinator raises the LogOverflows alarm and forces a view change
+// excluding the pinned member, so the epoch reset bounds the log while
+// the healthy majority keeps delivering.
+func TestOneWayLossLogOverflowForcesViewChange(t *testing.T) {
+	const cap = 32
+	h := newHarnessCfg(t, 3, func(c *Config) { c.MaxTotalLog = cap })
+	h.startAll(t)
+	coord := h.members["node00"]
+	if !coord.IsCoordinator() {
+		t.Fatal("node00 is not the coordinator")
+	}
+
+	var delivered []int
+	h.members["node01"].OnDeliver(func(msg Message) {
+		if msg.Ordering == Total {
+			delivered = append(delivered, msg.Body.(int))
+		}
+	})
+
+	oneWayTotalLoss(h, "node00", "node02")
+	logPeak := 0
+	for i := 0; i < 120; i++ {
+		if err := h.members["node01"].Broadcast(i, Total); err != nil {
+			t.Fatal(err)
+		}
+		h.eng.RunFor(5 * time.Millisecond)
+		if n := coord.totalLogSize(); n > logPeak {
+			logPeak = n
+		}
+	}
+	h.eng.RunFor(time.Second)
+
+	st := coord.Stats()
+	if st.LogOverflows == 0 {
+		t.Fatal("log overflow alarm never fired")
+	}
+	// The forced view change resets the epoch, so the log can never grow
+	// past the cap plus the single append that trips it.
+	if logPeak > cap+1 {
+		t.Fatalf("log peaked at %d entries, want <= %d", logPeak, cap+1)
+	}
+	// The pinned member was excluded at least once: the healthy pair kept
+	// a working group.
+	v := coord.View()
+	if !v.Contains("node00") || !v.Contains("node01") {
+		t.Fatalf("healthy members missing from view %v", v.Members)
+	}
+	// The healthy subscriber kept receiving the stream across the forced
+	// epoch changes (resubmission covers the boundary; duplicates are
+	// deduped on sender+local id).
+	if len(delivered) < 110 {
+		t.Fatalf("healthy member delivered only %d/120 broadcasts", len(delivered))
+	}
+	seen := make(map[int]bool)
+	for _, b := range delivered {
+		if seen[b] {
+			t.Fatalf("duplicate delivery of %d", b)
+		}
+		seen[b] = true
+	}
 }

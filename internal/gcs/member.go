@@ -49,6 +49,19 @@ type Config struct {
 	// JoinTimeout bounds the wait for an existing group before forming a
 	// singleton view; defaults to 2x FailTimeout.
 	JoinTimeout time.Duration
+	// MaxTotalLog caps the coordinator's total-order retransmission log.
+	// The log is normally exact — pruned to the slowest member's
+	// acknowledged watermark — and the failure detector bounds the lag,
+	// because a member too partitioned to ack gets excluded. But a
+	// ONE-DIRECTIONAL fault defeats that: when coordinator→member
+	// traffic is lost while the member's heartbeats (carrying its stale
+	// ack) still arrive, the member looks alive forever, its watermark
+	// pins the prune point, and the log grows without bound. Past the
+	// cap the coordinator raises the LogOverflows alarm and forces a
+	// view change excluding the most-lagged member(s), which resets the
+	// epoch and the log. Defaults to 4096 entries; negative disables
+	// the cap (the pre-alarm behaviour).
+	MaxTotalLog int
 }
 
 func (c *Config) applyDefaults() {
@@ -60,6 +73,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.JoinTimeout <= 0 {
 		c.JoinTimeout = 2 * c.FailTimeout
+	}
+	if c.MaxTotalLog == 0 {
+		c.MaxTotalLog = 4096
 	}
 }
 
@@ -110,6 +126,29 @@ type Member struct {
 
 	// viewChanges counts installed views (experiment metric).
 	viewChanges int
+	// logOverflows counts forced view changes raised by the MaxTotalLog
+	// cap — each one is a one-directional-fault alarm.
+	logOverflows int
+}
+
+// MemberStats is a point-in-time snapshot of a member's health counters,
+// the numbers an operator watches to catch asymmetric network faults the
+// failure detector cannot see.
+type MemberStats struct {
+	ViewChanges  int
+	TotalLogSize int // retransmission-log entries currently held
+	LogOverflows int // forced view changes raised by the MaxTotalLog cap
+}
+
+// Stats returns the member's health counters.
+func (m *Member) Stats() MemberStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemberStats{
+		ViewChanges:  m.viewChanges,
+		TotalLogSize: len(m.totalLog),
+		LogOverflows: m.logOverflows,
+	}
 }
 
 // NewMember builds a member; call Start to join the group.
@@ -660,9 +699,44 @@ func (m *Member) handleOrderReq(p orderReq) {
 	// lone survivor would grow for the lifetime of the epoch.
 	m.pruneTotalLogLocked()
 	members := append([]string(nil), m.view.Members...)
+	// The exact prune just ran; a log still past the cap means some
+	// member's watermark is pinned while its heartbeats keep it alive —
+	// the one-directional fault. Raise the alarm and force a view change
+	// excluding the most-lagged peer(s); the epoch reset empties the log
+	// and the excluded member rejoins through the normal path (where a
+	// still-broken link will trip the alarm again rather than silently
+	// eat memory).
+	var survivors, oldMembers []string
+	var overflowViewID int64
+	if m.cfg.MaxTotalLog > 0 && len(m.totalLog) > m.cfg.MaxTotalLog {
+		minAck := int64(-1)
+		for _, id := range members {
+			if id == m.cfg.NodeID {
+				continue
+			}
+			if ack := m.ackSeqs[id]; minAck < 0 || ack < minAck {
+				minAck = ack
+			}
+		}
+		for _, id := range members {
+			if id == m.cfg.NodeID || m.ackSeqs[id] > minAck {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) < len(members) {
+			m.logOverflows++
+			overflowViewID = m.view.ID + 1
+			oldMembers = members
+		} else {
+			survivors = nil
+		}
+	}
 	m.mu.Unlock()
 	for _, id := range members {
 		m.sendTo(id, tm)
+	}
+	if survivors != nil {
+		m.issueView(survivors, overflowViewID, oldMembers)
 	}
 }
 

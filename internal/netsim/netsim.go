@@ -70,6 +70,7 @@ const (
 	DropPartitioned DropReason = "partitioned" // link blocked
 	DropLoss        DropReason = "loss"        // random loss
 	DropNICDown     DropReason = "nic-down"    // receiver down
+	DropFiltered    DropReason = "filtered"    // rejected by SetFilter
 )
 
 // Stats counts network activity for experiments.
@@ -111,6 +112,7 @@ type Network struct {
 	lossRate   float64
 	rng        *rand.Rand
 	partitions map[[2]string]bool
+	filter     func(fromNode, toNode string, msg Message) bool
 	stats      Stats
 }
 
@@ -230,6 +232,19 @@ func (n *Network) HealAll() {
 	n.partitions = make(map[[2]string]bool)
 }
 
+// SetFilter installs a per-message delivery predicate: return false to
+// drop (counted as DropFiltered). Unlike Partition — which blocks a pair
+// in both directions — the filter sees the direction and the payload, so
+// it can model asymmetric faults: a link that loses coordinator→victim
+// traffic while the reverse path (and its heartbeats) stays healthy.
+// Pass nil to remove. The filter runs with internal locks held; it must
+// not call back into the network.
+func (n *Network) SetFilter(f func(fromNode, toNode string, msg Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.filter = f
+}
+
 func pairKey(a, b string) [2]string {
 	if a > b {
 		a, b = b, a
@@ -274,6 +289,10 @@ func (n *Network) send(fromNode string, msg Message, size int) {
 	}
 	if n.partitions[pairKey(fromNode, owner)] {
 		drop(DropPartitioned)
+		return
+	}
+	if n.filter != nil && !n.filter(fromNode, owner, msg) {
+		drop(DropFiltered)
 		return
 	}
 	if n.lossRate > 0 && n.rng != nil && n.rng.Float64() < n.lossRate {

@@ -49,7 +49,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
+	"sync"
 	"time"
+	"unsafe"
 
 	"dosgi/internal/obs"
 )
@@ -60,7 +63,16 @@ const (
 	frameResponse = 0x02
 	frameHello    = 0x03 // connection handshake
 	frameHelloAck = 0x04
+	frameBatch    = 0x05 // multi-request frame (docs/PROTOCOL.md §2.1)
 )
+
+// Hello feature bits (docs/PROTOCOL.md §2.1). A HelloAck advertises the
+// responder's capabilities in an optional trailing byte; peers that
+// predate features send a bare ack and are treated as supporting none.
+const featBatch byte = 0x01
+
+// maxBatchInner caps the request frames one batch frame may carry.
+const maxBatchInner = 1024
 
 // Response status codes.
 const (
@@ -96,12 +108,19 @@ const MaxFrameSize = 16 << 20
 // field ignore trailing request bytes, and an absent field decodes to the
 // zero (untraced) context — the extension is backward compatible in both
 // directions.
+// Token is the OPTIONAL idempotency token (docs/PROTOCOL.md §3.4): a
+// non-zero token is appended as a fourth trailing uvarint after the trace
+// context, kept stable across failover retries of the same logical call so
+// a dispatcher-side dedup ring can upgrade timeout failover from
+// at-least-once to effectively-once. Zero means "no token"; old decoders
+// ignore the extra trailing varint.
 type Request struct {
 	Corr    uint64
 	Service string
 	Method  string
 	Args    []any
 	Trace   obs.TraceContext
+	Token   uint64
 
 	// recvAt is the server-side receive timestamp (the instrumented
 	// servers stamp it before dispatch so the Dispatcher can split queue
@@ -160,13 +179,81 @@ func EncodeRequest(r *Request) ([]byte, error) {
 	}
 	// Optional trailing trace context: three uvarints after the last
 	// argument. Pre-trace decoders stop reading at the argument list, so
-	// traced frames stay parseable by old peers.
-	if r.Trace.Valid() {
+	// traced frames stay parseable by old peers. A non-zero idempotency
+	// token rides as a fourth trailing uvarint; an untraced tokened request
+	// emits the explicit zero trace marker so the token's position is
+	// unambiguous.
+	if r.Trace.Valid() || r.Token != 0 {
 		buf = binary.AppendUvarint(buf, r.Trace.TraceID)
 		buf = binary.AppendUvarint(buf, r.Trace.SpanID)
 		buf = binary.AppendUvarint(buf, uint64(r.Trace.Hop))
+		if r.Token != 0 {
+			buf = binary.AppendUvarint(buf, r.Token)
+		}
 	}
 	return buf, nil
+}
+
+// EncodeBatch wraps complete request frames into one multi-request frame
+// (§2.1): uvarint count, then count × (uvarint length, frame bytes). Only
+// negotiated peers may be sent one — old decoders drop the connection on
+// the unknown frame kind.
+func EncodeBatch(frames [][]byte) ([]byte, error) {
+	if len(frames) == 0 || len(frames) > maxBatchInner {
+		return nil, fmt.Errorf("%w: batch of %d frames", ErrBadValue, len(frames))
+	}
+	size := 1 + binary.MaxVarintLen64
+	for _, f := range frames {
+		size += binary.MaxVarintLen64 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, frameBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(frames)))
+	for _, f := range frames {
+		if len(f) == 0 || f[0] != frameRequest {
+			return nil, fmt.Errorf("%w: batch inner frame must be a request", ErrBadValue)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+	}
+	if len(buf) > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	return buf, nil
+}
+
+// DecodeBatch splits a batch frame into its inner request frames. The
+// returned slices alias buf — decode them (copying) before the buffer is
+// reused. Every malformation — zero count, truncated inner frame, an inner
+// frame that is not a request, trailing garbage — is ErrBadFrame: a server
+// drops the connection exactly as for any other malformed frame.
+func DecodeBatch(buf []byte) ([][]byte, error) {
+	if len(buf) == 0 || buf[0] != frameBatch {
+		return nil, ErrBadFrame
+	}
+	b := buf[1:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count == 0 || count > maxBatchInner {
+		return nil, fmt.Errorf("%w: bad batch count", ErrBadFrame)
+	}
+	b = b[n:]
+	frames := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || ln == 0 || ln > uint64(len(b[n:])) {
+			return nil, fmt.Errorf("%w: truncated batch inner frame", ErrBadFrame)
+		}
+		inner := b[n : n+int(ln) : n+int(ln)]
+		if inner[0] != frameRequest {
+			return nil, fmt.Errorf("%w: batch inner frame kind 0x%02x", ErrBadFrame, inner[0])
+		}
+		frames = append(frames, inner)
+		b = b[n+int(ln):]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after batch", ErrBadFrame)
+	}
+	return frames, nil
 }
 
 // EncodeResponse serializes r (without the length prefix).
@@ -215,9 +302,48 @@ func encodeHello(ack bool) []byte {
 	return []byte{frameHello}
 }
 
+// encodeHelloFeatures serializes a handshake frame advertising feature
+// bits in the optional trailing byte. Peers that predate features ignore
+// hello bodies, so the extension is compatible in both directions.
+func encodeHelloFeatures(ack bool, features byte) []byte {
+	kind := byte(frameHello)
+	if ack {
+		kind = frameHelloAck
+	}
+	if features == 0 {
+		return []byte{kind}
+	}
+	return []byte{kind, features}
+}
+
+// helloFeatures extracts the feature bits of a hello/helloAck frame; a
+// bare (pre-feature) frame advertises none.
+func helloFeatures(frame []byte) byte {
+	if len(frame) < 2 {
+		return 0
+	}
+	return frame[1]
+}
+
 // DecodeFrame parses one frame. Exactly one of the returns is non-nil for
 // request/response frames; hello frames yield (nil, nil, kind, nil).
+// String and []byte values are copied out of buf, so the buffer may be
+// reused as soon as DecodeFrame returns.
 func DecodeFrame(buf []byte) (*Request, *Response, byte, error) {
+	return decodeFrame(buf, false)
+}
+
+// DecodeFrameBorrowing parses one frame like DecodeFrame, but string and
+// []byte values in the decoded body ALIAS buf instead of copying — the
+// zero-copy hot path. The decoded values are valid only while the caller
+// owns buf: anything retained past that point (a pooled buffer returned,
+// a netsim payload handed on) must first be deep-copied with RetainValue
+// or Response.Retain.
+func DecodeFrameBorrowing(buf []byte) (*Request, *Response, byte, error) {
+	return decodeFrame(buf, true)
+}
+
+func decodeFrame(buf []byte, borrow bool) (*Request, *Response, byte, error) {
 	if len(buf) == 0 {
 		return nil, nil, 0, ErrBadFrame
 	}
@@ -227,18 +353,90 @@ func DecodeFrame(buf []byte) (*Request, *Response, byte, error) {
 	case frameHello, frameHelloAck:
 		return nil, nil, kind, nil
 	case frameRequest:
-		req, err := decodeRequest(body)
+		req, err := decodeRequest(body, borrow)
 		return req, nil, kind, err
 	case frameResponse:
-		resp, err := decodeResponse(body)
+		resp, err := decodeResponse(body, borrow)
 		return nil, resp, kind, err
 	default:
 		return nil, nil, kind, fmt.Errorf("%w: unknown kind 0x%02x", ErrBadFrame, kind)
 	}
 }
 
-func decodeRequest(b []byte) (*Request, error) {
-	d := &decoder{buf: b}
+// RetainValue deep-copies any frame-borrowed string/bytes content out of v
+// so it stays valid after the frame buffer is released — the escape hatch
+// of the zero-copy decode contract. Values that cannot alias a frame
+// (numbers, bools, nil) are returned unchanged.
+func RetainValue(v any) any {
+	switch vv := v.(type) {
+	case string:
+		return strings.Clone(vv)
+	case []byte:
+		out := make([]byte, len(vv))
+		copy(out, vv)
+		return out
+	case []any:
+		for i := range vv {
+			vv[i] = RetainValue(vv[i])
+		}
+		return vv
+	default:
+		return v
+	}
+}
+
+// Retain deep-copies every borrowed value in the response in place and
+// returns it, detaching the response from the frame buffer it was decoded
+// from. Call it inside the completion callback — after the callback
+// returns, a zero-copy transport may recycle the buffer.
+func (r *Response) Retain() *Response {
+	r.Err = strings.Clone(r.Err)
+	for i := range r.Results {
+		r.Results[i] = RetainValue(r.Results[i])
+	}
+	return r
+}
+
+// Retain deep-copies every borrowed value in the request in place and
+// returns it; the push-handler analogue of Response.Retain.
+func (r *Request) Retain() *Request {
+	r.Service = strings.Clone(r.Service)
+	r.Method = strings.Clone(r.Method)
+	for i := range r.Args {
+		r.Args[i] = RetainValue(r.Args[i])
+	}
+	return r
+}
+
+// maxPooledFrame caps the read buffers kept in the frame pool: the odd
+// oversized frame is allocated and dropped rather than pinning megabytes.
+const maxPooledFrame = 1 << 20
+
+// framePool recycles transport read buffers (and TCP batch assembly
+// scratch). Zero-copy decoded values alias these buffers, so a buffer is
+// returned only after its decode results are dead — immediately after a
+// copying decode, after the completion callback of a borrowing one.
+var framePool sync.Pool
+
+func getFrameBuf(n int) []byte {
+	if v := framePool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledFrame {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
+func decodeRequest(b []byte, borrow bool) (*Request, error) {
+	d := &decoder{buf: b, borrow: borrow}
 	r := &Request{}
 	r.Corr = d.uint64()
 	r.Service = d.string()
@@ -265,12 +463,23 @@ func decodeRequest(b []byte) (*Request, error) {
 		if tid != 0 {
 			r.Trace = obs.TraceContext{TraceID: tid, SpanID: sid, Hop: uint32(hop)}
 		}
+		// Optional fourth trailing uvarint: the idempotency token (§3.4).
+		// Bytes after it are reserved for future fields and ignored; a
+		// truncated varint is a malformed frame, exactly like the trace
+		// trailer. Absent means an old peer — token zero.
+		if len(d.buf) > 0 {
+			tok := d.uvarint()
+			if d.err != nil {
+				return nil, fmt.Errorf("%w: truncated idempotency token", ErrBadFrame)
+			}
+			r.Token = tok
+		}
 	}
 	return r, nil
 }
 
-func decodeResponse(b []byte) (*Response, error) {
-	d := &decoder{buf: b}
+func decodeResponse(b []byte, borrow bool) (*Response, error) {
+	d := &decoder{buf: b, borrow: borrow}
 	r := &Response{}
 	r.Corr = d.uint64()
 	r.Status = d.byte()
@@ -345,8 +554,9 @@ func appendValue(buf []byte, v any, depth int) ([]byte, error) {
 const maxValueDepth = 16
 
 type decoder struct {
-	buf []byte
-	err error
+	buf    []byte
+	err    error
+	borrow bool // string/bytes values alias buf instead of copying
 }
 
 func (d *decoder) fail() {
@@ -407,7 +617,12 @@ func (d *decoder) string() string {
 		d.fail()
 		return ""
 	}
-	s := string(d.buf[:n])
+	var s string
+	if d.borrow {
+		s = bytesToString(d.buf[:n])
+	} else {
+		s = string(d.buf[:n])
+	}
 	d.buf = d.buf[n:]
 	return s
 }
@@ -418,10 +633,24 @@ func (d *decoder) bytes() []byte {
 		d.fail()
 		return nil
 	}
+	if d.borrow {
+		out := d.buf[:n:n]
+		d.buf = d.buf[n:]
+		return out
+	}
 	out := make([]byte, n)
 	copy(out, d.buf[:n])
 	d.buf = d.buf[n:]
 	return out
+}
+
+// bytesToString views b as a string without copying; the string is valid
+// exactly as long as b's backing array is. Borrow-mode decoding only.
+func bytesToString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
 func (d *decoder) value(depth int) any {

@@ -100,12 +100,15 @@ func TestCodecTraceTruncatedTrailerIsBadFrame(t *testing.T) {
 	}
 }
 
-// TestCodecTraceFutureFieldsIgnored: bytes after the three varints are
-// reserved for future extension and must not break today's decoder.
+// TestCodecTraceFutureFieldsIgnored: bytes after the claimed trailer
+// fields are reserved for future extension and must not break today's
+// decoder. The fourth slot is now the idempotency token (§3.4), so future
+// bytes start after it.
 func TestCodecTraceFutureFieldsIgnored(t *testing.T) {
 	req := &Request{
 		Corr: 4, Service: "s", Method: "M",
 		Trace: obs.TraceContext{TraceID: 0xabc, SpanID: 0xdef, Hop: 0},
+		Token: 7,
 	}
 	buf, err := EncodeRequest(req)
 	if err != nil {
@@ -118,5 +121,8 @@ func TestCodecTraceFutureFieldsIgnored(t *testing.T) {
 	}
 	if got.Trace != req.Trace {
 		t.Fatalf("future bytes corrupted the context: %+v", got.Trace)
+	}
+	if got.Token != req.Token {
+		t.Fatalf("future bytes corrupted the token: %d", got.Token)
 	}
 }

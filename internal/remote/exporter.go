@@ -326,10 +326,64 @@ func (c *CompositeSource) Lookup(name string) (any, bool) {
 type Dispatcher struct {
 	src    ServiceSource
 	tracer *obs.Tracer
+	dedup  *dedupRing
 }
 
 // DispatcherOption configures a Dispatcher.
 type DispatcherOption func(*Dispatcher)
+
+// WithDedupRing remembers the response of the last n token-carrying calls
+// (§3.4) and answers a replayed token from memory instead of re-executing.
+// With tokened clients (Invoker's WithIdempotencyTokens) this upgrades
+// timeout failover from at-least-once to effectively-once: "effectively"
+// because the guarantee is bounded by ring capacity and because a retry
+// racing the original execution may still double-execute — the ring dedups
+// completed calls, it does not serialize in-flight ones. Size n to cover
+// the retry window (in-flight calls × replicas), not the call history.
+func WithDedupRing(n int) DispatcherOption {
+	return func(d *Dispatcher) {
+		if n > 0 {
+			d.dedup = &dedupRing{
+				byToken: make(map[uint64]*Response, n),
+				order:   make([]uint64, 0, n),
+				cap:     n,
+			}
+		}
+	}
+}
+
+// dedupRing is a fixed-capacity token→response memory with FIFO eviction.
+type dedupRing struct {
+	mu      sync.Mutex
+	byToken map[uint64]*Response
+	order   []uint64
+	cap     int
+}
+
+// lookup returns the remembered response of token, if still in the ring.
+func (r *dedupRing) lookup(token uint64) (*Response, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp, ok := r.byToken[token]
+	return resp, ok
+}
+
+// store remembers token's response, evicting the oldest entry at capacity.
+// A token already present keeps its original response — the first
+// execution's answer is the one every replay must see.
+func (r *dedupRing) store(token uint64, resp *Response) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byToken[token]; dup {
+		return
+	}
+	if len(r.order) >= r.cap {
+		delete(r.byToken, r.order[0])
+		r.order = r.order[1:]
+	}
+	r.byToken[token] = resp
+	r.order = append(r.order, token)
+}
 
 // WithDispatcherTracer records a server span for every traced request:
 // Start is the transport's receive stamp (when the server stamped one),
@@ -378,7 +432,26 @@ func (d *Dispatcher) Serve(req *Request) (resp *Response) {
 			d.tracer.Record(sp)
 		}()
 	}
-	return d.serve(req)
+	return d.dispatch(req)
+}
+
+// dispatch wraps serve with the §3.4 idempotency-token dedup: a token seen
+// before answers from the ring (with the replay's own correlation id); a
+// fresh execution is remembered unless it answered Unavailable — "not
+// executed here" must not stick to a node the service later migrates to.
+func (d *Dispatcher) dispatch(req *Request) *Response {
+	if d.dedup != nil && req.Token != 0 {
+		if prev, ok := d.dedup.lookup(req.Token); ok {
+			replay := *prev
+			replay.Corr = req.Corr
+			return &replay
+		}
+	}
+	resp := d.serve(req)
+	if d.dedup != nil && req.Token != 0 && resp.Status != StatusUnavailable {
+		d.dedup.store(req.Token, resp)
+	}
+	return resp
 }
 
 // serve is the untraced dispatch body.

@@ -3,7 +3,9 @@ package remote
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dosgi/internal/obs"
@@ -85,6 +87,15 @@ func WithOrderedResolution() InvokerOption {
 	return func(inv *Invoker) { inv.ordered = true }
 }
 
+// WithIdempotencyTokens stamps every call with a §3.4 idempotency token,
+// minted once per logical call and kept stable across its failover
+// attempts. Against dispatchers running a WithDedupRing this upgrades
+// timeout failover from at-least-once to effectively-once; old peers
+// ignore the token and semantics stay at-least-once.
+func WithIdempotencyTokens() InvokerOption {
+	return func(inv *Invoker) { inv.tokenSalt = rand.Uint64() | 1 }
+}
+
 // WithInvokerObservability wires the client side of the observability
 // plane: every Go() mints a trace, each failover attempt becomes a child
 // span carried on the wire (the retry cause and replica address
@@ -103,10 +114,11 @@ func WithInvokerObservability(tracer *obs.Tracer, callHist *obs.Histogram) Invok
 // or a replica answering StatusUnavailable after a migration — retries the
 // next replica transparently.
 //
-// Failover gives AT-LEAST-ONCE semantics: a timed-out call may have
-// executed on the server before the retry runs elsewhere, so exported
-// methods should be idempotent (request-deduplication tokens are a
-// ROADMAP item). Only AppError results are guaranteed single-execution.
+// Failover gives AT-LEAST-ONCE semantics by default: a timed-out call may
+// have executed on the server before the retry runs elsewhere, so exported
+// methods should be idempotent. WithIdempotencyTokens plus a dispatcher
+// dedup ring (WithDedupRing) upgrades that to effectively-once. AppError
+// results are always guaranteed single-execution.
 type Invoker struct {
 	pool        *Pool
 	resolver    EndpointResolver
@@ -114,6 +126,8 @@ type Invoker struct {
 	ordered     bool
 	tracer      *obs.Tracer
 	callHist    *obs.Histogram
+	tokenSalt   uint64
+	tokenSeq    atomic.Uint64
 
 	mu      sync.Mutex
 	rr      map[string]int
@@ -247,7 +261,23 @@ func (inv *Invoker) Go(service, method string, args []any, cb func([]any, error)
 			done(results, err)
 		}
 	}
-	inv.attempt(service, method, args, ordered, 0, attempts, ct, cb)
+	inv.attempt(service, method, args, ordered, 0, attempts, inv.nextToken(), ct, cb)
+}
+
+// nextToken mints one idempotency token — non-zero, unique within this
+// invoker, salted so two invokers' sequences do not collide in a shared
+// dispatcher ring. Zero (tokens not enabled) means "no token" on the wire.
+func (inv *Invoker) nextToken() uint64 {
+	if inv.tokenSalt == 0 {
+		return 0
+	}
+	// Golden-ratio multiply spreads consecutive sequence numbers across
+	// the token space before salting.
+	tok := inv.tokenSalt ^ (inv.tokenSeq.Add(1) * 0x9e3779b97f4a7c15)
+	if tok == 0 {
+		tok = inv.tokenSalt
+	}
+	return tok
 }
 
 // callTrace carries one traced call's identity across failover attempts:
@@ -261,8 +291,8 @@ type callTrace struct {
 	cause string
 }
 
-func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, i, max int, ct *callTrace, cb func([]any, error)) {
-	req := &Request{Service: service, Method: method, Args: args}
+func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, i, max int, tok uint64, ct *callTrace, cb func([]any, error)) {
+	req := &Request{Service: service, Method: method, Args: args, Token: tok}
 	var spanID uint64
 	var spanStart time.Duration
 	var cause string
@@ -303,7 +333,7 @@ func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, 
 			ct.cause = cause.Error()
 		}
 		if i+1 < max {
-			inv.attempt(service, method, args, eps, i+1, max, ct, cb)
+			inv.attempt(service, method, args, eps, i+1, max, tok, ct, cb)
 		} else {
 			cb(nil, cause)
 		}
@@ -339,7 +369,10 @@ func (inv *Invoker) attempt(service, method string, args []any, eps []Endpoint, 
 
 // Call invokes service.method and blocks for the result. Only for
 // real-time transports (TCP daemons, tests against wall clocks) — blocking
-// inside a simulation callback would deadlock the engine.
+// inside a simulation callback would deadlock the engine. Results are
+// retained before crossing goroutines: on a zero-copy transport the frame
+// buffer that decoded values borrow from is recycled once the completion
+// callback chain returns, so values handed past it must be detached.
 func (inv *Invoker) Call(service, method string, args ...any) ([]any, error) {
 	type outcome struct {
 		results []any
@@ -347,6 +380,9 @@ func (inv *Invoker) Call(service, method string, args ...any) ([]any, error) {
 	}
 	ch := make(chan outcome, 1)
 	inv.Go(service, method, args, func(results []any, err error) {
+		for i := range results {
+			results[i] = RetainValue(results[i])
+		}
 		ch <- outcome{results, err}
 	})
 	out := <-ch

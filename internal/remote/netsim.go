@@ -31,6 +31,15 @@ func WithNetsimFrameHistogram(h *obs.Histogram) NetsimOption {
 	return func(t *NetsimTransport) { t.frameHist = h }
 }
 
+// WithNetsimZeroCopy makes dialed connections decode response string/bytes
+// values borrowing from the delivered frame instead of copying. Simulated
+// payloads are the sender's encode buffer and are never reused, so unlike
+// TCP's pooled buffers the borrowed values stay valid indefinitely — the
+// option only removes the decode copies.
+func WithNetsimZeroCopy() NetsimOption {
+	return func(t *NetsimTransport) { t.zeroCopy = true }
+}
+
 // NetsimTransport dials remote endpoints over the simulated fabric. A
 // "connection" is a bound ephemeral client port plus a hello/ack handshake
 // with the server, so connection setup costs one round trip exactly like
@@ -42,6 +51,7 @@ type NetsimTransport struct {
 	localIP     netsim.IP
 	callTimeout time.Duration
 	frameHist   *obs.Histogram
+	zeroCopy    bool
 
 	mu       sync.Mutex
 	nextPort uint16
@@ -123,7 +133,16 @@ type netsimConn struct {
 	pushFn func(*Request)
 }
 
-var _ PushConn = (*netsimConn)(nil)
+var (
+	_ PushConn  = (*netsimConn)(nil)
+	_ BatchConn = (*netsimConn)(nil)
+)
+
+// EnableBatching implements BatchConn. The dial-time hello already probes
+// the server; coalescing starts when its ack advertises featBatch.
+func (c *netsimConn) EnableBatching(max int, delay time.Duration) {
+	c.core.enableBatching(max, delay)
+}
 
 func (c *netsimConn) Call(req *Request, cb func(*Response, error)) error {
 	return c.core.call(req, cb)
@@ -160,12 +179,17 @@ func (c *netsimConn) onMessage(msg netsim.Message) {
 	if !ok {
 		return
 	}
-	req, resp, kind, err := DecodeFrame(frame)
+	decode := DecodeFrame
+	if c.transport.zeroCopy {
+		decode = DecodeFrameBorrowing
+	}
+	req, resp, kind, err := decode(frame)
 	if err != nil {
 		return
 	}
 	switch kind {
 	case frameHelloAck:
+		c.core.setPeerFeatures(helloFeatures(frame))
 		c.core.establish()
 	case frameResponse:
 		c.core.onResponse(resp)
@@ -263,26 +287,50 @@ func (s *NetsimServer) onMessage(msg netsim.Message) {
 	if !ok {
 		return
 	}
+	if len(frame) > 0 && frame[0] == frameBatch {
+		// §2.1 multi-request frame: unpack and dispatch each inner request
+		// in order. A malformed batch is dropped whole, like any other bad
+		// frame on the lossy simulated fabric.
+		inner, err := DecodeBatch(frame)
+		if err != nil {
+			return
+		}
+		for _, f := range inner {
+			req, _, kind, err := DecodeFrame(f)
+			if err != nil || kind != frameRequest {
+				return
+			}
+			s.serveRequest(req, msg.From)
+		}
+		return
+	}
 	req, _, kind, err := DecodeFrame(frame)
 	if err != nil {
 		return
 	}
 	switch kind {
 	case frameHello:
-		ack := encodeHello(true)
+		// Always advertise batching; pre-§2.1 clients ignore the feature
+		// byte and never send batch frames.
+		ack := encodeHelloFeatures(true, featBatch)
 		_ = s.nic.Send(s.addr, msg.From, ack, len(ack))
 	case frameRequest:
-		if s.now != nil {
-			req.MarkReceived(s.now())
-		}
-		var resp *Response
-		if ph, ok := s.handler.(PushHandler); ok {
-			resp = ph.ServePush(req, s.pusherFor(msg.From))
-		} else {
-			resp = s.handler.Serve(req)
-		}
-		resp.Corr = req.Corr
-		out := encodeResponseOrFallback(resp)
-		_ = s.nic.Send(s.addr, msg.From, out, len(out))
+		s.serveRequest(req, msg.From)
 	}
+}
+
+// serveRequest dispatches one request and sends its response back to from.
+func (s *NetsimServer) serveRequest(req *Request, from netsim.Addr) {
+	if s.now != nil {
+		req.MarkReceived(s.now())
+	}
+	var resp *Response
+	if ph, ok := s.handler.(PushHandler); ok {
+		resp = ph.ServePush(req, s.pusherFor(from))
+	} else {
+		resp = s.handler.Serve(req)
+	}
+	resp.Corr = req.Corr
+	out := encodeResponseOrFallback(resp)
+	_ = s.nic.Send(s.addr, from, out, len(out))
 }

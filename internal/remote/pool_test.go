@@ -1,0 +1,248 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+)
+
+// blockTransport dials blockConns: connections whose calls complete only
+// when the test says so, making slot-accounting interleavings exact.
+type blockTransport struct {
+	mu    sync.Mutex
+	conns []*blockConn
+}
+
+func (t *blockTransport) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &blockConn{addr: addr}
+	t.conns = append(t.conns, c)
+	return c, nil
+}
+
+// conn returns the i-th connection dialed, or nil.
+func (t *blockTransport) conn(i int) *blockConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i >= len(t.conns) {
+		return nil
+	}
+	return t.conns[i]
+}
+
+type blockConn struct {
+	addr string
+
+	mu     sync.Mutex
+	cbs    []func(*Response, error)
+	closed bool
+}
+
+var _ Conn = (*blockConn)(nil)
+
+func (c *blockConn) Call(req *Request, cb func(*Response, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.cbs = append(c.cbs, cb)
+	return nil
+}
+
+func (c *blockConn) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cbs)
+}
+
+func (c *blockConn) Addr() string { return c.addr }
+
+// Close fails every held call with ErrConnClosed, like a real conn's
+// shutdown. Callbacks run outside the conn lock — they reenter the pool.
+func (c *blockConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cbs := c.cbs
+	c.cbs = nil
+	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb(nil, ErrConnClosed)
+	}
+	return nil
+}
+
+// failNext completes the oldest held call with err.
+func (c *blockConn) failNext(err error) {
+	c.mu.Lock()
+	cb := c.cbs[0]
+	c.cbs = c.cbs[1:]
+	c.mu.Unlock()
+	cb(nil, err)
+}
+
+// completeAll answers every held call with resp.
+func (c *blockConn) completeAll(resp *Response) {
+	c.mu.Lock()
+	cbs := c.cbs
+	c.cbs = nil
+	c.mu.Unlock()
+	for _, cb := range cbs {
+		cb(resp, nil)
+	}
+}
+
+// totalLoad sums the pool's reserved slots (test-side accounting check).
+func (p *Pool) totalLoad() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, n := range p.load {
+		total += n
+	}
+	return total
+}
+
+// TestPoolSlotRecoveryAfterConnRetirement is the slot-leak regression
+// test: a connection at full pipeline depth is retired mid-call while
+// waiters queue behind it. Every callback must fire exactly once, the
+// queue must drain onto a replacement connection, and the reservation
+// count must return to zero — a leaked slot would shrink the pool's
+// effective capacity forever.
+func TestPoolSlotRecoveryAfterConnRetirement(t *testing.T) {
+	const (
+		maxInFlight = 4
+		queued      = 3
+	)
+	tr := &blockTransport{}
+	p := NewPool(tr, WithMaxConnsPerEndpoint(1), WithMaxInFlight(maxInFlight))
+	defer p.Close()
+	const addr = "ep:1"
+
+	var mu sync.Mutex
+	var ok, failed, fired int
+	cb := func(resp *Response, err error) {
+		mu.Lock()
+		fired++
+		if err != nil {
+			failed++
+		} else {
+			ok++
+		}
+		mu.Unlock()
+	}
+
+	// Fill the single connection to its pipeline cap...
+	for i := 0; i < maxInFlight; i++ {
+		if err := p.Invoke(addr, &Request{Service: "s", Method: "M"}, cb); err != nil {
+			t.Fatalf("fill call %d: %v", i, err)
+		}
+	}
+	c0 := tr.conn(0)
+	if c0 == nil || c0.InFlight() != maxInFlight {
+		t.Fatalf("conn 0 holds %d calls, want %d", c0.InFlight(), maxInFlight)
+	}
+	if got := p.totalLoad(); got != maxInFlight {
+		t.Fatalf("reserved slots = %d, want %d", got, maxInFlight)
+	}
+
+	// ...then queue waiters behind it.
+	for i := 0; i < queued; i++ {
+		if err := p.Invoke(addr, &Request{Service: "s", Method: "M"}, cb); err != nil {
+			t.Fatalf("queued call %d: %v", i, err)
+		}
+	}
+
+	// Force retirement mid-call: one conn-level failure must retire c0
+	// (failing its remaining pipelined calls) and re-route the queued
+	// waiters onto a freshly dialed connection.
+	c0.failNext(ErrTimeout)
+
+	c1 := tr.conn(1)
+	if c1 == nil {
+		t.Fatal("queue was not re-routed onto a replacement connection")
+	}
+	if got := c1.InFlight(); got != queued {
+		t.Fatalf("replacement conn holds %d calls, want the %d queued waiters", got, queued)
+	}
+	mu.Lock()
+	if failed != maxInFlight {
+		mu.Unlock()
+		t.Fatalf("failed = %d, want %d (the retired conn's calls)", failed, maxInFlight)
+	}
+	mu.Unlock()
+
+	// Let the re-routed waiters complete and check the books: no callback
+	// lost or doubled, no reserved slot leaked, no ghost waiter.
+	c1.completeAll(&Response{Status: StatusOK})
+	mu.Lock()
+	if fired != maxInFlight+queued || ok != queued {
+		mu.Unlock()
+		t.Fatalf("fired=%d ok=%d, want fired=%d ok=%d", fired, ok, maxInFlight+queued, queued)
+	}
+	mu.Unlock()
+	if got := p.totalLoad(); got != 0 {
+		t.Fatalf("leaked %d reserved slots after drain", got)
+	}
+	p.mu.Lock()
+	waiting := len(p.waiting[addr])
+	p.mu.Unlock()
+	if waiting != 0 {
+		t.Fatalf("%d ghost waiters after drain", waiting)
+	}
+
+	// Capacity fully recovered: the pool accepts a full pipeline again
+	// without queueing a single call.
+	for i := 0; i < maxInFlight; i++ {
+		if err := p.Invoke(addr, &Request{Service: "s", Method: "M"}, cb); err != nil {
+			t.Fatalf("post-recovery call %d: %v", i, err)
+		}
+	}
+	if got := c1.InFlight(); got != maxInFlight {
+		t.Fatalf("post-recovery: conn holds %d calls, want %d (a leaked slot shrank capacity)", got, maxInFlight)
+	}
+	c1.completeAll(&Response{Status: StatusOK})
+}
+
+// TestPoolDropEndpointFreesSlots: DropEndpoint (the view-change hook) on
+// an endpoint with both in-flight and queued calls must fail them all as
+// retryable and leave zero reservations behind.
+func TestPoolDropEndpointFreesSlots(t *testing.T) {
+	tr := &blockTransport{}
+	p := NewPool(tr, WithMaxConnsPerEndpoint(1), WithMaxInFlight(2))
+	defer p.Close()
+	const addr = "ep:2"
+
+	var mu sync.Mutex
+	var fired, retryable int
+	cb := func(resp *Response, err error) {
+		mu.Lock()
+		fired++
+		if err != nil && Retryable(err) {
+			retryable++
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < 4; i++ { // 2 in flight + 2 queued
+		if err := p.Invoke(addr, &Request{Service: "s", Method: "M"}, cb); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	p.DropEndpoint(addr)
+	mu.Lock()
+	if fired != 4 || retryable != 4 {
+		mu.Unlock()
+		t.Fatalf("fired=%d retryable=%d, want 4/4", fired, retryable)
+	}
+	mu.Unlock()
+	if got := p.totalLoad(); got != 0 {
+		t.Fatalf("DropEndpoint leaked %d reserved slots", got)
+	}
+	if got := p.ConnCount(addr); got != 0 {
+		t.Fatalf("DropEndpoint left %d connections", got)
+	}
+}

@@ -12,21 +12,52 @@ import (
 	"dosgi/internal/obs"
 )
 
-// writeFrame writes a length-prefixed frame to w. Callers serialize.
+// writeFrame writes a length-prefixed frame to w in one vectored write
+// (writev on a TCP conn — header and payload never split across two
+// syscalls). Callers serialize.
 func writeFrame(w io.Writer, frame []byte) error {
 	if len(frame) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
+	bufs := net.Buffers{hdr[:], frame}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
-// readFrame reads one length-prefixed frame from r.
+// writeBatchFrame writes frames wrapped as one §2.1 batch frame without
+// copying the bodies into a contiguous buffer: the outer length prefix,
+// batch header and per-frame length prefixes interleave with the frame
+// bodies in a single vectored flush. Callers serialize.
+func writeBatchFrame(w io.Writer, frames [][]byte) error {
+	prefixes := make([][]byte, len(frames))
+	total := 1
+	var scratch [binary.MaxVarintLen64]byte
+	total += binary.PutUvarint(scratch[:], uint64(len(frames)))
+	for i, f := range frames {
+		p := binary.AppendUvarint(nil, uint64(len(f)))
+		prefixes[i] = p
+		total += len(p) + len(f)
+	}
+	if total > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	head := make([]byte, 4, 4+1+binary.MaxVarintLen64)
+	binary.BigEndian.PutUint32(head, uint32(total))
+	head = append(head, frameBatch)
+	head = binary.AppendUvarint(head, uint64(len(frames)))
+	bufs := make(net.Buffers, 0, 1+2*len(frames))
+	bufs = append(bufs, head)
+	for i, f := range frames {
+		bufs = append(bufs, prefixes[i], f)
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r into a pooled buffer;
+// the caller returns it with putFrameBuf once the decoded values are dead.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -36,8 +67,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	frame := make([]byte, n)
+	frame := getFrameBuf(int(n))
 	if _, err := io.ReadFull(r, frame); err != nil {
+		putFrameBuf(frame)
 		return nil, err
 	}
 	return frame, nil
@@ -62,6 +94,17 @@ func WithTCPFrameHistogram(h *obs.Histogram) TCPOption {
 	return func(t *TCPTransport) { t.frameHist = h }
 }
 
+// WithTCPZeroCopy makes every connection this transport dials decode
+// response string/bytes values borrowing from the (pooled) frame buffer
+// instead of copying. The buffer is recycled when the completion callback
+// returns, so results are valid only inside the callback — anything kept
+// longer must be copied out first (Response.Retain / RetainValue).
+// Invoker.Call retains its results, so blocking callers are unaffected;
+// Invoker.Go callbacks own the contract.
+func WithTCPZeroCopy() TCPOption {
+	return func(t *TCPTransport) { t.zeroCopy = true }
+}
+
 // TCPTransport dials real TCP endpoints with the same framing and
 // pipelining semantics as the netsim transport; dosgid uses it.
 type TCPTransport struct {
@@ -69,6 +112,7 @@ type TCPTransport struct {
 	callTimeout time.Duration
 	dialTimeout time.Duration
 	frameHist   *obs.Histogram
+	zeroCopy    bool
 }
 
 // NewTCPTransport builds a transport; sched drives call timeouts (pass
@@ -99,10 +143,11 @@ func (t *TCPTransport) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
-	c := &tcpConn{addr: addr, nc: nc}
+	c := &tcpConn{addr: addr, nc: nc, zeroCopy: t.zeroCopy}
 	// TCP's own handshake already happened; the conn starts established.
 	c.core = newConnCore(detachedScheduler{t.sched}, t.callTimeout, true)
 	c.core.sendFrame = c.send
+	c.core.sendFrames = c.sendBatch
 	c.core.rtt = t.frameHist
 	go c.readLoop()
 	return c, nil
@@ -110,9 +155,10 @@ func (t *TCPTransport) Dial(addr string) (Conn, error) {
 
 // tcpConn is one pipelined TCP connection.
 type tcpConn struct {
-	core *connCore
-	addr string
-	nc   net.Conn
+	core     *connCore
+	addr     string
+	nc       net.Conn
+	zeroCopy bool
 
 	writeMu sync.Mutex
 	pushMu  sync.Mutex
@@ -121,6 +167,17 @@ type tcpConn struct {
 }
 
 var _ PushConn = (*tcpConn)(nil)
+var _ BatchConn = (*tcpConn)(nil)
+
+// EnableBatching implements BatchConn: it opts the connection into request
+// coalescing and probes the peer with a feature-bearing Hello. Coalescing
+// starts when the HelloAck advertises batch support; an old peer answers a
+// bare ack and the connection keeps sending plain frames — graceful
+// degradation, not an error.
+func (c *tcpConn) EnableBatching(max int, delay time.Duration) {
+	c.core.enableBatching(max, delay)
+	_ = c.send(encodeHelloFeatures(false, featBatch))
+}
 
 // SetPushHandler implements PushConn.
 func (c *tcpConn) SetPushHandler(fn func(*Request)) {
@@ -155,6 +212,14 @@ func (c *tcpConn) send(frame []byte) error {
 	return writeFrame(c.nc, frame)
 }
 
+// sendBatch flushes one coalesced request window as a single vectored
+// write (connCore.sendFrames).
+func (c *tcpConn) sendBatch(frames [][]byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeBatchFrame(c.nc, frames)
+}
+
 func (c *tcpConn) readLoop() {
 	for {
 		frame, err := readFrame(c.nc)
@@ -164,12 +229,22 @@ func (c *tcpConn) readLoop() {
 			}
 			return
 		}
-		req, resp, kind, err := DecodeFrame(frame)
+		var req *Request
+		var resp *Response
+		var kind byte
+		if c.zeroCopy {
+			req, resp, kind, err = DecodeFrameBorrowing(frame)
+		} else {
+			req, resp, kind, err = DecodeFrame(frame)
+		}
 		if err != nil {
+			putFrameBuf(frame)
 			continue
 		}
 		switch kind {
 		case frameHelloAck:
+			c.core.setPeerFeatures(helloFeatures(frame))
+			putFrameBuf(frame)
 			c.core.establish()
 		case frameResponse:
 			// Completions run off the read loop: a completion
@@ -185,6 +260,25 @@ func (c *tcpConn) readLoop() {
 			c.pushMu.Lock()
 			hasPush := c.pushFn != nil
 			c.pushMu.Unlock()
+			if c.zeroCopy {
+				// Borrowed results alias the pooled frame: recycle it only
+				// after the completion callback chain returns. Callers
+				// keeping values longer Retain them inside the callback.
+				release := frame
+				if hasPush {
+					c.pushes.enqueue(func() {
+						c.core.onResponse(resp)
+						putFrameBuf(release)
+					})
+				} else {
+					go func() {
+						c.core.onResponse(resp)
+						putFrameBuf(release)
+					}()
+				}
+				continue
+			}
+			putFrameBuf(frame)
 			if hasPush {
 				c.pushes.enqueue(func() { c.core.onResponse(resp) })
 			} else {
@@ -193,7 +287,13 @@ func (c *tcpConn) readLoop() {
 		case frameRequest:
 			// Server push (dosgi.events Notify): serialized off the
 			// reader so event order is preserved per connection while a
-			// slow consumer cannot stall response reads either.
+			// slow consumer cannot stall response reads either. Push
+			// handlers may retain the request (subscribers do), so a
+			// borrow-decoded push is detached from the buffer first.
+			if c.zeroCopy {
+				req.Retain()
+			}
+			putFrameBuf(frame)
 			c.pushes.enqueue(func() {
 				c.pushMu.Lock()
 				fn := c.pushFn
@@ -202,6 +302,8 @@ func (c *tcpConn) readLoop() {
 					fn(req)
 				}
 			})
+		default:
+			putFrameBuf(frame)
 		}
 	}
 }
@@ -356,6 +458,16 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 		defer writeMu.Unlock()
 		_ = writeFrame(nc, out)
 	}
+	serve := func(req *Request) {
+		var resp *Response
+		if ph, ok := s.handler.(PushHandler); ok {
+			resp = ph.ServePush(req, pusher)
+		} else {
+			resp = s.handler.Serve(req)
+		}
+		resp.Corr = req.Corr
+		reply(resp)
+	}
 	var dispatch sync.WaitGroup
 	defer dispatch.Wait()
 	for {
@@ -363,14 +475,52 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 		if err != nil {
 			return
 		}
+		// A batch frame (§2.1) unpacks into individual dispatches; it is
+		// peeked before DecodeFrame so pre-batching decode semantics —
+		// including "unknown kind drops the connection" on old servers —
+		// stay byte-identical for every other frame.
+		if len(frame) > 0 && frame[0] == frameBatch {
+			inner, err := DecodeBatch(frame)
+			if err != nil {
+				putFrameBuf(frame)
+				return // malformed batch: drop the connection (§7)
+			}
+			reqs := make([]*Request, 0, len(inner))
+			for _, in := range inner {
+				req, _, kind, err := DecodeFrame(in)
+				if err != nil || kind != frameRequest {
+					putFrameBuf(frame)
+					return
+				}
+				// Receive stamps land at decode, before the dispatch
+				// goroutines are scheduled, same as unbatched requests.
+				if s.now != nil {
+					req.MarkReceived(s.now())
+				}
+				reqs = append(reqs, req)
+			}
+			putFrameBuf(frame) // inner decodes copied; outer is dead
+			for _, req := range reqs {
+				dispatch.Add(1)
+				go func(req *Request) {
+					defer dispatch.Done()
+					serve(req)
+				}(req)
+			}
+			continue
+		}
 		req, _, kind, err := DecodeFrame(frame)
 		if err != nil {
+			putFrameBuf(frame)
 			return
 		}
+		putFrameBuf(frame) // request values are copied out by DecodeFrame
 		switch kind {
 		case frameHello:
+			// Acks always advertise this server's features; old clients
+			// ignore the trailing byte.
 			writeMu.Lock()
-			_ = writeFrame(nc, encodeHello(true))
+			_ = writeFrame(nc, encodeHelloFeatures(true, featBatch))
 			writeMu.Unlock()
 		case frameRequest:
 			if s.now != nil {
@@ -379,14 +529,7 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			dispatch.Add(1)
 			go func(req *Request) {
 				defer dispatch.Done()
-				var resp *Response
-				if ph, ok := s.handler.(PushHandler); ok {
-					resp = ph.ServePush(req, pusher)
-				} else {
-					resp = s.handler.Serve(req)
-				}
-				resp.Corr = req.Corr
-				reply(resp)
+				serve(req)
 			}(req)
 		}
 	}

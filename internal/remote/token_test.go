@@ -1,0 +1,196 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"dosgi/internal/netsim"
+	"dosgi/internal/sim"
+)
+
+// tableSource is a fixed name→service table.
+type tableSource map[string]any
+
+func (s tableSource) Lookup(name string) (any, bool) {
+	svc, ok := s[name]
+	return svc, ok
+}
+
+// counter is deliberately NOT idempotent: every Next call observably
+// mutates state, so a double execution is visible in the count.
+type counter struct{ n int64 }
+
+func (c *counter) Next() int64 { c.n++; return c.n }
+func (c *counter) Ping() bool  { return true }
+
+// TestDedupRingAnswersReplayedToken: the dispatcher-level contract — a
+// replayed token returns the remembered response (with the replay's own
+// correlation id) without re-executing; untokened calls always execute.
+func TestDedupRingAnswersReplayedToken(t *testing.T) {
+	ctr := &counter{}
+	d := NewDispatcher(tableSource{"ctr": ctr}, WithDedupRing(4))
+
+	first := d.Serve(&Request{Corr: 1, Service: "ctr", Method: "Next", Token: 77})
+	if first.Status != StatusOK || first.Results[0].(int64) != 1 {
+		t.Fatalf("first execution: %+v", first)
+	}
+	replay := d.Serve(&Request{Corr: 2, Service: "ctr", Method: "Next", Token: 77})
+	if replay.Status != StatusOK || replay.Results[0].(int64) != 1 {
+		t.Fatalf("replay re-executed or lost the result: %+v", replay)
+	}
+	if replay.Corr != 2 {
+		t.Fatalf("replay kept the original correlation id %d", replay.Corr)
+	}
+	if ctr.n != 1 {
+		t.Fatalf("service executed %d times, want 1", ctr.n)
+	}
+	// Token zero is "no token" — every call executes.
+	d.Serve(&Request{Corr: 3, Service: "ctr", Method: "Next"})
+	d.Serve(&Request{Corr: 4, Service: "ctr", Method: "Next"})
+	if ctr.n != 3 {
+		t.Fatalf("untokened calls deduped: n=%d, want 3", ctr.n)
+	}
+}
+
+// TestDedupRingEvictsFIFO: the ring is bounded; the oldest token falls
+// out at capacity and a late replay of it re-executes (the documented
+// limit of "effectively"-once).
+func TestDedupRingEvictsFIFO(t *testing.T) {
+	ctr := &counter{}
+	d := NewDispatcher(tableSource{"ctr": ctr}, WithDedupRing(2))
+	d.Serve(&Request{Service: "ctr", Method: "Next", Token: 1})
+	d.Serve(&Request{Service: "ctr", Method: "Next", Token: 2})
+	d.Serve(&Request{Service: "ctr", Method: "Next", Token: 3}) // evicts 1
+	if ctr.n != 3 {
+		t.Fatalf("n=%d, want 3", ctr.n)
+	}
+	d.Serve(&Request{Service: "ctr", Method: "Next", Token: 2}) // still held
+	if ctr.n != 3 {
+		t.Fatalf("token 2 re-executed after eviction of 1: n=%d", ctr.n)
+	}
+	d.Serve(&Request{Service: "ctr", Method: "Next", Token: 1}) // evicted
+	if ctr.n != 4 {
+		t.Fatalf("evicted token 1 deduped: n=%d, want 4", ctr.n)
+	}
+}
+
+// TestDedupRingDoesNotCacheUnavailable: "not exported here" is a routing
+// answer, not an execution — it must not stick to a token, or a retry
+// after the service lands here would be wrongly refused forever.
+func TestDedupRingDoesNotCacheUnavailable(t *testing.T) {
+	src := tableSource{}
+	d := NewDispatcher(src, WithDedupRing(4))
+	miss := d.Serve(&Request{Service: "ctr", Method: "Next", Token: 5})
+	if miss.Status != StatusUnavailable {
+		t.Fatalf("missing service answered %+v", miss)
+	}
+	src["ctr"] = &counter{}
+	hit := d.Serve(&Request{Service: "ctr", Method: "Next", Token: 5})
+	if hit.Status != StatusOK || hit.Results[0].(int64) != 1 {
+		t.Fatalf("retry after migration answered the cached Unavailable: %+v", hit)
+	}
+}
+
+// tokenRig is a one-server simulated deployment whose response can be cut
+// off mid-call — the lost-reply scenario idempotency tokens exist for.
+type tokenRig struct {
+	eng     *sim.Engine
+	net     *netsim.Network
+	ctr     *counter
+	invoker *Invoker
+}
+
+func newTokenRig(t *testing.T, invOpts ...InvokerOption) *tokenRig {
+	t.Helper()
+	r := &tokenRig{eng: sim.New(21), ctr: &counter{}}
+	r.net = netsim.NewNetwork(r.eng)
+	serverNIC := r.net.AttachNode("srv")
+	if err := r.net.AssignIP("10.1.0.1", "srv"); err != nil {
+		t.Fatal(err)
+	}
+	clientNIC := r.net.AttachNode("cli")
+	if err := r.net.AssignIP("10.1.0.9", "cli"); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := ParseAddr("10.1.0.1:7200")
+	srv := NewNetsimServer(serverNIC, addr,
+		NewDispatcher(tableSource{"ctr": r.ctr}, WithDedupRing(16)))
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	transport := NewNetsimTransport(r.eng, clientNIC, "10.1.0.9",
+		WithNetsimCallTimeout(50*time.Millisecond))
+	resolver := NewStaticResolver()
+	// The same endpoint twice: the failover chain retries the SAME node,
+	// which is where a lost reply would double-execute without dedup.
+	ep := Endpoint{Node: "srv", Addr: "10.1.0.1:7200"}
+	resolver.Set("ctr", ep, ep)
+	r.invoker = NewInvoker(NewPool(transport), resolver, invOpts...)
+	return r
+}
+
+// lostReplyCall runs one Next call whose reply is dropped by a partition,
+// forcing a timeout retry against the same node, and returns the final
+// result the caller saw.
+func (r *tokenRig) lostReplyCall(t *testing.T) int64 {
+	t.Helper()
+	// Warm the connection so the loss hits an established stream.
+	warm := false
+	r.invoker.Go("ctr", "Ping", nil, func([]any, error) { warm = true })
+	r.eng.RunFor(5 * time.Millisecond)
+	if !warm {
+		t.Fatal("warm-up call never completed")
+	}
+
+	var results []any
+	var callErr error
+	done := false
+	r.invoker.Go("ctr", "Next", nil, func(res []any, err error) {
+		results, callErr, done = res, err, true
+	})
+	// The request frame is in flight; cut the link before it lands so the
+	// server executes the call but its response send is dropped.
+	r.net.Partition("srv", "cli")
+	r.eng.RunFor(2 * time.Millisecond)
+	if r.ctr.n == 0 {
+		t.Fatal("server never executed the first attempt")
+	}
+	r.net.Heal("srv", "cli")
+	// The call timeout fires, the invoker retries the same endpoint, the
+	// healed link carries the retry.
+	r.eng.RunFor(200 * time.Millisecond)
+	if !done {
+		t.Fatal("call never completed after retry")
+	}
+	if callErr != nil {
+		t.Fatalf("call failed: %v", callErr)
+	}
+	return results[0].(int64)
+}
+
+// TestLostReplyDoubleExecutesWithoutTokens pins the at-least-once
+// baseline: without tokens, a lost reply means the retry re-executes.
+func TestLostReplyDoubleExecutesWithoutTokens(t *testing.T) {
+	r := newTokenRig(t)
+	got := r.lostReplyCall(t)
+	if r.ctr.n != 2 {
+		t.Fatalf("executions = %d, want 2 (at-least-once baseline)", r.ctr.n)
+	}
+	if got != 2 {
+		t.Fatalf("caller saw %d, want the re-execution's 2", got)
+	}
+}
+
+// TestLostReplyEffectivelyOnceWithTokens is the upgrade: the retry carries
+// the first attempt's token, the dispatcher's dedup ring answers from
+// memory, and the call executes exactly once end to end.
+func TestLostReplyEffectivelyOnceWithTokens(t *testing.T) {
+	r := newTokenRig(t, WithIdempotencyTokens())
+	got := r.lostReplyCall(t)
+	if r.ctr.n != 1 {
+		t.Fatalf("executions = %d, want exactly 1", r.ctr.n)
+	}
+	if got != 1 {
+		t.Fatalf("caller saw %d, want the original execution's 1", got)
+	}
+}

@@ -29,6 +29,11 @@ func Retryable(err error) bool { return errors.Is(err, ErrUnavailable) }
 // DefaultCallTimeout bounds one call attempt on a connection.
 const DefaultCallTimeout = 2 * time.Second
 
+// DefaultBatchDelay is the micro-deadline a batching connection holds a
+// partially filled request window before flushing (docs/PROTOCOL.md §2.1):
+// long enough to coalesce a burst, far below any latency budget.
+const DefaultBatchDelay = 200 * time.Microsecond
+
 // Conn is one pipelined connection to an endpoint: many calls may be in
 // flight; responses correlate by id and may complete out of order.
 type Conn interface {
@@ -66,6 +71,18 @@ type PushConn interface {
 	PendingPushes() int
 }
 
+// BatchConn is a Conn that can coalesce pipelined requests into §2.1
+// multi-request frames after negotiating the capability with its peer.
+// Both in-repo transports implement it; Pool's WithBatching enables it on
+// every connection it dials.
+type BatchConn interface {
+	Conn
+	// EnableBatching opts the connection into coalescing up to max
+	// requests per flush, holding a partial window at most delay
+	// (DefaultBatchDelay when <= 0). Call before sharing the conn.
+	EnableBatching(max int, delay time.Duration)
+}
+
 // pendingCall tracks one outstanding request on a connection.
 type pendingCall struct {
 	cb     func(*Response, error)
@@ -74,11 +91,16 @@ type pendingCall struct {
 }
 
 // connCore implements correlation-id bookkeeping shared by the netsim and
-// TCP connections. The embedding transport provides sendFrame.
+// TCP connections. The embedding transport provides sendFrame (and
+// optionally sendFrames, the vectored multi-buffer flush batching uses).
 type connCore struct {
 	sched       clock.Scheduler
 	callTimeout time.Duration
 	sendFrame   func(frame []byte) error
+	// sendFrames, when set, writes several frames in one vectored flush
+	// wrapped as a single batch frame; nil falls back to
+	// sendFrame(EncodeBatch(...)).
+	sendFrames func(frames [][]byte) error
 	// rtt, when set, records call-issue→response round trips (responses
 	// only — timeouts and connection failures are not round trips).
 	rtt *obs.Histogram
@@ -89,6 +111,24 @@ type connCore struct {
 	closed      bool
 	established bool     // handshake done (netsim); TCP starts established
 	backlog     [][]byte // frames queued until established
+
+	// Request batching (docs/PROTOCOL.md §2.1). batchMax > 1 opts the conn
+	// in; coalescing starts only once the peer's HelloAck advertised
+	// featBatch (peerBatch) — until then, and against old peers forever,
+	// every frame goes out individually and semantics are unchanged.
+	batchMax   int
+	batchDelay time.Duration
+	peerBatch  bool
+	batch      []batchEntry
+	batchBytes int
+	batchTimer clock.Timer
+}
+
+// batchEntry is one encoded request waiting in the flush window; corr lets
+// a failed flush complete exactly the calls it carried.
+type batchEntry struct {
+	corr  uint64
+	frame []byte
 }
 
 func newConnCore(sched clock.Scheduler, callTimeout time.Duration, established bool) *connCore {
@@ -131,16 +171,112 @@ func (c *connCore) call(req *Request, cb func(*Response, error)) error {
 	c.pending[corr] = pc
 	pc.timer = c.sched.After(c.callTimeout, func() { c.complete(corr, nil, ErrTimeout) })
 	ready := c.established
-	if !ready {
+	batching := ready && c.batchMax > 1 && c.peerBatch
+	var flushNow bool
+	var preFlush []batchEntry
+	switch {
+	case !ready:
 		c.backlog = append(c.backlog, frame)
+	case batching:
+		// Hold the frame in the flush window: a full window flushes now,
+		// the first frame of a window arms the micro-deadline. A frame
+		// that would push the wrapped batch past MaxFrameSize flushes the
+		// queued window first, then starts the next one.
+		if len(c.batch) > 0 && c.batchBytes+len(frame)+16 > MaxFrameSize {
+			preFlush = c.batch
+			c.batch = nil
+			c.batchBytes = 0
+		}
+		c.batch = append(c.batch, batchEntry{corr: corr, frame: frame})
+		c.batchBytes += len(frame) + 10
+		if len(c.batch) >= c.batchMax {
+			flushNow = true
+		} else if c.batchTimer == nil {
+			c.batchTimer = c.sched.After(c.batchDelay, c.flushBatch)
+		}
 	}
 	c.mu.Unlock()
-	if ready {
+	if ready && !batching {
 		if err := c.sendFrame(frame); err != nil {
 			c.complete(corr, nil, fmt.Errorf("%w: %v", ErrUnavailable, err))
 		}
 	}
+	if preFlush != nil {
+		c.flushEntries(preFlush)
+	}
+	if flushNow {
+		c.flushBatch()
+	}
 	return nil
+}
+
+// enableBatching opts the connection into request coalescing: up to max
+// frames per flush, held at most delay. Takes effect once the peer
+// advertises batch support (setPeerFeatures).
+func (c *connCore) enableBatching(max int, delay time.Duration) {
+	if max < 2 {
+		return
+	}
+	if delay <= 0 {
+		delay = DefaultBatchDelay
+	}
+	c.mu.Lock()
+	c.batchMax = max
+	c.batchDelay = delay
+	c.mu.Unlock()
+}
+
+// setPeerFeatures records the capabilities a HelloAck advertised.
+func (c *connCore) setPeerFeatures(features byte) {
+	c.mu.Lock()
+	c.peerBatch = features&featBatch != 0
+	c.mu.Unlock()
+}
+
+// flushBatch sends the queued window — one wrapped batch frame for several
+// requests, a plain frame for a window of one. A flush failure completes
+// exactly the calls the window carried.
+func (c *connCore) flushBatch() {
+	c.mu.Lock()
+	if c.batchTimer != nil {
+		c.batchTimer.Cancel()
+		c.batchTimer = nil
+	}
+	entries := c.batch
+	c.batch = nil
+	c.batchBytes = 0
+	closed := c.closed
+	c.mu.Unlock()
+	if len(entries) == 0 || closed {
+		return
+	}
+	c.flushEntries(entries)
+}
+
+// flushEntries writes one already-detached window.
+func (c *connCore) flushEntries(entries []batchEntry) {
+	var err error
+	if len(entries) == 1 {
+		err = c.sendFrame(entries[0].frame)
+	} else {
+		frames := make([][]byte, len(entries))
+		for i, e := range entries {
+			frames[i] = e.frame
+		}
+		if c.sendFrames != nil {
+			err = c.sendFrames(frames)
+		} else {
+			var wrapped []byte
+			if wrapped, err = EncodeBatch(frames); err == nil {
+				err = c.sendFrame(wrapped)
+			}
+		}
+	}
+	if err != nil {
+		for _, e := range entries {
+			c.complete(e.corr, nil, fmt.Errorf("%w: %v", ErrUnavailable, err))
+		}
+	}
 }
 
 // establish flushes the backlog once the handshake completes.
@@ -206,6 +342,14 @@ func (c *connCore) shutdown(err error) bool {
 		victims = append(victims, pc)
 	}
 	c.backlog = nil
+	// Held batch entries die with their pending calls (failed below); the
+	// armed micro-deadline would only find an empty window.
+	c.batch = nil
+	c.batchBytes = 0
+	if c.batchTimer != nil {
+		c.batchTimer.Cancel()
+		c.batchTimer = nil
+	}
 	c.mu.Unlock()
 	for _, pc := range victims {
 		if pc.timer != nil {
