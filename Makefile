@@ -67,10 +67,11 @@ test-conformance:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
-# Machine-readable benchmark trajectory: E10–E12 appended as timestamped
+# Machine-readable benchmark trajectory: E10–E13 appended as timestamped
 # run points to BENCH_remote.json / BENCH_provision.json /
-# BENCH_events.json at the repo root. Commit the refreshed files after
-# performance work — each file carries its own run history.
+# BENCH_events.json / BENCH_directory.json at the repo root. Commit the
+# refreshed files after performance work — each file carries its own run
+# history.
 bench-json:
 	$(GO) run ./cmd/benchjson -out .
 

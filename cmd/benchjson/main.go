@@ -1,10 +1,13 @@
 // Command benchjson runs the scale experiments — E10 remote invocation,
-// E11 chunked artifact transfer, E12 event backpressure — and writes one
-// JSON file per experiment into the output directory:
+// E11 chunked artifact transfer, E12 event backpressure, E13 directory
+// sharding — and writes one JSON file per experiment into the output
+// directory:
 //
 //	BENCH_remote.json     E10: pipelined pool vs conn-per-call vs batched
 //	BENCH_provision.json  E11: transfer throughput across chunk sizes
 //	BENCH_events.json     E12: fast/slow subscribers, flow control off/on
+//	BENCH_directory.json  E13: convergence + per-node broadcast load,
+//	                      1k/10k/100k endpoints at 1/4/16 shards
 //
 // Each file holds the experiment's full trajectory (see internal/benchio):
 // a run APPENDS a timestamped point to the existing file instead of
@@ -37,6 +40,8 @@ func main() {
 	events := flag.Int("events", 2000, "E12: events published per mode")
 	creditWindow := flag.Int64("credit-window", 64, "E12: broker credit window")
 	slowDelay := flag.Duration("slow-delay", time.Millisecond, "E12: slow subscriber per-event delay")
+	dirNodes := flag.Int("dir-nodes", 8, "E13: cluster size")
+	dirMax := flag.Int("dir-max-endpoints", 100000, "E13: largest endpoint population (1k and 10k columns always run)")
 	flag.Parse()
 
 	chunkSizes := []int64{4 << 10, 64 << 10, 1 << 20}
@@ -64,6 +69,19 @@ func main() {
 	writeReport(*out, "BENCH_events.json", "E12EventBackpressure", map[string]any{
 		"events": *events, "creditWindow": *creditWindow, "slowDelayNs": slowDelay.Nanoseconds(),
 	}, e12)
+
+	endpointCounts := []int{1000, 10000}
+	if *dirMax > 10000 {
+		endpointCounts = append(endpointCounts, *dirMax)
+	}
+	shardCounts := []int{1, 4, 16}
+	e13, err := experiments.E13DirectorySharding(endpointCounts, shardCounts, *dirNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeReport(*out, "BENCH_directory.json", "E13DirectorySharding", map[string]any{
+		"endpoints": endpointCounts, "shards": shardCounts, "nodes": *dirNodes,
+	}, e13)
 }
 
 func writeReport(dir, file, experiment string, params map[string]any, rows any) {

@@ -108,6 +108,7 @@ import (
 	"dosgi/internal/core"
 	"dosgi/internal/health"
 	"dosgi/internal/manifest"
+	"dosgi/internal/migrate"
 	"dosgi/internal/module"
 	"dosgi/internal/obs"
 	"dosgi/internal/policy"
@@ -121,6 +122,7 @@ func main() {
 	listenAddr := flag.String("listen", "127.0.0.1:7700", "admin listen address")
 	remoteAddr := flag.String("remote", "127.0.0.1:7790", "remote-services listen address")
 	peers := flag.String("peers", "", "comma-separated remote-services addresses of peer daemons (failover targets)")
+	shards := flag.Int("shards", 1, "directory shard count of the cluster this daemon belongs to (rendezvous placement; reported by STATUS)")
 	debugAddr := flag.String("debug", "", "net/http/pprof listen address, e.g. 127.0.0.1:6060 (empty = disabled)")
 	hc := defaultHealthConfig()
 	flag.DurationVar(&hc.interval, "health-interval", hc.interval, "health evaluator tick interval")
@@ -140,7 +142,7 @@ func main() {
 		}()
 		log.Printf("dosgid: pprof on http://%s/debug/pprof/", *debugAddr)
 	}
-	d, err := newDaemon(*listenAddr, *remoteAddr, peerList, hc)
+	d, err := newDaemon(*listenAddr, *remoteAddr, peerList, *shards, hc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -226,6 +228,7 @@ type daemon struct {
 	services   *remote.CompositeSource
 	adminLn    net.Listener
 	peers      []string
+	router     migrate.ShardRouter
 	repo       *provision.Store
 	deployer   *provision.Deployer
 
@@ -493,7 +496,7 @@ func (d *daemon) peerLocations() map[string][]string {
 	return out
 }
 
-func newDaemon(adminAddr, remoteAddr string, peers []string, hc healthConfig) (*daemon, error) {
+func newDaemon(adminAddr, remoteAddr string, peers []string, shards int, hc healthConfig) (*daemon, error) {
 	sched := clock.NewReal()
 
 	defs := module.NewDefinitionRegistry()
@@ -587,13 +590,20 @@ func newDaemon(adminAddr, remoteAddr string, peers []string, hc healthConfig) (*
 	// invocations, replaying the current exports to new subscribers. The
 	// health broker serves dosgi.health beside it, replaying the fleet
 	// health view (PROTOCOL.md §6.4).
+	// The daemon's shard router mirrors the cluster's rendezvous placement
+	// (-shards N): STATUS reports the topology, and both brokers partition
+	// their replay rings by it so one shard's churn storm cannot evict
+	// another shard's replayable tail.
+	d.router = migrate.NewShardRouter(shards)
 	d.broker = remote.NewEventBroker(sched,
 		remote.WithEventSnapshot(d.exportSnapshot),
-		remote.WithBrokerAckHistogram(d.plane.EventAckLag))
+		remote.WithBrokerAckHistogram(d.plane.EventAckLag),
+		remote.WithReplayRingShards(d.router.Shards(), d.router.Shard))
 	d.healthView = make(map[string]remote.ServiceEvent)
 	d.healthBroker = remote.NewEventBroker(sched,
 		remote.WithBrokerService(remote.HealthServiceName),
-		remote.WithEventSnapshot(d.healthSnapshot))
+		remote.WithEventSnapshot(d.healthSnapshot),
+		remote.WithReplayRingShards(d.router.Shards(), d.router.Shard))
 	d.services = remote.NewCompositeSource(d.serviceSources)
 	exporter.OnChange(func(ev remote.ExportEvent) { d.publishExportEvent(ev, "") })
 	mgr.OnEvent(func(ev core.Event) {
@@ -967,9 +977,9 @@ func (d *daemon) serve(conn net.Conn) {
 			return
 		case "STATUS":
 			refs, _ := host.SystemContext().ServiceReferences("", "")
-			reply("framework=%s state=%s bundles=%d services=%d instances=%d exports=%d",
+			reply("framework=%s state=%s bundles=%d services=%d instances=%d exports=%d shards=%d",
 				host.Name(), host.State(), len(host.Bundles()), len(refs), len(mgr.List()),
-				len(d.exportNames()))
+				len(d.exportNames()), d.router.Shards())
 			reply("OK")
 		case "LIST":
 			for _, inst := range mgr.List() {

@@ -73,6 +73,30 @@ func WithReplicationFactor(n int) Option {
 	}
 }
 
+// WithDirectoryShards partitions the replicated directory's record
+// engine (endpoints, artifacts, health) into n rendezvous-hashed
+// shards on every node added later. Each shard runs its own GCS group
+// — own coordinator, epoch log, view and anti-entropy timer — with
+// shard-group member ids ranked (gcs.RankedID) so coordinators spread
+// across nodes and per-node sequencing load scales sub-linearly in
+// record count. n <= 1 keeps the single-group layout (the default).
+func WithDirectoryShards(n int) Option {
+	return func(c *Cluster) {
+		if n > 1 {
+			c.dirShards = n
+		}
+	}
+}
+
+// WithGCSMaxTotalLog overrides every member's retransmission-log cap
+// (the MaxTotalLog forced-view-change alarm). Negative disables the
+// cap — the directory-scale experiments announce record bursts far
+// larger than any heartbeat-ack window and must not trip the
+// slow-member alarm while doing so.
+func WithGCSMaxTotalLog(n int) Option {
+	return func(c *Cluster) { c.gcsMaxTotalLog = n }
+}
+
 // WithDirectoryResyncEvery sets the replicated directory's anti-entropy
 // period on every node added later: how often each node re-broadcasts
 // its authoritative endpoint and artifact-holding sets so records lost
@@ -101,6 +125,12 @@ type Cluster struct {
 	sanLatency     time.Duration
 	gcsHeartbeat   time.Duration
 	gcsFailTimeout time.Duration
+	gcsMaxTotalLog int
+
+	// dirShards is the directory shard count (0/1 = single group);
+	// shardDirs holds one group address book per shard.
+	dirShards int
+	shardDirs []*gcs.Directory
 
 	provKeyring  provision.Keyring
 	provPolicy   *security.Policy
@@ -133,6 +163,9 @@ func New(seed int64, opts ...Option) *Cluster {
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	for i := 0; i < c.dirShards; i++ {
+		c.shardDirs = append(c.shardDirs, gcs.NewDirectory())
 	}
 	c.eng = sim.New(seed)
 	c.net = netsim.NewNetwork(c.eng, netsim.WithLatency(c.netLatency))
@@ -228,21 +261,43 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 		Directory:         c.gdir,
 		HeartbeatInterval: c.gcsHeartbeat,
 		FailTimeout:       c.gcsFailTimeout,
+		MaxTotalLog:       c.gcsMaxTotalLog,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n.member = member
+	// One extra group member per directory shard, each on its own port
+	// with its own address book, joined under a ranked id so each shard
+	// group elects a different coordinator (rendezvous placement of the
+	// sequencer — the per-node broadcast-volume win of sharding).
+	for s := 0; s < c.dirShards; s++ {
+		sm, err := gcs.NewMember(c.eng, gcs.Config{
+			NodeID:            gcs.RankedID(shardGroupName(s), cfg.ID),
+			Addr:              netsim.Addr{IP: cfg.IP, Port: uint16(ShardGCSPort + s)},
+			NIC:               n.nic,
+			Directory:         c.shardDirs[s],
+			HeartbeatInterval: c.gcsHeartbeat,
+			FailTimeout:       c.gcsFailTimeout,
+			MaxTotalLog:       c.gcsMaxTotalLog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.shardMembers = append(n.shardMembers, sm)
+	}
 	mod, err := migrate.NewModule(migrate.Config{
-		NodeID:      cfg.ID,
-		Sched:       c.eng,
-		Member:      member,
-		Store:       c.store,
-		Manager:     n.manager,
-		CPUCapacity: int64(cfg.CPUCapacity),
-		MemCapacity: cfg.MemoryBytes,
-		Mode:        cfg.PlacementMode,
-		ResyncEvery: c.dirResyncEvery,
+		NodeID:       cfg.ID,
+		Sched:        c.eng,
+		Member:       member,
+		Store:        c.store,
+		Manager:      n.manager,
+		CPUCapacity:  int64(cfg.CPUCapacity),
+		MemCapacity:  cfg.MemoryBytes,
+		Mode:         cfg.PlacementMode,
+		ResyncEvery:  c.dirResyncEvery,
+		Shards:       c.dirShards,
+		ShardMembers: n.shardMembers,
 		// Failover to an artifact-less node transparently fetches first:
 		// restores wait until every bundle location the checkpoint needs
 		// is installable here.
@@ -283,6 +338,11 @@ func (c *Cluster) AddNode(cfg NodeConfig) (*Node, error) {
 	n.setupProvision()
 	if err := member.Start(); err != nil {
 		return nil, err
+	}
+	for _, sm := range n.shardMembers {
+		if err := sm.Start(); err != nil {
+			return nil, err
+		}
 	}
 	n.mon.Start()
 	c.metrics.RegisterProvider("node:"+cfg.ID, c.nodeProvider(n))
@@ -326,6 +386,7 @@ func directoryProvider(mod *migrate.Module) func() map[string]any {
 		add("endpoint", mod.EndpointStats())
 		add("artifact", mod.ArtifactStats())
 		add("health", mod.HealthStats())
+		out["shards"] = int64(mod.ShardCount())
 		return out
 	}
 }
@@ -333,13 +394,16 @@ func directoryProvider(mod *migrate.Module) func() map[string]any {
 func (c *Cluster) nodeProvider(n *Node) func() map[string]any {
 	return func() map[string]any {
 		cpuUsed, cpuTotal, memUsed, memTotal := n.mon.NodeUsage()
+		sent, recv := n.DirectoryMsgCounts()
 		return map[string]any{
-			"powered":  n.Powered(),
-			"cpuUsed":  int64(cpuUsed),
-			"cpuTotal": int64(cpuTotal),
-			"memUsed":  memUsed,
-			"memTotal": memTotal,
-			"tenants":  len(n.Instances()),
+			"powered":     n.Powered(),
+			"cpuUsed":     int64(cpuUsed),
+			"cpuTotal":    int64(cpuTotal),
+			"memUsed":     memUsed,
+			"memTotal":    memTotal,
+			"tenants":     len(n.Instances()),
+			"dirMsgsSent": sent,
+			"dirMsgsRecv": recv,
 		}
 	}
 }
@@ -432,6 +496,9 @@ func (c *Cluster) Crash(nodeID string) error {
 	n.mu.Unlock()
 	n.mon.Stop()
 	n.member.Crash()
+	for _, sm := range n.shardMembers {
+		sm.Crash()
+	}
 	n.teardownRemote()
 	n.teardownProvision()
 	n.vm.Stop()

@@ -30,6 +30,16 @@ import (
 // GCSPort is the port group-communication members bind on every node.
 const GCSPort = 7000
 
+// ShardGCSPort is the port directory-shard group members bind on every
+// node: shard s listens on ShardGCSPort+s (the range up to RemotePort
+// leaves room for 99 shards).
+const ShardGCSPort = 7001
+
+// shardGroupName names shard s's group — the salt mixed into each
+// member's ranked id so every shard group elects a different
+// coordinator (see gcs.RankedID).
+func shardGroupName(s int) string { return fmt.Sprintf("dir-shard-%02d", s) }
+
 // NodeConfig sizes a node.
 type NodeConfig struct {
 	ID string
@@ -68,23 +78,27 @@ type Node struct {
 	cluster *Cluster
 	cfg     NodeConfig
 
-	vm         *vjvm.VJVM
-	nic        *netsim.NIC
-	host       *module.Framework
-	defs       *module.DefinitionRegistry
-	manager    *core.Manager
-	member     *gcs.Member
-	mod        *migrate.Module
-	mon        *monitor.Monitor
-	logSvc     *services.LogService
-	exporter   *remote.Exporter
-	remoteSrv  *remote.NetsimServer
-	rtransport *remote.NetsimTransport
-	invoker    *remote.Invoker
-	importer   *remote.Importer
-	broker     *remote.EventBroker
-	prov       *nodeProvision
-	obsPlane   *obs.Plane
+	vm      *vjvm.VJVM
+	nic     *netsim.NIC
+	host    *module.Framework
+	defs    *module.DefinitionRegistry
+	manager *core.Manager
+	member  *gcs.Member
+	// shardMembers are the per-shard directory group members (empty in
+	// the single-group layout). Each joins its own group under a ranked
+	// id so shard coordinators spread across nodes.
+	shardMembers []*gcs.Member
+	mod          *migrate.Module
+	mon          *monitor.Monitor
+	logSvc       *services.LogService
+	exporter     *remote.Exporter
+	remoteSrv    *remote.NetsimServer
+	rtransport   *remote.NetsimTransport
+	invoker      *remote.Invoker
+	importer     *remote.Importer
+	broker       *remote.EventBroker
+	prov         *nodeProvision
+	obsPlane     *obs.Plane
 
 	// Health plane: the evaluator ticking rules over the obs plane, its
 	// announcement timer, the dosgi.health alert broker and the autonomic
@@ -124,6 +138,25 @@ func (n *Node) Manager() *core.Manager { return n.manager }
 
 // Member returns the node's group member.
 func (n *Node) Member() *gcs.Member { return n.member }
+
+// ShardMembers returns the node's directory-shard group members (empty
+// in the single-group layout).
+func (n *Node) ShardMembers() []*gcs.Member { return n.shardMembers }
+
+// DirectoryMsgCounts sums the wire messages sent and received by every
+// group member carrying directory traffic on this node — the main
+// member plus all shard members. E13 aggregates these per node to show
+// sub-linear per-node broadcast volume as shards are added.
+func (n *Node) DirectoryMsgCounts() (sent, received int64) {
+	st := n.member.Stats()
+	sent, received = st.MsgsSent, st.MsgsReceived
+	for _, sm := range n.shardMembers {
+		sst := sm.Stats()
+		sent += sst.MsgsSent
+		received += sst.MsgsReceived
+	}
+	return sent, received
+}
 
 // Migration returns the node's migration module.
 func (n *Node) Migration() *migrate.Module { return n.mod }

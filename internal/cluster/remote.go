@@ -93,6 +93,7 @@ func (n *Node) setupRemote() error {
 	// listener as invocations.
 	n.broker = remote.NewEventBroker(n.cluster.eng,
 		remote.WithBrokerAckHistogram(n.obsPlane.EventAckLag),
+		remote.WithReplayRingShards(n.mod.ShardCount(), n.mod.ShardOf),
 		remote.WithEventSnapshot(func() []remote.ServiceEvent {
 			var evs []remote.ServiceEvent
 			for _, info := range n.mod.Directory().Endpoints() {

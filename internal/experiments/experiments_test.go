@@ -256,3 +256,33 @@ func TestE10PipeliningBeatsPerCall(t *testing.T) {
 		t.Errorf("batched %.0f rps <= per-call %.0f rps", batched.Throughput, perCall.Throughput)
 	}
 }
+
+// TestE13ShardingFlattensBroadcastLoad: at a fixed endpoint population,
+// the sharded directory's hottest node must carry strictly less broadcast
+// traffic than the single-group coordinator, while both layouts converge
+// to complete replicas (the experiment errors out if any replica stays
+// incomplete).
+func TestE13ShardingFlattensBroadcastLoad(t *testing.T) {
+	rows, err := E13DirectorySharding([]int{2000}, []int{1, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	single, sharded := rows[0], rows[1]
+	if single.Shards != 1 || sharded.Shards != 8 {
+		t.Fatalf("shard columns = %d, %d", single.Shards, sharded.Shards)
+	}
+	for _, r := range rows {
+		if r.Converge <= 0 || r.MaxNodeSent <= 0 || r.TotalSent < r.MaxNodeSent {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	// The tentpole property: sequencing duty spreads across nodes, so the
+	// hottest node's sent traffic drops well below the lone coordinator's.
+	if sharded.MaxNodeSent*2 >= single.MaxNodeSent {
+		t.Errorf("sharded max-node sent %d not < half of single-group %d",
+			sharded.MaxNodeSent, single.MaxNodeSent)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dosgi/internal/clock"
@@ -129,6 +130,14 @@ type Member struct {
 	// logOverflows counts forced view changes raised by the MaxTotalLog
 	// cap — each one is a one-directional-fault alarm.
 	logOverflows int
+
+	// msgsSent/msgsReceived count wire messages through this member —
+	// heartbeats, views, order requests, sequenced broadcasts, gap
+	// retransmissions — the per-member traffic numbers the directory
+	// sharding experiment (E13) aggregates per node. Atomics: sendTo
+	// runs both under and outside mu.
+	msgsSent     atomic.Int64
+	msgsReceived atomic.Int64
 }
 
 // MemberStats is a point-in-time snapshot of a member's health counters,
@@ -136,8 +145,10 @@ type Member struct {
 // failure detector cannot see.
 type MemberStats struct {
 	ViewChanges  int
-	TotalLogSize int // retransmission-log entries currently held
-	LogOverflows int // forced view changes raised by the MaxTotalLog cap
+	TotalLogSize int   // retransmission-log entries currently held
+	LogOverflows int   // forced view changes raised by the MaxTotalLog cap
+	MsgsSent     int64 // wire messages transmitted by this member
+	MsgsReceived int64 // wire messages handled by this member
 }
 
 // Stats returns the member's health counters.
@@ -148,6 +159,8 @@ func (m *Member) Stats() MemberStats {
 		ViewChanges:  m.viewChanges,
 		TotalLogSize: len(m.totalLog),
 		LogOverflows: m.logOverflows,
+		MsgsSent:     m.msgsSent.Load(),
+		MsgsReceived: m.msgsReceived.Load(),
 	}
 }
 
@@ -540,6 +553,7 @@ func (m *Member) installView(v View) {
 
 // handle processes inbound wire messages on the event loop.
 func (m *Member) handle(nm netsim.Message) {
+	m.msgsReceived.Add(1)
 	switch p := nm.Payload.(type) {
 	case hbMsg:
 		m.mu.Lock()
@@ -885,5 +899,6 @@ func (m *Member) sendTo(id string, payload any) {
 	if !ok {
 		return
 	}
+	m.msgsSent.Add(1)
 	_ = m.cfg.NIC.Send(m.cfg.Addr, addr, payload, 128)
 }

@@ -1,0 +1,51 @@
+// Ranked member ids spread coordinator placement across groups. A group
+// elects the lexicographically lowest member id as its coordinator
+// (View.Coordinator), so when one process joins several groups under the
+// same plain node id — the sharded replicated directory runs one GCS
+// group per shard — every group would elect the same node and the
+// sequencing load of all shards would land on one box. A ranked id
+// prefixes the node id with a fixed-width hash of (group, node): the
+// sort order of the members, and therefore the coordinator, becomes a
+// per-group pseudo-random pick — rendezvous (highest-random-weight)
+// placement of the sequencer, with zero changes to the election logic.
+package gcs
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// rankSep separates the rank prefix from the node id inside a ranked
+// member id. Plain node ids must not contain it.
+const rankSep = "~"
+
+// RankedID returns the member id node should use inside group: a
+// fixed-width hex rank derived from (group, node) followed by the plain
+// node id. Ids rank differently in different groups, so coordinators
+// spread; the trailing node id keeps NodeOf exact and ids debuggable.
+func RankedID(group, node string) string {
+	h := fnv.New64a()
+	h.Write([]byte(group))
+	h.Write([]byte{0})
+	h.Write([]byte(node))
+	const hexdigits = "0123456789abcdef"
+	sum := h.Sum64()
+	var rank [16]byte
+	for i := 15; i >= 0; i-- {
+		rank[i] = hexdigits[sum&0xf]
+		sum >>= 4
+	}
+	return string(rank[:]) + rankSep + node
+}
+
+// NodeOf maps a member id back to the plain node id: the suffix after
+// the rank separator for ranked ids, the id itself otherwise. Code that
+// must translate view membership into node liveness (the replicated
+// directory's dead-holder pruning) works on both plain and ranked
+// groups through this one function.
+func NodeOf(id string) string {
+	if i := strings.Index(id, rankSep); i >= 0 {
+		return id[i+len(rankSep):]
+	}
+	return id
+}

@@ -216,6 +216,14 @@ func (d *Directory) RemoveEndpointsOf(node string) []EndpointInfo {
 	return d.endpoints.removeOf(node)
 }
 
+// removeEndpointsOfMatching is RemoveEndpointsOf restricted to services
+// satisfying match — the shard-scoped prune path.
+func (d *Directory) removeEndpointsOfMatching(node string, match func(string) bool) []EndpointInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.endpoints.removeOfMatching(node, match)
+}
+
 // ReplaceEndpointsOf makes infos the complete endpoint set of node,
 // dropping any stale records — the authoritative resync each node
 // broadcasts on view change, which re-converges replicas that missed
@@ -226,6 +234,15 @@ func (d *Directory) ReplaceEndpointsOf(node string, infos []EndpointInfo) (added
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.endpoints.replaceOf(node, infos)
+}
+
+// replaceEndpointsOfMatching is ReplaceEndpointsOf restricted to
+// services satisfying match — the per-shard authoritative sync, which
+// must not erase node's records owned by other shards' total orders.
+func (d *Directory) replaceEndpointsOfMatching(node string, infos []EndpointInfo, match func(string) bool) (added, updated, removed []EndpointInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.endpoints.replaceOfMatching(node, infos, match)
 }
 
 // EndpointsAt returns every endpoint record served at addr, sorted by
@@ -296,6 +313,14 @@ func (d *Directory) RemoveArtifactsOf(node string) []ArtifactInfo {
 	return d.artifacts.removeOf(node)
 }
 
+// removeArtifactsOfMatching is RemoveArtifactsOf restricted to digests
+// satisfying match — the shard-scoped prune path.
+func (d *Directory) removeArtifactsOfMatching(node string, match func(string) bool) []ArtifactInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.artifacts.removeOfMatching(node, match)
+}
+
 // ReplaceArtifactsOf makes infos the complete holding set of node — the
 // anti-entropy resync broadcast on view changes and periodic resync
 // ticks. The returned deltas are exact, matching ReplaceEndpointsOf: a
@@ -305,6 +330,14 @@ func (d *Directory) ReplaceArtifactsOf(node string, infos []ArtifactInfo) (added
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.artifacts.replaceOf(node, infos)
+}
+
+// replaceArtifactsOfMatching is ReplaceArtifactsOf restricted to
+// digests satisfying match — the per-shard authoritative sync.
+func (d *Directory) replaceArtifactsOfMatching(node string, infos []ArtifactInfo, match func(string) bool) (added, updated, removed []ArtifactInfo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.artifacts.replaceOfMatching(node, infos, match)
 }
 
 // ArtifactReplicas returns the holding records of digest, sorted by node.
@@ -372,6 +405,14 @@ func (d *Directory) RemoveHealthOf(node string) []health.Record {
 	return d.healths.removeOf(node)
 }
 
+// removeHealthOfMatching is RemoveHealthOf restricted to components
+// satisfying match — the shard-scoped prune path.
+func (d *Directory) removeHealthOfMatching(node string, match func(string) bool) []health.Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.removeOfMatching(node, match)
+}
+
 // ReplaceHealthOf makes recs the complete health-record set of node —
 // the anti-entropy resync broadcast on view changes and resync ticks.
 // Exact deltas, like the other two families: a replayed sync of a
@@ -380,6 +421,14 @@ func (d *Directory) ReplaceHealthOf(node string, recs []health.Record) (added, u
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.healths.replaceOf(node, recs)
+}
+
+// replaceHealthOfMatching is ReplaceHealthOf restricted to components
+// satisfying match — the per-shard authoritative sync.
+func (d *Directory) replaceHealthOfMatching(node string, recs []health.Record, match func(string) bool) (added, updated, removed []health.Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.healths.replaceOfMatching(node, recs, match)
 }
 
 // HealthFor returns every node's record of component, sorted by node.

@@ -149,6 +149,20 @@ type Config struct {
 	// first. done must be invoked exactly once; a non-nil error aborts
 	// the restore.
 	EnsureBundles func(locations []string, done func(error))
+	// Shards partitions the record engine (endpoints, artifacts, health)
+	// into this many rendezvous-hashed shards, each riding its own GCS
+	// group from ShardMembers — its own coordinator, epoch log, view and
+	// anti-entropy timer. 0 or 1 keeps the single-group layout: records
+	// ride Member exactly as before. Instance, node-capacity and
+	// migration traffic always stays on Member regardless.
+	Shards int
+	// ShardMembers are the per-shard GCS members (required when
+	// Shards > 1, exactly Shards of them). They usually join per-shard
+	// groups under ranked ids (gcs.RankedID) so coordinators spread
+	// across nodes; the module maps view members back to plain node ids
+	// through gcs.NodeOf. The caller starts and stops them alongside
+	// Member; Shutdown stops them after the main member leaves.
+	ShardMembers []*gcs.Member
 }
 
 // DefaultResyncEvery is the default directory anti-entropy period.
@@ -165,29 +179,25 @@ var (
 
 // Module is one node's migration agent.
 type Module struct {
-	cfg Config
-	dir *Directory
+	cfg    Config
+	dir    *Directory
+	router ShardRouter
+	// shards partition the record engine. The single-shard layout holds
+	// one shard riding cfg.Member (match nil); the sharded layout holds
+	// one per ShardMembers entry, each scoped to its rendezvous-hashed
+	// key subset. Announce/withdraw calls route by key; subscriber hooks
+	// observe the merged exact-delta stream of every shard.
+	shards []*dirShard
 
-	mu          sync.Mutex
-	started     bool
-	announced   bool
-	migrating   map[core.InstanceID]bool
-	listeners   []func(Event)
-	ckptTimer   clock.Timer
-	resyncTimer clock.Timer
-	// eps, arts and hlth are the three instances of the shared
-	// replicated-record engine (records.go): endpoints keyed by service,
-	// artifact holdings keyed by digest, health records keyed by
-	// component. Each tracks the records this node itself owns
-	// (re-broadcast on every view change and anti-entropy tick) and the
-	// exact-delta subscriber hooks.
-	eps  *recordFamily[EndpointInfo]
-	arts *recordFamily[ArtifactInfo]
-	hlth *recordFamily[health.Record]
+	mu        sync.Mutex
+	started   bool
+	migrating map[core.InstanceID]bool
+	listeners []func(Event)
+	ckptTimer clock.Timer
 }
 
 // NewModule builds the module; call Start *before* starting the group
-// member so no view change is missed.
+// member (and any shard members) so no view change is missed.
 func NewModule(cfg Config) (*Module, error) {
 	if cfg.NodeID == "" || cfg.Sched == nil || cfg.Member == nil || cfg.Store == nil || cfg.Manager == nil {
 		return nil, errors.New("migrate: incomplete config")
@@ -198,33 +208,38 @@ func NewModule(cfg Config) (*Module, error) {
 	if cfg.ResyncEvery == 0 {
 		cfg.ResyncEvery = DefaultResyncEvery
 	}
-	return &Module{
+	if cfg.Shards > 1 && len(cfg.ShardMembers) != cfg.Shards {
+		return nil, fmt.Errorf("migrate: %d shards need exactly %d shard members, got %d",
+			cfg.Shards, cfg.Shards, len(cfg.ShardMembers))
+	}
+	m := &Module{
 		cfg:       cfg,
 		dir:       NewDirectory(),
+		router:    NewShardRouter(cfg.Shards),
 		migrating: make(map[core.InstanceID]bool),
-		eps: &recordFamily[EndpointInfo]{
-			key:        func(e EndpointInfo) string { return e.Service },
-			owned:      make(map[string]EndpointInfo),
-			wirePut:    func(e EndpointInfo) any { return endpointPut{Info: e} },
-			wireRemove: func(service, node string) any { return endpointRemove{Service: service, Node: node} },
-			wireSync:   func(node string, infos []EndpointInfo) any { return endpointSync{Node: node, Infos: infos} },
-		},
-		arts: &recordFamily[ArtifactInfo]{
-			key:        func(a ArtifactInfo) string { return a.Digest },
-			owned:      make(map[string]ArtifactInfo),
-			wirePut:    func(a ArtifactInfo) any { return artifactPut{Info: a} },
-			wireRemove: func(digest, node string) any { return artifactRemove{Digest: digest, Node: node} },
-			wireSync:   func(node string, infos []ArtifactInfo) any { return artifactSync{Node: node, Infos: infos} },
-		},
-		hlth: &recordFamily[health.Record]{
-			key:        func(h health.Record) string { return h.Component },
-			owned:      make(map[string]health.Record),
-			wirePut:    func(h health.Record) any { return healthPut{Info: h} },
-			wireRemove: func(component, node string) any { return healthRemove{Component: component, Node: node} },
-			wireSync:   func(node string, infos []health.Record) any { return healthSync{Node: node, Infos: infos} },
-		},
-	}, nil
+	}
+	if cfg.Shards > 1 {
+		m.shards = make([]*dirShard, cfg.Shards)
+		for i, sm := range cfg.ShardMembers {
+			shard := i
+			m.shards[i] = newDirShard(m, i, sm, func(key string) bool {
+				return m.router.Shard(key) == shard
+			})
+		}
+	} else {
+		m.shards = []*dirShard{newDirShard(m, 0, cfg.Member, nil)}
+	}
+	return m, nil
 }
+
+// ShardCount returns the number of directory shards (1 in the
+// single-group layout).
+func (m *Module) ShardCount() int { return m.router.Shards() }
+
+// ShardOf returns the shard owning a record key — identical on every
+// node, so consumers can reason about which shard group sequences a
+// given service, digest or component.
+func (m *Module) ShardOf(key string) int { return m.router.Shard(key) }
 
 // Directory returns this node's replica of the cluster directory.
 func (m *Module) Directory() *Directory { return m.dir }
@@ -245,7 +260,11 @@ func (m *Module) emit(ev Event) {
 	}
 }
 
-// Start hooks the module into the group member and the instance manager.
+// Start hooks the module into the group members and the instance
+// manager. Each shard registers its own view/deliver handlers on its
+// own member (record handlers register before the instance-level ones,
+// preserving the resync-before-placement order of the single-group
+// engine) and runs its own anti-entropy timer.
 func (m *Module) Start() error {
 	m.mu.Lock()
 	if m.started {
@@ -255,6 +274,10 @@ func (m *Module) Start() error {
 	m.started = true
 	m.mu.Unlock()
 
+	for _, s := range m.shards {
+		s.member.OnViewChange(s.onView)
+		s.member.OnDeliver(s.onDeliver)
+	}
 	m.cfg.Member.OnViewChange(m.onView)
 	m.cfg.Member.OnDeliver(m.onDeliver)
 	m.cfg.Manager.OnEvent(m.onInstanceEvent)
@@ -262,47 +285,36 @@ func (m *Module) Start() error {
 	if m.cfg.CheckpointEvery > 0 {
 		m.ckptTimer = m.cfg.Sched.Every(m.cfg.CheckpointEvery, m.checkpointAll)
 	}
-	if m.cfg.ResyncEvery > 0 {
-		m.resyncTimer = m.cfg.Sched.Every(m.cfg.ResyncEvery, m.antiEntropy)
-	}
 	m.mu.Unlock()
+	if m.cfg.ResyncEvery > 0 {
+		for _, s := range m.shards {
+			shard := s
+			s.mu.Lock()
+			s.resyncTimer = m.cfg.Sched.Every(m.cfg.ResyncEvery, shard.antiEntropy)
+			s.mu.Unlock()
+		}
+	}
 	return nil
 }
 
-// Stop halts periodic checkpointing and anti-entropy (the group member
-// is stopped separately, usually through Shutdown).
+// Stop halts periodic checkpointing and every shard's anti-entropy (the
+// group members are stopped separately, usually through Shutdown).
 func (m *Module) Stop() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.ckptTimer != nil {
 		m.ckptTimer.Cancel()
 		m.ckptTimer = nil
 	}
-	if m.resyncTimer != nil {
-		m.resyncTimer.Cancel()
-		m.resyncTimer = nil
-	}
 	m.started = false
-}
-
-// antiEntropy re-broadcasts this node's authoritative record sets —
-// endpoints AND artifact holdings. A total-order broadcast lost to a
-// partition blip short enough to leave the membership view intact has no
-// view change to trigger the resync; this periodic replay converges
-// those records too. Exact deltas mean a converged directory produces no
-// events in either family.
-func (m *Module) antiEntropy() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.started || !m.announced {
-		return
+	m.mu.Unlock()
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if s.resyncTimer != nil {
+			s.resyncTimer.Cancel()
+			s.resyncTimer = nil
+		}
+		s.mu.Unlock()
 	}
-	// Snapshot and broadcast atomically: a sync submitted after a
-	// concurrent announce/withdraw must reflect it, or total-order
-	// sequencing could apply the stale snapshot last.
-	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
-	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
-	m.broadcast(m.hlth.wireSync(m.cfg.NodeID, m.hlth.localSet()))
 }
 
 // CheckpointPath returns the SAN location of an instance's state.
@@ -324,11 +336,26 @@ func (m *Module) buildInfo(inst *core.Instance) InstanceInfo {
 	}
 }
 
-// broadcast sends a totally-ordered message, silently dropping it when the
-// member is not yet in a view (the first view announce re-publishes
-// everything).
+// broadcast sends a totally-ordered message on the main group, silently
+// dropping it when the member is not yet in a view (the first view
+// announce re-publishes everything). Record mutations ride the owning
+// shard's group instead — see dirShard.broadcast.
 func (m *Module) broadcast(body any) {
 	_ = m.cfg.Member.Broadcast(body, gcs.Total)
+}
+
+// shardFor returns the shard owning a record key.
+func (m *Module) shardFor(key string) *dirShard {
+	return m.shards[m.router.Shard(key)]
+}
+
+// antiEntropy triggers one immediate resync on every shard. Production
+// resync runs on the per-shard timers; this is the forced-resync hook
+// tests use to race a sync against failure detection.
+func (m *Module) antiEntropy() {
+	for _, s := range m.shards {
+		s.antiEntropy()
+	}
 }
 
 // AnnounceEndpoint records and broadcasts a remotely invocable service
@@ -343,7 +370,8 @@ func (m *Module) AnnounceEndpoint(service, addr string) {
 // exports). Re-announcing an existing (service, node) record surfaces as
 // an UPDATED endpoint change — a MODIFIED service event — on every node.
 func (m *Module) AnnounceEndpointFor(service, addr, instance string) {
-	announceRecord(m, m.eps, EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance})
+	s := m.shardFor(service)
+	announceRecord(s, s.eps, EndpointInfo{Service: service, Node: m.cfg.NodeID, Addr: addr, Instance: instance})
 }
 
 // WithdrawEndpoint broadcasts that this node's host framework stopped
@@ -359,14 +387,15 @@ func (m *Module) WithdrawEndpoint(service string) {
 // instance whose export name collides with a live host export — from
 // erasing the surviving owner's record cluster-wide.
 func (m *Module) WithdrawEndpointFor(service, instance string) {
-	m.mu.Lock()
-	info, owned := m.eps.owned[service]
+	s := m.shardFor(service)
+	s.mu.Lock()
+	info, owned := s.eps.owned[service]
 	if !owned || info.Instance != instance {
-		m.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	withdrawRecordLocked(m, m.eps, service)
-	m.mu.Unlock()
+	withdrawRecordLocked(s, s.eps, service)
+	s.mu.Unlock()
 }
 
 // AnnounceArtifact records and broadcasts that this node holds a copy of
@@ -374,16 +403,18 @@ func (m *Module) WithdrawEndpointFor(service, instance string) {
 // verified fetch).
 func (m *Module) AnnounceArtifact(info ArtifactInfo) {
 	info.Node = m.cfg.NodeID
-	announceRecord(m, m.arts, info)
+	s := m.shardFor(info.Digest)
+	announceRecord(s, s.arts, info)
 }
 
 // WithdrawArtifact broadcasts that this node no longer holds the artifact.
 func (m *Module) WithdrawArtifact(digest string) {
-	m.mu.Lock()
-	if _, owned := m.arts.owned[digest]; owned {
-		withdrawRecordLocked(m, m.arts, digest)
+	s := m.shardFor(digest)
+	s.mu.Lock()
+	if _, owned := s.arts.owned[digest]; owned {
+		withdrawRecordLocked(s, s.arts, digest)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // AnnounceHealth records and broadcasts this node's health for one
@@ -391,40 +422,44 @@ func (m *Module) WithdrawArtifact(digest string) {
 // node field is stamped here: a node only ever speaks for itself.
 func (m *Module) AnnounceHealth(rec health.Record) {
 	rec.Node = m.cfg.NodeID
-	announceRecord(m, m.hlth, rec)
+	s := m.shardFor(rec.Component)
+	announceRecord(s, s.hlth, rec)
 }
 
 // WithdrawHealth broadcasts that this node no longer reports health for
 // component (e.g. the watched subsystem was torn down).
 func (m *Module) WithdrawHealth(component string) {
-	m.mu.Lock()
-	if _, owned := m.hlth.owned[component]; owned {
-		withdrawRecordLocked(m, m.hlth, component)
+	s := m.shardFor(component)
+	s.mu.Lock()
+	if _, owned := s.hlth.owned[component]; owned {
+		withdrawRecordLocked(s, s.hlth, component)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 }
 
-// announceRecord records info as locally owned and broadcasts the put.
-// The broadcast submits under the module lock: record broadcasts must
-// sequence in the same order the local state mutates, or a concurrent
-// anti-entropy sync whose snapshot predates this change could be
-// sequenced after it and briefly erase the record cluster-wide (m.mu →
-// member internals is a safe lock order; deliveries run with both
-// released). This holds on a real clock, not just the single-threaded
-// simulator — both families now share it.
-func announceRecord[V comparable](m *Module, f *recordFamily[V], info V) {
-	m.mu.Lock()
+// announceRecord records info as locally owned in its shard and
+// broadcasts the put on the shard's group. The broadcast submits under
+// the shard lock: record broadcasts must sequence in the same order the
+// local state mutates, or a concurrent anti-entropy sync whose snapshot
+// predates this change could be sequenced after it and briefly erase
+// the record cluster-wide (shard mu → member internals is a safe lock
+// order; deliveries run with both released). This holds on a real
+// clock, not just the single-threaded simulator. Per-shard locks mean
+// the ordering is pinned per shard — exactly as strong as the per-key
+// guarantee consumers rely on, since a key never changes shards.
+func announceRecord[V comparable](s *dirShard, f *recordFamily[V], info V) {
+	s.mu.Lock()
 	f.owned[f.key(info)] = info
-	m.broadcast(f.wirePut(info))
-	m.mu.Unlock()
+	s.broadcast(f.wirePut(info))
+	s.mu.Unlock()
 }
 
 // withdrawRecordLocked drops local ownership of key and broadcasts the
-// removal, under the module lock for the same submission-order reason as
-// announceRecord. Callers hold m.mu.
-func withdrawRecordLocked[V comparable](m *Module, f *recordFamily[V], key string) {
+// removal on the shard's group, under the shard lock for the same
+// submission-order reason as announceRecord. Callers hold s.mu.
+func withdrawRecordLocked[V comparable](s *dirShard, f *recordFamily[V], key string) {
 	delete(f.owned, key)
-	m.broadcast(f.wireRemove(key, m.cfg.NodeID))
+	s.broadcast(f.wireRemove(key, s.nodeID))
 }
 
 // OnArtifactChange subscribes to replicated artifact-record changes. The
@@ -433,9 +468,11 @@ func withdrawRecordLocked[V comparable](m *Module, f *recordFamily[V], key strin
 // delivered change to be a real one instead of re-scanning the whole
 // index on every hook.
 func (m *Module) OnArtifactChange(fn func(ArtifactChange)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.arts.hooks = append(m.arts.hooks, fn)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.arts.hooks = append(s.arts.hooks, fn)
+		s.mu.Unlock()
+	}
 }
 
 // OnEndpointChange subscribes to replicated endpoint-record changes. The
@@ -443,9 +480,11 @@ func (m *Module) OnArtifactChange(fn func(ArtifactChange)) {
 // a subscriber bridging these changes onto the remote event stream never
 // emits duplicates after a partition heals.
 func (m *Module) OnEndpointChange(fn func(EndpointChange)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.eps.hooks = append(m.eps.hooks, fn)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.eps.hooks = append(s.eps.hooks, fn)
+		s.mu.Unlock()
+	}
 }
 
 // OnHealthChange subscribes to replicated health-record changes. The
@@ -453,39 +492,77 @@ func (m *Module) OnEndpointChange(fn func(EndpointChange)) {
 // nothing — so subscribers (alert bridges, autonomic rules) can treat
 // every delivered change as a real state transition or arrival.
 func (m *Module) OnHealthChange(fn func(HealthChange)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.hlth.hooks = append(m.hlth.hooks, fn)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.hlth.hooks = append(s.hlth.hooks, fn)
+		s.mu.Unlock()
+	}
 }
 
-// EndpointStats returns the endpoint family's directory counters.
+// EndpointStats returns the endpoint family's directory counters,
+// summed across shards.
 func (m *Module) EndpointStats() FamilyStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.eps.stats
+	return sumStats(m.shards, func(s *dirShard) *recordFamily[EndpointInfo] { return s.eps })
 }
 
-// ArtifactStats returns the artifact family's directory counters.
+// ArtifactStats returns the artifact family's directory counters,
+// summed across shards.
 func (m *Module) ArtifactStats() FamilyStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.arts.stats
+	return sumStats(m.shards, func(s *dirShard) *recordFamily[ArtifactInfo] { return s.arts })
 }
 
-// HealthStats returns the health family's directory counters.
+// HealthStats returns the health family's directory counters, summed
+// across shards.
 func (m *Module) HealthStats() FamilyStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hlth.stats
+	return sumStats(m.shards, func(s *dirShard) *recordFamily[health.Record] { return s.hlth })
+}
+
+// ShardStats returns the per-shard family counters plus each shard
+// group's current membership size, in shard order.
+func (m *Module) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i, s := range m.shards {
+		members := len(s.member.View().Members)
+		s.mu.Lock()
+		out[i] = ShardStats{
+			Shard:     s.id,
+			Members:   members,
+			Endpoints: s.eps.stats,
+			Artifacts: s.arts.stats,
+			Health:    s.hlth.stats,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// sumStats aggregates one family's counters over every shard.
+func sumStats[V comparable](shards []*dirShard, fam func(*dirShard) *recordFamily[V]) FamilyStats {
+	var sum FamilyStats
+	for _, s := range shards {
+		s.mu.Lock()
+		st := fam(s).stats
+		s.mu.Unlock()
+		sum.Puts += st.Puts
+		sum.Removes += st.Removes
+		sum.Syncs += st.Syncs
+		sum.Added += st.Added
+		sum.Updated += st.Updated
+		sum.Removed += st.Removed
+		sum.SilentSyncs += st.SilentSyncs
+		sum.Pruned += st.Pruned
+		sum.Filtered += st.Filtered
+	}
+	return sum
 }
 
 // notifyRecords fans exact deltas out to the family's subscribers,
 // counting them. Hooks run with no locks held.
-func notifyRecords[V comparable](m *Module, f *recordFamily[V], chs ...Change[V]) {
+func notifyRecords[V comparable](s *dirShard, f *recordFamily[V], chs ...Change[V]) {
 	if len(chs) == 0 {
 		return
 	}
-	m.mu.Lock()
+	s.mu.Lock()
 	for _, ch := range chs {
 		switch ch.Type {
 		case Added:
@@ -497,7 +574,7 @@ func notifyRecords[V comparable](m *Module, f *recordFamily[V], chs ...Change[V]
 		}
 	}
 	hooks := append(make([]func(Change[V]), 0, len(f.hooks)), f.hooks...)
-	m.mu.Unlock()
+	s.mu.Unlock()
 	for _, fn := range hooks {
 		for _, ch := range chs {
 			fn(ch)
@@ -506,20 +583,22 @@ func notifyRecords[V comparable](m *Module, f *recordFamily[V], chs ...Change[V]
 }
 
 // recordHolderLive reports whether a replicated mutation's holder is
-// still a member of the current view. Mutations from departed holders
-// are dropped: a message sequenced before the holder's departure but
-// applied after it — the view-install flush path — would otherwise
-// resurrect dead records on exactly the replicas that buffered it,
-// making dead-holder pruning nondeterministic under concurrent view
-// changes. By apply time every member has the new view installed, so
-// every member drops (or keeps) the same mutations.
-func recordHolderLive[V comparable](m *Module, f *recordFamily[V], holder string) bool {
-	if m.cfg.Member.View().Contains(holder) {
+// still a member of the shard's current view. Mutations from departed
+// holders are dropped: a message sequenced before the holder's
+// departure but applied after it — the view-install flush path — would
+// otherwise resurrect dead records on exactly the replicas that
+// buffered it, making dead-holder pruning nondeterministic under
+// concurrent view changes. By apply time every member has the new view
+// installed, so every member drops (or keeps) the same mutations. The
+// check runs against the OWNING shard's view — shard views change
+// independently, and only the shard sequencing a key decides its fate.
+func recordHolderLive[V comparable](s *dirShard, f *recordFamily[V], holder string) bool {
+	if s.holderLive(holder) {
 		return true
 	}
-	m.mu.Lock()
+	s.mu.Lock()
 	f.stats.Filtered++
-	m.mu.Unlock()
+	s.mu.Unlock()
 	return false
 }
 
@@ -527,56 +606,58 @@ func recordHolderLive[V comparable](m *Module, f *recordFamily[V], holder string
 // of an existing record (even with identical content) is deliberately an
 // Updated change: it is how a holder signals a MODIFIED service to
 // remote listeners.
-func applyRecordPut[V comparable](m *Module, f *recordFamily[V], holder string, info V, put func(V) bool) {
-	if !recordHolderLive(m, f, holder) {
+func applyRecordPut[V comparable](s *dirShard, f *recordFamily[V], holder string, info V, put func(V) bool) {
+	if !recordHolderLive(s, f, holder) {
 		return
 	}
-	m.mu.Lock()
+	s.mu.Lock()
 	f.stats.Puts++
-	m.mu.Unlock()
+	s.mu.Unlock()
 	kind := Added
 	if put(info) {
 		kind = Updated
 	}
-	notifyRecords(m, f, Change[V]{Type: kind, Info: info})
+	notifyRecords(s, f, Change[V]{Type: kind, Info: info})
 }
 
 // applyRecordRemove applies a replicated incremental removal.
-func applyRecordRemove[V comparable](m *Module, f *recordFamily[V], holder, key string, remove func(key, holder string) (V, bool)) {
-	if !recordHolderLive(m, f, holder) {
+func applyRecordRemove[V comparable](s *dirShard, f *recordFamily[V], holder, key string, remove func(key, holder string) (V, bool)) {
+	if !recordHolderLive(s, f, holder) {
 		return
 	}
-	m.mu.Lock()
+	s.mu.Lock()
 	f.stats.Removes++
-	m.mu.Unlock()
+	s.mu.Unlock()
 	if info, ok := remove(key, holder); ok {
-		notifyRecords(m, f, Change[V]{Type: Removed, Info: info})
+		notifyRecords(s, f, Change[V]{Type: Removed, Info: info})
 	}
 }
 
 // applyRecordSync applies a replicated authoritative per-holder sync,
 // emitting only the exact deltas. A converged replay is silent.
-func applyRecordSync[V comparable](m *Module, f *recordFamily[V], holder string, infos []V, replace func(string, []V) (added, updated, removed []V)) {
-	if !recordHolderLive(m, f, holder) {
+func applyRecordSync[V comparable](s *dirShard, f *recordFamily[V], holder string, infos []V, replace func(string, []V) (added, updated, removed []V)) {
+	if !recordHolderLive(s, f, holder) {
 		return
 	}
 	added, updated, removed := replace(holder, infos)
-	m.mu.Lock()
+	s.mu.Lock()
 	f.stats.Syncs++
 	if len(added)+len(updated)+len(removed) == 0 {
 		f.stats.SilentSyncs++
 	}
-	m.mu.Unlock()
-	notifyRecords(m, f, changes(Added, added)...)
-	notifyRecords(m, f, changes(Updated, updated)...)
-	notifyRecords(m, f, changes(Removed, removed)...)
+	s.mu.Unlock()
+	notifyRecords(s, f, changes(Added, added)...)
+	notifyRecords(s, f, changes(Updated, updated)...)
+	notifyRecords(s, f, changes(Removed, removed)...)
 }
 
 // pruneDeadHolders removes every record of this family whose holder left
-// the view, notifying exact Removed deltas. Every replica prunes the
-// same records from the same view in the same (sorted) holder order, so
-// directories converge without a broadcast.
-func pruneDeadHolders[V comparable](m *Module, f *recordFamily[V], holderOf func(V) string,
+// the shard's view, notifying exact Removed deltas. Every replica prunes
+// the same records from the same view in the same (sorted) holder order,
+// so directories converge without a broadcast. removeOf is shard-scoped:
+// only keys the shard owns are touched, so one shard's view change never
+// disturbs records sequenced by another shard's group.
+func pruneDeadHolders[V comparable](s *dirShard, f *recordFamily[V], holderOf func(V) string,
 	all func() []V, removeOf func(string) []V, memberSet map[string]bool) {
 	dead := make(map[string]bool)
 	for _, v := range all() {
@@ -591,35 +672,26 @@ func pruneDeadHolders[V comparable](m *Module, f *recordFamily[V], holderOf func
 	sort.Strings(holders)
 	for _, node := range holders {
 		removed := removeOf(node)
-		m.mu.Lock()
+		s.mu.Lock()
 		f.stats.Pruned += int64(len(removed))
-		m.mu.Unlock()
-		notifyRecords(m, f, changes(Removed, removed)...)
+		s.mu.Unlock()
+		notifyRecords(s, f, changes(Removed, removed)...)
 	}
 }
 
-// onView reacts to membership changes: (re-)announcement and crash
-// redeployment. Announcing on every view keeps directories convergent
-// across the singleton-view merges that happen at cluster startup and
-// after healed partitions.
+// onView reacts to main-group membership changes: (re-)announcement and
+// crash redeployment. Announcing on every view keeps directories
+// convergent across the singleton-view merges that happen at cluster
+// startup and after healed partitions. Record-family resync and pruning
+// run per shard on each shard's own view changes (dirShard.onView); in
+// the single-shard layout that handler shares this member and fires on
+// the same views.
 func (m *Module) onView(v gcs.View) {
-	m.mu.Lock()
-	m.announced = true
 	m.broadcast(nodeAnnounce{Info: NodeInfo{
 		Node:        m.cfg.NodeID,
 		CPUCapacity: m.cfg.CPUCapacity,
 		MemCapacity: m.cfg.MemCapacity,
 	}})
-	// Authoritative resync, not incremental puts: an empty set clears
-	// records peers kept while a withdrawal was partitioned away.
-	// Snapshot and broadcast under the lock, like every other record
-	// broadcast — on a real clock a concurrent announce could otherwise
-	// sequence between an unlocked snapshot and its submission, and the
-	// stale snapshot would erase it.
-	m.broadcast(m.eps.wireSync(m.cfg.NodeID, m.eps.localSet()))
-	m.broadcast(m.arts.wireSync(m.cfg.NodeID, m.arts.localSet()))
-	m.broadcast(m.hlth.wireSync(m.cfg.NodeID, m.hlth.localSet()))
-	m.mu.Unlock()
 	for _, inst := range m.cfg.Manager.List() {
 		m.mu.Lock()
 		moving := m.migrating[inst.ID()]
@@ -636,16 +708,6 @@ func (m *Module) onView(v gcs.View) {
 	for _, id := range v.Members {
 		memberSet[id] = true
 	}
-	// Records of departed holders vanish with them — endpoints, artifact
-	// holdings and health records through the identical engine path, with
-	// exact Removed deltas for every family's subscribers. A dead node's
-	// health record is pruned deterministically: no phantom health.
-	pruneDeadHolders(m, m.eps, func(e EndpointInfo) string { return e.Node },
-		m.dir.Endpoints, m.dir.RemoveEndpointsOf, memberSet)
-	pruneDeadHolders(m, m.arts, func(a ArtifactInfo) string { return a.Node },
-		m.dir.Artifacts, m.dir.RemoveArtifactsOf, memberSet)
-	pruneDeadHolders(m, m.hlth, func(h health.Record) string { return h.Node },
-		m.dir.HealthRecords, m.dir.RemoveHealthOf, memberSet)
 	lostNodes := make(map[string]bool)
 	var failed []InstanceInfo
 	for _, info := range m.dir.Instances() {
@@ -754,7 +816,10 @@ func checkpointLocations(chk *core.Checkpoint) []string {
 	return out
 }
 
-// onDeliver applies replicated directory updates and migration handoffs.
+// onDeliver applies replicated instance/node updates and migration
+// handoffs from the main group. Record-family mutations arrive on their
+// owning shard's group and are applied by dirShard.onDeliver (which, in
+// the single-shard layout, is a second handler on this same member).
 func (m *Module) onDeliver(msg gcs.Message) {
 	switch body := msg.Body.(type) {
 	case nodeAnnounce:
@@ -763,24 +828,6 @@ func (m *Module) onDeliver(msg gcs.Message) {
 		m.dir.PutInstance(body.Info)
 	case instanceRemove:
 		m.dir.RemoveInstance(body.ID)
-	case endpointPut:
-		applyRecordPut(m, m.eps, body.Info.Node, body.Info, m.dir.PutEndpoint)
-	case endpointRemove:
-		applyRecordRemove(m, m.eps, body.Node, body.Service, m.dir.RemoveEndpoint)
-	case endpointSync:
-		applyRecordSync(m, m.eps, body.Node, body.Infos, m.dir.ReplaceEndpointsOf)
-	case artifactPut:
-		applyRecordPut(m, m.arts, body.Info.Node, body.Info, m.dir.PutArtifact)
-	case artifactRemove:
-		applyRecordRemove(m, m.arts, body.Node, body.Digest, m.dir.RemoveArtifact)
-	case artifactSync:
-		applyRecordSync(m, m.arts, body.Node, body.Infos, m.dir.ReplaceArtifactsOf)
-	case healthPut:
-		applyRecordPut(m, m.hlth, body.Info.Node, body.Info, m.dir.PutHealth)
-	case healthRemove:
-		applyRecordRemove(m, m.hlth, body.Node, body.Component, m.dir.RemoveHealth)
-	case healthSync:
-		applyRecordSync(m, m.hlth, body.Node, body.Infos, m.dir.ReplaceHealthOf)
 	case migrationAnnounce:
 		m.dir.PutInstance(body.Info)
 		if body.From == m.cfg.NodeID {
@@ -924,6 +971,12 @@ func (m *Module) Shutdown(onDone func()) error {
 	local := m.cfg.Manager.List()
 	finish := func() {
 		_ = m.cfg.Member.Stop()
+		// Shard members leave after the main member: the drain's handoff
+		// broadcasts ride the main group, while record withdrawals have
+		// already converged through the shard groups' graceful leaves.
+		for _, sm := range m.cfg.ShardMembers {
+			_ = sm.Stop()
+		}
 		m.Stop()
 		if onDone != nil {
 			onDone()

@@ -133,8 +133,18 @@ func (t *recordTable[V]) remove(key, holder string) (V, bool) {
 // applied deterministically on view change) and returns the removed
 // records sorted by key.
 func (t *recordTable[V]) removeOf(holder string) []V {
+	return t.removeOfMatching(holder, nil)
+}
+
+// removeOfMatching deletes holder's records whose keys satisfy match
+// (nil matches everything) — the shard-scoped prune: a holder departing
+// one shard's view loses only that shard's records.
+func (t *recordTable[V]) removeOfMatching(holder string, match func(string) bool) []V {
 	var removed []V
 	for key, byHolder := range t.recs {
+		if match != nil && !match(key) {
+			continue
+		}
 		if v, ok := byHolder[holder]; ok {
 			removed = append(removed, v)
 			delete(byHolder, holder)
@@ -154,8 +164,22 @@ func (t *recordTable[V]) removeOf(holder string) []V {
 // converged directory produces no events. Records claiming another
 // holder are ignored: a node only speaks for itself in a sync.
 func (t *recordTable[V]) replaceOf(holder string, vs []V) (added, updated, removed []V) {
+	return t.replaceOfMatching(holder, vs, nil)
+}
+
+// replaceOfMatching is replaceOf restricted to keys satisfying match
+// (nil matches everything): vs becomes holder's complete record set
+// WITHIN the matched key subset, and records outside it are untouched.
+// This is what makes per-shard syncs safe — a shard's authoritative
+// replacement must not erase the holder's records living in other
+// shards' total orders. Incoming records outside the subset are ignored
+// for the same reason: a shard only speaks for its own keys.
+func (t *recordTable[V]) replaceOfMatching(holder string, vs []V, match func(string) bool) (added, updated, removed []V) {
 	prev := make(map[string]V)
 	for key, byHolder := range t.recs {
+		if match != nil && !match(key) {
+			continue
+		}
 		if v, ok := byHolder[holder]; ok {
 			prev[key] = v
 		}
@@ -163,6 +187,9 @@ func (t *recordTable[V]) replaceOf(holder string, vs []V) (added, updated, remov
 	next := make(map[string]bool, len(vs))
 	for _, v := range vs {
 		if t.holder(v) != holder {
+			continue
+		}
+		if match != nil && !match(t.key(v)) {
 			continue
 		}
 		key := t.key(v)

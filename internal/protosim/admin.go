@@ -87,9 +87,9 @@ func (s *Sim) serve(conn net.Conn) {
 			for _, holders := range s.endpoints {
 				eps += len(holders)
 			}
-			reply("sim seed=%d nodes=%d live=%d services=%d endpoints=%d artifacts=%d storm=%.1f/s remote=%s",
+			reply("sim seed=%d nodes=%d live=%d services=%d endpoints=%d artifacts=%d shards=%d storm=%.1f/s remote=%s",
 				s.cfg.Seed, len(s.nodes), live, len(s.serviceNames), eps,
-				len(s.arts), s.stormRate, s.remoteAddr)
+				len(s.arts), s.router.Shards(), s.stormRate, s.remoteAddr)
 			s.mu.Unlock()
 			reply("OK")
 		case "NODES":

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"dosgi/internal/clock"
+	"dosgi/internal/migrate"
 	"dosgi/internal/obs"
 	"dosgi/internal/provision"
 	"dosgi/internal/remote"
@@ -70,6 +71,14 @@ type Config struct {
 	// their own holdings only — a replica a fetcher can actually dial,
 	// fail over from, and lose mid-transfer to a KILL directive.
 	NodeListeners int
+	// Shards is the directory shard count the simulated cluster's
+	// records are laid out over (default 1 — the single-group layout):
+	// every synthetic service, artifact and health record routes to a
+	// shard via the same rendezvous hashing the real sharded directory
+	// uses, both brokers partition their replay rings per shard, and
+	// STATUS / sim:cluster metrics report the topology and per-shard
+	// populations.
+	Shards int
 	// StormRate starts the event storm at this many events/second
 	// (default off; adjustable live via SetStormRate or FAULT STORM).
 	StormRate float64
@@ -119,6 +128,9 @@ func (c *Config) fill() {
 	}
 	if c.NodeListeners > c.Nodes {
 		c.NodeListeners = c.Nodes
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
 	}
 	if c.ReplayWindow <= 0 {
 		c.ReplayWindow = remote.DefaultReplayWindow
@@ -178,6 +190,7 @@ type Sim struct {
 
 	broker       *remote.EventBroker
 	healthBroker *remote.EventBroker
+	router       migrate.ShardRouter
 	faults       *faultInjector
 	echo         simEcho
 	store        *provision.Store
@@ -219,6 +232,7 @@ func New(cfg Config) (*Sim, error) {
 		endpoints:  make(map[string]map[string]struct{}),
 		healthView: make(map[string]remote.ServiceEvent),
 		adminConns: make(map[net.Conn]struct{}),
+		router:     migrate.NewShardRouter(cfg.Shards),
 		faults:     newFaultInjector(),
 	}
 	if err := s.buildPopulation(); err != nil {
@@ -234,11 +248,13 @@ func New(cfg Config) (*Sim, error) {
 		remote.WithEventSnapshot(s.endpointSnapshot),
 		remote.WithReplayWindow(cfg.ReplayWindow),
 		remote.WithBrokerAckHistogram(s.plane.EventAckLag),
+		remote.WithReplayRingShards(s.router.Shards(), s.router.Shard),
 	}
 	healthOpts := []remote.BrokerOption{
 		remote.WithBrokerService(remote.HealthServiceName),
 		remote.WithEventSnapshot(s.healthSnapshot),
 		remote.WithReplayWindow(cfg.ReplayWindow),
+		remote.WithReplayRingShards(s.router.Shards(), s.router.Shard),
 	}
 	if cfg.Lease > 0 {
 		brokerOpts = append(brokerOpts, remote.WithEventLease(cfg.Lease))
@@ -338,9 +354,21 @@ func (s *Sim) registerProviders() {
 		return map[string]any{
 			"nodes": len(s.nodes), "live": live,
 			"services": len(s.serviceNames), "endpoints": eps,
-			"artifacts": len(s.arts), "stormRate": s.stormRate,
+			"artifacts": len(s.arts), "shards": s.router.Shards(),
+			"stormRate":     s.stormRate,
 			"droppedPushes": s.faults.droppedCount(),
 		}
+	})
+	s.metrics.RegisterProvider("sim:shards", func() map[string]any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make(map[string]any, s.router.Shards())
+		for _, svc := range s.serviceNames {
+			key := fmt.Sprintf("shard%02d-services", s.router.Shard(svc))
+			n, _ := out[key].(int)
+			out[key] = n + 1
+		}
+		return out
 	})
 	s.metrics.RegisterProvider("events:sim", brokerProvider(s.broker))
 	s.metrics.RegisterProvider("health:sim", brokerProvider(s.healthBroker))
@@ -359,6 +387,10 @@ func brokerProvider(b *remote.EventBroker) func() map[string]any {
 		}
 	}
 }
+
+// ShardOf returns the directory shard a record key routes to under the
+// simulator's configured topology (always 0 with one shard).
+func (s *Sim) ShardOf(key string) int { return s.router.Shard(key) }
 
 // AdminAddr returns the admin line-protocol address (what dosgictl
 // -addr takes).

@@ -258,7 +258,12 @@ func DecodeBatch(buf []byte) ([][]byte, error) {
 
 // EncodeResponse serializes r (without the length prefix).
 func EncodeResponse(r *Response) ([]byte, error) {
-	buf := make([]byte, 0, 64)
+	return appendResponse(make([]byte, 0, 64), r)
+}
+
+// appendResponse appends r's encoding to buf, which may come from the
+// frame pool — the allocation-free reply path.
+func appendResponse(buf []byte, r *Response) ([]byte, error) {
 	buf = append(buf, frameResponse)
 	buf = binary.BigEndian.AppendUint64(buf, r.Corr)
 	buf = append(buf, r.Status)
@@ -287,6 +292,25 @@ func encodeResponseOrFallback(resp *Response) []byte {
 	}
 	if err != nil {
 		out, _ = EncodeResponse(&Response{
+			Corr: resp.Corr, Status: StatusAppError,
+			Err: "unencodable results: " + err.Error(),
+		})
+	}
+	return out
+}
+
+// encodePooledResponseOrFallback is encodeResponseOrFallback writing into
+// a frame-pool buffer: the caller MUST recycle the returned buffer with
+// putFrameBuf after its synchronous transport write, and must not hand the
+// bytes to anything that outlives the call (async delivery paths keep
+// using encodeResponseOrFallback's heap buffer).
+func encodePooledResponseOrFallback(resp *Response) []byte {
+	out, err := appendResponse(getFrameBuf(0), resp)
+	if err == nil && len(out) > MaxFrameSize {
+		err = ErrFrameTooLarge
+	}
+	if err != nil {
+		out, _ = appendResponse(out[:0], &Response{
 			Corr: resp.Corr, Status: StatusAppError,
 			Err: "unencodable results: " + err.Error(),
 		})

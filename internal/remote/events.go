@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -218,6 +219,21 @@ func WithReplayWindow(n int) BrokerOption {
 	}
 }
 
+// WithReplayRingShards partitions each subscription's replay ring into n
+// per-shard rings routed by the event's service key — normally the
+// directory's rendezvous router, so the retained window lines up with the
+// sharded directory's delta streams. One shard's churn storm then evicts
+// only its own shard's retained events; another shard's replayable tail
+// or suspended backlog survives. n <= 1 or a nil route keeps the legacy
+// single-ring layout.
+func WithReplayRingShards(n int, route func(service string) int) BrokerOption {
+	return func(b *EventBroker) {
+		if n > 1 && route != nil {
+			b.ringShards, b.ringRoute = n, route
+		}
+	}
+}
+
 // brokerAckTrackMax bounds per-subscription push-timestamp tracking: a
 // subscriber that never acks (no credit window, no ack rides its renews)
 // must not grow the lag map without bound.
@@ -285,6 +301,8 @@ type EventBroker struct {
 	lease        time.Duration
 	snapshot     func() []ServiceEvent
 	replayWindow int
+	ringShards   int
+	ringRoute    func(service string) int
 	ackHist      *obs.Histogram
 	service      string
 
@@ -313,9 +331,10 @@ type brokerSub struct {
 	// ack alone does not yet prove the tail was lost.
 	pushedSince bool
 
-	// ring holds the events with sequence numbers (seq-cap, seq],
-	// indexed by seq % cap — the replay window.
-	ring []ServiceEvent
+	// ring retains the subscription's recent events — the replay window.
+	// Single-ring by default; per-directory-shard rings when the broker
+	// was built with WithReplayRingShards.
+	ring *replayRing
 
 	// sentAt stamps each unacknowledged push's wire-write time for the
 	// push-to-ack lag histogram (nil unless the broker has one). A re-push
@@ -357,21 +376,123 @@ func (b *EventBroker) drainAcked(sub *brokerSub, ack uint64) {
 	}
 }
 
-// firstAvail returns the oldest sequence number still in the ring.
-func (sub *brokerSub) firstAvail() uint64 {
-	c := uint64(len(sub.ring))
-	if c == 0 || sub.seq <= c {
-		return sub.seq - min(sub.seq, c) + 1
+// replayRing retains a subscription's recent events for Replay requests
+// and suspended-delivery resume: one ring in the legacy layout, or N
+// per-shard rings routed by the event's service key when the node's
+// directory is sharded. Per-shard retention means a churn storm in one
+// directory shard evicts only its own shard's retained events — another
+// shard's replayable tail or suspended backlog survives the storm, the
+// event-stream face of the sharded directory. Entries within one ring are
+// stored in sequence order (the subscription assigns globally increasing
+// sequence numbers), so lookup by sequence number is a binary search.
+type replayRing struct {
+	cap    int
+	shards int
+	route  func(service string) int // nil = single ring
+	rings  [][]ServiceEvent         // lazily allocated per shard
+	counts []uint64                 // events ever stored per shard
+}
+
+func newReplayRing(capacity, shards int, route func(string) int) *replayRing {
+	if shards < 1 || route == nil {
+		shards, route = 1, nil
 	}
-	return sub.seq - c + 1
+	return &replayRing{
+		cap: capacity, shards: shards, route: route,
+		rings: make([][]ServiceEvent, shards), counts: make([]uint64, shards),
+	}
+}
+
+func (r *replayRing) shardOf(service string) int {
+	if r.route == nil {
+		return 0
+	}
+	if s := r.route(service); s >= 0 && s < r.shards {
+		return s
+	}
+	return 0
+}
+
+// store retains ev, returning the entry it evicted (had=true once the
+// shard's ring has wrapped) so the caller can count overflowed
+// (never-sent) deliveries.
+func (r *replayRing) store(ev ServiceEvent) (evicted ServiceEvent, had bool) {
+	s := r.shardOf(ev.Service)
+	if r.rings[s] == nil {
+		r.rings[s] = make([]ServiceEvent, r.cap)
+	}
+	slot := r.counts[s] % uint64(r.cap)
+	if r.counts[s] >= uint64(r.cap) {
+		evicted, had = r.rings[s][slot], true
+	}
+	r.rings[s][slot] = ev
+	r.counts[s]++
+	return evicted, had
+}
+
+// oldest returns the smallest sequence number still retained in any ring
+// (0 when nothing is retained).
+func (r *replayRing) oldest() uint64 {
+	var lowest uint64
+	for s := range r.rings {
+		n := r.counts[s]
+		if n == 0 {
+			continue
+		}
+		valid := uint64(r.cap)
+		if n < valid {
+			valid = n
+		}
+		seq := r.rings[s][(n-valid)%uint64(r.cap)].Seq
+		if lowest == 0 || seq < lowest {
+			lowest = seq
+		}
+	}
+	return lowest
+}
+
+// get returns the retained event with sequence number q, searching each
+// shard ring's sequence-ordered window.
+func (r *replayRing) get(q uint64) (ServiceEvent, bool) {
+	for s := range r.rings {
+		n := r.counts[s]
+		if n == 0 {
+			continue
+		}
+		valid := uint64(r.cap)
+		if n < valid {
+			valid = n
+		}
+		lo := n - valid
+		i := sort.Search(int(valid), func(i int) bool {
+			return r.rings[s][(lo+uint64(i))%uint64(r.cap)].Seq >= q
+		})
+		if uint64(i) < valid {
+			if ev := r.rings[s][(lo+uint64(i))%uint64(r.cap)]; ev.Seq == q {
+				return ev, true
+			}
+		}
+	}
+	return ServiceEvent{}, false
+}
+
+// firstAvail returns the oldest sequence number still in the ring
+// (seq+1 when nothing is retained — the window is empty).
+func (sub *brokerSub) firstAvail() uint64 {
+	if sub.ring != nil {
+		if o := sub.ring.oldest(); o != 0 {
+			return o
+		}
+	}
+	return sub.seq + 1
 }
 
 // at returns the ring entry for sequence number s.
 func (sub *brokerSub) at(s uint64) (ServiceEvent, bool) {
-	if len(sub.ring) == 0 || s < sub.firstAvail() || s > sub.seq {
+	if sub.ring == nil {
 		return ServiceEvent{}, false
 	}
-	return sub.ring[s%uint64(len(sub.ring))], true
+	return sub.ring.get(s)
 }
 
 // NewEventBroker builds a broker; sched drives lease expiry.
@@ -480,12 +601,11 @@ func (b *EventBroker) pushEventLocked(key brokerSubKey, sub *brokerSub, ev Servi
 	suspend := !force && sub.window > 0 && sub.seq-sub.acked > sub.window
 	if b.replayWindow > 0 {
 		if sub.ring == nil {
-			sub.ring = make([]ServiceEvent, b.replayWindow)
+			sub.ring = newReplayRing(b.replayWindow, b.ringShards, b.ringRoute)
 		}
-		if evicted := int64(sub.seq) - int64(len(sub.ring)); evicted >= 1 && uint64(evicted) > sub.sent {
+		if evicted, had := sub.ring.store(ev); had && evicted.Seq > sub.sent {
 			b.stats.Overflowed++ // a suspended delivery rolled out of reach
 		}
-		sub.ring[sub.seq%uint64(len(sub.ring))] = ev
 	} else if suspend {
 		b.stats.Overflowed++ // no ring: a suspended delivery is lost at once
 	}
@@ -586,7 +706,10 @@ func (b *EventBroker) advance(key brokerSubKey, sub *brokerSub, ack uint64) {
 		}
 		ev, ok := sub.at(next)
 		sub.sent = next
-		if !ok { // unreachable once the ring exists; stay safe regardless
+		if !ok {
+			// With per-shard rings a hot shard may have evicted this
+			// sequence number while a colder shard retains older ones: skip
+			// it — the subscriber observes the gap and heals via resync.
 			b.mu.Unlock()
 			continue
 		}

@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// routeHotCold is a two-shard router for the ring tests: "svc.hot*"
+// services land in shard 0, everything else in shard 1.
+func routeHotCold(service string) int {
+	if strings.HasPrefix(service, "svc.hot") {
+		return 0
+	}
+	return 1
+}
+
+// TestReplayRingShardIsolation pins the retention property the sharded
+// ring buys: a storm in one shard evicts only that shard's retained
+// events, while a single ring of the same per-shard capacity loses the
+// other shard's history.
+func TestReplayRingShardIsolation(t *testing.T) {
+	ev := func(svc string, seq uint64) ServiceEvent {
+		return ServiceEvent{Type: ServiceRegistered, Service: svc, Seq: seq}
+	}
+
+	sharded := newReplayRing(4, 2, routeHotCold)
+	single := newReplayRing(4, 1, nil)
+	for _, r := range []*replayRing{sharded, single} {
+		r.store(ev("svc.cold", 1))
+		for s := uint64(2); s <= 11; s++ {
+			r.store(ev("svc.hot", s))
+		}
+	}
+
+	if _, ok := sharded.get(1); !ok {
+		t.Fatal("sharded ring lost the cold shard's event to a hot-shard storm")
+	}
+	if got := sharded.oldest(); got != 1 {
+		t.Fatalf("sharded oldest = %d, want 1", got)
+	}
+	// The hot ring still keeps its own most recent window.
+	for s := uint64(8); s <= 11; s++ {
+		if got, ok := sharded.get(s); !ok || got.Seq != s {
+			t.Fatalf("sharded ring lost hot event %d", s)
+		}
+	}
+	if _, ok := sharded.get(7); ok {
+		t.Fatal("hot shard retained beyond its window")
+	}
+
+	if _, ok := single.get(1); ok {
+		t.Fatal("single ring unexpectedly retained the cold event through the storm")
+	}
+	if got := single.oldest(); got != 8 {
+		t.Fatalf("single oldest = %d, want 8", got)
+	}
+}
+
+// TestReplayHealsAcrossShardStorm: with a tiny replay window, a blackout
+// spanning one cold-shard event plus a full hot-shard window would roll a
+// single ring past the cold event (forcing a resync); with per-shard
+// rings the cold event is still retained, so one Replay round-trip heals
+// the whole gap. The single-ring contrast is TestReplayMissFallsBackToResync.
+func TestReplayHealsAcrossShardStorm(t *testing.T) {
+	r := newEventRig(t, WithReplayWindow(2), WithReplayRingShards(2, routeHotCold))
+	alpha := ServiceEvent{Service: "svc.alpha", Node: "n1", Addr: eventAddrA}
+	r.setExport(alpha)
+
+	var got []ServiceEvent
+	sub, err := NewSubscriber(SubscriberConfig{
+		Transport:  r.tr,
+		Sched:      r.eng,
+		Addrs:      []string{eventAddrA},
+		Filter:     "svc.*",
+		OnEvent:    func(ev ServiceEvent) { got = append(got, ev) },
+		RenewEvery: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	r.eng.RunFor(50 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("resync events = %+v", got)
+	}
+
+	// Blackout: one cold event, then a hot burst filling shard 0's window.
+	r.net.Partition("nodeA", "nodeC")
+	for _, svc := range []string{"svc.cold", "svc.hot1", "svc.hot2"} {
+		ev := reg(svc, "n2")
+		r.setExport(ev)
+		r.brkA.Publish(ev)
+	}
+	r.eng.RunFor(20 * time.Millisecond)
+	r.net.Heal("nodeA", "nodeC")
+
+	// The blackout burst trips the credit window, so delivery resumes on
+	// the next renew ack; the sequence jump then exposes the gap and
+	// Replay must serve the full missing range, cold event included.
+	delta := reg("svc.delta", "n4")
+	r.setExport(delta)
+	r.brkA.Publish(delta)
+	r.eng.RunFor(600 * time.Millisecond)
+
+	want := []string{"svc.alpha", "svc.cold", "svc.hot1", "svc.hot2", "svc.delta"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %+v, want services %v", got, want)
+	}
+	for i, svc := range want {
+		if got[i].Service != svc {
+			t.Fatalf("event %d = %+v, want %s", i, got[i], svc)
+		}
+	}
+	st := sub.Stats()
+	if st.Resyncs != 1 {
+		t.Fatalf("shard storm still forced a resync: %+v", st)
+	}
+	if bst := r.brkA.Stats(); bst.ReplayHits != 1 || bst.ReplayMisses != 0 {
+		t.Fatalf("broker stats = %+v", bst)
+	}
+}

@@ -164,6 +164,10 @@ type tcpConn struct {
 	pushMu  sync.Mutex
 	pushFn  func(*Request)
 	pushes  serialQueue
+	// pushHello is set once the connection advertised featBatch for
+	// server→client Notify coalescing (sent with the first push handler,
+	// before any Subscribe can ride this connection).
+	pushHello bool
 }
 
 var _ PushConn = (*tcpConn)(nil)
@@ -179,11 +183,20 @@ func (c *tcpConn) EnableBatching(max int, delay time.Duration) {
 	_ = c.send(encodeHelloFeatures(false, featBatch))
 }
 
-// SetPushHandler implements PushConn.
+// SetPushHandler implements PushConn. The first handler also advertises
+// featBatch to the server: this connection will carry Subscribe verbs, so
+// the server may coalesce its Notify pushes into §2.1 batch frames. The
+// Hello precedes any Subscribe on the wire; an old server answers a bare
+// ack and keeps pushing plain frames.
 func (c *tcpConn) SetPushHandler(fn func(*Request)) {
 	c.pushMu.Lock()
+	first := !c.pushHello
+	c.pushHello = true
 	c.pushFn = fn
 	c.pushMu.Unlock()
+	if first {
+		_ = c.send(encodeHelloFeatures(false, featBatch))
+	}
 }
 
 // PendingPushes implements PushConn: the depth of the serialized queue
@@ -228,6 +241,32 @@ func (c *tcpConn) readLoop() {
 				_ = c.nc.Close()
 			}
 			return
+		}
+		// A batch frame from the server is a coalesced Notify burst
+		// (§6.2): unpack and enqueue each push in order. Inner decodes
+		// copy, so the outer buffer recycles immediately; a malformed
+		// batch is dropped like any other undecodable frame.
+		if len(frame) > 0 && frame[0] == frameBatch {
+			inner, berr := DecodeBatch(frame)
+			if berr == nil {
+				for _, in := range inner {
+					req, _, kind, derr := DecodeFrame(in)
+					if derr != nil || kind != frameRequest {
+						continue
+					}
+					pushed := req
+					c.pushes.enqueue(func() {
+						c.pushMu.Lock()
+						fn := c.pushFn
+						c.pushMu.Unlock()
+						if fn != nil {
+							fn(pushed)
+						}
+					})
+				}
+			}
+			putFrameBuf(frame)
+			continue
 		}
 		var req *Request
 		var resp *Response
@@ -429,34 +468,132 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// Server→client push coalescing (docs/PROTOCOL.md §6.2): broker Notify
+// bursts — a resync snapshot, a credit-window resume, a replay — queue on
+// the pusher and flush as one §2.1 batch frame once the window fills or
+// the micro-deadline lapses, whichever is first. The deadline is far below
+// perceptible event latency but long enough to catch a same-instant burst.
+const (
+	pushBatchMax   = 32
+	pushFlushDelay = 200 * time.Microsecond
+)
+
 // tcpPusher pushes frames to one accepted connection, sharing its write
-// mutex with the response path so frames never interleave.
+// mutex with the response path so frames never interleave. When the
+// client's Hello advertised featBatch, queued pushes coalesce into batch
+// frames; for older clients every push goes out plain.
 type tcpPusher struct {
 	nc      net.Conn
 	writeMu *sync.Mutex
+
+	mu       sync.Mutex
+	batching bool
+	pending  [][]byte
+	timer    *time.Timer
+	err      error // sticky first flush error, reported to later Pushes
+}
+
+func (p *tcpPusher) enableBatching() {
+	p.mu.Lock()
+	p.batching = true
+	p.mu.Unlock()
 }
 
 func (p *tcpPusher) Push(frame []byte) error {
+	p.mu.Lock()
+	if !p.batching {
+		p.mu.Unlock()
+		p.writeMu.Lock()
+		defer p.writeMu.Unlock()
+		return writeFrame(p.nc, frame)
+	}
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.pending = append(p.pending, frame)
+	full := len(p.pending) >= pushBatchMax
+	if !full && p.timer == nil {
+		p.timer = time.AfterFunc(pushFlushDelay, p.flush)
+	}
+	p.mu.Unlock()
+	if full {
+		p.flush()
+	}
+	return nil
+}
+
+func (p *tcpPusher) flush() {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
-	return writeFrame(p.nc, frame)
+	p.flushLocked()
+}
+
+// flushLocked writes the queued pushes under an already-held writeMu. The
+// response path calls it before every reply so Notify frames queued ahead
+// of a response never reorder behind it — the Subscriber's resync
+// accounting depends on the server's write order between a resync's
+// Notify frames and the Subscribe response.
+func (p *tcpPusher) flushLocked() {
+	p.mu.Lock()
+	frames := p.pending
+	p.pending = nil
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	p.mu.Unlock()
+	var err error
+	switch len(frames) {
+	case 0:
+		return
+	case 1:
+		err = writeFrame(p.nc, frames[0])
+	default:
+		err = writeBatchFrame(p.nc, frames)
+	}
+	if err != nil {
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = err
+		}
+		p.mu.Unlock()
+	}
+}
+
+// stop cancels a pending micro-deadline flush (connection teardown).
+func (p *tcpPusher) stop() {
+	p.mu.Lock()
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	p.pending = nil
+	p.mu.Unlock()
 }
 
 func (s *TCPServer) serveConn(nc net.Conn) {
 	defer s.wg.Done()
+	var writeMu sync.Mutex
+	pusher := &tcpPusher{nc: nc, writeMu: &writeMu}
 	defer func() {
+		pusher.stop()
 		s.mu.Lock()
 		delete(s.conns, nc)
 		s.mu.Unlock()
 		_ = nc.Close()
 	}()
-	var writeMu sync.Mutex
-	pusher := &tcpPusher{nc: nc, writeMu: &writeMu}
 	reply := func(resp *Response) {
-		out := encodeResponseOrFallback(resp)
+		// Responses encode into a pooled frame buffer recycled right after
+		// the synchronous transport write — the per-reply allocation on the
+		// server hot path was the buffer itself.
+		out := encodePooledResponseOrFallback(resp)
 		writeMu.Lock()
-		defer writeMu.Unlock()
+		pusher.flushLocked()
 		_ = writeFrame(nc, out)
+		writeMu.Unlock()
+		putFrameBuf(out)
 	}
 	serve := func(req *Request) {
 		var resp *Response
@@ -514,11 +651,19 @@ func (s *TCPServer) serveConn(nc net.Conn) {
 			putFrameBuf(frame)
 			return
 		}
+		var clientFeats byte
+		if kind == frameHello {
+			clientFeats = helloFeatures(frame)
+		}
 		putFrameBuf(frame) // request values are copied out by DecodeFrame
 		switch kind {
 		case frameHello:
 			// Acks always advertise this server's features; old clients
-			// ignore the trailing byte.
+			// ignore the trailing byte. A client advertising featBatch has
+			// opted into coalesced Notify pushes on this connection.
+			if clientFeats&featBatch != 0 {
+				pusher.enableBatching()
+			}
 			writeMu.Lock()
 			_ = writeFrame(nc, encodeHelloFeatures(true, featBatch))
 			writeMu.Unlock()

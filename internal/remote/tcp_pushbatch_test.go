@@ -1,0 +1,237 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dosgi/internal/clock"
+)
+
+func notifyFrame(t *testing.T, svc string, seq uint64) []byte {
+	t.Helper()
+	f, err := EncodeNotifyAs(EventsServiceName, 7, ServiceEvent{
+		Type: ServiceRegistered, Service: svc, Node: "n1", Addr: "a:1", Seq: seq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestTCPPusherCoalescesNotifyBurst: a full window of pushes on a
+// batching-enabled pusher goes out as ONE §2.1 batch frame carrying every
+// Notify in push order.
+func TestTCPPusherCoalescesNotifyBurst(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	var writeMu sync.Mutex
+	p := &tcpPusher{nc: server, writeMu: &writeMu}
+	p.enableBatching()
+
+	got := make(chan []byte, 1)
+	go func() {
+		frame, err := readFrame(client)
+		if err != nil {
+			close(got)
+			return
+		}
+		got <- frame
+	}()
+	for i := 0; i < pushBatchMax; i++ {
+		if err := p.Push(notifyFrame(t, fmt.Sprintf("svc-%02d", i), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case frame, ok := <-got:
+		if !ok {
+			t.Fatal("read failed")
+		}
+		if frame[0] != frameBatch {
+			t.Fatalf("frame kind = 0x%02x, want batch 0x%02x", frame[0], frameBatch)
+		}
+		inner, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inner) != pushBatchMax {
+			t.Fatalf("batch carries %d frames, want %d", len(inner), pushBatchMax)
+		}
+		for i, in := range inner {
+			req, _, kind, err := DecodeFrame(in)
+			if err != nil || kind != frameRequest {
+				t.Fatalf("inner frame %d: kind=0x%02x err=%v", i, kind, err)
+			}
+			_, ev, err := DecodeNotify(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("svc-%02d", i); ev.Service != want {
+				t.Fatalf("batch order broken at %d: %q, want %q", i, ev.Service, want)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("window-full flush never arrived")
+	}
+}
+
+// TestTCPPusherMicroDeadlineFlush: a partial window flushes on the
+// micro-deadline without waiting for more pushes.
+func TestTCPPusherMicroDeadlineFlush(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	var writeMu sync.Mutex
+	p := &tcpPusher{nc: server, writeMu: &writeMu}
+	p.enableBatching()
+
+	got := make(chan []byte, 1)
+	go func() {
+		frame, err := readFrame(client)
+		if err != nil {
+			close(got)
+			return
+		}
+		got <- frame
+	}()
+	for i := 0; i < 3; i++ {
+		if err := p.Push(notifyFrame(t, fmt.Sprintf("svc-%d", i), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case frame := <-got:
+		inner, err := DecodeBatch(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inner) != 3 {
+			t.Fatalf("deadline flush carries %d frames, want 3", len(inner))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("micro-deadline flush never arrived")
+	}
+}
+
+// TestTCPPusherPlainWithoutNegotiation: a pusher whose client never
+// advertised featBatch writes every push as a plain frame — old
+// subscribers keep working byte-identically.
+func TestTCPPusherPlainWithoutNegotiation(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	var writeMu sync.Mutex
+	p := &tcpPusher{nc: server, writeMu: &writeMu}
+
+	go func() {
+		_ = p.Push(notifyFrame(t, "svc.plain", 1))
+	}()
+	frame, err := readFrame(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != frameRequest {
+		t.Fatalf("frame kind = 0x%02x, want plain request 0x%02x", frame[0], frameRequest)
+	}
+}
+
+// TestTCPPushBatchingEndToEndBurst floods a real TCP subscription with a
+// publish burst: every event must arrive exactly once, in order, through
+// whatever mix of plain and batch frames the server's coalescer emits.
+func TestTCPPushBatchingEndToEndBurst(t *testing.T) {
+	sched := clock.NewReal()
+	t.Cleanup(sched.Stop)
+	broker := NewEventBroker(sched)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := ServeTCP(ln, NewEventDispatcher(NewDispatcher(emptySource{}), broker))
+	t.Cleanup(server.Close)
+
+	const burst = 100
+	events := make(chan ServiceEvent, burst+16)
+	sub, err := NewSubscriber(SubscriberConfig{
+		Transport:  NewTCPTransport(sched, WithTCPCallTimeout(2*time.Second)),
+		Sched:      sched,
+		Addrs:      []string{ln.Addr().String()},
+		OnEvent:    func(ev ServiceEvent) { events <- ev },
+		RenewEvery: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sub.Close)
+
+	deadline := time.After(5 * time.Second)
+	waitSub := time.NewTicker(10 * time.Millisecond)
+	defer waitSub.Stop()
+	for broker.SubscriberCount() == 0 {
+		select {
+		case <-waitSub.C:
+		case <-deadline:
+			t.Fatal("subscription never established")
+		}
+	}
+
+	for i := 0; i < burst; i++ {
+		broker.Publish(ServiceEvent{
+			Type: ServiceRegistered, Service: fmt.Sprintf("svc.burst-%03d", i),
+			Node: "n1", Addr: "a:1",
+		})
+	}
+	for i := 0; i < burst; i++ {
+		select {
+		case ev := <-events:
+			if want := fmt.Sprintf("svc.burst-%03d", i); ev.Service != want {
+				t.Fatalf("event %d = %q, want %q (reordered or dropped)", i, ev.Service, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d burst events arrived", i, burst)
+		}
+	}
+}
+
+// TestPooledResponseEncodeNoAliasing pins the recycle contract of the
+// server reply path: bytes already written to the wire (copied by the
+// transport write) stay intact after the pooled buffer is recycled and
+// reused, including under concurrent encode/recycle pressure.
+func TestPooledResponseEncodeNoAliasing(t *testing.T) {
+	respA := &Response{Corr: 1, Status: StatusOK, Results: []any{"alpha", int64(42)}}
+	out := encodePooledResponseOrFallback(respA)
+	wire := append([]byte(nil), out...) // the transport write
+	putFrameBuf(out)
+	out2 := encodePooledResponseOrFallback(&Response{Corr: 2, Status: StatusOK, Results: []any{"bravo"}})
+	putFrameBuf(out2)
+	_, dec, kind, err := DecodeFrame(wire)
+	if err != nil || kind != frameResponse {
+		t.Fatalf("decode: kind=0x%02x err=%v", kind, err)
+	}
+	if dec.Corr != 1 || dec.Results[0] != "alpha" || dec.Results[1] != int64(42) {
+		t.Fatalf("written response corrupted by pool reuse: %+v", dec)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				want := fmt.Sprintf("g%d-i%d", g, i)
+				buf := encodePooledResponseOrFallback(&Response{Corr: uint64(i), Status: StatusOK, Results: []any{want}})
+				wire := append([]byte(nil), buf...)
+				putFrameBuf(buf)
+				_, dec, _, err := DecodeFrame(wire)
+				if err != nil || len(dec.Results) != 1 || dec.Results[0] != want {
+					t.Errorf("g%d i%d: corrupted pooled encode: %+v err=%v", g, i, dec, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
